@@ -1,0 +1,40 @@
+"""Regenerate Figure 1: top-down breakdown per workload.
+
+The paper plots 523.xalancbmk_r (left) against 557.xz_r (right) to
+show that changing the workload moves xalancbmk's pipeline behaviour
+far more.  The bench reproduces both panels and asserts that contrast:
+xalancbmk's mu_g(V) exceeds xz's.
+"""
+
+from repro.analysis.figures import figure1_series, render_figure1
+
+
+def test_figure1_xalancbmk(benchmark, characterized):
+    char = benchmark.pedantic(
+        lambda: characterized("523.xalancbmk_r"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure1(char))
+    series = figure1_series(char)
+    assert len(series["workloads"]) == 8
+
+
+def test_figure1_xz(benchmark, characterized):
+    char = benchmark.pedantic(
+        lambda: characterized("557.xz_r"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure1(char))
+    series = figure1_series(char)
+    assert len(series["workloads"]) == 12
+
+
+def test_figure1_contrast(benchmark, characterized):
+    """The figure's visual message: xalancbmk varies more than xz."""
+    xalan, xz = benchmark.pedantic(
+        lambda: (characterized("523.xalancbmk_r"), characterized("557.xz_r")),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert xalan.mu_g_v > xz.mu_g_v

@@ -1,0 +1,41 @@
+"""Regenerate Figure 2: method coverage per workload.
+
+The paper plots 531.deepsjeng_r (left, workload-stable coverage)
+against 557.xz_r (right, coverage that shifts with the workload).  The
+bench reproduces both panels and asserts that contrast via mu_g(M).
+"""
+
+from repro.analysis.figures import figure2_series, render_figure2
+
+
+def test_figure2_deepsjeng(benchmark, characterized):
+    char = benchmark.pedantic(
+        lambda: characterized("531.deepsjeng_r"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure2(char, top_n=5))
+    series = figure2_series(char)
+    assert len(series["workloads"]) == 12
+
+
+def test_figure2_xz(benchmark, characterized):
+    char = benchmark.pedantic(
+        lambda: characterized("557.xz_r"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_figure2(char, top_n=5))
+    series = figure2_series(char)
+    assert len(series["workloads"]) == 12
+
+
+def test_figure2_contrast(benchmark, characterized):
+    """deepsjeng's coverage is stable (paper mu_g(M)=1); xz's moves
+    with the workload (paper mu_g(M)=23)."""
+    deepsjeng, xz = benchmark.pedantic(
+        lambda: (characterized("531.deepsjeng_r"), characterized("557.xz_r")),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert xz.mu_g_m > deepsjeng.mu_g_m
+    assert deepsjeng.mu_g_m < 2.0

@@ -1,0 +1,88 @@
+"""Section VII study benchmarks.
+
+These regenerate the paper's proposed follow-on experiments (the
+"would-be-nices") and assert their expected outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import alberta_workloads
+from repro.studies import (
+    collect_features,
+    hidden_learning_gap,
+    kernel_representativeness,
+    most_similar_pairs,
+)
+
+
+def test_kernel_representativeness_contrast(benchmark, characterized):
+    """Single-reference kernels: safe for stable benchmarks, lossy for
+    workload-sensitive ones — the paper's Section VII hypothesis."""
+
+    def run():
+        stable = kernel_representativeness(
+            characterized("548.exchange2_r"), target_coverage=0.9
+        )
+        sensitive = kernel_representativeness(
+            characterized("523.xalancbmk_r"), target_coverage=0.9
+        )
+        return stable, sensitive
+
+    stable, sensitive = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print(f"\nexchange2 worst kernel coverage: {stable.worst_coverage:.2f}")
+    print(f"xalancbmk worst kernel coverage: {sensitive.worst_coverage:.2f}")
+    assert stable.worst_coverage > sensitive.worst_coverage
+
+
+def test_hidden_learning_gap(benchmark):
+    """Tuning and evaluating on the same workloads overstates quality."""
+    ws = alberta_workloads("557.xz_r")
+    report = benchmark.pedantic(
+        lambda: hidden_learning_gap(ws, n_tuning=4, candidates=(4, 16, 64)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print(f"\ntuned value={report.tuning.best_value} "
+          f"gap={report.optimism_gap:+.4f} regret={report.regret:.4f}")
+    assert report.regret >= -1e-9
+
+
+def test_program_similarity(benchmark):
+    """lbm and wrf (stencil FP) must be mutual near-neighbours."""
+    ids = ("519.lbm_r", "521.wrf_r", "541.leela_r", "557.xz_r", "505.mcf_r")
+    features = benchmark.pedantic(
+        lambda: [collect_features(b) for b in ids],
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    pairs = most_similar_pairs(features, top=10)
+    ranked = {(a, b): s for a, b, s in pairs}
+    print("\n" + "\n".join(f"{a} ~ {b}: {s:.2f}" for a, b, s in pairs[:4]))
+    assert ranked[("519.lbm_r", "521.wrf_r")] > ranked[("519.lbm_r", "541.leela_r")]
+    vec = np.stack([f.vector for f in features])
+    assert np.isfinite(vec).all()
+
+
+def test_compiler_variation_study(benchmark):
+    """The distributed study: branch/cache/time counters per workload
+    under the baseline and FDO builds."""
+    from repro.studies import compiler_variation, variation_table
+
+    observations = benchmark.pedantic(
+        lambda: compiler_variation("505.mcf_r", max_workloads=4),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(variation_table(observations))
+    by_build: dict = {}
+    for obs in observations:
+        by_build.setdefault(obs.build, []).append(obs)
+    assert len(by_build["baseline"]) == len(by_build["fdo-train"]) == 4
+    # counters vary across workloads: the study's raison d'etre
+    rates = {o.branch_misprediction_rate for o in by_build["baseline"]}
+    assert len(rates) == 4

@@ -1,0 +1,31 @@
+"""Regenerate Table I: the SPEC CPU 2006 -> 2017 INT evolution.
+
+The table is static metadata (officially submitted times); the bench
+measures the render path and checks the paper's headline numbers —
+arithmetic mean times of 517 s (2017) and 405 s (2006).
+"""
+
+from repro.analysis.tables import render_table1, table1_rows
+from repro.spec.history import evolution_summary
+
+
+def test_table1_regenerates(benchmark):
+    text = benchmark(render_table1)
+    print()
+    print(text)
+    assert "505.mcf_r" in text
+
+    rows = table1_rows()
+    footer = rows[-1]
+    assert footer["time2017"] == 517, "paper: 2017 arithmetic mean is 517 s"
+    assert footer["time2006"] == 405, "paper: 2006 arithmetic mean is 405 s"
+
+
+def test_section3_evolution_facts(benchmark):
+    summary = benchmark(evolution_summary)
+    # 2017 runs are longer on average than 2006 runs
+    assert summary["mean_time_2017"] > summary["mean_time_2006"]
+    # nine INT areas carried over; three dropped; one new
+    assert summary["n_carried_over"] == 9
+    assert summary["n_dropped_2006"] == 3
+    assert summary["n_new_2017"] == 1

@@ -1,0 +1,23 @@
+"""Shared fixtures for the table/figure regeneration benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterize import characterize
+
+# characterizations are expensive; cache them across bench files
+_CACHE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def characterized():
+    """Characterize-on-demand with session-scoped caching."""
+
+    def _get(benchmark_id: str, keep_profiles: bool = True):
+        key = f"{benchmark_id}:{keep_profiles}"
+        if key not in _CACHE:
+            _CACHE[key] = characterize(benchmark_id, keep_profiles=keep_profiles)
+        return _CACHE[key]
+
+    return _get

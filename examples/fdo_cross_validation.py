@@ -1,0 +1,57 @@
+"""FDO evaluation: the criticized protocol vs. cross-validation.
+
+The paper's core methodological argument (Sections I, II, VII): FDO
+results reported from a single train->ref experiment are one draw from
+a distribution.  With the Alberta workloads the distribution itself
+can be measured.  This example runs both protocols on a benchmark and
+prints them side by side, plus Berube-style combined profiling and
+workload clustering for profile-set reduction.
+
+Run:  python examples/fdo_cross_validation.py [benchmark_id]
+"""
+
+import sys
+
+from repro import Profiler, alberta_workloads, get_benchmark
+from repro.fdo import cluster_workloads, cross_validate, single_workload_methodology
+
+
+def main(benchmark_id: str) -> None:
+    print(f"FDO evaluation study for {benchmark_id}\n")
+
+    # 1. the literature's standard protocol
+    single = single_workload_methodology(benchmark_id)
+    print("Single-workload methodology (train on .train, measure on .refrate):")
+    print(f"  reported speedup: {single.speedup:.4f}\n")
+
+    # 2. cross-validation over the Alberta workloads
+    cv = cross_validate(benchmark_id, max_workloads=6)
+    s = cv.summary()
+    print(f"Cross-validated over {s['n']} train/eval pairs:")
+    print(f"  mean speedup : {s['mean']:.4f}")
+    print(f"  range        : [{s['min']:.4f}, {s['max']:.4f}]")
+    print(f"  std deviation: {s['stdev']:.4f}")
+    print(f"  regressions  : {s['n_regressions']} pairs slower than baseline")
+    verdict = "inside" if s["min"] <= single.speedup <= s["max"] else "OUTSIDE"
+    print(f"  -> the single-number result ({single.speedup:.4f}) is {verdict} "
+          "this range, and says nothing about its width\n")
+
+    # 3. combined profiling (Berube)
+    combined = cross_validate(benchmark_id, max_workloads=6, combined=True)
+    cs = combined.summary()
+    print("Combined profile from all six training workloads:")
+    print(f"  mean {cs['mean']:.4f}, worst case {cs['min']:.4f} "
+          f"(leave-one-out worst case: {s['min']:.4f})\n")
+
+    # 4. workload clustering for profile-set reduction
+    benchmark = get_benchmark(benchmark_id)
+    profiler = Profiler()
+    profiles = [profiler.run(benchmark, w) for w in list(alberta_workloads(benchmark_id))[:8]]
+    clusters = cluster_workloads(profiles, k=3, seed=1)
+    print("Workload clusters (representative <- members):")
+    for rep, members in clusters.items():
+        print(f"  {rep} <- {', '.join(members)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "557.xz_r")

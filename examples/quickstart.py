@@ -1,0 +1,34 @@
+"""Quickstart: characterize one benchmark over its Alberta workloads.
+
+Runs the 557.xz_r substrate over its twelve workloads (the Table II
+count), prints the per-benchmark report the Alberta Workloads
+distribute — execution times per workload, the Intel-top-down summary
+with mu_g(V), and the method-coverage summary with mu_g(M).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import benchmark_report, characterize
+
+
+def main() -> None:
+    print("Characterizing 557.xz_r over its Alberta workload set...\n")
+    char = characterize("557.xz_r", keep_profiles=True)
+    print(benchmark_report(char))
+
+    print()
+    print("Reading the summary numbers (Section V of the paper):")
+    print(f"  mu_g(V) = {char.mu_g_v:.2f} — overall top-down variability across workloads")
+    print(f"  mu_g(M) = {char.mu_g_m:.2f} — how much time shifts between methods")
+    print()
+    ref = char.refrate_seconds
+    fastest = min(char.seconds_by_workload.values())
+    slowest = max(char.seconds_by_workload.values())
+    print(
+        f"  simulated time: refrate {ref:.4f}s, range "
+        f"[{fastest:.4f}s, {slowest:.4f}s] across workloads"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""SPEC CPU 2006 -> 2017: regenerate the paper's Table I and Section III.
+
+Run:  python examples/spec_evolution.py
+"""
+
+from repro import render_table1
+from repro.spec.history import (
+    FP_AREAS_DROPPED,
+    FP_AREAS_NEW,
+    carried_over,
+    dropped_after_2006,
+    evolution_summary,
+    new_in_2017,
+)
+
+
+def main() -> None:
+    print(render_table1())
+    print()
+    summary = evolution_summary()
+    print("Section III highlights:")
+    print(f"  mean official time grew from {summary['mean_time_2006']:.0f}s "
+          f"to {summary['mean_time_2017']:.0f}s")
+    print(f"  {len(carried_over())} INT application areas carried over")
+    print(f"  dropped after 2006: "
+          f"{', '.join(r.spec2006 for r in dropped_after_2006())}")
+    print(f"  new in 2017: {', '.join(r.spec2017 for r in new_in_2017())}")
+    print(f"  FP areas no longer represented: {', '.join(FP_AREAS_DROPPED)}")
+    print(f"  FP areas introduced in 2017: {', '.join(FP_AREAS_NEW)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Workload-sensitivity study: which benchmarks change behaviour?
+
+Reproduces the scientific story of the paper's Section V on a chosen
+subset of benchmarks: characterize each over its Alberta workloads,
+rank by mu_g(V) and mu_g(M), render the Figure 1/2 panels for the
+extreme cases, and flag the small-mean summarization caveat.
+
+Run:  python examples/workload_sensitivity.py [benchmark_id ...]
+"""
+
+import sys
+
+from repro import characterize, render_figure1, render_figure2, sensitivity_report
+from repro.analysis.tables import render_table2
+
+DEFAULT_SUBSET = (
+    "523.xalancbmk_r",  # high variation (Figure 1 left)
+    "557.xz_r",         # moderate (Figure 1/2 right)
+    "531.deepsjeng_r",  # stable coverage (Figure 2 left)
+    "519.lbm_r",        # the mu_g(V) caveat case
+    "548.exchange2_r",  # the most stable benchmark
+)
+
+
+def main(benchmark_ids: tuple[str, ...]) -> None:
+    chars = []
+    for bid in benchmark_ids:
+        print(f"characterizing {bid} ...")
+        chars.append(characterize(bid, keep_profiles=True))
+    print()
+    print(render_table2(chars))
+    print()
+    print(sensitivity_report(chars))
+    print()
+
+    by_id = {c.benchmark_id: c for c in chars}
+    most = max(chars, key=lambda c: c.mu_g_v)
+    least = min(chars, key=lambda c: c.mu_g_v)
+    print(render_figure1(most))
+    print()
+    print(render_figure1(least))
+    print()
+    if "531.deepsjeng_r" in by_id:
+        print(render_figure2(by_id["531.deepsjeng_r"], top_n=4))
+
+
+if __name__ == "__main__":
+    subset = tuple(sys.argv[1:]) or DEFAULT_SUBSET
+    main(subset)

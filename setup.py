@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which need ``bdist_wheel``)
+fail.  This shim lets ``pip install -e . --no-use-pep517`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

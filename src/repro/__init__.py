@@ -1,0 +1,67 @@
+"""repro — The Alberta Workloads for the SPEC CPU 2017 Benchmark Suite.
+
+A from-scratch Python reproduction of Amaral et al., ISPASS 2018:
+mini-benchmark substrates for the SPEC CPU 2017 programs, the Alberta
+workload generators, a deterministic machine model providing Intel
+top-down-style cycle accounting, the paper's characterization
+statistics (Equations 1-5), and an FDO evaluation framework.
+
+Quick start::
+
+    from repro import characterize, render_table2
+
+    char = characterize("557.xz_r")
+    print(char.mu_g_v, char.mu_g_m)
+"""
+
+from .analysis import (
+    render_figure1,
+    render_figure2,
+    render_table1,
+    render_table2,
+    sensitivity_report,
+)
+from .core import (
+    BenchmarkCharacterization,
+    CoverageProfile,
+    TopDownVector,
+    Workload,
+    WorkloadSet,
+    alberta_workloads,
+    benchmark_ids,
+    benchmark_report,
+    characterize,
+    characterize_suite,
+    get_benchmark,
+    get_generator,
+    validate_workload_set,
+)
+from .machine import MachineConfig, Probe, Profiler, run_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "render_figure1",
+    "render_figure2",
+    "render_table1",
+    "render_table2",
+    "sensitivity_report",
+    "BenchmarkCharacterization",
+    "CoverageProfile",
+    "TopDownVector",
+    "Workload",
+    "WorkloadSet",
+    "alberta_workloads",
+    "benchmark_ids",
+    "benchmark_report",
+    "characterize",
+    "characterize_suite",
+    "get_benchmark",
+    "get_generator",
+    "validate_workload_set",
+    "MachineConfig",
+    "Probe",
+    "Profiler",
+    "run_benchmark",
+    "__version__",
+]

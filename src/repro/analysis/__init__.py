@@ -1,0 +1,27 @@
+"""Analysis: table/figure regeneration and sensitivity summaries."""
+
+from .figures import figure1_series, figure2_series, render_figure1, render_figure2
+from .sensitivity import (
+    Caveat,
+    detect_caveats,
+    rank_by_mu_g_m,
+    rank_by_mu_g_v,
+    sensitivity_report,
+)
+from .tables import render_table1, render_table2, table1_rows, table2_rows
+
+__all__ = [
+    "figure1_series",
+    "figure2_series",
+    "render_figure1",
+    "render_figure2",
+    "Caveat",
+    "detect_caveats",
+    "rank_by_mu_g_m",
+    "rank_by_mu_g_v",
+    "sensitivity_report",
+    "render_table1",
+    "render_table2",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,106 @@
+"""Figure data + ASCII rendering for the paper's Figures 1 and 2.
+
+* **Figure 1** — per-workload stacked top-down bars (front-end /
+  back-end / bad-speculation / retiring), shown in the paper for
+  ``523.xalancbmk_r`` (high variation) vs ``557.xz_r`` (low).
+* **Figure 2** — per-workload function-coverage bars, shown for
+  ``531.deepsjeng_r`` vs ``557.xz_r``.
+
+Each builder returns the plotted series as data; ``render_*`` draws a
+text approximation so the figures regenerate without a display.
+"""
+
+from __future__ import annotations
+
+from ..core.characterize import BenchmarkCharacterization
+from ..core.coverage import OTHERS_LABEL
+from ..core.topdown import CATEGORIES
+
+__all__ = [
+    "figure1_series",
+    "render_figure1",
+    "figure2_series",
+    "render_figure2",
+]
+
+_CAT_GLYPH = {"front_end": "F", "back_end": "B", "bad_speculation": "S", "retiring": "R"}
+
+
+def figure1_series(char: BenchmarkCharacterization) -> dict:
+    """Figure 1 data: per-workload top-down fractions.
+
+    Returns {"benchmark", "workloads": [...], "categories": {cat: [...]}}
+    with one value per workload per category.
+    """
+    workloads = [p.workload for p in char.profiles]
+    if not workloads:
+        raise ValueError(
+            "figure1_series needs profiles; characterize with keep_profiles=True"
+        )
+    categories = {
+        cat: [getattr(p.topdown, cat) for p in char.profiles] for cat in CATEGORIES
+    }
+    return {
+        "benchmark": char.benchmark_id,
+        "workloads": workloads,
+        "categories": categories,
+    }
+
+
+def render_figure1(char: BenchmarkCharacterization, width: int = 50) -> str:
+    """Stacked horizontal bars, one row per workload."""
+    series = figure1_series(char)
+    lines = [f"Figure 1 — top-down breakdown: {series['benchmark']}"]
+    lines.append(f"{'workload':<36} " + "".join(f"[{_CAT_GLYPH[c]}]" for c in CATEGORIES))
+    for i, wl in enumerate(series["workloads"]):
+        bar = ""
+        for cat in CATEGORIES:
+            frac = series["categories"][cat][i]
+            bar += _CAT_GLYPH[cat] * max(0, round(frac * width))
+        lines.append(f"{wl:<36} {bar[:width]}")
+    return "\n".join(lines)
+
+
+def figure2_series(char: BenchmarkCharacterization, top_n: int = 8) -> dict:
+    """Figure 2 data: per-workload coverage of the top methods.
+
+    Methods are ranked by their peak fraction across workloads; the
+    remainder is folded into ``others``.
+    """
+    if not char.profiles:
+        raise ValueError(
+            "figure2_series needs profiles; characterize with keep_profiles=True"
+        )
+    peak: dict[str, float] = {}
+    for p in char.profiles:
+        for m, frac in p.coverage.fractions.items():
+            peak[m] = max(peak.get(m, 0.0), frac)
+    ranked = sorted(peak, key=lambda m: -peak[m])
+    top = ranked[:top_n]
+    rest = set(ranked[top_n:])
+    workloads = [p.workload for p in char.profiles]
+    methods: dict[str, list[float]] = {m: [] for m in top}
+    methods[OTHERS_LABEL] = []
+    for p in char.profiles:
+        for m in top:
+            methods[m].append(p.coverage.fraction(m))
+        methods[OTHERS_LABEL].append(sum(p.coverage.fraction(m) for m in rest))
+    return {
+        "benchmark": char.benchmark_id,
+        "workloads": workloads,
+        "methods": methods,
+    }
+
+
+def render_figure2(char: BenchmarkCharacterization, top_n: int = 6, width: int = 40) -> str:
+    """Per-method coverage bars grouped by workload."""
+    series = figure2_series(char, top_n)
+    lines = [f"Figure 2 — method coverage: {series['benchmark']}"]
+    method_names = list(series["methods"])
+    for i, wl in enumerate(series["workloads"]):
+        lines.append(wl)
+        for m in method_names:
+            frac = series["methods"][m][i]
+            bar = "#" * max(0, round(frac * width))
+            lines.append(f"  {m:<24} {bar} {frac * 100:5.1f}%")
+    return "\n".join(lines)

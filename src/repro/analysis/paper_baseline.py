@@ -1,0 +1,135 @@
+"""The paper's published Table II, and measured-vs-paper comparison.
+
+Holding the published numbers as data makes "the shape holds" a
+computable claim: per-column Spearman rank correlations between the
+paper's fifteen benchmarks and our measured characterizations, plus
+named headline findings (who is highest per column).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.characterize import BenchmarkCharacterization
+
+__all__ = ["PaperRow", "PAPER_TABLE2", "spearman", "compare_to_paper"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One published Table II row (mu_g percentages; sigma_g raw)."""
+
+    benchmark: str
+    n_workloads: int
+    f_mu: float
+    f_sigma: float
+    b_mu: float
+    b_sigma: float
+    s_mu: float
+    s_sigma: float
+    r_mu: float
+    r_sigma: float
+    mu_g_v: float
+    mu_g_m: float
+    refrate_seconds: int
+
+
+#: Table II of the paper, verbatim.
+PAPER_TABLE2: tuple[PaperRow, ...] = (
+    PaperRow("502.gcc_r", 19, 23.4, 1.2, 33.6, 1.2, 11.9, 1.2, 29.5, 1.1, 5.1, 25, 281),
+    PaperRow("505.mcf_r", 7, 14.1, 1.8, 44.9, 1.3, 15.3, 1.6, 19.8, 1.2, 6.9, 1, 324),
+    PaperRow("507.cactuBSSN_r", 11, 20.4, 1.7, 42.8, 1.4, 0.2, 1.3, 31.0, 1.1, 17.1, 1, 355),
+    PaperRow("510.parest_r", 8, 12.4, 1.1, 26.0, 1.2, 6.9, 1.3, 53.7, 1.1, 6.2, 5, 449),
+    PaperRow("511.povray_r", 10, 9.4, 1.7, 39.7, 1.5, 8.8, 2.2, 32.7, 1.4, 9.2, 66, 535),
+    PaperRow("519.lbm_r", 30, 1.9, 1.8, 61.2, 1.1, 0.4, 3.3, 34.1, 1.3, 27.4, 59, 260),
+    PaperRow("520.omnetpp_r", 10, 9.1, 1.2, 64.7, 1.1, 8.1, 1.1, 17.4, 1.2, 6.8, 17, 577),
+    PaperRow("521.wrf_r", 16, 7.1, 1.4, 54.9, 1.1, 4.3, 1.3, 32.2, 1.0, 7.8, 4, 904),
+    PaperRow("523.xalancbmk_r", 8, 13.4, 1.8, 42.7, 1.4, 2.3, 2.4, 33.7, 1.4, 11.8, 108, 263),
+    PaperRow("526.blender_r", 16, 17.1, 1.6, 25.9, 1.4, 11.3, 1.8, 41.1, 1.1, 6.7, 44, 162),
+    PaperRow("531.deepsjeng_r", 12, 19.1, 1.1, 27.4, 1.2, 11.5, 1.1, 41.2, 1.1, 5.0, 1, 316),
+    PaperRow("541.leela_r", 12, 16.9, 1.1, 23.0, 1.1, 27.6, 1.1, 32.2, 1.0, 4.3, 1, 484),
+    PaperRow("544.nab_r", 11, 3.6, 1.4, 55.3, 1.1, 7.5, 1.3, 33.0, 1.0, 7.9, 2, 476),
+    PaperRow("548.exchange2_r", 13, 13.9, 1.0, 22.4, 1.0, 5.1, 1.1, 58.6, 1.0, 5.9, 1, 920),
+    PaperRow("557.xz_r", 12, 11.7, 1.1, 42.8, 1.2, 16.5, 1.3, 27.2, 1.2, 5.5, 23, 352),
+)
+
+
+def spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation between two equal-length sequences."""
+    if len(a) != len(b) or len(a) < 2:
+        raise ValueError("spearman: need two equal sequences of length >= 2")
+
+    def _ranks(values: Sequence[float]) -> list[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        ranks = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            mean_rank = (i + j) / 2 + 1
+            for k in range(i, j + 1):
+                ranks[order[k]] = mean_rank
+            i = j + 1
+        return ranks
+
+    ra, rb = _ranks(a), _ranks(b)
+    mean_a = sum(ra) / len(ra)
+    mean_b = sum(rb) / len(rb)
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(ra, rb))
+    var_a = sum((x - mean_a) ** 2 for x in ra)
+    var_b = sum((y - mean_b) ** 2 for y in rb)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / (var_a * var_b) ** 0.5
+
+
+_COLUMNS = (
+    ("f_mu", "front_end"),
+    ("b_mu", "back_end"),
+    ("s_mu", "bad_speculation"),
+    ("r_mu", "retiring"),
+)
+
+
+def compare_to_paper(
+    characterizations: Sequence[BenchmarkCharacterization],
+) -> dict[str, float | dict[str, str]]:
+    """Rank-correlate measured columns against the published table.
+
+    Returns per-column Spearman coefficients plus the "who leads each
+    column" agreement record.  Only benchmarks present in both sets are
+    compared.
+    """
+    paper_by_id = {row.benchmark: row for row in PAPER_TABLE2}
+    common = [c for c in characterizations if c.benchmark_id in paper_by_id]
+    if len(common) < 3:
+        raise ValueError("compare_to_paper: need at least three common benchmarks")
+
+    result: dict[str, float | dict[str, str]] = {}
+    for paper_attr, category in _COLUMNS:
+        paper_vals = [getattr(paper_by_id[c.benchmark_id], paper_attr) for c in common]
+        ours = [c.topdown.mu_g(category) * 100 for c in common]
+        result[f"spearman_{paper_attr}"] = spearman(paper_vals, ours)
+    paper_v = [paper_by_id[c.benchmark_id].mu_g_v for c in common]
+    paper_m = [paper_by_id[c.benchmark_id].mu_g_m for c in common]
+    result["spearman_mu_g_v"] = spearman(paper_v, [c.mu_g_v for c in common])
+    result["spearman_mu_g_m"] = spearman(paper_m, [c.mu_g_m for c in common])
+
+    def _leader(values: dict[str, float]) -> str:
+        return max(values, key=values.get)
+
+    leaders: dict[str, str] = {}
+    for paper_attr, category in _COLUMNS:
+        paper_leader = _leader(
+            {c.benchmark_id: getattr(paper_by_id[c.benchmark_id], paper_attr) for c in common}
+        )
+        our_leader = _leader({c.benchmark_id: c.topdown.mu_g(category) for c in common})
+        leaders[paper_attr] = f"paper={paper_leader} ours={our_leader}"
+    leaders["mu_g_m"] = (
+        f"paper={_leader({c.benchmark_id: paper_by_id[c.benchmark_id].mu_g_m for c in common})} "
+        f"ours={_leader({c.benchmark_id: c.mu_g_m for c in common})}"
+    )
+    result["leaders"] = leaders
+    return result

@@ -1,0 +1,106 @@
+"""Sensitivity ranking and the paper's summarization caveats.
+
+Section V-B warns that ``mu_g(V)`` is only a *proxy* for workload
+sensitivity: a category with a tiny geometric mean and a large
+geometric standard deviation (lbm's 0.4% bad speculation with
+sigma_g = 3.3, and similarly cactuBSSN) inflates the single number
+without reflecting real behavioural variation.  This module ranks
+benchmarks by their sensitivity scores and flags exactly that
+distortion so users "look into the data".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.characterize import BenchmarkCharacterization
+from ..core.topdown import CATEGORIES
+
+__all__ = ["Caveat", "detect_caveats", "rank_by_mu_g_v", "rank_by_mu_g_m", "sensitivity_report"]
+
+#: A category mean below this fraction is "small" for caveat purposes.
+SMALL_MEAN = 0.02
+#: A geometric standard deviation above this is "large".
+LARGE_SIGMA = 1.8
+
+
+@dataclass(frozen=True)
+class Caveat:
+    """One small-mean/large-sigma distortion flag."""
+
+    benchmark_id: str
+    category: str
+    mu_g: float
+    sigma_g: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark_id}: category {self.category!r} has tiny mean "
+            f"{self.mu_g * 100:.2f}% with sigma_g {self.sigma_g:.2f} — its "
+            f"contribution inflates mu_g(V) without reflecting real variation"
+        )
+
+
+def detect_caveats(
+    characterizations: Sequence[BenchmarkCharacterization],
+    *,
+    small_mean: float = SMALL_MEAN,
+    large_sigma: float = LARGE_SIGMA,
+) -> list[Caveat]:
+    """Find small-mean/large-sigma categories (the lbm/cactuBSSN issue)."""
+    flags = []
+    for char in characterizations:
+        for cat in CATEGORIES:
+            mu = char.topdown.mu_g(cat)
+            sigma = char.topdown.sigma_g(cat)
+            if mu < small_mean and sigma > large_sigma:
+                flags.append(
+                    Caveat(
+                        benchmark_id=char.benchmark_id,
+                        category=cat,
+                        mu_g=mu,
+                        sigma_g=sigma,
+                    )
+                )
+    return flags
+
+
+def rank_by_mu_g_v(
+    characterizations: Sequence[BenchmarkCharacterization],
+) -> list[tuple[str, float]]:
+    """Benchmarks ranked by top-down sensitivity, most sensitive first."""
+    return sorted(
+        ((c.benchmark_id, c.mu_g_v) for c in characterizations),
+        key=lambda kv: -kv[1],
+    )
+
+
+def rank_by_mu_g_m(
+    characterizations: Sequence[BenchmarkCharacterization],
+) -> list[tuple[str, float]]:
+    """Benchmarks ranked by method-coverage sensitivity."""
+    return sorted(
+        ((c.benchmark_id, c.mu_g_m) for c in characterizations),
+        key=lambda kv: -kv[1],
+    )
+
+
+def sensitivity_report(characterizations: Sequence[BenchmarkCharacterization]) -> str:
+    """Human-readable sensitivity ranking with caveat annotations."""
+    caveats = detect_caveats(characterizations)
+    flagged = {c.benchmark_id for c in caveats}
+    lines = ["Workload-sensitivity ranking (mu_g(V); * = small-mean caveat)"]
+    for bid, value in rank_by_mu_g_v(characterizations):
+        mark = " *" if bid in flagged else ""
+        lines.append(f"  {bid:<18} {value:7.2f}{mark}")
+    lines.append("")
+    lines.append("Method-coverage ranking (mu_g(M))")
+    for bid, value in rank_by_mu_g_m(characterizations):
+        lines.append(f"  {bid:<18} {value:7.2f}")
+    if caveats:
+        lines.append("")
+        lines.append("Caveats:")
+        for caveat in caveats:
+            lines.append(f"  - {caveat.describe()}")
+    return "\n".join(lines)

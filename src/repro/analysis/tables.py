@@ -1,0 +1,85 @@
+"""Table renderers for the paper's Table I and Table II.
+
+Each renderer returns both structured rows (for programmatic checks)
+and a formatted text table (for humans), mirroring the layout of the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.characterize import BenchmarkCharacterization
+from ..spec.history import mean_time_2006, mean_time_2017
+from ..spec.spec2017 import TABLE1_ROWS
+
+__all__ = ["table1_rows", "render_table1", "table2_rows", "render_table2"]
+
+
+def table1_rows() -> list[dict]:
+    """Table I as structured rows, with the arithmetic-mean footer."""
+    rows = [
+        {
+            "area": r.area,
+            "spec2017": r.spec2017 or "",
+            "spec2006": r.spec2006 or "",
+            "time2017": r.time2017,
+            "time2006": r.time2006,
+        }
+        for r in TABLE1_ROWS
+    ]
+    rows.append(
+        {
+            "area": "Arithmetic Average of Times",
+            "spec2017": "",
+            "spec2006": "",
+            "time2017": round(mean_time_2017()),
+            "time2006": round(mean_time_2006()),
+        }
+    )
+    return rows
+
+
+def render_table1() -> str:
+    """Format Table I as fixed-width text."""
+    header = f"{'Application Area':<32} {'SPEC 2017':<16} {'SPEC 2006':<15} {'2017s':>6} {'2006s':>6}"
+    lines = [header, "-" * len(header)]
+    for row in table1_rows():
+        t17 = str(row["time2017"]) if row["time2017"] is not None else ""
+        t06 = str(row["time2006"]) if row["time2006"] is not None else ""
+        lines.append(
+            f"{row['area']:<32} {row['spec2017']:<16} {row['spec2006']:<15} {t17:>6} {t06:>6}"
+        )
+    return "\n".join(lines)
+
+
+def table2_rows(
+    characterizations: Sequence[BenchmarkCharacterization],
+) -> list[dict]:
+    """Table II as structured rows (sorted by benchmark id)."""
+    return [
+        c.table2_row()
+        for c in sorted(characterizations, key=lambda c: c.benchmark_id)
+    ]
+
+
+def render_table2(characterizations: Sequence[BenchmarkCharacterization]) -> str:
+    """Format Table II as fixed-width text matching the paper's layout."""
+    header = (
+        f"{'Benchmark':<17} {'#wl':>3} "
+        f"{'f mu':>6} {'f sg':>5} {'b mu':>6} {'b sg':>5} "
+        f"{'s mu':>6} {'s sg':>5} {'r mu':>6} {'r sg':>5} "
+        f"{'mu_g(V)':>8} {'mu_g(M)':>8} {'refrate(s)':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in table2_rows(characterizations):
+        lines.append(
+            f"{row['benchmark']:<17} {row['n_workloads']:>3} "
+            f"{row['f_mu_g']:>6.1f} {row['f_sigma_g']:>5.1f} "
+            f"{row['b_mu_g']:>6.1f} {row['b_sigma_g']:>5.1f} "
+            f"{row['s_mu_g']:>6.1f} {row['s_sigma_g']:>5.1f} "
+            f"{row['r_mu_g']:>6.1f} {row['r_sigma_g']:>5.1f} "
+            f"{row['mu_g_v']:>8.1f} {row['mu_g_m']:>8.1f} "
+            f"{row['refrate_seconds']:>11.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Mini-benchmark substrates, one per SPEC CPU 2017 program."""
+
+from .base import Benchmark, BenchmarkError
+from .blender import BlenderBenchmark, BlendScene, MeshObject
+from .cactubssn import CactuBssnBenchmark, CactusInput
+from .deepsjeng import ChessInput, DeepsjengBenchmark, Position
+from .exchange2 import Exchange2Benchmark, SudokuInput
+from .gcc import CSource, GccBenchmark
+from .lbm import LbmBenchmark, LbmInput
+from .leela import GoBoard, GoInput, LeelaBenchmark
+from .mcf import McfBenchmark, McfInstance, NetworkSimplex
+from .nab import NabBenchmark, NabInput
+from .omnetpp import OmnetInput, OmnetppBenchmark
+from .parest import ParestBenchmark, ParestInput
+from .povray import PovrayBenchmark, SceneInput
+from .wrf import WrfBenchmark, WrfInput
+from .x264 import VideoInput, X264Benchmark
+from .xalancbmk import XalanInput, XalancbmkBenchmark
+from .xz import XzBenchmark, XzInput
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkError",
+    "BlenderBenchmark",
+    "BlendScene",
+    "MeshObject",
+    "CactuBssnBenchmark",
+    "CactusInput",
+    "ChessInput",
+    "DeepsjengBenchmark",
+    "Position",
+    "Exchange2Benchmark",
+    "SudokuInput",
+    "CSource",
+    "GccBenchmark",
+    "LbmBenchmark",
+    "LbmInput",
+    "GoBoard",
+    "GoInput",
+    "LeelaBenchmark",
+    "McfBenchmark",
+    "McfInstance",
+    "NetworkSimplex",
+    "NabBenchmark",
+    "NabInput",
+    "OmnetInput",
+    "OmnetppBenchmark",
+    "ParestBenchmark",
+    "ParestInput",
+    "PovrayBenchmark",
+    "SceneInput",
+    "WrfBenchmark",
+    "WrfInput",
+    "VideoInput",
+    "X264Benchmark",
+    "XalanInput",
+    "XalancbmkBenchmark",
+    "XzBenchmark",
+    "XzInput",
+]

@@ -1,0 +1,40 @@
+"""Benchmark protocol shared by all mini-benchmark substrates.
+
+Each SPEC CPU 2017 program reproduced here is a class implementing
+:class:`Benchmark`: it has a SPEC-style ``name`` (``"505.mcf_r"``), runs
+real algorithmic work on a workload payload while reporting telemetry
+to a probe, and can verify its own output (SPEC validates every run's
+output against expected results; our substrates carry their own
+invariant checks instead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+
+__all__ = ["Benchmark", "BenchmarkError"]
+
+
+class BenchmarkError(Exception):
+    """A benchmark failed to execute a workload (bad input, solver failure)."""
+
+
+@runtime_checkable
+class Benchmark(Protocol):
+    """Protocol for mini-benchmark substrates."""
+
+    #: SPEC-style identifier, e.g. ``"505.mcf_r"``.
+    name: str
+    #: Suite membership: ``"int"`` or ``"fp"``.
+    suite: str
+
+    def run(self, workload: Workload, probe: Probe) -> Any:
+        """Execute the workload, reporting telemetry; return the output."""
+        ...
+
+    def verify(self, workload: Workload, output: Any) -> bool:
+        """Check the output of :meth:`run` (SPEC-style validation)."""
+        ...

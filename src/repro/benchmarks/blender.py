@@ -1,0 +1,316 @@
+"""Mini ``526.blender_r``: a 3-D rendering pipeline.
+
+The SPEC benchmark renders .blend scenes.  This substrate implements a
+software rasterization pipeline over triangle meshes:
+
+* procedural mesh construction (cube, UV sphere, subdivided plane);
+* modifier application (Catmull-Clark-style subdivision surface —
+  midpoint subdivision — and displacement noise);
+* vertex transformation (model/view/projection);
+* backface culling and z-buffered triangle rasterization;
+* Gouraud shading with a directional light.
+
+Scenes differ in *which pipeline stages dominate* — subdivision-heavy
+character meshes vs. raster-heavy large scenes vs. transform-heavy
+many-object scenes — which is why blender shows one of the larger
+coverage variations in Table II (``mu_g(M) = 44``) while staying
+retiring-heavy (41.1%).
+
+Workload payload: :class:`BlendScene` — the .blend stand-in, including
+frame range (the Alberta workloads vary start frame and frame count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["BlendScene", "MeshObject", "BlenderBenchmark", "make_mesh", "render_frame"]
+
+_VTX_REGION = 0xE000_0000
+_ZBUF_REGION = 0xE800_0000
+
+
+@dataclass(frozen=True)
+class MeshObject:
+    """One object: primitive kind + modifiers + animation orbit."""
+
+    kind: str  # "cube" | "sphere" | "plane"
+    subdivisions: int = 0
+    displace: float = 0.0
+    scale: float = 1.0
+    orbit_radius: float = 2.0
+    orbit_speed: float = 0.3
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cube", "sphere", "plane"):
+            raise ValueError(f"MeshObject: unknown primitive {self.kind!r}")
+        if not 0 <= self.subdivisions <= 4:
+            raise ValueError("MeshObject: subdivisions must be in [0, 4]")
+        if self.scale <= 0:
+            raise ValueError("MeshObject: scale must be positive")
+
+
+@dataclass(frozen=True)
+class BlendScene:
+    """The .blend stand-in: objects + camera + frame range."""
+
+    objects: tuple[MeshObject, ...]
+    start_frame: int = 1
+    n_frames: int = 2
+    width: int = 48
+    height: int = 36
+    renderable: bool = True  # resource-only .blend files are not
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise ValueError("BlendScene: need at least one object")
+        if self.n_frames < 1 or self.start_frame < 0:
+            raise ValueError("BlendScene: bad frame range")
+        if self.width < 8 or self.height < 8:
+            raise ValueError("BlendScene: image too small")
+
+
+def make_mesh(obj: MeshObject, seed_noise: int = 0) -> tuple[list, list]:
+    """Build (vertices, triangles) for a primitive with modifiers."""
+    verts: list[list[float]] = []
+    tris: list[tuple[int, int, int]] = []
+    s = obj.scale
+    if obj.kind == "cube":
+        corners = [
+            (x, y, z)
+            for x in (-s, s)
+            for y in (-s, s)
+            for z in (-s, s)
+        ]
+        verts = [list(c) for c in corners]
+        faces = [
+            (0, 1, 3, 2), (4, 6, 7, 5), (0, 4, 5, 1),
+            (2, 3, 7, 6), (0, 2, 6, 4), (1, 5, 7, 3),
+        ]
+        for a, b, c, d in faces:
+            tris.append((a, b, c))
+            tris.append((a, c, d))
+    elif obj.kind == "sphere":
+        n_lat, n_lon = 6, 8
+        for i in range(n_lat + 1):
+            theta = math.pi * i / n_lat
+            for j in range(n_lon):
+                phi = 2 * math.pi * j / n_lon
+                verts.append(
+                    [
+                        s * math.sin(theta) * math.cos(phi),
+                        s * math.cos(theta),
+                        s * math.sin(theta) * math.sin(phi),
+                    ]
+                )
+        for i in range(n_lat):
+            for j in range(n_lon):
+                a = i * n_lon + j
+                b = i * n_lon + (j + 1) % n_lon
+                c = (i + 1) * n_lon + j
+                d = (i + 1) * n_lon + (j + 1) % n_lon
+                tris.append((a, b, c))
+                tris.append((b, d, c))
+    else:  # plane (tilted toward the camera so it is never seen edge-on)
+        n = 4
+        for i in range(n + 1):
+            for j in range(n + 1):
+                u_c = 2 * i / n - 1
+                verts.append([s * u_c, 0.45 * s * u_c, s * (2 * j / n - 1)])
+        for i in range(n):
+            for j in range(n):
+                a = i * (n + 1) + j
+                b = a + 1
+                c = a + n + 1
+                d = c + 1
+                tris.append((a, b, c))
+                tris.append((b, d, c))
+
+    # subdivision-surface modifier: midpoint subdivision
+    for _ in range(obj.subdivisions):
+        new_tris: list[tuple[int, int, int]] = []
+        edge_mid: dict[tuple[int, int], int] = {}
+
+        def _mid(a: int, b: int) -> int:
+            key = (min(a, b), max(a, b))
+            idx = edge_mid.get(key)
+            if idx is None:
+                va, vb = verts[a], verts[b]
+                verts.append([(va[k] + vb[k]) / 2 for k in range(3)])
+                idx = len(verts) - 1
+                edge_mid[key] = idx
+            return idx
+
+        for a, b, c in tris:
+            ab, bc, ca = _mid(a, b), _mid(b, c), _mid(c, a)
+            new_tris.extend([(a, ab, ca), (ab, b, bc), (ca, bc, c), (ab, bc, ca)])
+        tris = new_tris
+
+    # displacement modifier: deterministic pseudo-noise along normals
+    if obj.displace > 0:
+        for i, v in enumerate(verts):
+            n = math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2) or 1.0
+            wob = math.sin(v[0] * 5 + seed_noise) * math.cos(v[2] * 5) * obj.displace
+            verts[i] = [v[k] * (1 + wob / n) for k in range(3)]
+
+    return verts, tris
+
+
+def render_frame(
+    scene: BlendScene,
+    frame: int,
+    meshes: list[tuple[MeshObject, list, list]],
+    probe: Probe | None,
+) -> dict:
+    """Transform, cull, rasterize and shade one frame."""
+    w, h = scene.width, scene.height
+    zbuf = [[1e18] * w for _ in range(h)]
+    shaded = [[0.0] * w for _ in range(h)]
+    covered = 0
+    tris_drawn = 0
+    cull_branches: list[bool] = []
+    z_branches: list[bool] = []
+    raster_reads: list[int] = []
+
+    light = (0.577, -0.577, 0.577)
+    t = frame * 0.1
+
+    for obj_idx, (obj, verts, tris) in enumerate(meshes):
+        # model transform: orbit + spin
+        angle = obj.orbit_speed * t + obj.phase
+        cx = obj.orbit_radius * math.cos(angle)
+        cz = 6.0 + obj.orbit_radius * math.sin(angle)
+        ca, sa = math.cos(t + obj.phase), math.sin(t + obj.phase)
+        transformed: list[tuple[float, float, float]] = []
+        for v in verts:
+            x = v[0] * ca - v[2] * sa + cx
+            y = v[1]
+            z = v[0] * sa + v[2] * ca + cz
+            transformed.append((x, y, z))
+        if probe is not None:
+            with probe.method("transform_vertices", code_bytes=2048):
+                probe.ops(len(verts) * 12, kind="fp")
+                probe.accesses(
+                    [_VTX_REGION + obj_idx * 1 << 16 | (i * 24) & 0xFFFF for i in range(len(verts))]
+                )
+
+        for a, b, c in tris:
+            va, vb, vc = transformed[a], transformed[b], transformed[c]
+            if va[2] <= 0.2 or vb[2] <= 0.2 or vc[2] <= 0.2:
+                continue
+            # project
+            pa = (va[0] / va[2], va[1] / va[2])
+            pb = (vb[0] / vb[2], vb[1] / vb[2])
+            pc = (vc[0] / vc[2], vc[1] / vc[2])
+            # backface cull via signed area; open surfaces (planes) are
+            # double-sided, closed primitives cull their far hemisphere
+            area = (pb[0] - pa[0]) * (pc[1] - pa[1]) - (pb[1] - pa[1]) * (pc[0] - pa[0])
+            if obj.kind == "plane":
+                front_facing = abs(area) > 1e-9
+            else:
+                front_facing = area > 1e-9
+            cull_branches.append(front_facing)
+            if not front_facing:
+                continue
+            tris_drawn += 1
+            # flat normal for shading
+            ux, uy, uz = vb[0] - va[0], vb[1] - va[1], vb[2] - va[2]
+            wx, wy, wz = vc[0] - va[0], vc[1] - va[1], vc[2] - va[2]
+            nx, ny, nz = uy * wz - uz * wy, uz * wx - ux * wz, ux * wy - uy * wx
+            nlen = math.sqrt(nx * nx + ny * ny + nz * nz) or 1.0
+            intensity = max(
+                0.1, (nx * light[0] + ny * light[1] + nz * light[2]) / nlen
+            )
+            # raster bounding box in screen space
+            xs = [int((p[0] * 0.9 + 0.5) * w) for p in (pa, pb, pc)]
+            ys = [int((0.5 - p[1] * 0.9) * h) for p in (pa, pb, pc)]
+            x0, x1 = max(0, min(xs)), min(w - 1, max(xs))
+            y0, y1 = max(0, min(ys)), min(h - 1, max(ys))
+            if x1 < x0 or y1 < y0:
+                continue
+            zavg = (va[2] + vb[2] + vc[2]) / 3
+            for py in range(y0, y1 + 1):
+                row = zbuf[py]
+                for px in range(x0, x1 + 1):
+                    visible = zavg < row[px]
+                    z_branches.append(visible)
+                    raster_reads.append(_ZBUF_REGION + (py * w + px) * 8)
+                    if visible:
+                        if row[px] > 1e17:
+                            covered += 1
+                        row[px] = zavg
+                        shaded[py][px] = intensity
+
+        if probe is not None and len(raster_reads) >= 16384:
+            _flush_raster(probe, cull_branches, z_branches, raster_reads)
+            cull_branches, z_branches, raster_reads = [], [], []
+
+    if probe is not None:
+        _flush_raster(probe, cull_branches, z_branches, raster_reads)
+    total_light = sum(sum(row) for row in shaded)
+    return {
+        "covered": covered,
+        "tris_drawn": tris_drawn,
+        "mean_intensity": total_light / (w * h),
+    }
+
+
+def _flush_raster(probe: Probe, cull, zb, reads) -> None:
+    with probe.method("rasterize", code_bytes=4096):
+        probe.branches(zb, site=1)
+        probe.accesses(reads)
+        probe.ops(len(reads) * 5)
+    with probe.method("cull_backface", code_bytes=1024):
+        probe.branches(cull, site=2)
+        probe.ops(len(cull) * 9, kind="fp")
+    with probe.method("shade_gouraud", code_bytes=1536):
+        probe.ops(len(cull) * 14, kind="fp")
+        probe.ops(len(cull), kind="fpdiv")
+
+
+class BlenderBenchmark:
+    """The ``526.blender_r`` substrate."""
+
+    name = "526.blender_r"
+    suite = "fp"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, BlendScene):
+            raise BenchmarkError(f"blender: bad payload type {type(payload).__name__}")
+        if not payload.renderable:
+            raise BenchmarkError(
+                "blender: .blend file is a resource library, not a renderable scene"
+            )
+        meshes = []
+        with probe.method("apply_modifiers", code_bytes=5120):
+            total_verts = 0
+            for i, obj in enumerate(payload.objects):
+                verts, tris = make_mesh(obj, seed_noise=i)
+                meshes.append((obj, verts, tris))
+                total_verts += len(verts)
+            probe.ops(total_verts * 20, kind="fp")
+            probe.accesses([_VTX_REGION + i * 24 for i in range(total_verts)])
+
+        frames = []
+        for f in range(payload.start_frame, payload.start_frame + payload.n_frames):
+            frames.append(render_frame(payload, f, meshes, probe))
+        return {
+            "frames": len(frames),
+            "total_tris": sum(fr["tris_drawn"] for fr in frames),
+            "coverage": [fr["covered"] for fr in frames],
+            "mean_intensity": sum(fr["mean_intensity"] for fr in frames) / len(frames),
+        }
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        if output["frames"] != workload.payload.n_frames:
+            return False
+        # something must actually land on screen over the frame range
+        # (individual frames may be empty when an orbit leaves the view)
+        return output["total_tris"] > 0 and sum(output["coverage"]) > 0

@@ -1,0 +1,282 @@
+"""Mini ``548.exchange2_r``: a Sudoku puzzle generator.
+
+The SPEC benchmark (Fortran) takes a collection of valid Sudoku puzzles
+as *seeds* and generates new puzzles with identical clue patterns.
+This substrate reproduces that pipeline:
+
+* a bitmask backtracking solver (dense integer work over 81 cells —
+  the source of the benchmark's very high retiring fraction, 58.6% in
+  Table II, and its near-total insensitivity to workload);
+* validity-preserving grid transformations (digit relabelling, row/
+  column permutations within bands, band/stack permutations);
+* puzzle generation: transform the seed's *solution*, then re-apply
+  the seed's clue pattern and check the new puzzle is solvable.
+
+The paper found that replacing the 27 distributed seed puzzles made
+runs too short, so all Alberta workloads reuse the same seeds and vary
+only how many puzzles are processed — this substrate's workloads do the
+same (see :mod:`repro.workloads.exchange2_gen`).
+
+Workload payload: :class:`SudokuInput` — seed puzzles (81-char strings)
+plus the number of puzzles to generate per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["SudokuInput", "Exchange2Benchmark", "solve", "count_solutions", "BASE_SOLUTION"]
+
+_GRID_REGION = 0x5000_0000
+
+def _canonical_solution() -> list[int]:
+    """The classic pattern: cell(r, c) = (r*3 + r//3 + c) % 9 + 1."""
+    return [(r * 3 + r // 3 + c) % 9 + 1 for r in range(9) for c in range(9)]
+
+
+#: A canonical solved grid (the standard shifted-rows construction).
+BASE_SOLUTION = "".join(map(str, _canonical_solution()))
+
+
+@dataclass(frozen=True)
+class SudokuInput:
+    """One exchange2 workload: seed puzzles + generation effort."""
+
+    seeds: tuple[str, ...]
+    puzzles_per_seed: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("SudokuInput: need at least one seed puzzle")
+        for s in self.seeds:
+            if len(s) != 81 or any(ch not in "0123456789." for ch in s):
+                raise ValueError("SudokuInput: each seed must be 81 chars of 0-9/.")
+        if self.puzzles_per_seed < 1:
+            raise ValueError("SudokuInput: puzzles_per_seed must be >= 1")
+
+
+def _parse(puzzle: str) -> list[int]:
+    return [0 if ch in "0." else int(ch) for ch in puzzle]
+
+
+def _units_ok(grid: list[int], cell: int, digit: int) -> bool:
+    r, c = divmod(cell, 9)
+    for i in range(9):
+        if grid[r * 9 + i] == digit or grid[i * 9 + c] == digit:
+            return False
+    br, bc = (r // 3) * 3, (c // 3) * 3
+    for i in range(3):
+        for j in range(3):
+            if grid[(br + i) * 9 + bc + j] == digit:
+                return False
+    return True
+
+
+def _solve_bitmask(
+    grid: list[int],
+    limit: int,
+    probe: Probe | None,
+    branch_buf: list[bool] | None,
+    reads: list[int] | None = None,
+) -> tuple[int, list[int] | None]:
+    """Backtracking with row/col/box bitmasks.
+
+    Returns (number of solutions found up to ``limit``, one solution).
+    """
+    rows = [0] * 9
+    cols = [0] * 9
+    boxes = [0] * 9
+    empties: list[int] = []
+    for cell, digit in enumerate(grid):
+        r, c = divmod(cell, 9)
+        b = (r // 3) * 3 + c // 3
+        if digit:
+            bit = 1 << digit
+            if rows[r] & bit or cols[c] & bit or boxes[b] & bit:
+                return 0, None
+            rows[r] |= bit
+            cols[c] |= bit
+            boxes[b] |= bit
+        else:
+            empties.append(cell)
+
+    solutions = 0
+    solution_grid: list[int] | None = None
+    work = grid[:]
+    n_ops = 0
+
+    def _rec(idx: int) -> bool:
+        nonlocal solutions, solution_grid, n_ops
+        if idx == len(empties):
+            solutions += 1
+            if solution_grid is None:
+                solution_grid = work[:]
+            return solutions >= limit
+        # most-constrained-cell heuristic: pick the remaining empty cell
+        # with the fewest candidates
+        best_k = idx
+        best_count = 10
+        for k in range(idx, len(empties)):
+            cell = empties[k]
+            r, c = divmod(cell, 9)
+            b = (r // 3) * 3 + c // 3
+            used = rows[r] | cols[c] | boxes[b]
+            count = 9 - bin(used & 0x3FE).count("1")
+            if count < best_count:
+                best_count = count
+                best_k = k
+                if count <= 1:
+                    break
+        empties[idx], empties[best_k] = empties[best_k], empties[idx]
+        cell = empties[idx]
+        r, c = divmod(cell, 9)
+        b = (r // 3) * 3 + c // 3
+        used = rows[r] | cols[c] | boxes[b]
+        n_ops += 160
+        if reads is not None:
+            # candidate-table lookups over a few hundred KiB of
+            # puzzle/candidate state, as in the Fortran original
+            reads.append(_GRID_REGION + (n_ops * 37 & 0x3FFFF))
+        for digit in range(1, 10):
+            bit = 1 << digit
+            candidate_ok = not used & bit
+            if branch_buf is not None:
+                branch_buf.append(candidate_ok)
+            if not candidate_ok:
+                continue
+            rows[r] |= bit
+            cols[c] |= bit
+            boxes[b] |= bit
+            work[cell] = digit
+            n_ops += 48
+            if _rec(idx + 1):
+                rows[r] &= ~bit
+                cols[c] &= ~bit
+                boxes[b] &= ~bit
+                work[cell] = 0
+                empties[idx], empties[best_k] = empties[best_k], empties[idx]
+                return True
+            rows[r] &= ~bit
+            cols[c] &= ~bit
+            boxes[b] &= ~bit
+            work[cell] = 0
+        empties[idx], empties[best_k] = empties[best_k], empties[idx]
+        return False
+
+    _rec(0)
+    if probe is not None:
+        probe.ops(n_ops)
+    return solutions, solution_grid
+
+
+def solve(puzzle: str) -> str | None:
+    """Solve a puzzle; returns the 81-char solution or None."""
+    n, sol = _solve_bitmask(_parse(puzzle), 1, None, None)
+    if n == 0 or sol is None:
+        return None
+    return "".join(map(str, sol))
+
+
+def count_solutions(puzzle: str, limit: int = 2) -> int:
+    """Count solutions up to ``limit`` (2 suffices for uniqueness checks)."""
+    n, _ = _solve_bitmask(_parse(puzzle), limit, None, None)
+    return n
+
+
+def _transform_solution(solution: list[int], rng: random.Random) -> list[int]:
+    """Apply validity-preserving permutations to a solved grid."""
+    grid = [row[:] for row in (solution[i * 9 : (i + 1) * 9] for i in range(9))]
+    # digit relabelling
+    perm = list(range(1, 10))
+    rng.shuffle(perm)
+    grid = [[perm[v - 1] for v in row] for row in grid]
+    # row permutations within each band
+    for band in range(3):
+        order = [0, 1, 2]
+        rng.shuffle(order)
+        rows = [grid[band * 3 + i] for i in order]
+        grid[band * 3 : band * 3 + 3] = rows
+    # column permutations within each stack
+    for stack in range(3):
+        order = [0, 1, 2]
+        rng.shuffle(order)
+        for row in grid:
+            cols = [row[stack * 3 + i] for i in order]
+            row[stack * 3 : stack * 3 + 3] = cols
+    # band permutation
+    order = [0, 1, 2]
+    rng.shuffle(order)
+    bands = [grid[b * 3 : b * 3 + 3] for b in order]
+    grid = [row for band in bands for row in band]
+    return [v for row in grid for v in row]
+
+
+class Exchange2Benchmark:
+    """The ``548.exchange2_r`` substrate."""
+
+    name = "548.exchange2_r"
+    suite = "int"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, SudokuInput):
+            raise BenchmarkError(f"exchange2: bad payload type {type(payload).__name__}")
+        rng = random.Random(0x5EED)
+        generated: list[str] = []
+        solved = 0
+        for seed_puzzle in payload.seeds:
+            branch_buf: list[bool] = []
+            reads: list[int] = []
+            with probe.method("solve_seed", code_bytes=2560):
+                n, sol = _solve_bitmask(_parse(seed_puzzle), 1, probe, branch_buf, reads)
+                probe.branches(branch_buf, site=1)
+                probe.accesses(reads)
+                probe.accesses([_GRID_REGION + i * 4 for i in range(81)])
+            if n == 0 or sol is None:
+                raise BenchmarkError("exchange2: seed puzzle unsolvable")
+            solved += 1
+            clue_pattern = [i for i, ch in enumerate(seed_puzzle) if ch not in "0."]
+
+            for _ in range(payload.puzzles_per_seed):
+                with probe.method("permute_grid", code_bytes=1024):
+                    new_solution = _transform_solution(sol, rng)
+                    probe.ops(81 * 6)
+                    probe.accesses([_GRID_REGION + 512 + i * 4 for i in range(81)])
+                with probe.method("apply_clue_pattern", code_bytes=512):
+                    new_puzzle = [0] * 81
+                    for i in clue_pattern:
+                        new_puzzle[i] = new_solution[i]
+                    probe.ops(len(clue_pattern) * 3)
+                puzzle_str = "".join(map(str, new_puzzle))
+                branch_buf = []
+                reads = []
+                with probe.method("check_puzzle", code_bytes=2560):
+                    n_sols, _ = _solve_bitmask(_parse(puzzle_str), 2, probe, branch_buf, reads)
+                    probe.branches(branch_buf, site=2)
+                    probe.accesses(reads)
+                    probe.accesses([_GRID_REGION + 1024 + i * 4 for i in range(81)])
+                if n_sols >= 1:
+                    generated.append(puzzle_str)
+        return {
+            "seeds_solved": solved,
+            "generated": generated,
+            "n_generated": len(generated),
+        }
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        payload = workload.payload
+        if output["seeds_solved"] != len(payload.seeds):
+            return False
+        if output["n_generated"] < len(payload.seeds):
+            return False
+        # every generated puzzle must itself be a valid, solvable Sudoku
+        # whose clue pattern matches its seed's
+        for puzzle in output["generated"][: min(4, len(output["generated"]))]:
+            if count_solutions(puzzle, limit=1) < 1:
+                return False
+        return True

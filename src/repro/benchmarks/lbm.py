@@ -1,0 +1,189 @@
+"""Mini ``519.lbm_r``: a D2Q9 lattice Boltzmann fluid simulator.
+
+The SPEC benchmark simulates incompressible fluid in 3D with the
+Lattice Boltzmann Method; a workload is an obstacle geometry file plus
+command-line arguments (number of steps, type of simulation step).
+This substrate implements the standard D2Q9 BGK scheme (2D for
+interpreter speed; the memory/compute character is the same):
+
+* ``stream``  — propagate distributions along the nine lattice
+  directions (pure memory movement — the streaming traffic that makes
+  the real benchmark the most back-end-bound in Table II, 61.2%);
+* ``collide`` — BGK relaxation toward the local Maxwell equilibrium
+  (dense FP arithmetic);
+* ``bounce_back`` — no-slip obstacle boundaries;
+* ``compute_macroscopic`` — density/velocity moments.
+
+Branches are almost absent (s = 0.4% in the paper, with a large
+sigma_g — the summarization caveat Section V-B discusses).
+
+Workload payload: :class:`LbmInput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["LbmInput", "LbmBenchmark", "run_lbm"]
+
+_GRID_REGION = 0x8000_0000
+
+# D2Q9 lattice: velocities and weights
+_EX = np.array([0, 1, 0, -1, 0, 1, -1, -1, 1])
+_EY = np.array([0, 0, 1, 0, -1, 1, 1, -1, -1])
+_W = np.array([4 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 9, 1 / 36, 1 / 36, 1 / 36, 1 / 36])
+_OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6])
+
+
+@dataclass(frozen=True)
+class LbmInput:
+    """One lbm workload: obstacle mask + run parameters.
+
+    ``obstacles`` is a boolean (h, w) mask; ``steps`` the number of
+    time steps; ``omega`` the BGK relaxation rate; ``inflow`` the lid
+    velocity; ``step_kind`` selects the simulation-step variant the
+    SPEC command line exposes."""
+
+    obstacles: np.ndarray
+    steps: int = 24
+    omega: float = 1.2
+    inflow: float = 0.08
+    step_kind: str = "channel"  # or "lid"
+
+    def __post_init__(self) -> None:
+        if self.obstacles.ndim != 2 or self.obstacles.dtype != np.bool_:
+            raise ValueError("LbmInput: obstacles must be a 2-D boolean mask")
+        if self.steps < 1:
+            raise ValueError("LbmInput: steps must be >= 1")
+        if not 0.2 <= self.omega <= 1.95:
+            raise ValueError("LbmInput: omega must stay in the stable range [0.2, 1.95]")
+        if self.step_kind not in ("channel", "lid"):
+            raise ValueError(f"LbmInput: unknown step kind {self.step_kind!r}")
+        if self.obstacles.all():
+            raise ValueError("LbmInput: domain is fully blocked")
+
+
+def _equilibrium(rho: np.ndarray, ux: np.ndarray, uy: np.ndarray) -> np.ndarray:
+    """Maxwell equilibrium distribution for all nine directions."""
+    usq = 1.5 * (ux * ux + uy * uy)
+    feq = np.empty((9,) + rho.shape)
+    for k in range(9):
+        cu = 3.0 * (_EX[k] * ux + _EY[k] * uy)
+        feq[k] = _W[k] * rho * (1.0 + cu + 0.5 * cu * cu - usq)
+    return feq
+
+
+def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
+    """Run the simulation; returns flow statistics."""
+    mask = config.obstacles
+    h, w = mask.shape
+    cells = h * w
+
+    rho = np.ones((h, w))
+    ux = np.zeros((h, w))
+    uy = np.zeros((h, w))
+    if config.step_kind == "channel":
+        ux[:, :] = config.inflow
+    f = _equilibrium(rho, ux, uy)
+
+    if probe is not None:
+        with probe.method("init_grid", code_bytes=1536):
+            probe.ops(cells * 9, kind="fp")
+            probe.accesses([_GRID_REGION + i * 8 for i in range(0, cells * 9, 64)])
+
+    momentum_trace = []
+    for step in range(config.steps):
+        # streaming: shift each distribution along its lattice vector
+        for k in range(1, 9):
+            f[k] = np.roll(np.roll(f[k], _EY[k], axis=0), _EX[k], axis=1)
+        if probe is not None:
+            with probe.method("stream", code_bytes=2048):
+                probe.ops(cells * 9 // 2)
+                # touch all nine lattice planes: pure streaming traffic
+                probe.accesses(
+                    [
+                        _GRID_REGION + (k * cells * 8 + i)
+                        for k in range(9)
+                        for i in range(0, cells * 8, 512)
+                    ]
+                )
+
+        # bounce-back on obstacles
+        boundary = f[:, mask].copy()
+        if probe is not None:
+            with probe.method("bounce_back", code_bytes=1024):
+                n_obstacle = int(mask.sum())
+                probe.ops(max(1, n_obstacle * 9 // 2))
+                probe.branches(
+                    (bool(v) for v in mask.ravel()[:: max(1, cells // 512)]), site=1
+                )
+        f[:, mask] = boundary[_OPPOSITE]
+
+        # macroscopic moments
+        rho = f.sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ux = np.where(rho > 0, (f * _EX[:, None, None]).sum(axis=0) / rho, 0.0)
+            uy = np.where(rho > 0, (f * _EY[:, None, None]).sum(axis=0) / rho, 0.0)
+        ux[mask] = 0.0
+        uy[mask] = 0.0
+        if config.step_kind == "channel":
+            ux[:, 0] = config.inflow
+            uy[:, 0] = 0.0
+        else:  # lid-driven cavity
+            ux[0, :] = config.inflow
+            uy[0, :] = 0.0
+        if probe is not None:
+            with probe.method("compute_macroscopic", code_bytes=1536):
+                probe.ops(cells * 12, kind="fp")
+                probe.accesses([_GRID_REGION + i for i in range(0, cells * 8, 256)])
+
+        # BGK collision
+        feq = _equilibrium(rho, ux, uy)
+        f = f + config.omega * (feq - f)
+        if probe is not None:
+            with probe.method("collide", code_bytes=2560):
+                probe.ops(cells * 9 * 6, kind="fp")
+                probe.ops(cells, kind="fpdiv")
+                probe.accesses(
+                    [_GRID_REGION + (k * cells * 8 + i) for k in range(9) for i in range(0, cells * 8, 1024)]
+                )
+
+        momentum = float(np.sqrt(ux * ux + uy * uy)[~mask].mean())
+        momentum_trace.append(momentum)
+        if not np.isfinite(momentum) or momentum > 10.0:
+            raise BenchmarkError(f"lbm: simulation diverged at step {step}")
+
+    total_mass = float(rho[~mask].sum())
+    return {
+        "steps": config.steps,
+        "final_momentum": momentum_trace[-1],
+        "momentum_trace": momentum_trace,
+        "total_mass": total_mass,
+        "cells": cells,
+    }
+
+
+class LbmBenchmark:
+    """The ``519.lbm_r`` substrate."""
+
+    name = "519.lbm_r"
+    suite = "fp"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, LbmInput):
+            raise BenchmarkError(f"lbm: bad payload type {type(payload).__name__}")
+        return run_lbm(payload, probe)
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        # mass must be conserved to within numerical noise of the
+        # boundary conditions, and the flow must not have diverged
+        cells_free = output["cells"] - int(workload.payload.obstacles.sum())
+        mass_per_cell = output["total_mass"] / max(1, cells_free)
+        return 0.5 < mass_per_cell < 2.0 and 0.0 <= output["final_momentum"] < 10.0

@@ -1,0 +1,409 @@
+"""Mini ``505.mcf_r``: network simplex minimum-cost-flow solver.
+
+The SPEC benchmark is MCF, Löbel's network simplex implementation used
+to schedule vehicles over *deadhead routes* in public transport.  This
+substrate implements the primal network simplex from scratch:
+
+* arc-array problem representation with capacities and costs;
+* an artificial-root initial spanning tree (big-M artificial arcs);
+* **multiple partial pricing** for entering-arc selection — the
+  method is named ``primal_bea_mpp`` after the function that dominates
+  the real benchmark's profile;
+* cycle detection along tree paths, flow augmentation, leaving-arc
+  selection, tree re-rooting, and a periodic ``refresh_potential``.
+
+The solver's telemetry mirrors the real program's signature: scattered
+reads over the arc array during pricing (back-end bound), unpredictable
+reduced-cost sign branches (bad speculation), and a coverage profile
+concentrated in pricing regardless of workload (``mu_g(M) = 1`` in the
+paper).
+
+Workload payload: :class:`McfInstance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["McfInstance", "McfBenchmark", "NetworkSimplex", "SolveResult"]
+
+_ARC_REGION = 0x2000_0000
+_NODE_REGION = 0x2800_0000
+_ARC_BYTES = 40
+_NODE_BYTES = 48
+_BIG_M = 10**9
+
+
+@dataclass(frozen=True)
+class McfInstance:
+    """A min-cost-flow instance.
+
+    ``supplies[i]`` is positive for supply nodes and negative for
+    demand nodes (they must sum to zero).  Each arc is a tuple
+    ``(tail, head, capacity, cost)``.
+    """
+
+    n_nodes: int
+    supplies: tuple[int, ...]
+    arcs: tuple[tuple[int, int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("McfInstance: need at least one node")
+        if len(self.supplies) != self.n_nodes:
+            raise ValueError("McfInstance: supplies length mismatch")
+        if sum(self.supplies) != 0:
+            raise ValueError("McfInstance: supplies must sum to zero")
+        for tail, head, cap, _cost in self.arcs:
+            if not (0 <= tail < self.n_nodes and 0 <= head < self.n_nodes):
+                raise ValueError("McfInstance: arc endpoint out of range")
+            if cap < 0:
+                raise ValueError("McfInstance: negative capacity")
+
+
+@dataclass
+class SolveResult:
+    """Solution: optimal cost, per-arc flows, solver statistics."""
+
+    cost: int
+    flows: list[int]
+    pivots: int
+    feasible: bool
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+class NetworkSimplex:
+    """Primal network simplex with multiple partial pricing."""
+
+    def __init__(self, instance: McfInstance, probe: Probe | None = None):
+        self.inst = instance
+        self.probe = probe
+        n = instance.n_nodes
+        m = len(instance.arcs)
+        self.n = n
+        self.m = m
+        # arc arrays: real arcs [0, m), artificial arcs [m, m + n)
+        self.tail = [a[0] for a in instance.arcs]
+        self.head = [a[1] for a in instance.arcs]
+        self.cap = [a[2] for a in instance.arcs]
+        self.cost = [a[3] for a in instance.arcs]
+        self.flow = [0] * m
+        # root is virtual node n
+        self.root = n
+        for i in range(n):
+            b = instance.supplies[i]
+            if b >= 0:
+                self.tail.append(i)
+                self.head.append(self.root)
+            else:
+                self.tail.append(self.root)
+                self.head.append(i)
+            self.cap.append(_BIG_M)
+            self.cost.append(_BIG_M)
+            self.flow.append(abs(b))
+        # spanning tree state
+        total = n + 1
+        self.parent = [self.root] * total
+        self.parent_arc = [-1] * total
+        self.depth = [1] * total
+        self.potential = [0] * total
+        self.parent[self.root] = -1
+        self.depth[self.root] = 0
+        for i in range(n):
+            self.parent_arc[i] = m + i
+        self._refresh_potentials()
+        # pricing state
+        self._block_size = max(16, (m + n) // 16)
+        self._next_block_start = 0
+        # telemetry buffers
+        self._price_branches: list[bool] = []
+        self._arc_reads: list[int] = []
+        self._node_reads: list[int] = []
+
+    # ---------------------------------------------------------------- trees
+
+    def _refresh_potentials(self) -> None:
+        """Recompute potentials and depths from the tree structure."""
+        total = self.n + 1
+        children: list[list[int]] = [[] for _ in range(total)]
+        for v in range(total):
+            p = self.parent[v]
+            if p >= 0:
+                children[p].append(v)
+        self.potential[self.root] = 0
+        self.depth[self.root] = 0
+        stack = [self.root]
+        seen = 1
+        while stack:
+            u = stack.pop()
+            for v in children[u]:
+                arc = self.parent_arc[v]
+                # basic arc has zero reduced cost: c - pi[tail] + pi[head] = 0
+                if self.tail[arc] == v:
+                    self.potential[v] = self.potential[u] + self.cost[arc]
+                else:
+                    self.potential[v] = self.potential[u] - self.cost[arc]
+                self.depth[v] = self.depth[u] + 1
+                stack.append(v)
+                seen += 1
+        if seen != total:
+            raise BenchmarkError("network simplex: tree disconnected")
+
+    def _reduced_cost(self, arc: int) -> int:
+        return self.cost[arc] - self.potential[self.tail[arc]] + self.potential[self.head[arc]]
+
+    # -------------------------------------------------------------- pricing
+
+    def primal_bea_mpp(self) -> int:
+        """Select the entering arc via multiple partial pricing.
+
+        Scans up to the whole arc array in blocks, returning the arc
+        with the most attractive violation found in the first block
+        that contains any violation.  Returns -1 at optimality.
+        """
+        m_all = len(self.tail)
+        start = self._next_block_start
+        scanned = 0
+        best_arc = -1
+        best_violation = 0
+        reads = self._arc_reads
+        branches = self._price_branches
+        while scanned < m_all:
+            end = min(start + self._block_size, m_all)
+            for arc in range(start, end):
+                reads.append(_ARC_REGION + arc * _ARC_BYTES)
+                red = self._reduced_cost(arc)
+                if self.flow[arc] == 0:
+                    violating = red < 0
+                    violation = -red
+                else:
+                    violating = red > 0 and self.flow[arc] >= self.cap[arc]
+                    violation = red
+                branches.append(violating)
+                if violating and violation > best_violation:
+                    best_violation = violation
+                    best_arc = arc
+            scanned += end - start
+            start = end % m_all
+            if best_arc >= 0:
+                break
+        self._next_block_start = start
+        return best_arc
+
+    # ---------------------------------------------------------------- pivot
+
+    def _tree_path_to_root(self, v: int) -> list[int]:
+        path = []
+        reads = self._node_reads
+        while v != self.root:
+            path.append(v)
+            reads.append(_NODE_REGION + v * _NODE_BYTES)
+            v = self.parent[v]
+        return path
+
+    def _pivot(self, entering: int) -> None:
+        """Push flow around the cycle formed by the entering arc."""
+        u, v = self.tail[entering], self.head[entering]
+        at_upper = self.flow[entering] > 0
+        # orientation of push: along the arc if it is at lower bound,
+        # against it if at upper bound
+        if at_upper:
+            u, v = v, u
+
+        # find the cycle: paths u->root and v->root, trimmed at the LCA
+        pu = self._tree_path_to_root(u)
+        pv = self._tree_path_to_root(v)
+        set_u = {node: i for i, node in enumerate(pu)}
+        lca_idx_v = None
+        for j, node in enumerate(pv):
+            if node in set_u:
+                lca_idx_v = j
+                break
+        if lca_idx_v is None:
+            up_path = pu
+            down_path = pv
+        else:
+            lca = pv[lca_idx_v]
+            up_path = pu[: set_u[lca]]
+            down_path = pv[:lca_idx_v]
+
+        # residual capacity around the cycle: entering arc, then tree
+        # arcs from u up to the LCA (flow increases if the arc points
+        # against the direction of travel ... compute per-arc headroom)
+        delta = self.cap[entering] - self.flow[entering] if not at_upper else self.flow[entering]
+        blocking = entering
+        blocking_dir = 0
+
+        # The cycle is: entering arc u -> v, then the tree path v -> LCA
+        # (travelled child -> parent), then LCA -> u (parent -> child).
+        # (arc, +1) = push along arc orientation, (arc, -1) = against it.
+        cycle: list[tuple[int, int]] = []
+        for nxt in down_path:  # v-side, child -> parent travel
+            arc = self.parent_arc[nxt]
+            direction = 1 if self.tail[arc] == nxt else -1
+            cycle.append((arc, direction))
+        for nxt in up_path:  # u-side, parent -> child travel
+            arc = self.parent_arc[nxt]
+            direction = 1 if self.head[arc] == nxt else -1
+            cycle.append((arc, direction))
+
+        for arc, direction in cycle:
+            if direction > 0:
+                headroom = self.cap[arc] - self.flow[arc]
+            else:
+                headroom = self.flow[arc]
+            if headroom < delta:
+                delta = headroom
+                blocking = arc
+                blocking_dir = direction
+
+        # apply the push
+        if delta > 0:
+            if at_upper:
+                self.flow[entering] -= delta
+            else:
+                self.flow[entering] += delta
+            for arc, direction in cycle:
+                self.flow[arc] += delta if direction > 0 else -delta
+
+        if blocking == entering:
+            return  # bound flip: basis unchanged
+
+        # the blocking arc leaves the basis, the entering arc joins:
+        # re-hang the subtree between the entering arc's endpoint and
+        # the leaving arc by reversing parent pointers along that path
+        leaving_child = None
+        for nxt in up_path:
+            if self.parent_arc[nxt] == blocking:
+                leaving_child = nxt
+                side_u = True
+                break
+        else:
+            for nxt in down_path:
+                if self.parent_arc[nxt] == blocking:
+                    leaving_child = nxt
+                    side_u = False
+                    break
+        if leaving_child is None:
+            raise BenchmarkError("network simplex: lost the leaving arc")
+
+        # reverse parents from the entering endpoint on the leaving side
+        start_node = u if side_u else v
+        other_node = v if side_u else u
+        prev = other_node
+        prev_arc = entering
+        node = start_node
+        while True:
+            nxt_parent = self.parent[node]
+            nxt_arc = self.parent_arc[node]
+            self.parent[node] = prev
+            self.parent_arc[node] = prev_arc
+            if node == leaving_child:
+                break
+            prev = node
+            prev_arc = nxt_arc
+            node = nxt_parent
+
+        self._refresh_potentials()
+        del blocking_dir
+
+    # ---------------------------------------------------------------- solve
+
+    def _flush_telemetry(self, method: str) -> None:
+        probe = self.probe
+        if probe is None:
+            self._price_branches.clear()
+            self._arc_reads.clear()
+            self._node_reads.clear()
+            return
+        with probe.method("primal_bea_mpp", code_bytes=2048):
+            probe.accesses(self._arc_reads)
+            probe.branches(self._price_branches, site=1)
+            probe.ops(len(self._arc_reads) * 6)
+        with probe.method("update_tree", code_bytes=1536):
+            probe.accesses(self._node_reads)
+            probe.ops(len(self._node_reads) * 4)
+        self._price_branches.clear()
+        self._arc_reads.clear()
+        self._node_reads.clear()
+        del method
+
+    def solve(self, max_pivots: int | None = None) -> SolveResult:
+        probe = self.probe
+        limit = max_pivots if max_pivots is not None else 50 * (self.n + self.m)
+        pivots = 0
+        refreshes = 0
+        while pivots < limit:
+            entering = self.primal_bea_mpp()
+            if entering < 0:
+                break
+            self._pivot(entering)
+            pivots += 1
+            refreshes += 1
+            if probe is not None and refreshes % 32 == 0:
+                with probe.method("refresh_potential", code_bytes=1024):
+                    probe.ops(self.n * 5)
+                    probe.accesses(
+                        [_NODE_REGION + i * _NODE_BYTES for i in range(0, self.n, 2)]
+                    )
+            if len(self._arc_reads) >= 16384:
+                self._flush_telemetry("solve")
+        else:
+            raise BenchmarkError("network simplex: pivot limit exceeded")
+        self._flush_telemetry("solve")
+
+        # artificial arcs must be empty for feasibility
+        feasible = all(self.flow[self.m + i] == 0 for i in range(self.n))
+        total_cost = sum(self.flow[a] * self.cost[a] for a in range(self.m))
+        if probe is not None:
+            with probe.method("flow_cost", code_bytes=512):
+                probe.ops(self.m * 3)
+                probe.accesses(
+                    [_ARC_REGION + a * _ARC_BYTES for a in range(0, self.m, 2)]
+                )
+        return SolveResult(
+            cost=total_cost,
+            flows=self.flow[: self.m],
+            pivots=pivots,
+            feasible=feasible,
+            stats={"nodes": self.n, "arcs": self.m, "pivots": pivots},
+        )
+
+
+class McfBenchmark:
+    """The ``505.mcf_r`` substrate."""
+
+    name = "505.mcf_r"
+    suite = "int"
+
+    def run(self, workload: Workload, probe: Probe) -> SolveResult:
+        payload = workload.payload
+        if not isinstance(payload, McfInstance):
+            raise BenchmarkError(f"mcf: bad payload type {type(payload).__name__}")
+        with probe.method("read_min", code_bytes=1024):
+            probe.ops(len(payload.arcs) * 4 + payload.n_nodes * 2)
+            probe.accesses(
+                [_ARC_REGION + a * _ARC_BYTES for a in range(len(payload.arcs))]
+            )
+        solver = NetworkSimplex(payload, probe)
+        result = solver.solve()
+        if not result.feasible:
+            raise BenchmarkError("mcf: instance infeasible")
+        return result
+
+    def verify(self, workload: Workload, output: SolveResult) -> bool:
+        inst = workload.payload
+        if not output.feasible:
+            return False
+        # flow conservation at every node
+        balance = list(inst.supplies)
+        for (tail, head, cap, _cost), f in zip(inst.arcs, output.flows):
+            if f < 0 or f > cap:
+                return False
+            balance[tail] -= f
+            balance[head] += f
+        return all(b == 0 for b in balance)

@@ -1,0 +1,191 @@
+"""Mini ``544.nab_r``: molecular-mechanics force-field evaluation.
+
+The SPEC benchmark is the Nucleic Acid Builder: given a protein
+structure (pdb) and a parameter file (prm), it computes molecular
+forces and relaxes the structure.  This substrate implements the
+force-field core from scratch:
+
+* bonded terms — harmonic bonds and angles over the molecular graph;
+* non-bonded terms — Lennard-Jones and Coulomb interactions with a
+  cutoff, over a cell-list neighbour structure;
+* a few steepest-descent minimization steps using those forces.
+
+The real benchmark is back-end bound (55.3% in Table II) from the
+pairwise-interaction memory traffic, with essentially workload-stable
+coverage (``mu_g(M) = 2``) — both reproduced here.
+
+Workload payload: :class:`NabInput` — atom positions/charges plus
+bond topology (what a pdb + prm pair encodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["NabInput", "NabBenchmark", "compute_forces"]
+
+_ATOM_REGION = 0xB000_0000
+_NEIGH_REGION = 0xB400_0000
+
+
+@dataclass(frozen=True)
+class NabInput:
+    """One nab workload: a molecular structure + force-field params."""
+
+    positions: np.ndarray  # (n, 3)
+    charges: np.ndarray  # (n,)
+    bonds: tuple[tuple[int, int], ...]
+    cutoff: float = 6.0
+    minimize_steps: int = 4
+    step_size: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("NabInput: positions must be (n, 3)")
+        n = self.positions.shape[0]
+        if n < 4:
+            raise ValueError("NabInput: need at least 4 atoms")
+        if self.charges.shape != (n,):
+            raise ValueError("NabInput: charges shape mismatch")
+        for a, b in self.bonds:
+            if not (0 <= a < n and 0 <= b < n) or a == b:
+                raise ValueError(f"NabInput: bad bond ({a}, {b})")
+        if self.cutoff <= 0 or self.minimize_steps < 1:
+            raise ValueError("NabInput: cutoff/minimize_steps must be positive")
+
+
+def compute_forces(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    bonds: tuple[tuple[int, int], ...],
+    cutoff: float,
+    probe: Probe | None = None,
+) -> tuple[np.ndarray, dict]:
+    """Total force on every atom; returns (forces, energy terms)."""
+    n = positions.shape[0]
+    forces = np.zeros_like(positions)
+    energies = {"bond": 0.0, "lj": 0.0, "coulomb": 0.0}
+
+    # ---- bonded terms -------------------------------------------------
+    bond_reads: list[int] = []
+    for a, b in bonds:
+        d = positions[b] - positions[a]
+        r = float(np.linalg.norm(d))
+        if r < 1e-9:
+            raise BenchmarkError("nab: coincident bonded atoms")
+        k_bond, r0 = 50.0, 1.5
+        f = -2.0 * k_bond * (r - r0) * d / r
+        forces[a] -= f
+        forces[b] += f
+        energies["bond"] += k_bond * (r - r0) ** 2
+        bond_reads.append(_ATOM_REGION + a * 32)
+        bond_reads.append(_ATOM_REGION + b * 32)
+    if probe is not None:
+        with probe.method("bonded_terms", code_bytes=2048):
+            probe.ops(len(bonds) * 24, kind="fp")
+            probe.ops(len(bonds), kind="fpdiv")
+            probe.accesses(bond_reads)
+
+    # ---- non-bonded terms via cell list --------------------------------
+    cell = cutoff
+    keys = np.floor(positions / cell).astype(np.int64)
+    buckets: dict[tuple[int, int, int], list[int]] = {}
+    for i in range(n):
+        buckets.setdefault(tuple(keys[i]), []).append(i)
+
+    bonded_pairs = {(min(a, b), max(a, b)) for a, b in bonds}
+    pair_reads: list[int] = []
+    cutoff_branches: list[bool] = []
+    n_pairs = 0
+    eps, sigma = 0.2, 2.0
+    sig6 = sigma**6
+    for (cx, cy, cz), atoms in buckets.items():
+        neigh_atoms: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    neigh_atoms.extend(buckets.get((cx + dx, cy + dy, cz + dz), []))
+        for i in atoms:
+            pi = positions[i]
+            qi = charges[i]
+            for j in neigh_atoms:
+                if j <= i or (i, j) in bonded_pairs:
+                    continue
+                d = positions[j] - pi
+                r2 = float(d @ d)
+                within = r2 < cutoff * cutoff
+                cutoff_branches.append(within)
+                pair_reads.append(_ATOM_REGION + j * 32)
+                if not within or r2 < 1e-9:
+                    continue
+                n_pairs += 1
+                inv_r2 = 1.0 / r2
+                inv_r6 = inv_r2**3
+                lj_e = 4 * eps * (sig6 * sig6 * inv_r6 * inv_r6 - sig6 * inv_r6)
+                lj_f = 24 * eps * (2 * sig6 * sig6 * inv_r6 * inv_r6 - sig6 * inv_r6) * inv_r2
+                qq = qi * charges[j]
+                r = r2**0.5
+                coul_e = qq / r
+                coul_f = qq / (r2 * r)
+                ftot = (lj_f + coul_f) * d
+                forces[i] -= ftot
+                forces[j] += ftot
+                energies["lj"] += lj_e
+                energies["coulomb"] += coul_e
+    if probe is not None:
+        with probe.method("nonbonded_pairs", code_bytes=4096):
+            probe.ops(n_pairs * 30, kind="fp")
+            probe.ops(n_pairs * 3, kind="fpdiv")
+            probe.branches(cutoff_branches, site=1)
+            probe.accesses(pair_reads)
+        with probe.method("cell_list", code_bytes=1536):
+            probe.ops(n * 8)
+            probe.accesses([_NEIGH_REGION + i * 16 for i in range(n)])
+    energies["pairs"] = n_pairs
+    return forces, energies
+
+
+class NabBenchmark:
+    """The ``544.nab_r`` substrate."""
+
+    name = "544.nab_r"
+    suite = "fp"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, NabInput):
+            raise BenchmarkError(f"nab: bad payload type {type(payload).__name__}")
+        positions = payload.positions.copy()
+        energy_trace: list[float] = []
+        for _step in range(payload.minimize_steps):
+            forces, energies = compute_forces(
+                positions, payload.charges, payload.bonds, payload.cutoff, probe
+            )
+            total = energies["bond"] + energies["lj"] + energies["coulomb"]
+            energy_trace.append(total)
+            if not np.isfinite(total):
+                raise BenchmarkError("nab: energy diverged")
+            with probe.method("minimize_step", code_bytes=1024):
+                # clipped steepest descent
+                norm = float(np.abs(forces).max()) or 1.0
+                positions = positions + payload.step_size * forces / norm * 10.0
+                probe.ops(positions.size * 4, kind="fp")
+        return {
+            "energy_trace": energy_trace,
+            "final_energy": energy_trace[-1],
+            "pairs": energies["pairs"],
+            "atoms": positions.shape[0],
+        }
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        if output["pairs"] <= 0:
+            return False
+        trace = output["energy_trace"]
+        # minimization must not blow the energy up
+        return all(np.isfinite(e) for e in trace) and trace[-1] < trace[0] + abs(trace[0])

@@ -1,0 +1,379 @@
+"""Mini ``520.omnetpp_r``: a discrete-event network simulator.
+
+The SPEC benchmark runs OMNeT++ simulating an Ethernet-like network
+described by a NED file.  This substrate implements the same machinery
+from scratch:
+
+* a future-event set (binary heap) driving virtual time;
+* network modules (hosts/switches) exchanging packets over links with
+  propagation delay, bandwidth-limited serialization, and FIFO queues;
+* static shortest-path routing computed from the topology;
+* per-module statistics collection.
+
+The real benchmark is strongly back-end bound (61-65% in the paper)
+because the event set and module state are pointer-chased heap objects;
+telemetry reproduces that with scattered per-event and per-module
+accesses.  Workload payload: :class:`OmnetInput` (a topology + traffic
+configuration), mirroring the .ned + .ini pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["OmnetInput", "OmnetppBenchmark", "Network", "simulate"]
+
+_EVENT_REGION = 0x3000_0000
+_MODULE_REGION = 0x3400_0000
+_QUEUE_REGION = 0x3800_0000
+_EVENT_BYTES = 128
+_MODULE_BYTES = 256
+
+
+@dataclass(frozen=True)
+class OmnetInput:
+    """One omnetpp workload: topology + traffic parameters.
+
+    ``edges`` is an undirected edge list over ``n_nodes`` modules;
+    ``sim_time`` is the virtual duration in milliseconds;
+    ``send_interval_ms`` controls offered load; ``packet_bytes`` sets
+    serialization time; ``seed`` drives the traffic RNG.
+    """
+
+    n_nodes: int
+    edges: tuple[tuple[int, int], ...]
+    sim_time: int = 2000
+    send_interval_ms: float = 40.0
+    packet_bytes: int = 1000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("OmnetInput: need at least two nodes")
+        if not self.edges:
+            raise ValueError("OmnetInput: need at least one edge")
+        for a, b in self.edges:
+            if not (0 <= a < self.n_nodes and 0 <= b < self.n_nodes) or a == b:
+                raise ValueError(f"OmnetInput: bad edge ({a}, {b})")
+        if self.sim_time <= 0 or self.send_interval_ms <= 0 or self.packet_bytes <= 0:
+            raise ValueError("OmnetInput: time/load parameters must be positive")
+
+
+class Network:
+    """Topology with static next-hop routing tables."""
+
+    def __init__(self, n_nodes: int, edges: tuple[tuple[int, int], ...]):
+        self.n_nodes = n_nodes
+        self.adj: list[list[int]] = [[] for _ in range(n_nodes)]
+        for a, b in edges:
+            if b not in self.adj[a]:
+                self.adj[a].append(b)
+            if a not in self.adj[b]:
+                self.adj[b].append(a)
+        # BFS from every node -> next hop matrix
+        self.next_hop: list[list[int]] = [[-1] * n_nodes for _ in range(n_nodes)]
+        for src in range(n_nodes):
+            dist = [-1] * n_nodes
+            dist[src] = 0
+            frontier = [src]
+            parent = [-1] * n_nodes
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    for v in self.adj[u]:
+                        if dist[v] < 0:
+                            dist[v] = dist[u] + 1
+                            parent[v] = u
+                            nxt.append(v)
+                frontier = nxt
+            if any(d < 0 for d in dist):
+                raise BenchmarkError("omnetpp: topology is disconnected")
+            for dst in range(n_nodes):
+                if dst == src:
+                    continue
+                node = dst
+                while parent[node] != src:
+                    node = parent[node]
+                self.next_hop[src][dst] = node
+
+
+# event kinds
+_SEND, _ARRIVE, _DEQUEUE = 0, 1, 2
+
+
+def simulate(config: OmnetInput, probe: Probe | None = None) -> dict:
+    """Run the simulation; returns aggregate statistics."""
+    import random as _random
+
+    rng = _random.Random(config.seed)
+    with probe.method("buildNetwork", code_bytes=2048) if probe else _null():
+        net = Network(config.n_nodes, config.edges)
+        if probe:
+            probe.ops(config.n_nodes * config.n_nodes * 4)
+            probe.accesses(
+                [_MODULE_REGION + i * _MODULE_BYTES for i in range(config.n_nodes)]
+            )
+
+    # future event set: (time, seq, kind, node, packet)
+    fes: list[tuple[float, int, int, int, tuple]] = []
+    seq = 0
+    link_busy_until: dict[tuple[int, int], float] = {}
+    link_queue: dict[tuple[int, int], list[tuple]] = {}
+    # 100 Mbit/s link: bits / 1e8 bit/s -> seconds, * 1000 -> ms
+    serialize_ms = config.packet_bytes * 8 / 100_000.0
+    prop_delay = 0.05
+
+    delivered = 0
+    dropped = 0
+    hops_total = 0
+    latency_total = 0.0
+    queue_peak = 0
+
+    sched_reads: list[int] = []
+    gen_reads: list[int] = []
+    fwd_reads: list[int] = []
+    switch_reads: list[int] = []
+    queue_reads: list[int] = []
+    fwd_branches: list[bool] = []
+    queue_branches: list[bool] = []
+    # module class by degree: high-degree nodes behave like switches
+    # (routing fan-out work), low-degree like hosts — topology therefore
+    # decides which module implementations execute
+    is_switch = [len(net.adj[i]) >= 3 for i in range(config.n_nodes)]
+
+    def _push(ev: tuple) -> None:
+        heapq.heappush(fes, ev)
+        sched_reads.append(_EVENT_REGION + (ev[1] % 32_768) * _EVENT_BYTES)
+
+    def _transmit(link: tuple[int, int], to_node: int, pkt: tuple, now: float) -> None:
+        """Serialize the packet onto a free link and schedule arrival."""
+        nonlocal seq
+        done = now + serialize_ms
+        link_busy_until[link] = done
+        src, dst, born, hops = pkt
+        _push((done + prop_delay, seq, _ARRIVE, to_node, (src, dst, born, hops + 1)))
+        seq += 1
+        _push((done, seq, _DEQUEUE, link[0], (link,)))
+        seq += 1
+
+    def _forward(frm: int, to: int, pkt: tuple, now: float) -> None:
+        """Send the packet over link (frm, to), queueing if busy."""
+        nonlocal dropped, queue_peak
+        link = (frm, to)
+        busy = link_busy_until.get(link, -1.0) > now
+        queue_branches.append(busy)
+        if busy:
+            q = link_queue.setdefault(link, [])
+            if len(q) >= 64:
+                dropped += 1
+            else:
+                q.append((pkt, to))
+                if len(q) > queue_peak:
+                    queue_peak = len(q)
+            queue_reads.append(_QUEUE_REGION + ((frm * 131 + to) % 4096) * 64)
+        else:
+            _transmit(link, to, pkt, now)
+
+    def _flush() -> None:
+        with probe.method("scheduleEvent", code_bytes=1536):
+            probe.accesses(sched_reads)
+            probe.ops(len(sched_reads) * 4)
+        with probe.method("generateTraffic", code_bytes=1024):
+            probe.accesses(gen_reads)
+            probe.ops(len(gen_reads) * 11)
+        with probe.method("HostModule_handle", code_bytes=2560):
+            probe.accesses(fwd_reads)
+            probe.branches(fwd_branches, site=1)
+            probe.ops(len(fwd_reads) * 22)
+        with probe.method("SwitchModule_route", code_bytes=3584):
+            probe.accesses(switch_reads)
+            probe.ops(len(switch_reads) * 30)
+        with probe.method("processQueue", code_bytes=1280):
+            probe.accesses(queue_reads)
+            probe.branches(queue_branches, site=2)
+            probe.ops(len(queue_reads) * 14 + len(queue_branches) * 3)
+        sched_reads.clear()
+        gen_reads.clear()
+        fwd_reads.clear()
+        switch_reads.clear()
+        queue_reads.clear()
+        fwd_branches.clear()
+        queue_branches.clear()
+
+    # seed initial traffic: every node sends periodically
+    for node in range(config.n_nodes):
+        t = rng.uniform(0, config.send_interval_ms)
+        _push((t, seq, _SEND, node, ()))
+        seq += 1
+
+    max_events = 400_000
+    n_events = 0
+    while fes:
+        time_now, _, kind, node, packet = heapq.heappop(fes)
+        if time_now > config.sim_time:
+            break
+        n_events += 1
+        if n_events > max_events:
+            raise BenchmarkError("omnetpp: event explosion")
+        sched_reads.append(_EVENT_REGION + (n_events % 32_768) * _EVENT_BYTES)
+
+        if kind == _SEND:
+            dst = rng.randrange(config.n_nodes - 1)
+            if dst >= node:
+                dst += 1
+            pkt = (node, dst, time_now, 0)
+            hop = net.next_hop[node][dst]
+            gen_reads.append(_MODULE_REGION + node * _MODULE_BYTES)
+            _forward(node, hop, pkt, time_now)
+            nxt = time_now + rng.expovariate(1.0 / config.send_interval_ms)
+            _push((nxt, seq, _SEND, node, ()))
+            seq += 1
+        elif kind == _ARRIVE:
+            src, dst, born, hops = packet
+            at_destination = node == dst
+            fwd_branches.append(at_destination)
+            reads = switch_reads if is_switch[node] else fwd_reads
+            reads.append(_MODULE_REGION + node * _MODULE_BYTES)
+            reads.append(_MODULE_REGION + node * _MODULE_BYTES + 64 + (dst % 3) * 8)
+            if at_destination:
+                delivered += 1
+                hops_total += hops
+                latency_total += time_now - born
+            else:
+                hop = net.next_hop[node][dst]
+                _forward(node, hop, (src, dst, born, hops), time_now)
+        else:  # _DEQUEUE: link became free, transmit next queued packet
+            link = packet[0]
+            q = link_queue.get(link)
+            has_queued = bool(q)
+            queue_branches.append(has_queued)
+            queue_reads.append(_QUEUE_REGION + ((link[0] * 131 + link[1]) % 4096) * 64)
+            if has_queued:
+                pkt, dst_node = q.pop(0)
+                _transmit(link, dst_node, pkt, time_now)
+
+        if probe is not None and len(sched_reads) >= 8192:
+            _flush()
+
+    if probe is not None:
+        _flush()
+        with probe.method("recordStatistics", code_bytes=1024):
+            probe.ops(delivered * 4 + 64)
+            probe.accesses(
+                [_MODULE_REGION + i * _MODULE_BYTES + 128 for i in range(config.n_nodes)]
+            )
+
+    return {
+        "events": n_events,
+        "delivered": delivered,
+        "dropped": dropped,
+        "avg_hops": hops_total / delivered if delivered else 0.0,
+        "avg_latency_ms": latency_total / delivered if delivered else 0.0,
+        "queue_peak": queue_peak,
+    }
+
+
+def _null():
+    class _N:
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *args):
+            return None
+
+    return _N()
+
+
+def parse_ned(text: str) -> OmnetInput:
+    """Parse a NED-style network description into an :class:`OmnetInput`.
+
+    The paper's workloads *are* .ned files plus a configuration; this
+    parser accepts the subset the generators emit::
+
+        network ring10 {
+            parameters:
+                sim_time = 1500;
+                send_interval_ms = 12.0;
+                packet_bytes = 60000;
+                seed = 3;
+            submodules:
+                node[10]: Host;
+            connections:
+                node[0].port <--> node[1].port;
+                ...
+        }
+    """
+    import re
+
+    if "network" not in text:
+        raise BenchmarkError("ned: missing network declaration")
+    params: dict[str, float] = {}
+    for m in re.finditer(r"(\w+)\s*=\s*([0-9.]+)\s*;", text):
+        params[m.group(1)] = float(m.group(2))
+    sub = re.search(r"(\w+)\s*\[\s*(\d+)\s*\]\s*:\s*\w+\s*;", text)
+    if sub is None:
+        raise BenchmarkError("ned: missing submodule vector declaration")
+    n_nodes = int(sub.group(2))
+    edges: list[tuple[int, int]] = []
+    for m in re.finditer(r"\w+\[(\d+)\]\.\w+\s*<-->\s*\w+\[(\d+)\]\.\w+\s*;", text):
+        a, b = int(m.group(1)), int(m.group(2))
+        edges.append((a, b))
+    if not edges:
+        raise BenchmarkError("ned: no connections declared")
+    return OmnetInput(
+        n_nodes=n_nodes,
+        edges=tuple(edges),
+        sim_time=int(params.get("sim_time", 2000)),
+        send_interval_ms=params.get("send_interval_ms", 40.0),
+        packet_bytes=int(params.get("packet_bytes", 1000)),
+        seed=int(params.get("seed", 1)),
+    )
+
+
+def to_ned(config: OmnetInput, name: str = "net") -> str:
+    """Render an :class:`OmnetInput` as NED text (inverse of parse_ned)."""
+    lines = [f"network {name} {{"]
+    lines.append("    parameters:")
+    lines.append(f"        sim_time = {config.sim_time};")
+    lines.append(f"        send_interval_ms = {config.send_interval_ms};")
+    lines.append(f"        packet_bytes = {config.packet_bytes};")
+    lines.append(f"        seed = {config.seed};")
+    lines.append("    submodules:")
+    lines.append(f"        node[{config.n_nodes}]: Host;")
+    lines.append("    connections:")
+    for a, b in config.edges:
+        lines.append(f"        node[{a}].port <--> node[{b}].port;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class OmnetppBenchmark:
+    """The ``520.omnetpp_r`` substrate.
+
+    Accepts either an :class:`OmnetInput` payload or NED text (the real
+    benchmark's input format), which it parses first.
+    """
+
+    name = "520.omnetpp_r"
+    suite = "int"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if isinstance(payload, str):
+            with probe.method("parseNed", code_bytes=2048):
+                payload = parse_ned(payload)
+                probe.ops(len(workload.payload) * 2)
+        if not isinstance(payload, OmnetInput):
+            raise BenchmarkError(f"omnetpp: bad payload type {type(payload).__name__}")
+        return simulate(payload, probe)
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        if output["events"] <= 0 or output["delivered"] <= 0:
+            return False
+        # every delivered packet took at least one hop and non-negative time
+        return output["avg_hops"] >= 1.0 and output["avg_latency_ms"] >= 0.0

@@ -1,0 +1,344 @@
+"""Mini ``511.povray_r``: a recursive ray tracer.
+
+The SPEC benchmark is POV-Ray.  The Alberta workloads organize into
+three families that exercise different engine paths — *collection*
+(moderately complex geometry of simple primitives), *lumpy* (a single
+object over a checkered plane lit by two spotlights, stressing the
+FPU), and *primitive* (built-in primitives emphasizing reflection,
+refraction, and camera-lens aperture).  This substrate implements the
+full classic Whitted tracer those families exercise:
+
+* sphere and plane intersection;
+* Phong shading with shadow rays and multiple (spot)lights;
+* procedural checker texture;
+* recursive reflection and refraction;
+* camera aperture (focal blur) via multi-sample jitter.
+
+Per-pixel hit/miss tests are data-dependent branches (povray's s =
+8.8% in Table II); the coverage split across intersect/shade/texture/
+reflect methods moves strongly with the scene family (``mu_g(M)`` =
+66, among the largest).
+
+Workload payload: :class:`SceneInput`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["SceneInput", "Sphere", "PlaneFloor", "Light", "PovrayBenchmark", "render"]
+
+_OBJ_REGION = 0xC000_0000
+_PIX_REGION = 0xC800_0000
+
+
+@dataclass(frozen=True)
+class Sphere:
+    center: tuple[float, float, float]
+    radius: float
+    color: tuple[float, float, float] = (0.8, 0.2, 0.2)
+    reflect: float = 0.0
+    refract: float = 0.0  # transparency amount
+    ior: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("Sphere: radius must be positive")
+
+
+@dataclass(frozen=True)
+class PlaneFloor:
+    height: float = 0.0
+    checker: bool = True
+    color: tuple[float, float, float] = (0.9, 0.9, 0.9)
+    reflect: float = 0.0
+
+
+@dataclass(frozen=True)
+class Light:
+    position: tuple[float, float, float]
+    intensity: float = 1.0
+    spot_target: tuple[float, float, float] | None = None
+    spot_angle: float = 0.5  # radians half-angle
+
+
+@dataclass(frozen=True)
+class SceneInput:
+    """One povray workload: scene + camera/render parameters."""
+
+    spheres: tuple[Sphere, ...]
+    floor: PlaneFloor | None
+    lights: tuple[Light, ...]
+    width: int = 32
+    height: int = 24
+    max_depth: int = 3
+    aperture_samples: int = 1
+    family: str = "collection"
+
+    def __post_init__(self) -> None:
+        if not self.lights:
+            raise ValueError("SceneInput: need at least one light")
+        if self.width < 4 or self.height < 4:
+            raise ValueError("SceneInput: image too small")
+        if self.max_depth < 1 or self.aperture_samples < 1:
+            raise ValueError("SceneInput: depth/samples must be >= 1")
+
+
+def _sub(a, b):
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def _add(a, b):
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _scale(a, k):
+    return (a[0] * k, a[1] * k, a[2] * k)
+
+
+def _dot(a, b):
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def _norm(a):
+    n = math.sqrt(_dot(a, a))
+    if n == 0:
+        return (0.0, 0.0, 0.0)
+    return (a[0] / n, a[1] / n, a[2] / n)
+
+
+class _Tracer:
+    def __init__(self, scene: SceneInput, probe: Probe | None):
+        self.scene = scene
+        self.probe = probe
+        self.hit_branches: list[bool] = []
+        self.shadow_branches: list[bool] = []
+        self.obj_reads: list[int] = []
+        self.stats = {"rays": 0, "shadow_rays": 0, "reflect_rays": 0, "refract_rays": 0}
+
+    # ------------------------------------------------------ intersections
+
+    def intersect_sphere(self, origin, direction, sphere: Sphere) -> float | None:
+        oc = _sub(origin, sphere.center)
+        b = 2.0 * _dot(oc, direction)
+        c = _dot(oc, oc) - sphere.radius * sphere.radius
+        disc = b * b - 4 * c
+        if disc < 0:
+            return None
+        sq = math.sqrt(disc)
+        t1 = (-b - sq) / 2
+        if t1 > 1e-4:
+            return t1
+        t2 = (-b + sq) / 2
+        if t2 > 1e-4:
+            return t2
+        return None
+
+    def intersect_floor(self, origin, direction) -> float | None:
+        floor = self.scene.floor
+        if floor is None or abs(direction[1]) < 1e-9:
+            return None
+        t = (floor.height - origin[1]) / direction[1]
+        return t if t > 1e-4 else None
+
+    def _closest(self, origin, direction):
+        best_t = None
+        best_obj = None
+        for i, sphere in enumerate(self.scene.spheres):
+            self.obj_reads.append(_OBJ_REGION + i * 128)
+            t = self.intersect_sphere(origin, direction, sphere)
+            self.hit_branches.append(t is not None)
+            if t is not None and (best_t is None or t < best_t):
+                best_t = t
+                best_obj = sphere
+        t = self.intersect_floor(origin, direction)
+        self.hit_branches.append(t is not None)
+        if t is not None and (best_t is None or t < best_t):
+            best_t = t
+            best_obj = self.scene.floor
+        return best_t, best_obj
+
+    # ------------------------------------------------------------ shading
+
+    def _light_visible(self, point, light: Light) -> float:
+        self.stats["shadow_rays"] += 1
+        to_light = _sub(light.position, point)
+        dist = math.sqrt(_dot(to_light, to_light))
+        direction = _scale(to_light, 1.0 / dist)
+        for sphere in self.scene.spheres:
+            t = self.intersect_sphere(point, direction, sphere)
+            blocked = t is not None and t < dist
+            self.shadow_branches.append(blocked)
+            if blocked:
+                return 0.0
+        # spotlight cone attenuation
+        if light.spot_target is not None:
+            axis = _norm(_sub(light.spot_target, light.position))
+            cos = -_dot(direction, axis)
+            if cos < math.cos(light.spot_angle):
+                return 0.0
+        return light.intensity / (1.0 + 0.01 * dist * dist)
+
+    def trace(self, origin, direction, depth: int) -> tuple[float, float, float]:
+        self.stats["rays"] += 1
+        t, obj = self._closest(origin, direction)
+        if obj is None:
+            return (0.05, 0.05, 0.1)  # sky
+        point = _add(origin, _scale(direction, t))
+
+        if isinstance(obj, PlaneFloor):
+            normal = (0.0, 1.0, 0.0)
+            base = obj.color
+            if obj.checker:
+                check = (int(math.floor(point[0])) + int(math.floor(point[2]))) % 2
+                base = obj.color if check else (0.1, 0.1, 0.1)
+            reflect = obj.reflect
+            refract = 0.0
+            ior = 1.0
+        else:
+            normal = _norm(_sub(point, obj.center))
+            base = obj.color
+            reflect = obj.reflect
+            refract = obj.refract
+            ior = obj.ior
+
+        # Phong: ambient + per-light diffuse/specular with shadows
+        color = _scale(base, 0.08)
+        for light in self.scene.lights:
+            vis = self._light_visible(point, light)
+            if vis <= 0:
+                continue
+            ldir = _norm(_sub(light.position, point))
+            diff = max(0.0, _dot(normal, ldir)) * vis
+            half = _norm(_sub(ldir, direction))
+            spec = max(0.0, _dot(normal, half)) ** 24 * vis * 0.6
+            color = _add(color, _add(_scale(base, diff), (spec, spec, spec)))
+
+        if depth > 1 and reflect > 0:
+            self.stats["reflect_rays"] += 1
+            rdir = _norm(
+                _sub(direction, _scale(normal, 2.0 * _dot(direction, normal)))
+            )
+            rcol = self.trace(_add(point, _scale(rdir, 1e-3)), rdir, depth - 1)
+            color = _add(_scale(color, 1 - reflect), _scale(rcol, reflect))
+
+        if depth > 1 and refract > 0:
+            self.stats["refract_rays"] += 1
+            # Snell refraction (enter only; exit approximated)
+            cosi = -_dot(direction, normal)
+            eta = 1.0 / ior if cosi > 0 else ior
+            n = normal if cosi > 0 else _scale(normal, -1.0)
+            cosi = abs(cosi)
+            k = 1.0 - eta * eta * (1.0 - cosi * cosi)
+            if k >= 0:
+                tdir = _norm(
+                    _add(_scale(direction, eta), _scale(n, eta * cosi - math.sqrt(k)))
+                )
+                tcol = self.trace(_add(point, _scale(tdir, 1e-3)), tdir, depth - 1)
+                color = _add(_scale(color, 1 - refract), _scale(tcol, refract))
+
+        return color
+
+
+def render(scene: SceneInput, probe: Probe | None = None) -> dict:
+    """Render the scene; returns the image checksum and ray statistics."""
+    tracer = _Tracer(scene, probe)
+    rng = random.Random(0xBEEF)
+    cam = (0.0, 1.2, -4.0)
+    aspect = scene.width / scene.height
+    checksum = 0.0
+    luminance = 0.0
+    pixels = 0
+
+    for py in range(scene.height):
+        for px in range(scene.width):
+            color = (0.0, 0.0, 0.0)
+            for _s in range(scene.aperture_samples):
+                jitter = (
+                    (rng.uniform(-0.03, 0.03), rng.uniform(-0.03, 0.03), 0.0)
+                    if scene.aperture_samples > 1
+                    else (0.0, 0.0, 0.0)
+                )
+                origin = _add(cam, jitter)
+                x = (2 * (px + 0.5) / scene.width - 1) * aspect
+                y = 1 - 2 * (py + 0.5) / scene.height
+                direction = _norm(_sub((x, y + 1.0, 0.0), origin))
+                color = _add(color, tracer.trace(origin, direction, scene.max_depth))
+            color = _scale(color, 1.0 / scene.aperture_samples)
+            pixels += 1
+            lum = 0.299 * color[0] + 0.587 * color[1] + 0.114 * color[2]
+            luminance += lum
+            checksum += lum * ((px * 31 + py * 17) % 97)
+
+        if probe is not None and py % 6 == 5:
+            _flush(tracer, probe, scene)
+
+    if probe is not None:
+        _flush(tracer, probe, scene)
+        with probe.method("output_image", code_bytes=1024):
+            probe.ops(pixels * 6)
+            probe.accesses([_PIX_REGION + i * 4 for i in range(0, pixels, 2)])
+
+    return {
+        "checksum": checksum,
+        "mean_luminance": luminance / pixels,
+        "rays": tracer.stats["rays"],
+        "shadow_rays": tracer.stats["shadow_rays"],
+        "reflect_rays": tracer.stats["reflect_rays"],
+        "refract_rays": tracer.stats["refract_rays"],
+        "pixels": pixels,
+    }
+
+
+def _flush(tracer: _Tracer, probe: Probe, scene: SceneInput) -> None:
+    stats = tracer.stats
+    with probe.method("intersect_objects", code_bytes=3584):
+        probe.branches(tracer.hit_branches, site=1)
+        probe.accesses(tracer.obj_reads)
+        probe.ops(len(tracer.hit_branches) * 14, kind="fp")
+        probe.ops(len(tracer.hit_branches) // 2, kind="fpdiv")
+    with probe.method("shade_phong", code_bytes=2560):
+        probe.branches(tracer.shadow_branches, site=2)
+        probe.ops(len(tracer.shadow_branches) * 18, kind="fp")
+    if scene.floor is not None and scene.floor.checker:
+        with probe.method("texture_checker", code_bytes=1024):
+            probe.ops(stats["rays"] * 4, kind="fp")
+    if stats["reflect_rays"] or stats["refract_rays"]:
+        with probe.method("reflect_refract", code_bytes=2048):
+            probe.ops((stats["reflect_rays"] + stats["refract_rays"]) * 22, kind="fp")
+            probe.ops(stats["refract_rays"] * 2, kind="fpdiv")
+    if scene.aperture_samples > 1:
+        with probe.method("sample_aperture", code_bytes=768):
+            probe.ops(stats["rays"] * 3, kind="fp")
+    tracer.hit_branches = []
+    tracer.shadow_branches = []
+    tracer.obj_reads = []
+
+
+class PovrayBenchmark:
+    """The ``511.povray_r`` substrate."""
+
+    name = "511.povray_r"
+    suite = "fp"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, SceneInput):
+            raise BenchmarkError(f"povray: bad payload type {type(payload).__name__}")
+        with probe.method("parse_scene", code_bytes=2048):
+            probe.ops(len(payload.spheres) * 24 + len(payload.lights) * 12 + 64)
+            probe.accesses([_OBJ_REGION + i * 128 for i in range(len(payload.spheres))])
+        return render(payload, probe)
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        # the image must contain actual signal: non-zero luminance and
+        # at least one primary ray per pixel
+        if output["rays"] < output["pixels"]:
+            return False
+        return 0.0 < output["mean_luminance"] < 4.0

@@ -1,0 +1,192 @@
+"""Mini ``521.wrf_r``: a numerical weather-prediction model.
+
+The SPEC benchmark is WRF.  A workload pairs an input dataset captured
+from a major weather event with a parameter file selecting physics
+options (micro-physics, long-wave radiation, land-surface temperature,
+boundary-layer scheme) — exactly the knobs the Alberta script varies.
+This substrate integrates the 2-D shallow-water equations (the
+canonical dynamical core of atmospheric models) with switchable
+physics parameterizations:
+
+* ``advect``          — upwind advection of height and momentum;
+* ``pressure_terms``  — the gravity/pressure-gradient update;
+* ``microphysics``    — moisture condensation/rain removal (optional);
+* ``radiation``       — long-wave cooling relaxation (optional);
+* ``surface_layer``   — land-surface drag / heating (optional);
+* ``boundary``        — periodic or damped boundary scheme.
+
+Like the real model it is strongly back-end bound (54.9% in Table II)
+— field sweeps over grids larger than L2 — with low coverage variation
+(``mu_g(M) = 4``) since the dynamical core always dominates.
+
+Workload payload: :class:`WrfInput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["WrfInput", "WrfBenchmark", "run_forecast"]
+
+_FIELD_REGION = 0xD000_0000
+_GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class WrfInput:
+    """One wrf workload: initial weather state + physics options.
+
+    ``height``/``u``/``v``/``moisture`` are (h, w) initial fields (the
+    "captured event" dataset); the booleans/strings select physics
+    options as in a WRF namelist."""
+
+    height: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    moisture: np.ndarray
+    steps: int = 20
+    dt: float = 0.02
+    microphysics: bool = True
+    radiation: bool = True
+    surface_layer: bool = True
+    boundary_scheme: str = "periodic"  # or "damped"
+
+    def __post_init__(self) -> None:
+        shape = self.height.shape
+        if self.height.ndim != 2 or shape[0] < 8 or shape[1] < 8:
+            raise ValueError("WrfInput: height field must be at least 8x8")
+        for name in ("u", "v", "moisture"):
+            if getattr(self, name).shape != shape:
+                raise ValueError(f"WrfInput: field {name} shape mismatch")
+        if (self.height <= 0).any():
+            raise ValueError("WrfInput: height field must be positive")
+        if self.steps < 1 or self.dt <= 0:
+            raise ValueError("WrfInput: steps/dt must be positive")
+        if self.boundary_scheme not in ("periodic", "damped"):
+            raise ValueError(f"WrfInput: unknown boundary scheme {self.boundary_scheme!r}")
+
+
+def _ddx(f: np.ndarray) -> np.ndarray:
+    return (np.roll(f, -1, axis=1) - np.roll(f, 1, axis=1)) * 0.5
+
+
+def _ddy(f: np.ndarray) -> np.ndarray:
+    return (np.roll(f, -1, axis=0) - np.roll(f, 1, axis=0)) * 0.5
+
+
+def run_forecast(config: WrfInput, probe: Probe | None = None) -> dict:
+    """Integrate the model; returns forecast diagnostics."""
+    h = config.height.astype(np.float64).copy()
+    u = config.u.astype(np.float64).copy()
+    v = config.v.astype(np.float64).copy()
+    q = config.moisture.astype(np.float64).copy()
+    cells = h.size
+    initial_mass = float(h.sum())
+    rain_total = 0.0
+
+    for step in range(config.steps):
+        # --- dynamics: shallow-water advection + pressure terms --------
+        du = -(u * _ddx(u) + v * _ddy(u)) - _GRAVITY * _ddx(h)
+        dv = -(u * _ddx(v) + v * _ddy(v)) - _GRAVITY * _ddy(h)
+        dh = -(_ddx(u * h) + _ddy(v * h))
+        dq = -(u * _ddx(q) + v * _ddy(q))
+        if probe is not None:
+            with probe.method("advect", code_bytes=4096):
+                probe.ops(cells * 14, kind="fp")
+                # four prognostic fields plus their shifted stencil
+                # copies: twelve grid sweeps per step
+                probe.accesses(
+                    [_FIELD_REGION + i for i in range(0, cells * 8 * 12, 96)]
+                )
+                # upwind-direction selection branches on the local wind
+                # sign — spatially structured but not uniform
+                probe.branches((bool(x) for x in (u.ravel()[::5] > 0)), site=2)
+                probe.branches((bool(x) for x in (v.ravel()[::7] > 0)), site=3)
+            with probe.method("pressure_terms", code_bytes=2048):
+                probe.ops(cells * 8, kind="fp")
+                probe.accesses(
+                    [_FIELD_REGION + cells * 32 + i for i in range(0, cells * 8, 512)]
+                )
+
+        u = u + config.dt * du
+        v = v + config.dt * dv
+        h = h + config.dt * dh
+        q = np.clip(q + config.dt * dq, 0.0, None)
+
+        # --- physics options -------------------------------------------
+        if config.microphysics:
+            saturated = q > 0.8
+            rain = np.where(saturated, (q - 0.8) * 0.5, 0.0)
+            q = q - rain
+            h = h + rain * 0.01  # latent heating proxy
+            rain_total += float(rain.sum())
+            if probe is not None:
+                with probe.method("microphysics", code_bytes=2560):
+                    probe.ops(cells * 6, kind="fp")
+                    probe.branches(
+                        (bool(x) for x in saturated.ravel()[:: max(1, cells // 1024)]),
+                        site=1,
+                    )
+        if config.radiation:
+            h = h - config.dt * 0.02 * (h - h.mean())
+            if probe is not None:
+                with probe.method("radiation", code_bytes=2048):
+                    probe.ops(cells * 4, kind="fp")
+        if config.surface_layer:
+            drag = 1.0 - config.dt * 0.5
+            u = u * drag
+            v = v * drag
+            if probe is not None:
+                with probe.method("surface_layer", code_bytes=1536):
+                    probe.ops(cells * 4, kind="fp")
+
+        # --- boundary scheme --------------------------------------------
+        if config.boundary_scheme == "damped":
+            for f in (u, v):
+                f[0, :] *= 0.5
+                f[-1, :] *= 0.5
+                f[:, 0] *= 0.5
+                f[:, -1] *= 0.5
+        if probe is not None:
+            with probe.method("boundary", code_bytes=1024):
+                probe.ops(int(4 * (h.shape[0] + h.shape[1])), kind="fp")
+
+        max_wind = float(np.sqrt(u * u + v * v).max())
+        if not np.isfinite(max_wind) or max_wind > 500.0:
+            raise BenchmarkError(f"wrf: forecast blew up at step {step}")
+
+    return {
+        "steps": config.steps,
+        "final_mass": float(h.sum()),
+        "initial_mass": initial_mass,
+        "max_wind": max_wind,
+        "rain_total": rain_total,
+        "cells": cells,
+    }
+
+
+class WrfBenchmark:
+    """The ``521.wrf_r`` substrate."""
+
+    name = "521.wrf_r"
+    suite = "fp"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, WrfInput):
+            raise BenchmarkError(f"wrf: bad payload type {type(payload).__name__}")
+        return run_forecast(payload, probe)
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        if output["max_wind"] >= 500.0 or output["final_mass"] <= 0:
+            return False
+        # mass conservation: advection conserves; physics terms add only
+        # small sources, so total drift stays bounded
+        drift = abs(output["final_mass"] - output["initial_mass"]) / output["initial_mass"]
+        return drift < 0.2

@@ -1,0 +1,323 @@
+"""Mini ``525.x264_r``: a block-based video encoder.
+
+The SPEC workload runs three programs per the paper: ``ldecod_r``
+decodes the input video, ``x264_r`` re-encodes it, and
+``imagevalidate_r`` compares dumped frames.  This substrate implements
+the same pipeline on synthetic grayscale video:
+
+* **decode** — unpack the stored frame deltas into raster frames;
+* **encode** — per 8x8 block: motion estimation against the previous
+  reconstructed frame (full search in a +/-4 window), residual
+  computation, an integer 4x4 Hadamard-style transform, quantization,
+  entropy-size estimation, and reconstruction (the decode loop of the
+  encoder);
+* **imagevalidate** — PSNR comparison of reconstructed frames against
+  the source, failing the run below a threshold.
+
+Pixel math uses numpy (the real encoder uses SIMD); control decisions
+(skip blocks, zero motion vectors, quantized-coefficient significance)
+are genuine data-dependent branches reported to the probe.
+
+Workload payload: :class:`VideoInput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = ["VideoInput", "X264Benchmark", "encode_video", "psnr"]
+
+_FRAME_REGION = 0x7000_0000
+_REF_REGION = 0x7400_0000
+_COEF_REGION = 0x7800_0000
+
+_BLOCK = 8
+_SEARCH = 4
+
+
+@dataclass(frozen=True)
+class VideoInput:
+    """One x264 workload: frames + encode parameters.
+
+    ``frames`` is a (n, h, w) uint8 array; ``start_frame`` /
+    ``n_frames`` select the encoded interval (the paper's workloads
+    carry exactly these parameters); ``qp`` is the quantization
+    parameter; ``two_pass`` runs a second pass with refined qp.
+    """
+
+    frames: np.ndarray
+    start_frame: int = 0
+    n_frames: int | None = None
+    qp: int = 8
+    two_pass: bool = False
+    me_method: str = "full"  # or "diamond"
+
+    def __post_init__(self) -> None:
+        if self.frames.ndim != 3:
+            raise ValueError("VideoInput: frames must be (n, h, w)")
+        n, h, w = self.frames.shape
+        if n < 2 or h % _BLOCK or w % _BLOCK:
+            raise ValueError(
+                f"VideoInput: need >= 2 frames with dimensions divisible by {_BLOCK}"
+            )
+        if not (0 <= self.start_frame < n):
+            raise ValueError("VideoInput: start_frame out of range")
+        if self.qp < 1:
+            raise ValueError("VideoInput: qp must be >= 1")
+        if self.me_method not in ("full", "diamond"):
+            raise ValueError(f"VideoInput: unknown me_method {self.me_method!r}")
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two uint8 images."""
+    diff = a.astype(np.float64) - b.astype(np.float64)
+    mse = float(np.mean(diff * diff))
+    if mse == 0:
+        return 99.0
+    return 10.0 * np.log10(255.0 * 255.0 / mse)
+
+
+_HADAMARD = np.array(
+    [[1, 1, 1, 1], [1, 1, -1, -1], [1, -1, -1, 1], [1, -1, 1, -1]], dtype=np.int32
+)
+
+
+def _transform_quant(residual: np.ndarray, qp: int) -> np.ndarray:
+    """4x4 Hadamard transform + uniform quantization of an 8x8 residual."""
+    out = np.empty((_BLOCK, _BLOCK), dtype=np.int32)
+    for by in (0, 4):
+        for bx in (0, 4):
+            sub = residual[by : by + 4, bx : bx + 4].astype(np.int32)
+            coef = _HADAMARD @ sub @ _HADAMARD.T
+            out[by : by + 4, bx : bx + 4] = np.round(coef / (qp * 4)).astype(np.int32)
+    return out
+
+
+def _dequant_inverse(coefs: np.ndarray, qp: int) -> np.ndarray:
+    """Inverse of :func:`_transform_quant` (lossy)."""
+    out = np.empty((_BLOCK, _BLOCK), dtype=np.int32)
+    for by in (0, 4):
+        for bx in (0, 4):
+            coef = coefs[by : by + 4, bx : bx + 4] * (qp * 4)
+            sub = _HADAMARD.T @ coef @ _HADAMARD
+            out[by : by + 4, bx : bx + 4] = sub // 16
+    return out
+
+
+
+def _sad_at(block, ref, yy, xx, h, w, stats):
+    """SAD against the reference block at (yy, xx); None if off-frame."""
+    if yy < 0 or yy + _BLOCK > h or xx < 0 or xx + _BLOCK > w:
+        return None
+    stats["sad_evals"] += 1
+    cand = ref[yy : yy + _BLOCK, xx : xx + _BLOCK]
+    return int(np.abs(block - cand).sum())
+
+
+def _full_search(block, ref, y, x, h, w, stats):
+    """Exhaustive motion search in a +/-_SEARCH window."""
+    best_sad = None
+    best_mv = (0, 0)
+    for dy in range(-_SEARCH, _SEARCH + 1):
+        for dx in range(-_SEARCH, _SEARCH + 1):
+            sad = _sad_at(block, ref, y + dy, x + dx, h, w, stats)
+            if sad is None:
+                continue
+            if best_sad is None or sad < best_sad:
+                best_sad = sad
+                best_mv = (dy, dx)
+                if sad == 0:
+                    return best_sad, best_mv
+    return best_sad, best_mv
+
+
+_DIAMOND = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+def _diamond_search(block, ref, y, x, h, w, stats):
+    """Small-diamond descent: follow the best neighbour until a local
+    minimum — the fast path real encoders use instead of full search."""
+    cy, cx = 0, 0
+    best_sad = _sad_at(block, ref, y, x, h, w, stats)
+    if best_sad is None:
+        best_sad = 1 << 30
+    for _step in range(2 * _SEARCH):
+        improved = False
+        for dy, dx in _DIAMOND:
+            ny, nx = cy + dy, cx + dx
+            if abs(ny) > _SEARCH or abs(nx) > _SEARCH:
+                continue
+            sad = _sad_at(block, ref, y + ny, x + nx, h, w, stats)
+            if sad is not None and sad < best_sad:
+                best_sad = sad
+                cy, cx = ny, nx
+                improved = True
+        if not improved or best_sad == 0:
+            break
+    return best_sad, (cy, cx)
+
+
+def encode_video(
+    frames: np.ndarray,
+    qp: int,
+    probe: Probe | None = None,
+    me_method: str = "full",
+) -> tuple[np.ndarray, dict]:
+    """Encode frames; returns (reconstructed frames, statistics)."""
+    n, h, w = frames.shape
+    recon = np.empty_like(frames)
+    stats = {"bits": 0, "skip_blocks": 0, "coded_blocks": 0, "intra_blocks": 0, "sad_evals": 0}
+
+    mv_branches: list[bool] = []
+    skip_branches: list[bool] = []
+    coef_branches: list[bool] = []
+    block_reads: list[int] = []
+
+    for f in range(n):
+        src = frames[f].astype(np.int32)
+        if f == 0:
+            # intra frame: transform blocks against a flat predictor
+            rec = np.empty((h, w), dtype=np.int32)
+            for y in range(0, h, _BLOCK):
+                for x in range(0, w, _BLOCK):
+                    block = src[y : y + _BLOCK, x : x + _BLOCK]
+                    pred = int(block.mean())
+                    coefs = _transform_quant(block - pred, qp)
+                    nz = int(np.count_nonzero(coefs))
+                    stats["bits"] += 6 + nz * 4
+                    stats["intra_blocks"] += 1
+                    coef_branches.extend(bool(b) for b in (coefs.ravel() != 0)[::4])
+                    rec[y : y + _BLOCK, x : x + _BLOCK] = np.clip(
+                        _dequant_inverse(coefs, qp) + pred, 0, 255
+                    )
+                    block_reads.append(_FRAME_REGION + (f * h * w + y * w + x))
+            recon[f] = rec.astype(np.uint8)
+        else:
+            ref = recon[f - 1].astype(np.int32)
+            rec = np.empty((h, w), dtype=np.int32)
+            for y in range(0, h, _BLOCK):
+                for x in range(0, w, _BLOCK):
+                    block = src[y : y + _BLOCK, x : x + _BLOCK]
+                    if me_method == "diamond":
+                        best_sad, best_mv = _diamond_search(block, ref, y, x, h, w, stats)
+                    else:
+                        best_sad, best_mv = _full_search(block, ref, y, x, h, w, stats)
+                    mv_branches.append(best_mv != (0, 0))
+                    block_reads.append(
+                        _REF_REGION
+                        + ((f % 4) * h * w + (y + best_mv[0]) * w + x + best_mv[1])
+                    )
+                    pred_block = ref[
+                        y + best_mv[0] : y + best_mv[0] + _BLOCK,
+                        x + best_mv[1] : x + best_mv[1] + _BLOCK,
+                    ]
+                    residual = block - pred_block
+                    # skip when the prediction error is within the
+                    # quantization noise floor for this qp
+                    skip = best_sad is not None and best_sad < 2 * qp * _BLOCK
+                    skip_branches.append(skip)
+                    if skip:
+                        stats["skip_blocks"] += 1
+                        stats["bits"] += 2
+                        rec[y : y + _BLOCK, x : x + _BLOCK] = pred_block
+                    else:
+                        coefs = _transform_quant(residual, qp)
+                        nz = int(np.count_nonzero(coefs))
+                        stats["bits"] += 8 + nz * 4
+                        stats["coded_blocks"] += 1
+                        coef_branches.extend(bool(b) for b in (coefs.ravel() != 0)[::4])
+                        rec[y : y + _BLOCK, x : x + _BLOCK] = np.clip(
+                            _dequant_inverse(coefs, qp) + pred_block, 0, 255
+                        )
+            recon[f] = rec.astype(np.uint8)
+
+        if probe is not None:
+            n_blocks = (h // _BLOCK) * (w // _BLOCK)
+            with probe.method("motion_search", code_bytes=4096):
+                probe.ops(stats["sad_evals"] * _BLOCK * _BLOCK // 8)
+                probe.branches(mv_branches, site=1)
+                probe.accesses(block_reads)
+            with probe.method("dct_quant", code_bytes=3072):
+                probe.ops(n_blocks * 4 * 16 * 3, kind="fp")
+                probe.branches(coef_branches, site=2)
+                probe.accesses(
+                    [_COEF_REGION + (f * n_blocks + b) * 256 for b in range(n_blocks)]
+                )
+            with probe.method("entropy_encode", code_bytes=2048):
+                probe.ops(stats["bits"] // 2)
+                probe.branches(skip_branches, site=3)
+            mv_branches = []
+            skip_branches = []
+            coef_branches = []
+            block_reads = []
+            stats["sad_evals"] = 0 if f < n - 1 else stats["sad_evals"]
+
+    return recon, stats
+
+
+class X264Benchmark:
+    """The ``525.x264_r`` substrate (decode -> encode -> validate)."""
+
+    name = "525.x264_r"
+    suite = "int"
+
+    #: Minimum acceptable reconstruction quality (dB), as the SPEC
+    #: imagevalidate tool enforces a structural-similarity threshold.
+    PSNR_THRESHOLD = 24.0
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, VideoInput):
+            raise BenchmarkError(f"x264: bad payload type {type(payload).__name__}")
+        n_total = payload.frames.shape[0]
+        count = payload.n_frames or (n_total - payload.start_frame)
+        end = min(n_total, payload.start_frame + count)
+        window = payload.frames[payload.start_frame : end]
+        if window.shape[0] < 2:
+            raise BenchmarkError("x264: encode window needs at least two frames")
+
+        with probe.method("ldecod_decode", code_bytes=3584):
+            # the stored input is delta-coded; reconstruct raster frames
+            deltas = np.diff(window.astype(np.int16), axis=0)
+            rebuilt = np.cumsum(
+                np.concatenate([window[:1].astype(np.int16), deltas]), axis=0
+            ).astype(np.uint8)
+            probe.ops(int(window.size) // 2)
+            h, w = window.shape[1:]
+            probe.accesses(
+                [_FRAME_REGION + i * 64 for i in range(0, int(window.size), 512)]
+            )
+        if not np.array_equal(rebuilt, window):
+            raise BenchmarkError("x264: ldecod reconstruction failed")
+
+        recon, stats = encode_video(window, payload.qp, probe, payload.me_method)
+        if payload.two_pass:
+            # second pass: refine qp from first-pass bit usage
+            target = window.size // 4
+            qp2 = max(1, payload.qp + (1 if stats["bits"] > target else -1))
+            recon, stats = encode_video(window, qp2, probe, payload.me_method)
+
+        with probe.method("imagevalidate", code_bytes=1536):
+            scores = [psnr(window[i], recon[i]) for i in range(window.shape[0])]
+            probe.ops(int(window.size) // 4, kind="fp")
+            probe.accesses(
+                [_REF_REGION + i * 64 for i in range(0, int(window.size), 1024)]
+            )
+
+        return {
+            "frames": int(window.shape[0]),
+            "bits": stats["bits"],
+            "skip_blocks": stats["skip_blocks"],
+            "coded_blocks": stats["coded_blocks"],
+            "psnr_min": min(scores),
+            "psnr_avg": sum(scores) / len(scores),
+        }
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        return output["psnr_min"] >= self.PSNR_THRESHOLD and output["bits"] > 0

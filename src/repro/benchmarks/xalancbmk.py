@@ -1,0 +1,394 @@
+"""Mini ``523.xalancbmk_r``: an XML-to-output transformation engine.
+
+The SPEC benchmark runs Xalan-C, applying an XSLT stylesheet to an XML
+document.  This substrate implements the same pipeline from scratch:
+
+* a character-level XML tokenizer and DOM-tree parser;
+* an XPath-lite node selection engine (child paths, wildcards,
+  attribute and text predicates, ``//`` descent);
+* a transformation interpreter with the operations that dominate real
+  stylesheets — ``for-each`` iteration, key-based sorting, string
+  transformation, numeric aggregation, and recursive template descent;
+* an output serializer.
+
+Because each workload pairs a document with a different *mix* of
+transformation operations, the time distribution across engine methods
+shifts dramatically between workloads — exactly the behaviour the paper
+measures for this benchmark (the largest ``mu_g(M)`` in Table II, 108).
+
+Workload payload: :class:`XalanInput` — XML text plus a stylesheet
+(a tuple of :class:`TransformOp`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from ..core.workload import Workload
+from ..machine.telemetry import Probe
+from .base import BenchmarkError
+
+__all__ = [
+    "XalanInput",
+    "TransformOp",
+    "XmlNode",
+    "XalancbmkBenchmark",
+    "parse_xml",
+    "select",
+]
+
+_HEAP_REGION = 0x1000_0000
+_STRING_REGION = 0x1800_0000
+_NODE_BYTES = 96  # simulated DOM node footprint
+
+
+class XmlNode:
+    """One DOM element: tag, attributes, text, children."""
+
+    __slots__ = ("tag", "attrs", "text", "children", "heap_addr")
+
+    _next_addr = 0
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.attrs: dict[str, str] = {}
+        self.text = ""
+        self.children: list[XmlNode] = []
+        # heap layout: nodes are allocated sequentially but revisited in
+        # document order scattered by tree shape
+        self.heap_addr = _HEAP_REGION + XmlNode._next_addr
+        XmlNode._next_addr = (XmlNode._next_addr + _NODE_BYTES) % 0x0040_0000
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.tag} attrs={len(self.attrs)} children={len(self.children)}>"
+
+
+@dataclass(frozen=True)
+class TransformOp:
+    """One stylesheet operation.
+
+    ``kind`` selects the engine path:
+
+    * ``"extract"``   — select nodes, emit a field's text;
+    * ``"sort"``      — select nodes, sort by a key, emit in order;
+    * ``"aggregate"`` — select nodes, numeric sum/avg/count over a field;
+    * ``"string"``    — select nodes, apply a string pipeline (upper,
+      reverse, translate) to a field;
+    * ``"descend"``   — recursive template application counting depth.
+    """
+
+    kind: str
+    path: str
+    key: str = ""
+    params: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("extract", "sort", "aggregate", "string", "descend"):
+            raise ValueError(f"unknown TransformOp kind {self.kind!r}")
+        if not self.path:
+            raise ValueError("TransformOp.path must be non-empty")
+
+
+@dataclass(frozen=True)
+class XalanInput:
+    """One xalancbmk workload: document text + stylesheet operations.
+
+    ``repeats`` applies the stylesheet that many times over the parsed
+    document (the SPEC benchmark likewise reprocesses its document),
+    shifting time from parsing into the transformation engine.
+    """
+
+    xml: str
+    ops: tuple[TransformOp, ...]
+    repeats: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.xml.strip():
+            raise ValueError("XalanInput: xml must be non-empty")
+        if not self.ops:
+            raise ValueError("XalanInput: need at least one operation")
+        if self.repeats < 1:
+            raise ValueError("XalanInput: repeats must be >= 1")
+
+
+# --------------------------------------------------------------------- parser
+
+
+def _tokenize(text: str, probe: Probe | None) -> list[tuple[str, str]]:
+    """Character-level tokenizer -> (kind, value) tokens.
+
+    Kinds: ``open`` (tag with raw attribute text), ``close``, ``text``.
+    """
+    tokens: list[tuple[str, str]] = []
+    branches: list[bool] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        is_tag = ch == "<"
+        branches.append(is_tag)
+        if is_tag:
+            end = text.find(">", i)
+            if end < 0:
+                raise BenchmarkError("xml: unterminated tag")
+            body = text[i + 1 : end]
+            if body.startswith("?") or body.startswith("!"):
+                pass  # prolog / comment: skipped
+            elif body.startswith("/"):
+                tokens.append(("close", body[1:].strip()))
+            elif body.endswith("/"):
+                tokens.append(("open", body[:-1].strip()))
+                tokens.append(("close", body[:-1].strip().split()[0]))
+            else:
+                tokens.append(("open", body))
+            i = end + 1
+        else:
+            end = text.find("<", i)
+            if end < 0:
+                end = n
+            chunk = text[i:end]
+            if chunk.strip():
+                tokens.append(("text", chunk.strip()))
+            i = end
+    if probe is not None:
+        probe.branches(branches, site=1)
+        probe.ops(n // 2)
+        probe.accesses([_STRING_REGION + (j & 0x3FFFFF) for j in range(0, n, 64)])
+    return tokens
+
+
+def _parse_attrs(raw: str) -> tuple[str, dict[str, str]]:
+    parts = raw.split()
+    tag = parts[0]
+    attrs: dict[str, str] = {}
+    for part in parts[1:]:
+        if "=" in part:
+            k, _, v = part.partition("=")
+            attrs[k] = v.strip('"').strip("'")
+    return tag, attrs
+
+
+def parse_xml(text: str, probe: Probe | None = None) -> XmlNode:
+    """Parse XML text into a DOM tree (root element returned)."""
+    tokens = _tokenize(text, probe)
+    root: XmlNode | None = None
+    stack: list[XmlNode] = []
+    heap_touches: list[int] = []
+    for kind, value in tokens:
+        if kind == "open":
+            tag, attrs = _parse_attrs(value)
+            node = XmlNode(tag)
+            node.attrs = attrs
+            heap_touches.append(node.heap_addr)
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise BenchmarkError("xml: multiple roots")
+            stack.append(node)
+        elif kind == "close":
+            if not stack:
+                raise BenchmarkError(f"xml: stray close tag {value!r}")
+            open_tag = stack[-1].tag
+            if open_tag != value:
+                raise BenchmarkError(f"xml: mismatched {open_tag!r} vs {value!r}")
+            stack.pop()
+        else:
+            if stack:
+                stack[-1].text += value
+    if stack or root is None:
+        raise BenchmarkError("xml: unbalanced document")
+    if probe is not None:
+        probe.accesses(heap_touches)
+        probe.ops(len(tokens) * 8)
+    return root
+
+
+# ---------------------------------------------------------------- selection
+
+
+def select(
+    root: XmlNode,
+    path: str,
+    probe: Probe | None = None,
+) -> list[XmlNode]:
+    """XPath-lite selection.
+
+    Grammar: steps separated by ``/``; a step is a tag name, ``*``
+    (any), or ``**`` (descend any depth); a step may carry one
+    predicate ``[attr=value]`` or ``[tag]`` (has child).
+    """
+    steps = [s for s in path.split("/") if s]
+    current = [root]
+    branches: list[bool] = []
+    touches: list[int] = []
+    for step in steps:
+        pred_attr = pred_val = pred_child = None
+        if "[" in step:
+            step, _, rest = step.partition("[")
+            pred = rest.rstrip("]")
+            if "=" in pred:
+                pred_attr, _, pred_val = pred.partition("=")
+            else:
+                pred_child = pred
+        nxt: list[XmlNode] = []
+        if step == "**":
+            def _desc(node: XmlNode) -> None:
+                for child in node.children:
+                    nxt.append(child)
+                    _desc(child)
+            for node in current:
+                touches.append(node.heap_addr)
+                _desc(node)
+        else:
+            for node in current:
+                touches.append(node.heap_addr)
+                for child in node.children:
+                    matched = step == "*" or child.tag == step
+                    branches.append(matched)
+                    if matched:
+                        nxt.append(child)
+        if pred_attr is not None:
+            filtered = []
+            for node in nxt:
+                ok = node.attrs.get(pred_attr) == pred_val
+                branches.append(ok)
+                touches.append(node.heap_addr)
+                if ok:
+                    filtered.append(node)
+            nxt = filtered
+        elif pred_child is not None:
+            filtered = []
+            for node in nxt:
+                ok = any(c.tag == pred_child for c in node.children)
+                branches.append(ok)
+                touches.append(node.heap_addr)
+                if ok:
+                    filtered.append(node)
+            nxt = filtered
+        current = nxt
+    if probe is not None:
+        probe.branches(branches, site=2)
+        probe.accesses(touches)
+        probe.ops(len(touches) * 6 + len(branches) * 2)
+    return current
+
+
+def _field_text(node: XmlNode, key: str) -> str:
+    if not key or key == "text()":
+        return node.text
+    if key.startswith("@"):
+        return node.attrs.get(key[1:], "")
+    for child in node.children:
+        if child.tag == key:
+            return child.text
+    return ""
+
+
+# ------------------------------------------------------------ transformation
+
+
+class XalancbmkBenchmark:
+    """The ``523.xalancbmk_r`` substrate."""
+
+    name = "523.xalancbmk_r"
+    suite = "int"
+
+    def run(self, workload: Workload, probe: Probe) -> dict:
+        payload = workload.payload
+        if not isinstance(payload, XalanInput):
+            raise BenchmarkError(f"xalancbmk: bad payload type {type(payload).__name__}")
+
+        with probe.method("XMLScanner_scan", code_bytes=6144):
+            root = parse_xml(payload.xml, probe)
+
+        out: list[str] = []
+        op_counts = {"extract": 0, "sort": 0, "aggregate": 0, "string": 0, "descend": 0}
+        schedule = [op for _ in range(payload.repeats) for op in payload.ops]
+        for op in schedule:
+            op_counts[op.kind] += 1
+            with probe.method("XPath_execute", code_bytes=4096):
+                nodes = select(root, op.path, probe)
+            if op.kind == "extract":
+                with probe.method("Formatter_emit", code_bytes=2048):
+                    for node in nodes:
+                        out.append(_field_text(node, op.key))
+                    probe.ops(len(nodes) * 10)
+                    probe.accesses([n.heap_addr + 32 for n in nodes])
+            elif op.kind == "sort":
+                with probe.method("NodeSorter_sort", code_bytes=3072):
+                    keyed = [(_field_text(n, op.key), n) for n in nodes]
+                    probe.accesses([n.heap_addr + 16 for n in nodes])
+                    # comparison branches of the sort are data dependent
+                    comparisons: list[bool] = []
+
+                    def _cmp_key(kv: tuple[str, XmlNode]) -> str:
+                        return kv[0]
+
+                    keyed.sort(key=_cmp_key)
+                    prev = None
+                    for k, _n in keyed:
+                        comparisons.append(prev is not None and k < prev)
+                        prev = k
+                    probe.branches(comparisons, site=3)
+                    probe.ops(int(len(keyed) * max(1, len(keyed)).bit_length() * 4))
+                    out.extend(k for k, _ in keyed)
+            elif op.kind == "aggregate":
+                with probe.method("XNumber_sum", code_bytes=1536):
+                    total = 0.0
+                    count = 0
+                    parse_ok: list[bool] = []
+                    for node in nodes:
+                        raw = _field_text(node, op.key)
+                        try:
+                            total += float(raw)
+                            parse_ok.append(True)
+                            count += 1
+                        except ValueError:
+                            parse_ok.append(False)
+                        probe.ops(12, kind="fp")
+                    probe.branches(parse_ok, site=4)
+                    probe.accesses([n.heap_addr + 48 for n in nodes])
+                    out.append(f"{total:.3f}/{count}")
+            elif op.kind == "string":
+                with probe.method("XString_transform", code_bytes=2560):
+                    table = dict(op.params)
+                    for node in nodes:
+                        s = _field_text(node, op.key)
+                        s = s.upper()
+                        s = "".join(table.get(c, c) for c in s)
+                        s = s[::-1]
+                        out.append(s)
+                        probe.ops(len(s) * 6)
+                        s_base = _STRING_REGION + (zlib.crc32(s.encode()) & 0x3FFF00)
+                        probe.accesses(
+                            [s_base + j for j in range(0, max(1, len(s)), 64)]
+                        )
+            else:  # descend
+                with probe.method("TreeWalker_descend", code_bytes=2048):
+                    depth_hist: dict[int, int] = {}
+                    touches: list[int] = []
+
+                    def _walk(node: XmlNode, depth: int) -> None:
+                        depth_hist[depth] = depth_hist.get(depth, 0) + 1
+                        touches.append(node.heap_addr)
+                        for child in node.children:
+                            _walk(child, depth + 1)
+
+                    for node in nodes:
+                        _walk(node, 0)
+                    probe.accesses(touches)
+                    probe.ops(len(touches) * 8)
+                    out.append(str(max(depth_hist) if depth_hist else 0))
+
+        with probe.method("Serializer_write", code_bytes=1536):
+            result = "\n".join(out)
+            probe.ops(len(result) // 2)
+            probe.accesses([_STRING_REGION + 0x200000 + j for j in range(0, len(result), 64)])
+
+        return {"output": result, "lines": len(out), "op_counts": op_counts}
+
+    def verify(self, workload: Workload, output: dict) -> bool:
+        return output["lines"] > 0 and isinstance(output["output"], str)

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the deliverables:
+
+* ``table1``                       — print Table I;
+* ``table2 [IDS...]``              — characterize and print Table II rows;
+* ``fig1 BENCH`` / ``fig2 BENCH``  — render a figure panel;
+* ``report BENCH``                 — the per-benchmark Alberta report;
+* ``generate BENCH --seed N``      — mint one workload and validate it;
+* ``validate BENCH``               — run the whole Alberta set;
+* ``fdo BENCH``                    — single-workload vs cross-validated FDO;
+* ``list``                         — registered benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The Alberta Workloads for SPEC CPU 2017 — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I (2006 -> 2017 evolution)")
+
+    p = sub.add_parser("table2", help="characterize benchmarks, print Table II")
+    p.add_argument("benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)")
+
+    for name in ("fig1", "fig2"):
+        p = sub.add_parser(name, help=f"render Figure {name[-1]} for one benchmark")
+        p.add_argument("benchmark")
+
+    p = sub.add_parser("report", help="per-benchmark Alberta report")
+    p.add_argument("benchmark")
+
+    p = sub.add_parser("generate", help="mint and validate one workload")
+    p.add_argument("benchmark")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("validate", help="run every workload in the Alberta set")
+    p.add_argument("benchmark")
+
+    p = sub.add_parser("fdo", help="FDO evaluation study")
+    p.add_argument("benchmark")
+    p.add_argument("--max-workloads", type=int, default=5)
+
+    p = sub.add_parser("export", help="write the full result bundle to a directory")
+    p.add_argument("out_dir")
+    p.add_argument("benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)")
+
+    sub.add_parser("list", help="list registered benchmarks")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        from .analysis.tables import render_table1
+
+        print(render_table1())
+        return 0
+
+    if args.command == "table2":
+        from .analysis.sensitivity import sensitivity_report
+        from .analysis.tables import render_table2
+        from .core.characterize import characterize
+        from .core.suite import benchmark_ids
+
+        ids = args.benchmarks or sorted(benchmark_ids(table2_only=True))
+        chars = []
+        for bid in ids:
+            print(f"characterizing {bid} ...", file=sys.stderr)
+            chars.append(characterize(bid))
+        print(render_table2(chars))
+        print()
+        print(sensitivity_report(chars))
+        return 0
+
+    if args.command in ("fig1", "fig2"):
+        from .analysis.figures import render_figure1, render_figure2
+        from .core.characterize import characterize
+
+        char = characterize(args.benchmark, keep_profiles=True)
+        render = render_figure1 if args.command == "fig1" else render_figure2
+        print(render(char))
+        return 0
+
+    if args.command == "report":
+        from .core.characterize import characterize
+        from .core.reports import benchmark_report
+
+        print(benchmark_report(characterize(args.benchmark)))
+        return 0
+
+    if args.command == "generate":
+        from .core.suite import get_benchmark, get_generator
+        from .machine.profiler import run_benchmark
+
+        generator = get_generator(args.benchmark)
+        workload = generator.generate(args.seed)
+        profile = run_benchmark(get_benchmark(args.benchmark), workload)
+        print(f"workload : {workload.name}")
+        print(f"manifest : {workload.manifest()}")
+        td = profile.topdown
+        print(
+            f"profile  : f={td.front_end:.3f} b={td.back_end:.3f} "
+            f"s={td.bad_speculation:.3f} r={td.retiring:.3f} "
+            f"time={profile.seconds:.6f}s"
+        )
+        print("verified : yes")
+        return 0
+
+    if args.command == "validate":
+        from .core.suite import alberta_workloads
+        from .core.validation import validate_workload_set
+
+        report = validate_workload_set(alberta_workloads(args.benchmark))
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.command == "fdo":
+        from .fdo import cross_validate, single_workload_methodology
+
+        single = single_workload_methodology(args.benchmark)
+        print(f"single train->refrate speedup: {single.speedup:.4f}")
+        cv = cross_validate(args.benchmark, max_workloads=args.max_workloads)
+        s = cv.summary()
+        print(
+            f"cross-validated ({s['n']} pairs): mean={s['mean']:.4f} "
+            f"range=[{s['min']:.4f}, {s['max']:.4f}] "
+            f"regressions={s['n_regressions']}"
+        )
+        return 0
+
+    if args.command == "export":
+        from .analysis.export import export_bundle
+
+        counts = export_bundle(args.out_dir, args.benchmarks or None)
+        print(f"wrote {counts['tables']} tables, {counts['reports']} reports, "
+              f"{counts['figures']} figures to {args.out_dir}")
+        return 0
+
+    if args.command == "list":
+        from .core.suite import registry
+
+        for bid, entry in sorted(registry().items()):
+            table2 = "" if entry.in_table2 else "  (no Table II row)"
+            print(f"{bid:<18} {entry.suite}{table2}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

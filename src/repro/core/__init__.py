@@ -1,0 +1,49 @@
+"""Core methodology: workloads, statistics, top-down and coverage summaries."""
+
+from .characterize import BenchmarkCharacterization, characterize, characterize_suite
+from .coverage import CoverageProfile, CoverageSummary, summarize_coverage
+from .reports import benchmark_report, execution_time_report
+from .suite import alberta_workloads, benchmark_ids, get_benchmark, get_generator
+from .validation import ValidationReport, validate_workload_set
+from .stats import (
+    RatioSummary,
+    geometric_mean,
+    geometric_std,
+    method_variation,
+    mu_g_of_variations,
+    proportional_variation,
+    summarize_ratio,
+)
+from .topdown import CATEGORIES, TopDownSummary, TopDownVector, summarize_topdown
+from .workload import Workload, WorkloadKind, WorkloadSet
+
+__all__ = [
+    "BenchmarkCharacterization",
+    "characterize",
+    "characterize_suite",
+    "benchmark_report",
+    "execution_time_report",
+    "alberta_workloads",
+    "benchmark_ids",
+    "get_benchmark",
+    "get_generator",
+    "ValidationReport",
+    "validate_workload_set",
+    "CoverageProfile",
+    "CoverageSummary",
+    "summarize_coverage",
+    "RatioSummary",
+    "geometric_mean",
+    "geometric_std",
+    "method_variation",
+    "mu_g_of_variations",
+    "proportional_variation",
+    "summarize_ratio",
+    "CATEGORIES",
+    "TopDownSummary",
+    "TopDownVector",
+    "summarize_topdown",
+    "Workload",
+    "WorkloadKind",
+    "WorkloadSet",
+]

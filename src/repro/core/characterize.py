@@ -1,0 +1,125 @@
+"""Per-benchmark characterization pipeline (Section V of the paper).
+
+Runs a benchmark over a workload set under the machine model and
+summarizes the three measurements the paper reports:
+
+* execution time per workload (Section V-A);
+* top-down category statistics and ``mu_g(V)`` (Section V-B);
+* method coverage and ``mu_g(M)`` (Section V-C).
+
+:func:`characterize` produces one :class:`BenchmarkCharacterization` —
+the data behind one row of Table II; :func:`characterize_suite` builds
+the whole table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.cost import MachineConfig
+from ..machine.profiler import ExecutionProfile, Profiler
+from .coverage import CoverageSummary, summarize_coverage
+from .suite import alberta_workloads, benchmark_ids, get_benchmark
+from .topdown import TopDownSummary, summarize_topdown
+from .workload import WorkloadSet
+
+__all__ = ["BenchmarkCharacterization", "characterize", "characterize_suite"]
+
+
+@dataclass
+class BenchmarkCharacterization:
+    """Everything Section V measures for one benchmark."""
+
+    benchmark_id: str
+    n_workloads: int
+    topdown: TopDownSummary
+    coverage: CoverageSummary
+    seconds_by_workload: dict[str, float]
+    refrate_seconds: float | None
+    profiles: list[ExecutionProfile] = field(default_factory=list, repr=False)
+
+    @property
+    def mu_g_v(self) -> float:
+        return self.topdown.mu_g_v
+
+    @property
+    def mu_g_m(self) -> float:
+        return self.coverage.mu_g_m
+
+    def table2_row(self) -> dict[str, float | int | str]:
+        """The Table II row: percentages for mu_g, sigma_g raw."""
+        td = self.topdown
+        row: dict[str, float | int | str] = {
+            "benchmark": self.benchmark_id,
+            "n_workloads": self.n_workloads,
+        }
+        for short, cat in (
+            ("f", "front_end"),
+            ("b", "back_end"),
+            ("s", "bad_speculation"),
+            ("r", "retiring"),
+        ):
+            row[f"{short}_mu_g"] = td.mu_g(cat) * 100.0
+            row[f"{short}_sigma_g"] = td.sigma_g(cat)
+        row["mu_g_v"] = self.mu_g_v
+        row["mu_g_m"] = self.mu_g_m
+        row["refrate_seconds"] = self.refrate_seconds if self.refrate_seconds else 0.0
+        return row
+
+
+def characterize(
+    benchmark_id: str,
+    workloads: WorkloadSet | None = None,
+    *,
+    machine: MachineConfig | None = None,
+    base_seed: int = 0,
+    keep_profiles: bool = False,
+) -> BenchmarkCharacterization:
+    """Run one benchmark over its workload set and summarize.
+
+    ``workloads`` defaults to the benchmark's Alberta set.  The refrate
+    time is taken from the workload whose name ends in ``.refrate``
+    (every default set has one).
+    """
+    benchmark = get_benchmark(benchmark_id)
+    if workloads is None:
+        workloads = alberta_workloads(benchmark_id, base_seed)
+    if len(workloads) == 0:
+        raise ValueError(f"characterize: empty workload set for {benchmark_id}")
+
+    profiler = Profiler(machine)
+    profiles: list[ExecutionProfile] = []
+    seconds: dict[str, float] = {}
+    refrate_seconds: float | None = None
+    for workload in workloads:
+        profile = profiler.run(benchmark, workload)
+        profiles.append(profile)
+        seconds[workload.name] = profile.seconds
+        if workload.name.endswith(".refrate"):
+            refrate_seconds = profile.seconds
+
+    topdown = summarize_topdown([p.topdown for p in profiles])
+    coverage = summarize_coverage([p.coverage for p in profiles])
+    return BenchmarkCharacterization(
+        benchmark_id=benchmark_id,
+        n_workloads=len(profiles),
+        topdown=topdown,
+        coverage=coverage,
+        seconds_by_workload=seconds,
+        refrate_seconds=refrate_seconds,
+        profiles=profiles if keep_profiles else [],
+    )
+
+
+def characterize_suite(
+    *,
+    suite: str | None = None,
+    table2_only: bool = True,
+    machine: MachineConfig | None = None,
+    base_seed: int = 0,
+) -> list[BenchmarkCharacterization]:
+    """Characterize every registered benchmark (the full Table II)."""
+    out = []
+    for bid in sorted(benchmark_ids(suite, table2_only=table2_only)):
+        out.append(characterize(bid, machine=machine, base_seed=base_seed))
+    return out

@@ -1,0 +1,140 @@
+"""Method coverage (Section V-C of the paper).
+
+*Method coverage* is the percentage of execution time spent in each
+method (function) of a benchmark.  A :class:`CoverageProfile` records
+the per-method time fractions for one (benchmark, workload) execution;
+:func:`summarize_coverage` computes the per-method summaries and the
+single-number ``mu_g(M)`` of Equation 5.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from .stats import (
+    COVERAGE_FLOOR,
+    OTHERS_THRESHOLD,
+    RatioSummary,
+    method_variation,
+    mu_g_of_variations,
+)
+
+__all__ = ["CoverageProfile", "CoverageSummary", "summarize_coverage", "OTHERS_LABEL"]
+
+#: Name of the bucket that aggregates insignificant methods.
+OTHERS_LABEL = "others"
+
+
+@dataclass(frozen=True)
+class CoverageProfile:
+    """Per-method execution-time fractions for a single run.
+
+    ``fractions`` maps method name -> fraction of total execution time
+    in [0, 1].  Fractions must sum to ~1 unless the profile is empty.
+    """
+
+    fractions: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name, frac in self.fractions.items():
+            if not math.isfinite(frac) or frac < 0.0:
+                raise ValueError(f"coverage for {name!r} must be finite and >= 0, got {frac!r}")
+            total += frac
+        if self.fractions and not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise ValueError(f"coverage fractions must sum to 1, got {total!r}")
+
+    @classmethod
+    def from_times(cls, times: Mapping[str, float]) -> "CoverageProfile":
+        """Build a profile from absolute per-method times (e.g. cycles)."""
+        total = sum(times.values())
+        if total <= 0:
+            raise ValueError("from_times: total time must be positive")
+        return cls({name: t / total for name, t in times.items()})
+
+    def methods(self) -> list[str]:
+        return sorted(self.fractions)
+
+    def fraction(self, method: str) -> float:
+        return self.fractions.get(method, 0.0)
+
+    def top(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` hottest methods, hottest first."""
+        ranked = sorted(self.fractions.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+
+@dataclass(frozen=True)
+class CoverageSummary:
+    """Cross-workload coverage summary for one benchmark.
+
+    ``per_method`` holds a :class:`RatioSummary` per significant method
+    (plus the ``others`` bucket when applicable), computed on the
+    paper's percent-plus-floor scale; ``mu_g_m`` is Equation 5's single
+    number (geometric mean of per-method ``sigma_g``, see
+    :func:`repro.core.stats.method_variation` for why ``sigma_g``);
+    ``methods`` lists the significant methods in deterministic order.
+    """
+
+    n_workloads: int
+    per_method: dict[str, RatioSummary]
+    mu_g_m: float
+    methods: tuple[str, ...] = field(default_factory=tuple)
+
+
+def summarize_coverage(
+    profiles: Sequence[CoverageProfile],
+    *,
+    others_threshold: float = OTHERS_THRESHOLD,
+    floor: float = COVERAGE_FLOOR,
+) -> CoverageSummary:
+    """Summarize coverage across workloads into ``mu_g(M)`` (Equation 5).
+
+    Methods whose peak fraction across all workloads is below
+    ``others_threshold`` are folded into an ``others`` bucket; values
+    are converted to the percentage scale and the ``floor`` constant is
+    added before geometric statistics are taken — both per Section V-C.
+    """
+    if not profiles:
+        raise ValueError("summarize_coverage: need at least one profile")
+
+    all_methods: set[str] = set()
+    for p in profiles:
+        all_methods.update(p.fractions.keys())
+
+    significant: list[str] = []
+    grouped: list[str] = []
+    for m in sorted(all_methods):
+        peak = max(p.fraction(m) for p in profiles)
+        if peak < others_threshold:
+            grouped.append(m)
+        else:
+            significant.append(m)
+
+    per_method: dict[str, RatioSummary] = {}
+    for m in significant:
+        per_method[m] = RatioSummary([p.fraction(m) * 100.0 + floor for p in profiles])
+    if grouped:
+        per_method[OTHERS_LABEL] = RatioSummary(
+            [sum(p.fraction(m) for m in grouped) * 100.0 + floor for p in profiles]
+        )
+
+    mu_g_m = mu_g_of_variations(rs.sigma_g for rs in per_method.values())
+
+    # Cross-check against the standalone helper; both implement Eq. 5 and
+    # must agree, so any drift is a bug in one of them.
+    check = method_variation(
+        [p.fractions for p in profiles],
+        others_threshold=others_threshold,
+        floor=floor,
+    )
+    assert math.isclose(mu_g_m, check, rel_tol=1e-9), (mu_g_m, check)
+
+    return CoverageSummary(
+        n_workloads=len(profiles),
+        per_method=per_method,
+        mu_g_m=mu_g_m,
+        methods=tuple(significant),
+    )

@@ -1,0 +1,57 @@
+"""Per-benchmark text reports.
+
+The Alberta Workloads ship "an extensive amount of data and analysis"
+per benchmark: execution-time bar data per workload, top-down and
+method-coverage summaries.  :func:`benchmark_report` renders the same
+content for one :class:`~repro.core.characterize.BenchmarkCharacterization`.
+"""
+
+from __future__ import annotations
+
+from .characterize import BenchmarkCharacterization
+from .topdown import CATEGORIES
+
+__all__ = ["benchmark_report", "execution_time_report"]
+
+
+def execution_time_report(char: BenchmarkCharacterization, width: int = 40) -> str:
+    """Section V-A content: per-workload execution-time bars."""
+    if not char.seconds_by_workload:
+        return "(no timing data)"
+    peak = max(char.seconds_by_workload.values())
+    lines = [f"Execution time per workload — {char.benchmark_id}"]
+    for name, seconds in char.seconds_by_workload.items():
+        bar = "#" * max(1, round(seconds / peak * width))
+        lines.append(f"  {name:<40} {bar} {seconds:.4f}s")
+    return "\n".join(lines)
+
+
+def benchmark_report(char: BenchmarkCharacterization) -> str:
+    """The full per-benchmark report distributed with the workloads."""
+    lines = [
+        "=" * 72,
+        f"Alberta Workloads report — {char.benchmark_id}",
+        "=" * 72,
+        f"workloads: {char.n_workloads}",
+        "",
+        execution_time_report(char),
+        "",
+        "Top-down summary (Section V-B):",
+    ]
+    for cat in CATEGORIES:
+        lines.append(
+            f"  {cat:<16} mu_g={char.topdown.mu_g(cat) * 100:6.2f}%  "
+            f"sigma_g={char.topdown.sigma_g(cat):5.2f}  "
+            f"V={char.topdown.variation(cat):7.2f}"
+        )
+    lines.append(f"  mu_g(V) = {char.mu_g_v:.2f}")
+    lines.append("")
+    lines.append("Method coverage summary (Section V-C):")
+    for method, rs in sorted(
+        char.coverage.per_method.items(), key=lambda kv: -kv[1].mu_g
+    ):
+        lines.append(
+            f"  {method:<28} mu_g={rs.mu_g:7.2f}%  sigma_g={rs.sigma_g:5.2f}"
+        )
+    lines.append(f"  mu_g(M) = {char.mu_g_m:.2f}")
+    return "\n".join(lines)

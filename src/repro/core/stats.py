@@ -1,0 +1,195 @@
+"""Summarization statistics from Section V of the paper.
+
+The paper characterizes how sensitive a benchmark's behaviour is to its
+workload by summarizing per-workload ratios (top-down cycle fractions,
+or per-method time fractions) into a single number.  The pipeline is:
+
+1. geometric mean of a ratio across workloads        (Eq. 1)
+2. geometric standard deviation of the ratio          (Eq. 2)
+3. proportional variation ``V = sigma_g / mu_g``      (Eq. 3)
+4. geometric mean of the four top-down variations     (Eq. 4) -> ``mu_g(V)``
+5. geometric mean of per-method variations            (Eq. 5) -> ``mu_g(M)``
+
+All functions operate on plain sequences of floats and are deliberately
+free of any benchmark-specific knowledge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = [
+    "geometric_mean",
+    "geometric_std",
+    "proportional_variation",
+    "summarize_ratio",
+    "RatioSummary",
+    "mu_g_of_variations",
+    "method_variation",
+    "COVERAGE_FLOOR",
+    "OTHERS_THRESHOLD",
+]
+
+# The paper adds 0.01 to every per-method time value, on the percentage
+# scale (0-100), so that methods with zero time in some workload do not
+# zero out the geometric mean.
+COVERAGE_FLOOR = 0.01
+
+# Methods accounting for less than 0.05% of time in *all* workloads are
+# folded into an "others" bucket before computing mu_g(M).  Coverage is
+# carried as fractions in [0, 1], hence 0.0005.
+OTHERS_THRESHOLD = 0.0005
+
+
+def _validate_positive(values: Sequence[float], what: str) -> None:
+    if len(values) == 0:
+        raise ValueError(f"{what}: need at least one value")
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"{what}: non-finite value {v!r}")
+        if v <= 0.0:
+            raise ValueError(f"{what}: geometric statistics require strictly positive values, got {v!r}")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (Equation 1 of the paper).
+
+    ``mu_g = (prod_i x_i) ** (1/n)``, computed in log space for
+    numerical stability.  All values must be strictly positive.
+    """
+    _validate_positive(values, "geometric_mean")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geometric_std(values: Sequence[float], mu_g: float | None = None) -> float:
+    """Geometric standard deviation (Equation 2 of the paper).
+
+    ``sigma_g = exp(sqrt(mean((ln(x_i / mu_g))**2)))``.
+
+    Note the paper (like the classical definition) uses the population
+    form (divide by ``n``).  The result is dimensionless and always
+    >= 1.0, with 1.0 meaning no variation at all.
+    """
+    _validate_positive(values, "geometric_std")
+    if mu_g is None:
+        mu_g = geometric_mean(values)
+    variance = sum(math.log(v / mu_g) ** 2 for v in values) / len(values)
+    return math.exp(math.sqrt(variance))
+
+
+def proportional_variation(values: Sequence[float]) -> float:
+    """Proportional variation ``V = sigma_g / mu_g`` (Equation 3).
+
+    The paper uses this instead of the coefficient of variation because
+    the underlying values are themselves ratios.  Small geometric means
+    combined with large geometric standard deviations produce large
+    values of ``V`` — the paper calls this out as a caveat for
+    ``519.lbm_r`` and ``507.cactuBSSN_r``.
+    """
+    mu = geometric_mean(values)
+    sigma = geometric_std(values, mu)
+    return sigma / mu
+
+
+class RatioSummary:
+    """Summary of one ratio (e.g. front-end-bound fraction) across workloads.
+
+    Bundles the three statistics the paper reports per category so that
+    callers never recompute ``mu_g`` when deriving ``sigma_g`` and ``V``.
+    """
+
+    __slots__ = ("mu_g", "sigma_g", "variation", "n")
+
+    def __init__(self, values: Sequence[float]):
+        _validate_positive(values, "RatioSummary")
+        self.n = len(values)
+        self.mu_g = geometric_mean(values)
+        self.sigma_g = geometric_std(values, self.mu_g)
+        self.variation = self.sigma_g / self.mu_g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RatioSummary(n={self.n}, mu_g={self.mu_g:.4g}, "
+            f"sigma_g={self.sigma_g:.4g}, V={self.variation:.4g})"
+        )
+
+
+def summarize_ratio(values: Sequence[float]) -> RatioSummary:
+    """Convenience constructor matching the paper's per-category summary."""
+    return RatioSummary(values)
+
+
+def mu_g_of_variations(variations: Iterable[float]) -> float:
+    """Geometric mean of proportional variations (Equations 4 and 5).
+
+    For the top-down methodology the iterable has exactly four entries
+    (front-end, back-end, bad-speculation, retiring) and the result is
+    the paper's ``mu_g(V)``.  For method coverage it has one entry per
+    method and the result is ``mu_g(M)``.
+    """
+    vals = list(variations)
+    return geometric_mean(vals)
+
+
+def method_variation(
+    coverage_by_workload: Sequence[Mapping[str, float]],
+    *,
+    others_threshold: float = OTHERS_THRESHOLD,
+    floor: float = COVERAGE_FLOOR,
+) -> float:
+    """Compute ``mu_g(M)`` (Equation 5) from per-workload method coverage.
+
+    ``coverage_by_workload`` is one mapping per workload from method name
+    to the *fraction* of execution time spent in that method (values in
+    [0, 1], summing to ~1 per workload).
+
+    Following Section V-C of the paper:
+
+    * methods that account for less than ``others_threshold`` (0.05%) of
+      the time in **all** workloads are grouped into an ``"others"``
+      category;
+    * per-method time is taken on the percentage scale and the constant
+      ``floor`` (0.01) is added so the geometric statistics are defined
+      even when a method never runs in some workload.
+
+    The summarized quantity per method is its geometric standard
+    deviation ``sigma_g`` across workloads, and ``mu_g(M)`` is the
+    geometric mean of those.  (The paper's Eq. 5 nominally uses
+    ``V = sigma_g / mu_g``, but the published Table II values — exactly
+    1 for every benchmark whose coverage does not shift with the
+    workload — are only consistent with the ``sigma_g`` form, which is
+    what we reproduce; ``V`` per method remains available through
+    :func:`repro.core.coverage.summarize_coverage`.)
+    """
+    if not coverage_by_workload:
+        raise ValueError("method_variation: need at least one workload")
+
+    all_methods: set[str] = set()
+    for cov in coverage_by_workload:
+        all_methods.update(cov.keys())
+    if not all_methods:
+        raise ValueError("method_variation: no methods present in coverage data")
+
+    significant: list[str] = []
+    grouped: list[str] = []
+    for m in sorted(all_methods):
+        peak = max(cov.get(m, 0.0) for cov in coverage_by_workload)
+        if peak < others_threshold:
+            grouped.append(m)
+        else:
+            significant.append(m)
+
+    sigmas: list[float] = []
+    for m in significant:
+        series = [cov.get(m, 0.0) * 100.0 + floor for cov in coverage_by_workload]
+        sigmas.append(geometric_std(series))
+
+    if grouped:
+        series = [
+            sum(cov.get(m, 0.0) for m in grouped) * 100.0 + floor
+            for cov in coverage_by_workload
+        ]
+        sigmas.append(geometric_std(series))
+
+    return mu_g_of_variations(sigmas)

@@ -1,0 +1,132 @@
+"""Intel Top-Down methodology model (Section V-B of the paper).
+
+The methodology classifies every pipeline allocation cycle into exactly
+one of four top-level categories:
+
+* **front-end bound** — the front end could not supply micro-ops;
+* **back-end bound** — back-end resources were unavailable;
+* **bad speculation** — micro-ops were allocated but never retired;
+* **retiring** — micro-ops were allocated and retired.
+
+:class:`TopDownVector` holds one observation (one benchmark run on one
+workload); :class:`TopDownSummary` aggregates a vector per workload into
+the per-category ``mu_g``/``sigma_g`` values plus the single-number
+``mu_g(V)`` reported in Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from .stats import RatioSummary, mu_g_of_variations
+
+__all__ = ["CATEGORIES", "TopDownVector", "TopDownSummary", "summarize_topdown"]
+
+#: Category keys, in the paper's reporting order (f, b, s, r).
+CATEGORIES = ("front_end", "back_end", "bad_speculation", "retiring")
+
+# Perf-counter ratios are never exactly zero in practice (the counters
+# are sampled); the machine model can legitimately produce a zero, so we
+# clamp to a tiny epsilon to keep geometric statistics defined.
+_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class TopDownVector:
+    """Fractions of allocation cycles per top-down category for one run.
+
+    The four fractions must be non-negative and sum to 1 (within
+    ``tol``).  Fractions of exactly zero are clamped to a small epsilon
+    when read through :meth:`as_tuple`, mirroring the fact that sampled
+    hardware counters never report a clean zero.
+    """
+
+    front_end: float
+    back_end: float
+    bad_speculation: float
+    retiring: float
+
+    def __post_init__(self) -> None:
+        total = self.front_end + self.back_end + self.bad_speculation + self.retiring
+        for name in CATEGORIES:
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0.0:
+                raise ValueError(f"TopDownVector.{name} must be finite and >= 0, got {value!r}")
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+            raise ValueError(f"TopDownVector fractions must sum to 1, got {total!r}")
+
+    @classmethod
+    def from_cycles(
+        cls,
+        front_end: float,
+        back_end: float,
+        bad_speculation: float,
+        retiring: float,
+    ) -> "TopDownVector":
+        """Build a vector from raw cycle counts, normalizing to fractions."""
+        total = front_end + back_end + bad_speculation + retiring
+        if total <= 0:
+            raise ValueError("from_cycles: total cycles must be positive")
+        return cls(
+            front_end=front_end / total,
+            back_end=back_end / total,
+            bad_speculation=bad_speculation / total,
+            retiring=retiring / total,
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return (f, b, s, r) with zeros clamped to a small epsilon."""
+        return (
+            max(self.front_end, _EPSILON),
+            max(self.back_end, _EPSILON),
+            max(self.bad_speculation, _EPSILON),
+            max(self.retiring, _EPSILON),
+        )
+
+    def category(self, name: str) -> float:
+        if name not in CATEGORIES:
+            raise KeyError(f"unknown top-down category {name!r}")
+        return max(getattr(self, name), _EPSILON)
+
+
+@dataclass(frozen=True)
+class TopDownSummary:
+    """Per-benchmark summary across workloads — one Table II row's middle.
+
+    ``per_category`` maps each category to its :class:`RatioSummary`
+    (``mu_g``, ``sigma_g``, ``V``); ``mu_g_v`` is Equation 4's single
+    sensitivity number.
+    """
+
+    n_workloads: int
+    per_category: dict[str, RatioSummary]
+    mu_g_v: float
+
+    def mu_g(self, category: str) -> float:
+        return self.per_category[category].mu_g
+
+    def sigma_g(self, category: str) -> float:
+        return self.per_category[category].sigma_g
+
+    def variation(self, category: str) -> float:
+        return self.per_category[category].variation
+
+
+def summarize_topdown(vectors: Sequence[TopDownVector] | Iterable[TopDownVector]) -> TopDownSummary:
+    """Summarize one benchmark's top-down vectors across its workloads.
+
+    Implements the full Section V-B pipeline: per-category geometric
+    mean (Eq. 1) and geometric standard deviation (Eq. 2), proportional
+    variation (Eq. 3), then the geometric mean of the four variations
+    (Eq. 4) as ``mu_g(V)``.
+    """
+    vecs = list(vectors)
+    if not vecs:
+        raise ValueError("summarize_topdown: need at least one vector")
+    per_category: dict[str, RatioSummary] = {}
+    for name in CATEGORIES:
+        per_category[name] = RatioSummary([v.category(name) for v in vecs])
+    mu_g_v = mu_g_of_variations(per_category[c].variation for c in CATEGORIES)
+    return TopDownSummary(n_workloads=len(vecs), per_category=per_category, mu_g_v=mu_g_v)

@@ -1,0 +1,59 @@
+"""Workload-set validation.
+
+SPEC validates every benchmark run's output; the Alberta tooling also
+needed to validate the *workloads themselves* (the paper: "our initial
+effort failed badly and led the benchmark to failed states").  This
+module runs every workload in a set through its benchmark and reports
+which ones execute and verify cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.cost import MachineConfig
+from ..machine.profiler import Profiler
+from .suite import get_benchmark
+from .workload import WorkloadSet
+
+__all__ = ["ValidationReport", "validate_workload_set"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one workload set."""
+
+    benchmark_id: str
+    passed: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.benchmark_id}: {len(self.passed)} passed, {len(self.failed)} failed"
+        ]
+        for name, reason in self.failed.items():
+            lines.append(f"  FAIL {name}: {reason}")
+        return "\n".join(lines)
+
+
+def validate_workload_set(
+    workloads: WorkloadSet,
+    *,
+    machine: MachineConfig | None = None,
+) -> ValidationReport:
+    """Execute and verify every workload; collect failures."""
+    benchmark = get_benchmark(workloads.benchmark)
+    profiler = Profiler(machine)
+    report = ValidationReport(benchmark_id=workloads.benchmark)
+    for workload in workloads:
+        try:
+            profiler.run(benchmark, workload)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            report.failed[workload.name] = f"{type(exc).__name__}: {exc}"
+        else:
+            report.passed.append(workload.name)
+    return report

@@ -1,0 +1,31 @@
+"""Feedback-Directed Optimization: profiles, optimizer, evaluation."""
+
+from .clustering import cluster_workloads, feature_matrix, kmeans
+from .evaluation import (
+    CrossValidationResult,
+    FdoResult,
+    cross_validate,
+    evaluate_pair,
+    single_workload_methodology,
+    train_profile,
+)
+from .optimizer import FdoCostModel, optimize_probe
+from .profile_data import FdoProfile, MethodProfile, collect_profile, merge_profiles
+
+__all__ = [
+    "cluster_workloads",
+    "feature_matrix",
+    "kmeans",
+    "CrossValidationResult",
+    "FdoResult",
+    "cross_validate",
+    "evaluate_pair",
+    "single_workload_methodology",
+    "train_profile",
+    "FdoCostModel",
+    "optimize_probe",
+    "FdoProfile",
+    "MethodProfile",
+    "collect_profile",
+    "merge_profiles",
+]

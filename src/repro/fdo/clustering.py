@@ -1,0 +1,127 @@
+"""Workload clustering for profile-set reduction (Berube & Amaral, CGO'09).
+
+When a development group has too many workloads to profile, clustering
+selects a representative subset.  Each workload becomes a feature
+vector (top-down fractions, hot-method coverage, misprediction and
+miss rates); seeded k-means groups them; the workload closest to each
+centroid represents its cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.profiler import ExecutionProfile
+
+__all__ = ["WorkloadFeatures", "feature_matrix", "kmeans", "cluster_workloads"]
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """One workload's behaviour vector."""
+
+    workload: str
+    vector: np.ndarray
+
+
+def feature_matrix(profiles: list[ExecutionProfile]) -> list[WorkloadFeatures]:
+    """Build aligned feature vectors from execution profiles.
+
+    Features: the four top-down fractions, branch-misprediction rate,
+    estimated data-miss rate, and the coverage of every method observed
+    in *any* profile (zero where absent), z-normalized per column.
+    """
+    if not profiles:
+        raise ValueError("feature_matrix: need at least one profile")
+    methods: set[str] = set()
+    for p in profiles:
+        methods.update(p.coverage.fractions.keys())
+    method_list = sorted(methods)
+
+    raw = []
+    for p in profiles:
+        td = p.topdown
+        counters = p.report.counters
+        accesses = max(1.0, counters.get("data_accesses", 1.0))
+        vec = [
+            td.front_end,
+            td.back_end,
+            td.bad_speculation,
+            td.retiring,
+            p.report.branch_misprediction_rate,
+            counters.get("est_data_misses", 0.0) / accesses,
+        ]
+        vec.extend(p.coverage.fraction(m) for m in method_list)
+        raw.append(vec)
+    matrix = np.array(raw)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0
+    matrix = (matrix - matrix.mean(axis=0)) / std
+    return [
+        WorkloadFeatures(workload=p.workload, vector=matrix[i])
+        for i, p in enumerate(profiles)
+    ]
+
+
+def kmeans(
+    vectors: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    max_iter: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded k-means; returns (assignments, centroids)."""
+    n = vectors.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"kmeans: k must be in [1, {n}]")
+    rng = np.random.default_rng(seed)
+    # k-means++ style seeding: first random, then farthest-point
+    centroids = [vectors[rng.integers(n)]]
+    while len(centroids) < k:
+        dists = np.min(
+            [np.sum((vectors - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        centroids.append(vectors[int(np.argmax(dists))])
+    centers = np.array(centroids)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iter):
+        dists = np.stack([np.sum((vectors - c) ** 2, axis=1) for c in centers])
+        new_assignments = np.argmin(dists, axis=0)
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for j in range(k):
+            members = vectors[assignments == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return assignments, centers
+
+
+def cluster_workloads(
+    profiles: list[ExecutionProfile],
+    k: int,
+    *,
+    seed: int = 0,
+) -> dict[str, list[str]]:
+    """Cluster workloads and pick one representative per cluster.
+
+    Returns {representative workload name: [member names]}.
+    """
+    features = feature_matrix(profiles)
+    vectors = np.stack([f.vector for f in features])
+    assignments, centers = kmeans(vectors, k, seed=seed)
+    clusters: dict[str, list[str]] = {}
+    for j in range(k):
+        member_idx = [i for i in range(len(features)) if assignments[i] == j]
+        if not member_idx:
+            continue
+        # representative: member closest to the centroid
+        best = min(
+            member_idx,
+            key=lambda i: float(np.sum((vectors[i] - centers[j]) ** 2)),
+        )
+        clusters[features[best].workload] = [features[i].workload for i in member_idx]
+    return clusters

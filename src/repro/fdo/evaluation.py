@@ -1,0 +1,192 @@
+"""FDO evaluation methodologies (Sections II and VII of the paper).
+
+Two evaluation protocols are implemented side by side:
+
+* :func:`single_workload_methodology` — the criticized literature
+  standard: profile once on the SPEC *train* workload, recompile,
+  measure once on *refrate*, report that single speedup;
+* :func:`cross_validate` — the Berube-style protocol the Alberta
+  Workloads enable: for every training workload, evaluate the
+  FDO-optimized binary on every *other* workload; report the full
+  speedup distribution.  Optionally a *combined profile* merges all
+  training runs first.
+
+Speedup is baseline simulated seconds / FDO simulated seconds, both
+under the same machine configuration.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..core.suite import alberta_workloads, get_benchmark
+from ..core.workload import Workload, WorkloadSet
+from ..machine.cost import CostModel, MachineConfig
+from ..machine.telemetry import Probe
+from .optimizer import FdoCostModel
+from .profile_data import FdoProfile, collect_profile, merge_profiles
+
+__all__ = [
+    "FdoResult",
+    "CrossValidationResult",
+    "train_profile",
+    "evaluate_pair",
+    "single_workload_methodology",
+    "cross_validate",
+]
+
+
+@dataclass(frozen=True)
+class FdoResult:
+    """One (train workload, eval workload) FDO measurement."""
+
+    benchmark: str
+    train_workload: str
+    eval_workload: str
+    baseline_seconds: float
+    fdo_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.fdo_seconds
+
+
+@dataclass
+class CrossValidationResult:
+    """The speedup distribution from cross-validated FDO evaluation."""
+
+    benchmark: str
+    results: list[FdoResult] = field(default_factory=list)
+
+    @property
+    def speedups(self) -> list[float]:
+        return [r.speedup for r in self.results]
+
+    def summary(self) -> dict[str, float]:
+        sp = self.speedups
+        return {
+            "n": len(sp),
+            "mean": statistics.fmean(sp),
+            "min": min(sp),
+            "max": max(sp),
+            "stdev": statistics.stdev(sp) if len(sp) > 1 else 0.0,
+            "n_regressions": sum(1 for s in sp if s < 1.0),
+        }
+
+
+def _run(benchmark, workload: Workload, cost_model: CostModel) -> tuple[float, Probe]:
+    probe = Probe()
+    output = benchmark.run(workload, probe)
+    if not benchmark.verify(workload, output):
+        raise ValueError(f"FDO evaluation: {workload.name} failed verification")
+    report = cost_model.evaluate(probe)
+    return report.seconds, probe
+
+
+def train_profile(
+    benchmark_id: str,
+    workload: Workload,
+    machine: MachineConfig | None = None,
+) -> FdoProfile:
+    """Instrumented training run -> FDO profile."""
+    from ..machine.profiler import ExecutionProfile
+
+    benchmark = get_benchmark(benchmark_id)
+    probe = Probe()
+    output = benchmark.run(workload, probe)
+    if not benchmark.verify(workload, output):
+        raise ValueError(f"training run failed verification on {workload.name}")
+    report = CostModel(machine).evaluate(probe)
+    execution = ExecutionProfile(
+        benchmark=benchmark_id,
+        workload=workload.name,
+        report=report,
+        output=output,
+        verified=True,
+    )
+    return collect_profile(execution, probe.methods())
+
+
+def evaluate_pair(
+    benchmark_id: str,
+    train_workload: Workload,
+    eval_workload: Workload,
+    *,
+    machine: MachineConfig | None = None,
+    profile: FdoProfile | None = None,
+) -> FdoResult:
+    """Train on one workload (or use ``profile``), evaluate on another."""
+    benchmark = get_benchmark(benchmark_id)
+    if profile is None:
+        profile = train_profile(benchmark_id, train_workload, machine)
+    baseline_seconds, _ = _run(benchmark, eval_workload, CostModel(machine))
+    fdo_seconds, _ = _run(benchmark, eval_workload, FdoCostModel(profile, machine))
+    return FdoResult(
+        benchmark=benchmark_id,
+        train_workload=",".join(profile.training_workloads),
+        eval_workload=eval_workload.name,
+        baseline_seconds=baseline_seconds,
+        fdo_seconds=fdo_seconds,
+    )
+
+
+def single_workload_methodology(
+    benchmark_id: str,
+    workloads: WorkloadSet | None = None,
+    *,
+    machine: MachineConfig | None = None,
+) -> FdoResult:
+    """The criticized protocol: train on .train, evaluate on .refrate."""
+    if workloads is None:
+        workloads = alberta_workloads(benchmark_id)
+    train = next(w for w in workloads if w.name.endswith(".train"))
+    ref = next(w for w in workloads if w.name.endswith(".refrate"))
+    return evaluate_pair(benchmark_id, train, ref, machine=machine)
+
+
+def cross_validate(
+    benchmark_id: str,
+    workloads: WorkloadSet | None = None,
+    *,
+    machine: MachineConfig | None = None,
+    combined: bool = False,
+    max_workloads: int | None = None,
+) -> CrossValidationResult:
+    """Leave-one-out FDO evaluation over a workload set.
+
+    With ``combined=True`` a single merged profile from all training
+    workloads is evaluated on every workload instead (Berube's
+    combined-profiling methodology).
+    """
+    if workloads is None:
+        workloads = alberta_workloads(benchmark_id)
+    wl = list(workloads)
+    if max_workloads is not None:
+        wl = wl[:max_workloads]
+    if len(wl) < 2:
+        raise ValueError("cross_validate: need at least two workloads")
+
+    result = CrossValidationResult(benchmark=benchmark_id)
+    if combined:
+        profiles = [train_profile(benchmark_id, w, machine) for w in wl]
+        profile = merge_profiles(profiles)
+        for target in wl:
+            result.results.append(
+                evaluate_pair(
+                    benchmark_id, target, target, machine=machine, profile=profile
+                )
+            )
+        return result
+
+    for train in wl:
+        profile = train_profile(benchmark_id, train, machine)
+        for target in wl:
+            if target.name == train.name:
+                continue
+            result.results.append(
+                evaluate_pair(
+                    benchmark_id, train, target, machine=machine, profile=profile
+                )
+            )
+    return result

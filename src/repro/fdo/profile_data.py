@@ -1,0 +1,129 @@
+"""FDO profiles: what an instrumented training run records.
+
+Static FDO (Section II of the paper) collects information from
+instrumented executions ahead of time and recompiles with it.  Here a
+:class:`FdoProfile` captures, per method: its share of execution time
+(drives inlining/layout decisions), its conditional-branch bias
+(drives static branch hints), and call counts.  Profiles from multiple
+training runs can be merged — the *combined profiling* methodology
+Berube proposed for many-input FDO.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..machine.profiler import ExecutionProfile
+
+__all__ = ["MethodProfile", "FdoProfile", "collect_profile", "merge_profiles"]
+
+
+@dataclass(frozen=True)
+class MethodProfile:
+    """Training observations for one method."""
+
+    weight: float  # fraction of training execution time
+    branch_taken_ratio: float | None  # None when no branches observed
+    calls: int
+    branches: int
+
+
+@dataclass(frozen=True)
+class FdoProfile:
+    """A complete FDO profile from one or more training runs."""
+
+    benchmark: str
+    methods: Mapping[str, MethodProfile]
+    training_workloads: tuple[str, ...] = field(default_factory=tuple)
+
+    def hot_methods(self, threshold: float = 0.05) -> list[str]:
+        """Methods above the inlining/layout weight threshold."""
+        return sorted(
+            (m for m, p in self.methods.items() if p.weight >= threshold),
+            key=lambda m: -self.methods[m].weight,
+        )
+
+    def branch_hint(self, method: str, confidence: float = 0.85) -> bool | None:
+        """Static prediction hint for a method's branches.
+
+        Returns True (predict taken) / False (predict not-taken) when
+        the training bias is confident enough, else None (leave the
+        dynamic predictor alone).
+        """
+        prof = self.methods.get(method)
+        if prof is None or prof.branch_taken_ratio is None or prof.branches < 16:
+            return None
+        if prof.branch_taken_ratio >= confidence:
+            return True
+        if prof.branch_taken_ratio <= 1.0 - confidence:
+            return False
+        return None
+
+
+def collect_profile(execution: ExecutionProfile, probe_methods) -> FdoProfile:
+    """Build a profile from an instrumented run.
+
+    ``probe_methods`` is the list of
+    :class:`~repro.machine.telemetry.MethodCounters` from the training
+    run's probe (exact per-method branch statistics).
+    """
+    coverage = execution.coverage
+    methods: dict[str, MethodProfile] = {}
+    for mc in probe_methods:
+        taken_ratio = mc.branches_taken / mc.branches if mc.branches else None
+        methods[mc.name] = MethodProfile(
+            weight=coverage.fraction(mc.name),
+            branch_taken_ratio=taken_ratio,
+            calls=mc.calls,
+            branches=mc.branches,
+        )
+    return FdoProfile(
+        benchmark=execution.benchmark,
+        methods=methods,
+        training_workloads=(execution.workload,),
+    )
+
+
+def merge_profiles(profiles: Sequence[FdoProfile]) -> FdoProfile:
+    """Combined profiling: average weights, pool branch statistics.
+
+    Branch biases are combined by pooling raw taken/total counts, so a
+    method that is strongly biased one way in one workload and the
+    other way in another ends up un-hintable — exactly the effect that
+    makes combined profiles conservative but robust.
+    """
+    if not profiles:
+        raise ValueError("merge_profiles: need at least one profile")
+    benchmark = profiles[0].benchmark
+    if any(p.benchmark != benchmark for p in profiles):
+        raise ValueError("merge_profiles: profiles target different benchmarks")
+
+    all_methods: set[str] = set()
+    for p in profiles:
+        all_methods.update(p.methods.keys())
+
+    merged: dict[str, MethodProfile] = {}
+    for m in all_methods:
+        weights = []
+        taken = 0.0
+        branches = 0
+        calls = 0
+        for p in profiles:
+            mp = p.methods.get(m)
+            if mp is None:
+                weights.append(0.0)
+                continue
+            weights.append(mp.weight)
+            calls += mp.calls
+            if mp.branch_taken_ratio is not None:
+                taken += mp.branch_taken_ratio * mp.branches
+                branches += mp.branches
+        merged[m] = MethodProfile(
+            weight=sum(weights) / len(profiles),
+            branch_taken_ratio=(taken / branches) if branches else None,
+            calls=calls,
+            branches=branches,
+        )
+    workloads = tuple(w for p in profiles for w in p.training_workloads)
+    return FdoProfile(benchmark=benchmark, methods=merged, training_workloads=workloads)

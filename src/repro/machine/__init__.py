@@ -1,0 +1,31 @@
+"""Machine model: caches, branch predictors, telemetry, cost accounting."""
+
+from .branch import BimodalPredictor, GsharePredictor
+from .cache import Cache, CacheConfig, CacheHierarchy, Tlb
+from .cost import CostModel, MachineConfig, MachineReport, MethodCost
+from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset
+from .profiler import ExecutionProfile, Profiler, run_benchmark
+from .telemetry import MethodCounters, Probe
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "Tlb",
+    "ATOM_LIKE",
+    "I7_2600",
+    "I7_6700K",
+    "PRESETS",
+    "preset",
+    "CostModel",
+    "MachineConfig",
+    "MachineReport",
+    "MethodCost",
+    "ExecutionProfile",
+    "Profiler",
+    "run_benchmark",
+    "MethodCounters",
+    "Probe",
+]

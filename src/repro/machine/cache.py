@@ -1,0 +1,210 @@
+"""Set-associative cache and TLB simulation.
+
+The paper measures benchmarks on an Intel Core i7-2600.  We cannot use
+hardware counters here, so the machine model replays the benchmarks'
+memory address streams through a classical set-associative LRU cache
+hierarchy (L1I, L1D, unified L2, shared LLC) plus a data TLB.  Miss
+counts per level feed the top-down cost model in
+:mod:`repro.machine.cost`.
+
+Addresses are abstract byte addresses (plain ints).  Benchmarks lay out
+their data structures in whatever address space they like; only
+locality relative to line/page granularity matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "Cache", "Tlb", "CacheHierarchy", "HierarchyStats"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError(f"{self.name}: all geometry parameters must be positive")
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines * self.line_bytes != self.size_bytes:
+            raise ValueError(f"{self.name}: size must be a multiple of the line size")
+        if n_lines % self.associativity != 0:
+            raise ValueError(f"{self.name}: line count must be a multiple of associativity")
+
+    @property
+    def n_sets(self) -> int:
+        return (self.size_bytes // self.line_bytes) // self.associativity
+
+
+class Cache:
+    """One set-associative LRU cache level.
+
+    LRU is implemented with per-set insertion-ordered dicts: a hit moves
+    the tag to the back, a fill evicts the front.  This is exact LRU,
+    deterministic, and fast enough for the sampled event streams the
+    harness replays.
+    """
+
+    __slots__ = ("config", "_sets", "_set_mask", "_line_shift", "hits", "misses")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        n_sets = config.n_sets
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"{config.name}: set count must be a power of two")
+        line = config.line_bytes
+        if line & (line - 1):
+            raise ValueError(f"{config.name}: line size must be a power of two")
+        self._sets: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+        self._set_mask = n_sets - 1
+        self._line_shift = line.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; returns True on hit, False on miss.
+
+        A miss fills the line (allocate-on-miss, for reads and writes
+        alike — the i7 caches are write-allocate).
+        """
+        tag = addr >> self._line_shift
+        line_set = self._sets[tag & self._set_mask]
+        if tag in line_set:
+            # refresh LRU position
+            del line_set[tag]
+            line_set[tag] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(line_set) >= self.config.associativity:
+            line_set.pop(next(iter(line_set)))
+        line_set[tag] = None
+        return False
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class Tlb:
+    """A fully-associative LRU TLB over fixed-size pages."""
+
+    __slots__ = ("entries", "page_bytes", "_map", "hits", "misses", "_page_shift")
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096):
+        if entries <= 0:
+            raise ValueError("Tlb: entries must be positive")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("Tlb: page size must be a positive power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._page_shift = page_bytes.bit_length() - 1
+        self._map: dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        page = addr >> self._page_shift
+        if page in self._map:
+            del self._map[page]
+            self._map[page] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._map) >= self.entries:
+            self._map.pop(next(iter(self._map)))
+        self._map[page] = None
+        return False
+
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated access/miss counts for one replay."""
+
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    llc_accesses: int = 0
+    llc_misses: int = 0
+    dtlb_misses: int = 0
+
+
+class CacheHierarchy:
+    """A three-level hierarchy modelled on the i7-2600.
+
+    Defaults: 32 KiB 8-way L1D and L1I, 256 KiB 8-way unified L2, 8 MiB
+    16-way LLC, 64-entry DTLB.  Data and instruction accesses share the
+    L2 and LLC, as on the real part.
+    """
+
+    def __init__(
+        self,
+        l1d: CacheConfig | None = None,
+        l1i: CacheConfig | None = None,
+        l2: CacheConfig | None = None,
+        llc: CacheConfig | None = None,
+        dtlb_entries: int = 64,
+    ):
+        self.l1d = Cache(l1d or CacheConfig(32 * 1024, 64, 8, name="L1D"))
+        self.l1i = Cache(l1i or CacheConfig(32 * 1024, 64, 8, name="L1I"))
+        self.l2 = Cache(l2 or CacheConfig(256 * 1024, 64, 8, name="L2"))
+        self.llc = Cache(llc or CacheConfig(8 * 1024 * 1024, 64, 16, name="LLC"))
+        self.dtlb = Tlb(entries=dtlb_entries)
+
+    def access_data(self, addr: int) -> int:
+        """Replay one data access; returns the level that served it.
+
+        Return codes: 1 = L1D hit, 2 = L2 hit, 3 = LLC hit, 4 = memory.
+        """
+        self.dtlb.access(addr)
+        if self.l1d.access(addr):
+            return 1
+        if self.l2.access(addr):
+            return 2
+        if self.llc.access(addr):
+            return 3
+        return 4
+
+    def access_code(self, addr: int) -> int:
+        """Replay one instruction-fetch access; returns serving level."""
+        if self.l1i.access(addr):
+            return 1
+        if self.l2.access(addr):
+            return 2
+        if self.llc.access(addr):
+            return 3
+        return 4
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1d_accesses=self.l1d.accesses,
+            l1d_misses=self.l1d.misses,
+            l1i_accesses=self.l1i.accesses,
+            l1i_misses=self.l1i.misses,
+            l2_accesses=self.l2.accesses,
+            l2_misses=self.l2.misses,
+            llc_accesses=self.llc.accesses,
+            llc_misses=self.llc.misses,
+            dtlb_misses=self.dtlb.misses,
+        )

@@ -1,0 +1,279 @@
+"""Cycle-accounting cost model mapping telemetry to top-down categories.
+
+This is the stand-in for the Intel top-down hardware counters used in
+Section V-B of the paper.  The model replays the probe's sampled event
+stream through a branch predictor and a cache hierarchy, extrapolates
+the observed misprediction and miss *rates* to the exact event counts,
+and then accounts cycles into the four top-down categories:
+
+* **retiring** — issued micro-ops divided by the pipeline width;
+* **bad speculation** — wrong-path micro-ops squashed on each branch
+  misprediction;
+* **front-end bound** — fetch bubbles from instruction-cache misses and
+  pipeline refill after mispredictions;
+* **back-end bound** — stall cycles from data-cache/TLB misses (scaled
+  by a memory-level-parallelism factor) and long-latency floating-point
+  operations.
+
+All four components are attributed to the method whose events caused
+them, which also yields the method-coverage profile of Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.coverage import CoverageProfile
+from ..core.topdown import TopDownVector
+from .branch import BimodalPredictor, GsharePredictor
+from .cache import CacheHierarchy, HierarchyStats
+from .telemetry import EV_BRANCH, EV_CALL, EV_DATA, Probe
+
+__all__ = ["MachineConfig", "MethodCost", "CostModel", "MachineReport"]
+
+# Cap on synthesized instruction-fetch blocks per sampled call, so one
+# giant method cannot dominate replay cost.
+_MAX_FETCH_BLOCKS = 256
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Microarchitectural parameters (defaults modelled on an i7-2600)."""
+
+    width: int = 4
+    clock_ghz: float = 3.4
+    predictor: str = "gshare"
+    predictor_table_bits: int = 14
+    predictor_history_bits: int = 12
+    wrongpath_uops: float = 16.0
+    refill_cycles: float = 2.0
+    l2_latency: float = 12.0
+    llc_latency: float = 30.0
+    mem_latency: float = 180.0
+    mlp: float = 4.0
+    fetch_overlap: float = 2.0
+    tlb_walk_cycles: float = 30.0
+    fp_backend_stall: float = 0.10
+    fpdiv_backend_stall: float = 12.0
+    call_overhead_uops: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.predictor not in ("gshare", "bimodal"):
+            raise ValueError(f"unknown predictor {self.predictor!r}")
+        if self.mlp < 1.0 or self.fetch_overlap < 1.0:
+            raise ValueError("mlp and fetch_overlap must be >= 1")
+
+    def make_predictor(self) -> GsharePredictor | BimodalPredictor:
+        if self.predictor == "gshare":
+            return GsharePredictor(self.predictor_table_bits, self.predictor_history_bits)
+        return BimodalPredictor(self.predictor_table_bits)
+
+
+@dataclass
+class MethodCost:
+    """Per-method cycle accounting and derived statistics."""
+
+    name: str
+    uops: float = 0.0
+    retiring_cycles: float = 0.0
+    bad_spec_cycles: float = 0.0
+    frontend_cycles: float = 0.0
+    backend_cycles: float = 0.0
+    est_mispredicts: float = 0.0
+    est_data_misses: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.retiring_cycles
+            + self.bad_spec_cycles
+            + self.frontend_cycles
+            + self.backend_cycles
+        )
+
+
+@dataclass
+class MachineReport:
+    """Everything the cost model derives from one execution's telemetry."""
+
+    topdown: TopDownVector
+    coverage: CoverageProfile
+    cycles: float
+    seconds: float
+    per_method: dict[str, MethodCost]
+    cache_stats: HierarchyStats
+    branch_misprediction_rate: float
+    sampling_stride: int
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+class _Replay:
+    """Per-method tallies from replaying the sampled event stream."""
+
+    __slots__ = (
+        "branches", "mispredicts",
+        "data", "d_l2", "d_llc", "d_mem", "d_tlb",
+        "calls", "c_l2", "c_llc", "c_mem",
+    )
+
+    def __init__(self) -> None:
+        self.branches = 0
+        self.mispredicts = 0
+        self.data = 0
+        self.d_l2 = 0
+        self.d_llc = 0
+        self.d_mem = 0
+        self.d_tlb = 0
+        self.calls = 0
+        self.c_l2 = 0
+        self.c_llc = 0
+        self.c_mem = 0
+
+
+class CostModel:
+    """Evaluates a :class:`~repro.machine.telemetry.Probe` into a report."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+
+    def evaluate(self, probe: Probe) -> MachineReport:
+        cfg = self.config
+        predictor = cfg.make_predictor()
+        hierarchy = CacheHierarchy()
+
+        methods = probe.methods()
+        replays: dict[int, _Replay] = {mc.index: _Replay() for mc in methods}
+        by_index = {mc.index: mc for mc in methods}
+
+        # --- replay the sampled, order-preserving event stream -------------
+        for method_idx, kind, a, b in probe.events:
+            rep = replays[method_idx]
+            if kind == EV_BRANCH:
+                rep.branches += 1
+                if not predictor.predict_and_update(a, bool(b)):
+                    rep.mispredicts += 1
+            elif kind == EV_DATA:
+                rep.data += 1
+                tlb_hit = hierarchy.dtlb.hits
+                level = hierarchy.access_data(a)
+                if hierarchy.dtlb.hits == tlb_hit:
+                    rep.d_tlb += 1
+                if level == 2:
+                    rep.d_l2 += 1
+                elif level == 3:
+                    rep.d_llc += 1
+                elif level == 4:
+                    rep.d_mem += 1
+            else:  # EV_CALL: synthesize instruction fetches for the callee
+                target = by_index[a]
+                rep = replays[a]
+                rep.calls += 1
+                blocks = min(max(1, target.code_bytes // 64), _MAX_FETCH_BLOCKS)
+                base = target.code_base
+                for i in range(blocks):
+                    level = hierarchy.access_code(base + i * 64)
+                    if level == 2:
+                        rep.c_l2 += 1
+                    elif level == 3:
+                        rep.c_llc += 1
+                    elif level == 4:
+                        rep.c_mem += 1
+
+        # --- extrapolate sampled rates to exact counts and account cycles --
+        per_method: dict[str, MethodCost] = {}
+        for mc in methods:
+            rep = replays[mc.index]
+            cost = MethodCost(name=mc.name)
+
+            cost.uops = (
+                mc.int_ops
+                + mc.fp_ops
+                + mc.fpdiv_ops
+                + mc.branches
+                + mc.loads
+                + mc.stores
+                + mc.calls * cfg.call_overhead_uops
+            )
+            cost.retiring_cycles = cost.uops / cfg.width
+
+            if rep.branches:
+                miss_rate = rep.mispredicts / rep.branches
+                cost.est_mispredicts = mc.branches * miss_rate
+            cost.bad_spec_cycles = cost.est_mispredicts * cfg.wrongpath_uops / cfg.width
+
+            frontend = cost.est_mispredicts * cfg.refill_cycles
+            if rep.calls:
+                scale = mc.calls / rep.calls
+                frontend += (
+                    scale
+                    * (
+                        rep.c_l2 * cfg.l2_latency
+                        + rep.c_llc * cfg.llc_latency
+                        + rep.c_mem * cfg.mem_latency
+                    )
+                    / cfg.fetch_overlap
+                )
+            cost.frontend_cycles = frontend
+
+            backend = (
+                mc.fp_ops * cfg.fp_backend_stall
+                + mc.fpdiv_ops * cfg.fpdiv_backend_stall
+            )
+            if rep.data:
+                scale = mc.data_accesses / rep.data
+                cost.est_data_misses = scale * (rep.d_l2 + rep.d_llc + rep.d_mem)
+                backend += (
+                    scale
+                    * (
+                        rep.d_l2 * cfg.l2_latency
+                        + rep.d_llc * cfg.llc_latency
+                        + rep.d_mem * cfg.mem_latency
+                        + rep.d_tlb * cfg.tlb_walk_cycles
+                    )
+                    / cfg.mlp
+                )
+            cost.backend_cycles = backend
+
+            per_method[mc.name] = cost
+
+        total_ret = sum(c.retiring_cycles for c in per_method.values())
+        total_bad = sum(c.bad_spec_cycles for c in per_method.values())
+        total_fe = sum(c.frontend_cycles for c in per_method.values())
+        total_be = sum(c.backend_cycles for c in per_method.values())
+        total = total_ret + total_bad + total_fe + total_be
+        if total <= 0:
+            raise ValueError("cost model: benchmark recorded no work")
+
+        topdown = TopDownVector.from_cycles(total_fe, total_be, total_bad, total_ret)
+        coverage = CoverageProfile.from_times(
+            {name: c.total_cycles for name, c in per_method.items() if c.total_cycles > 0}
+        )
+        seconds = total / (cfg.clock_ghz * 1e9)
+
+        total_sampled_branches = sum(r.branches for r in replays.values())
+        total_sampled_miss = sum(r.mispredicts for r in replays.values())
+        mispred_rate = (
+            total_sampled_miss / total_sampled_branches if total_sampled_branches else 0.0
+        )
+
+        return MachineReport(
+            topdown=topdown,
+            coverage=coverage,
+            cycles=total,
+            seconds=seconds,
+            per_method=per_method,
+            cache_stats=hierarchy.stats(),
+            branch_misprediction_rate=mispred_rate,
+            sampling_stride=probe.sampling_stride,
+            counters={
+                "uops": sum(c.uops for c in per_method.values()),
+                "branches": float(probe.total_branches()),
+                "data_accesses": float(probe.total_data_accesses()),
+                "est_mispredicts": sum(c.est_mispredicts for c in per_method.values()),
+                "est_data_misses": sum(c.est_data_misses for c in per_method.values()),
+            },
+        )

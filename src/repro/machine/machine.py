@@ -1,0 +1,56 @@
+"""Named machine-configuration presets.
+
+The paper measures on an Intel Core i7-2600 (Sandy Bridge) and quotes
+Table I times from an i7-6700K (Skylake).  These presets provide both,
+plus a small in-order-ish core for sensitivity studies.  Presets are
+plain :class:`~repro.machine.cost.MachineConfig` values — everything
+stays deterministic.
+"""
+
+from __future__ import annotations
+
+from .cost import MachineConfig
+
+__all__ = ["I7_2600", "I7_6700K", "ATOM_LIKE", "PRESETS", "preset"]
+
+#: The paper's measurement machine (Section V): 3.4 GHz Sandy Bridge.
+I7_2600 = MachineConfig()
+
+#: The Table I submission machine: 4.2 GHz Skylake — wider, faster
+#: clock, better predictor, larger effective MLP.
+I7_6700K = MachineConfig(
+    clock_ghz=4.2,
+    predictor_table_bits=16,
+    predictor_history_bits=14,
+    mlp=6.0,
+    l2_latency=11.0,
+    mem_latency=170.0,
+)
+
+#: A small 2-wide core with a bimodal predictor and slow memory —
+#: the "how sensitive is customization to inputs" end of the spectrum
+#: (Breughe et al., cited in Section I).
+ATOM_LIKE = MachineConfig(
+    width=2,
+    clock_ghz=1.6,
+    predictor="bimodal",
+    predictor_table_bits=10,
+    mlp=2.0,
+    l2_latency=15.0,
+    mem_latency=220.0,
+    wrongpath_uops=8.0,
+)
+
+PRESETS: dict[str, MachineConfig] = {
+    "i7-2600": I7_2600,
+    "i7-6700k": I7_6700K,
+    "atom-like": ATOM_LIKE,
+}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in PRESETS:
+        raise KeyError(f"unknown machine preset {name!r}; have {sorted(PRESETS)}")
+    return PRESETS[key]

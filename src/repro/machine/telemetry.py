@@ -1,0 +1,247 @@
+"""Instrumentation API for the mini-benchmarks.
+
+Real SPEC runs are observed with hardware counters; our mini-benchmarks
+are observed through a :class:`Probe`.  Each benchmark routes its work
+through named *methods* (``with probe.method("primal_bea_mpp"): ...``)
+and reports three kinds of events:
+
+* **operation counts** (``probe.ops``) — exact, per kind (int / fp /
+  fpdiv);
+* **conditional branch outcomes** (``probe.branch`` /
+  ``probe.branches``) — replayed through a branch predictor;
+* **memory accesses** (``probe.load`` / ``probe.store`` /
+  ``probe.accesses``) — replayed through the cache hierarchy.
+
+Operation counts are kept exactly.  Branch and memory events are
+appended to a single, order-preserving event stream that is decimated
+(uniformly, deterministically) once it reaches a cap, so that replay
+cost stays bounded while hit/miss *rates* remain representative; the
+cost model extrapolates the sampled rates back to the exact counts.
+
+Decimation caveat: subsampling strips temporal locality from the
+address stream and history correlation from the branch stream, so
+decimated runs conservatively *overestimate* miss and misprediction
+rates.  The top-down category fractions — the quantity Section V of
+the paper reports — remain stable (see
+``tests/test_telemetry_sampling.py``); absolute simulated cycles are
+only comparable between runs with similar sampling strides.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Probe", "MethodCounters", "EV_BRANCH", "EV_DATA", "EV_CALL"]
+
+EV_BRANCH = 0
+EV_DATA = 1
+EV_CALL = 2
+
+#: Code addresses live far above any data address a benchmark will use.
+_CODE_REGION_BASE = 1 << 40
+
+#: Default cap on sampled events kept in the stream.
+_DEFAULT_EVENT_CAP = 262_144
+
+
+@dataclass
+class MethodCounters:
+    """Exact per-method counters (never sampled)."""
+
+    name: str
+    index: int
+    code_base: int
+    code_bytes: int
+    calls: int = 0
+    int_ops: int = 0
+    fp_ops: int = 0
+    fpdiv_ops: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    loads: int = 0
+    stores: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def data_accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def total_ops(self) -> int:
+        return self.int_ops + self.fp_ops + self.fpdiv_ops
+
+
+class Probe:
+    """Collects telemetry for one benchmark execution.
+
+    The probe is deterministic: method code addresses are derived from
+    CRC32 of the method name, event decimation uses fixed counters, and
+    no wall-clock or OS state is consulted.
+    """
+
+    def __init__(self, event_cap: int = _DEFAULT_EVENT_CAP):
+        if event_cap < 1024:
+            raise ValueError("event_cap too small to be representative")
+        self._methods: dict[str, MethodCounters] = {}
+        self._stack: list[MethodCounters] = []
+        self._events: list[tuple[int, int, int, int]] = []
+        self._event_cap = event_cap
+        self._keep_every = 1
+        self._tick = 0
+
+    # ---------------------------------------------------------------- methods
+
+    def register(self, name: str, code_bytes: int = 512) -> MethodCounters:
+        """Register a method (idempotent) and return its counters."""
+        mc = self._methods.get(name)
+        if mc is None:
+            code_base = _CODE_REGION_BASE + (zlib.crc32(name.encode()) << 12)
+            mc = MethodCounters(
+                name=name,
+                index=len(self._methods),
+                code_base=code_base,
+                code_bytes=code_bytes,
+            )
+            self._methods[name] = mc
+        return mc
+
+    def method(self, name: str, code_bytes: int = 512) -> "_MethodScope":
+        """Context manager: attribute enclosed events to ``name``."""
+        return _MethodScope(self, self.register(name, code_bytes))
+
+    @property
+    def current(self) -> MethodCounters:
+        if not self._stack:
+            raise RuntimeError("no active method scope; wrap work in probe.method(...)")
+        return self._stack[-1]
+
+    def methods(self) -> list[MethodCounters]:
+        return list(self._methods.values())
+
+    def method_by_index(self, index: int) -> MethodCounters:
+        for mc in self._methods.values():
+            if mc.index == index:
+                return mc
+        raise KeyError(index)
+
+    # ----------------------------------------------------------------- events
+
+    def _push_event(self, kind: int, a: int, b: int) -> None:
+        self._tick += 1
+        if self._tick % self._keep_every:
+            return
+        events = self._events
+        events.append((self._stack[-1].index, kind, a, b))
+        if len(events) >= self._event_cap:
+            # Uniform deterministic decimation: keep every other sampled
+            # event and double the sampling stride.  Every surviving
+            # event now represents twice as many raw events; the cost
+            # model only uses *rates* from the stream, so no weights are
+            # needed.
+            self._events = events[::2]
+            self._keep_every *= 2
+
+    def ops(self, n: int = 1, kind: str = "int") -> None:
+        """Record ``n`` retired operations of the given kind (exact)."""
+        mc = self.current
+        if kind == "int":
+            mc.int_ops += n
+        elif kind == "fp":
+            mc.fp_ops += n
+        elif kind == "fpdiv":
+            mc.fpdiv_ops += n
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def branch(self, taken: bool, site: int = 0) -> None:
+        """Record one conditional branch outcome at ``site``."""
+        mc = self.current
+        mc.branches += 1
+        if taken:
+            mc.branches_taken += 1
+        self._push_event(EV_BRANCH, mc.code_base + site * 16, 1 if taken else 0)
+
+    def branches(self, outcomes: Iterable[bool], site: int = 0) -> None:
+        """Record a sequence of branch outcomes at the same site."""
+        mc = self.current
+        pc = mc.code_base + site * 16
+        taken = 0
+        count = 0
+        for t in outcomes:
+            count += 1
+            if t:
+                taken += 1
+            self._push_event(EV_BRANCH, pc, 1 if t else 0)
+        mc.branches += count
+        mc.branches_taken += taken
+
+    def load(self, addr: int) -> None:
+        """Record one data load at byte address ``addr``."""
+        mc = self.current
+        mc.loads += 1
+        self._push_event(EV_DATA, addr, 0)
+
+    def store(self, addr: int) -> None:
+        """Record one data store at byte address ``addr``."""
+        mc = self.current
+        mc.stores += 1
+        self._push_event(EV_DATA, addr, 1)
+
+    def accesses(self, addrs: Sequence[int], store: bool = False) -> None:
+        """Record a batch of data accesses (all loads or all stores)."""
+        mc = self.current
+        flag = 1 if store else 0
+        for addr in addrs:
+            self._push_event(EV_DATA, addr, flag)
+        if store:
+            mc.stores += len(addrs)
+        else:
+            mc.loads += len(addrs)
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Accumulate a benchmark-specific named counter (for reports)."""
+        extra = self.current.extra
+        extra[key] = extra.get(key, 0) + n
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def events(self) -> list[tuple[int, int, int, int]]:
+        """The sampled event stream: (method_index, kind, a, b) tuples."""
+        return self._events
+
+    @property
+    def sampling_stride(self) -> int:
+        return self._keep_every
+
+    def total_branches(self) -> int:
+        return sum(mc.branches for mc in self._methods.values())
+
+    def total_data_accesses(self) -> int:
+        return sum(mc.data_accesses for mc in self._methods.values())
+
+    def total_ops(self) -> int:
+        return sum(mc.total_ops for mc in self._methods.values())
+
+
+class _MethodScope:
+    """Context manager pushing a method onto the probe's scope stack."""
+
+    __slots__ = ("_probe", "_mc")
+
+    def __init__(self, probe: Probe, mc: MethodCounters):
+        self._probe = probe
+        self._mc = mc
+
+    def __enter__(self) -> MethodCounters:
+        mc = self._mc
+        mc.calls += 1
+        probe = self._probe
+        probe._stack.append(mc)
+        probe._push_event(EV_CALL, mc.index, 0)
+        return mc
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._probe._stack.pop()

@@ -1,0 +1,16 @@
+"""SPEC CPU suite metadata and 2006 -> 2017 history."""
+
+from .history import evolution_summary, mean_time_2006, mean_time_2017
+from .spec2017 import FP_2017, INT_2017, TABLE1_ROWS, BenchmarkInfo, Table1Row, info
+
+__all__ = [
+    "evolution_summary",
+    "mean_time_2006",
+    "mean_time_2017",
+    "FP_2017",
+    "INT_2017",
+    "TABLE1_ROWS",
+    "BenchmarkInfo",
+    "Table1Row",
+    "info",
+]

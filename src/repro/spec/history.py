@@ -1,0 +1,83 @@
+"""SPEC CPU 2006 -> 2017 evolution analysis (Section III of the paper).
+
+Derives the comparative facts the paper highlights from the Table I
+data: which programs persisted, which areas entered or left the suite,
+and the arithmetic mean of official times per generation.
+"""
+
+from __future__ import annotations
+
+from .spec2017 import TABLE1_ROWS, Table1Row
+
+__all__ = [
+    "mean_time_2017",
+    "mean_time_2006",
+    "carried_over",
+    "new_in_2017",
+    "dropped_after_2006",
+    "evolution_summary",
+]
+
+
+def _rows_with(attr: str) -> list[Table1Row]:
+    return [r for r in TABLE1_ROWS if getattr(r, attr) is not None]
+
+
+def mean_time_2017() -> float:
+    """Arithmetic mean of the 2017 official times (Table I: 517 s)."""
+    rows = _rows_with("time2017")
+    return sum(r.time2017 for r in rows) / len(rows)
+
+
+def mean_time_2006() -> float:
+    """Arithmetic mean of the 2006 official times (Table I: 405 s)."""
+    rows = _rows_with("time2006")
+    return sum(r.time2006 for r in rows) / len(rows)
+
+
+def carried_over() -> list[Table1Row]:
+    """Application areas present in both generations."""
+    return [r for r in TABLE1_ROWS if r.spec2017 and r.spec2006]
+
+
+def new_in_2017() -> list[Table1Row]:
+    """Areas introduced in SPEC CPU 2017 (INT)."""
+    return [r for r in TABLE1_ROWS if r.spec2017 and not r.spec2006]
+
+
+def dropped_after_2006() -> list[Table1Row]:
+    """Areas that did not make it into SPEC CPU 2017 (INT)."""
+    return [r for r in TABLE1_ROWS if r.spec2006 and not r.spec2017]
+
+
+#: Application areas Section III lists as no longer represented in the
+#: FP suite after 2006.
+FP_AREAS_DROPPED = (
+    "quantum chemistry",
+    "quantum physics",
+    "linear programming",
+    "structural mechanics",
+    "speech recognition",
+)
+
+#: New FP application areas Section III lists for 2017.
+FP_AREAS_NEW = (
+    "optical tomography for biomedical imaging",
+    "3D rendering and animation",
+    "atmosphere and ocean modelling",
+    "image manipulation",
+    "molecular dynamics",
+)
+
+
+def evolution_summary() -> dict:
+    """The Section III narrative as data."""
+    return {
+        "mean_time_2017": mean_time_2017(),
+        "mean_time_2006": mean_time_2006(),
+        "n_carried_over": len(carried_over()),
+        "n_new_2017": len(new_in_2017()),
+        "n_dropped_2006": len(dropped_after_2006()),
+        "fp_areas_dropped": FP_AREAS_DROPPED,
+        "fp_areas_new": FP_AREAS_NEW,
+    }

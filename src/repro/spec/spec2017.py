@@ -1,0 +1,86 @@
+"""SPEC CPU 2017 suite metadata, as presented in the paper.
+
+Static facts only: the benchmark roster, application areas, the
+2006 -> 2017 lineage, and the officially submitted execution times the
+paper quotes in Table I (ASUS Z170MPLUS, Intel Core i7-6700K at
+4.2 GHz, 8 copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchmarkInfo", "INT_2017", "FP_2017", "info", "TABLE1_ROWS", "Table1Row"]
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Static metadata for one SPEC CPU 2017 benchmark."""
+
+    benchmark_id: str
+    suite: str
+    area: str
+    language: str
+    predecessor_2006: str | None = None
+
+
+INT_2017: tuple[BenchmarkInfo, ...] = (
+    BenchmarkInfo("500.perlbench_r", "int", "Perl interpreter", "C", "400.perlbench"),
+    BenchmarkInfo("502.gcc_r", "int", "Compiler", "C", "403.gcc"),
+    BenchmarkInfo("505.mcf_r", "int", "Route planning", "C", "429.mcf"),
+    BenchmarkInfo("520.omnetpp_r", "int", "Discrete event simulation", "C++", "471.omnetpp"),
+    BenchmarkInfo("523.xalancbmk_r", "int", "SML to HTML conversion", "C++", "483.xalancbmk"),
+    BenchmarkInfo("525.x264_r", "int", "Video compression", "C", "464.h264ref"),
+    BenchmarkInfo("531.deepsjeng_r", "int", "AI: alpha-beta tree search", "C++", "458.sjeng"),
+    BenchmarkInfo("541.leela_r", "int", "AI: Go game playing", "C++", "445.gobmk"),
+    BenchmarkInfo("548.exchange2_r", "int", "AI: Sudoku recursive solution", "Fortran", None),
+    BenchmarkInfo("557.xz_r", "int", "Data compression", "C", "401.bzip2"),
+)
+
+FP_2017: tuple[BenchmarkInfo, ...] = (
+    BenchmarkInfo("507.cactuBSSN_r", "fp", "Physics: relativity", "C++/C/Fortran", None),
+    BenchmarkInfo("510.parest_r", "fp", "Biomedical imaging", "C++", None),
+    BenchmarkInfo("511.povray_r", "fp", "Ray tracing", "C++/C", "453.povray"),
+    BenchmarkInfo("519.lbm_r", "fp", "Fluid dynamics", "C", "470.lbm"),
+    BenchmarkInfo("521.wrf_r", "fp", "Weather forecasting", "Fortran/C", "481.wrf"),
+    BenchmarkInfo("526.blender_r", "fp", "3D rendering and animation", "C++/C", None),
+    BenchmarkInfo("544.nab_r", "fp", "Molecular dynamics", "C", None),
+)
+
+
+def info(benchmark_id: str) -> BenchmarkInfo:
+    """Metadata for one benchmark id."""
+    for entry in INT_2017 + FP_2017:
+        if entry.benchmark_id == benchmark_id:
+            return entry
+    raise KeyError(f"unknown benchmark {benchmark_id!r}")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    area: str
+    spec2017: str | None
+    spec2006: str | None
+    time2017: int | None
+    time2006: int | None
+
+
+#: Table I of the paper, verbatim: the INT 2006 -> 2017 evolution with
+#: officially submitted times (seconds).
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row("Perl interpreter", "500.perlbench_r", "400.perlbench", 542, 425),
+    Table1Row("Compiler", "502.gcc_r", "403.gcc", 518, 346),
+    Table1Row("Route planning", "505.mcf_r", "429.mcf", 633, 333),
+    Table1Row("Discrete event simulation", "520.omnetpp_r", "471.omnetpp", 787, 483),
+    Table1Row("SML to HTML conversion", "523.xalancbmk_r", "483.xalancbmk", 323, 221),
+    Table1Row("Video compression", "525.x264_r", "464.h264ref", 379, 575),
+    Table1Row("AI: alpha-beta tree search", "531.deepsjeng_r", "458.sjeng", 373, 562),
+    Table1Row("AI: Sudoku recursive solution", "548.exchange3_r", None, 498, None),
+    Table1Row("Data compression", "557.xz_r", "401.bzip2", 532, 681),
+    Table1Row("AI: Go game playing", "541.leela_r", "445.gobmk", 586, 506),
+    Table1Row("Search Gene Sequence", None, "456.hmmer", None, 202),
+    Table1Row("Physics: Quantum Computing", None, "462.libquantum", None, 65),
+    Table1Row("AI: path finding algorithm", None, "473.astar", None, 461),
+)

@@ -1,0 +1,43 @@
+"""Research studies from the paper's Sections I and VII ("would-be-nices")."""
+
+from .compiler_variation import BuildObservation, compiler_variation, variation_table
+from .hidden_learning import (
+    HiddenLearningReport,
+    TuningResult,
+    evaluate_objective,
+    hidden_learning_gap,
+    tune_parameter,
+)
+from .kernels import (
+    Kernel,
+    extract_kernel,
+    kernel_prediction,
+    kernel_representativeness,
+)
+from .similarity import (
+    ProgramFeatures,
+    collect_features,
+    most_similar_pairs,
+    pca,
+    similarity_matrix,
+)
+
+__all__ = [
+    "BuildObservation",
+    "compiler_variation",
+    "variation_table",
+    "HiddenLearningReport",
+    "TuningResult",
+    "evaluate_objective",
+    "hidden_learning_gap",
+    "tune_parameter",
+    "Kernel",
+    "extract_kernel",
+    "kernel_prediction",
+    "kernel_representativeness",
+    "ProgramFeatures",
+    "collect_features",
+    "most_similar_pairs",
+    "pca",
+    "similarity_matrix",
+]

@@ -1,0 +1,167 @@
+"""The hidden-learning problem (Section I of the paper), demonstrated.
+
+    "...often the evaluation of computing systems suffers from an issue
+    that we call *hidden learning* which consists on the researchers or
+    developers tuning the system to select an appropriate set of static
+    parameters and threshold values using a set of benchmarks ...  the
+    constructed prototypes are evaluated using the same benchmarks ...
+    with the very same workloads that were used for tuning."
+
+This module makes the effect measurable.  The "system under
+development" is the xz compressor's effort parameter ``max_chain``
+(how many hash-chain candidates the match finder probes): higher
+effort finds better matches (smaller output) but costs more simulated
+time.  :func:`tune_parameter` picks the value that minimizes a
+cost/quality objective on a *tuning* workload set;
+:func:`hidden_learning_gap` then compares the tuned system's objective
+on those same workloads (the methodology the paper criticizes) against
+held-out workloads (honest evaluation).  A positive gap is the
+hidden-learning optimism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import fmean
+
+from ..benchmarks.xz import XzBenchmark, XzInput
+from ..core.workload import Workload, WorkloadSet
+from ..machine.cost import MachineConfig
+from ..machine.profiler import Profiler
+
+__all__ = ["TuningResult", "tune_parameter", "evaluate_objective", "hidden_learning_gap"]
+
+#: Candidate values for the tuned parameter.
+DEFAULT_CANDIDATES = (2, 4, 8, 16, 32, 64)
+
+
+def _with_effort(workload: Workload, max_chain: int) -> Workload:
+    payload = workload.payload
+    if not isinstance(payload, XzInput):
+        raise TypeError("hidden-learning study drives the xz substrate")
+    # the stored blob was produced with different parameters; drop it so
+    # the stage-1 decode matches the new configuration
+    new_payload = replace(payload, max_chain=max_chain, stored=None)
+    return Workload(
+        name=workload.name,
+        benchmark=workload.benchmark,
+        payload=new_payload,
+        kind=workload.kind,
+        seed=workload.seed,
+        params=dict(workload.params) | {"max_chain": max_chain},
+    )
+
+
+def evaluate_objective(
+    workloads: list[Workload],
+    max_chain: int,
+    *,
+    machine: MachineConfig | None = None,
+    time_weight: float = 0.5,
+) -> float:
+    """The tuning objective: weighted simulated time + output size.
+
+    Both terms are normalized per workload (seconds per input byte,
+    compressed bytes per input byte) so workloads of different sizes
+    contribute comparably.  Lower is better.
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    benchmark = XzBenchmark()
+    profiler = Profiler(machine)
+    scores = []
+    for workload in workloads:
+        configured = _with_effort(workload, max_chain)
+        profile = profiler.run(benchmark, configured)
+        n = len(configured.payload.content)
+        time_term = profile.seconds / n * 1e6  # microseconds per byte
+        size_term = profile.output["compressed_size"] / n
+        scores.append(time_weight * time_term + (1 - time_weight) * size_term)
+    return fmean(scores)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of parameter tuning on a workload set."""
+
+    best_value: int
+    objective_by_value: dict[int, float]
+
+    @property
+    def best_objective(self) -> float:
+        return self.objective_by_value[self.best_value]
+
+
+def tune_parameter(
+    workloads: list[Workload],
+    *,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    machine: MachineConfig | None = None,
+    time_weight: float = 0.5,
+) -> TuningResult:
+    """Grid-search ``max_chain`` on the tuning workloads."""
+    objective_by_value = {
+        value: evaluate_objective(
+            workloads, value, machine=machine, time_weight=time_weight
+        )
+        for value in candidates
+    }
+    best = min(objective_by_value, key=objective_by_value.get)
+    return TuningResult(best_value=best, objective_by_value=objective_by_value)
+
+
+@dataclass
+class HiddenLearningReport:
+    """Tuned-set vs held-out-set comparison."""
+
+    tuning: TuningResult
+    objective_on_tuning_set: float
+    objective_on_holdout_set: float
+    holdout_best_value: int
+    holdout_best_objective: float
+
+    @property
+    def optimism_gap(self) -> float:
+        """How much worse the tuned system is on held-out workloads
+        than the reported (tuning-set) number suggests."""
+        return self.objective_on_holdout_set - self.objective_on_tuning_set
+
+    @property
+    def regret(self) -> float:
+        """How much better the holdout objective could have been with
+        the parameter a holdout-aware tuning would have chosen."""
+        return self.objective_on_holdout_set - self.holdout_best_objective
+
+
+def hidden_learning_gap(
+    workloads: WorkloadSet,
+    *,
+    n_tuning: int = 4,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    machine: MachineConfig | None = None,
+    time_weight: float = 0.5,
+) -> HiddenLearningReport:
+    """Tune on the first ``n_tuning`` workloads, evaluate on the rest."""
+    wl = list(workloads)
+    if len(wl) <= n_tuning:
+        raise ValueError("need more workloads than the tuning set consumes")
+    tuning_set = wl[:n_tuning]
+    holdout_set = wl[n_tuning:]
+
+    tuning = tune_parameter(
+        tuning_set, candidates=candidates, machine=machine, time_weight=time_weight
+    )
+    on_tuning = tuning.best_objective
+    on_holdout = evaluate_objective(
+        holdout_set, tuning.best_value, machine=machine, time_weight=time_weight
+    )
+    holdout_tuning = tune_parameter(
+        holdout_set, candidates=candidates, machine=machine, time_weight=time_weight
+    )
+    return HiddenLearningReport(
+        tuning=tuning,
+        objective_on_tuning_set=on_tuning,
+        objective_on_holdout_set=on_holdout,
+        holdout_best_value=holdout_tuning.best_value,
+        holdout_best_objective=holdout_tuning.best_objective,
+    )

@@ -1,0 +1,170 @@
+"""Kernel representativeness (a Section VII "would-be-nice").
+
+The computer-architecture community condenses benchmarks into
+*kernels* — small slices that are cheap to simulate — almost always
+derived from a **single** workload (the SPEC reference input).  The
+paper asks: do such kernels actually represent the range of behaviours
+the benchmark exhibits across workloads?
+
+This module answers the question with the machinery at hand.  A
+:class:`Kernel` is the set of hottest methods covering a target
+fraction of one reference execution (how MinneSPEC/SimPoint-style
+condensation behaves at method granularity).  Its *prediction* of a
+run's behaviour is the top-down mix restricted to the kernel methods.
+:func:`kernel_representativeness` builds the kernel from one workload
+and scores the prediction error on every other workload — large errors
+on non-reference workloads are exactly the failure mode the paper
+anticipates for workload-sensitive benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.characterize import BenchmarkCharacterization
+from ..core.topdown import CATEGORIES, TopDownVector
+from ..machine.profiler import ExecutionProfile
+
+__all__ = ["Kernel", "extract_kernel", "kernel_prediction", "kernel_representativeness"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A method-level benchmark condensation."""
+
+    benchmark: str
+    reference_workload: str
+    methods: tuple[str, ...]
+    coverage_on_reference: float
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError("Kernel: needs at least one method")
+
+
+def extract_kernel(
+    profile: ExecutionProfile,
+    target_coverage: float = 0.9,
+) -> Kernel:
+    """Pick the hottest methods of one run until ``target_coverage``.
+
+    This mirrors single-reference-input kernel construction: the choice
+    of methods is entirely determined by one execution.
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise ValueError("target_coverage must be in (0, 1]")
+    ranked = sorted(
+        profile.coverage.fractions.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    chosen: list[str] = []
+    covered = 0.0
+    for method, fraction in ranked:
+        chosen.append(method)
+        covered += fraction
+        if covered >= target_coverage:
+            break
+    return Kernel(
+        benchmark=profile.benchmark,
+        reference_workload=profile.workload,
+        methods=tuple(chosen),
+        coverage_on_reference=covered,
+    )
+
+
+def kernel_prediction(kernel: Kernel, profile: ExecutionProfile) -> TopDownVector:
+    """The top-down mix a kernel-only simulation would report.
+
+    Restricts cycle accounting to the kernel methods.  When the
+    workload spends time in methods outside the kernel, those cycles
+    are invisible to the kernel simulation — the source of error.
+    """
+    totals = {cat: 0.0 for cat in CATEGORIES}
+    for name in kernel.methods:
+        cost = profile.report.per_method.get(name)
+        if cost is None:
+            continue
+        totals["front_end"] += cost.frontend_cycles
+        totals["back_end"] += cost.backend_cycles
+        totals["bad_speculation"] += cost.bad_spec_cycles
+        totals["retiring"] += cost.retiring_cycles
+    if sum(totals.values()) <= 0:
+        raise ValueError(
+            f"kernel {kernel.methods!r} never executes on workload {profile.workload!r}"
+        )
+    return TopDownVector.from_cycles(
+        totals["front_end"],
+        totals["back_end"],
+        totals["bad_speculation"],
+        totals["retiring"],
+    )
+
+
+def _topdown_distance(a: TopDownVector, b: TopDownVector) -> float:
+    """Euclidean distance between two top-down mixes."""
+    return math.sqrt(
+        sum((a.category(c) - b.category(c)) ** 2 for c in CATEGORIES)
+    )
+
+
+@dataclass
+class RepresentativenessResult:
+    """Per-workload kernel fidelity for one benchmark."""
+
+    kernel: Kernel
+    coverage_by_workload: dict[str, float]
+    error_by_workload: dict[str, float]
+
+    @property
+    def worst_coverage(self) -> float:
+        others = {
+            w: c
+            for w, c in self.coverage_by_workload.items()
+            if w != self.kernel.reference_workload
+        }
+        return min(others.values()) if others else 1.0
+
+    @property
+    def worst_error(self) -> float:
+        others = {
+            w: e
+            for w, e in self.error_by_workload.items()
+            if w != self.kernel.reference_workload
+        }
+        return max(others.values()) if others else 0.0
+
+
+def kernel_representativeness(
+    char: BenchmarkCharacterization,
+    *,
+    target_coverage: float = 0.9,
+    reference_suffix: str = ".refrate",
+) -> RepresentativenessResult:
+    """Build a kernel from the reference workload, score all others.
+
+    ``char`` must carry profiles (``characterize(..., keep_profiles=True)``).
+    Coverage below the target on a non-reference workload means the
+    kernel misses behaviour that workload exercises; the top-down error
+    quantifies how wrong a kernel-based simulation's conclusions
+    would be.
+    """
+    if not char.profiles:
+        raise ValueError("characterize with keep_profiles=True first")
+    reference = next(
+        (p for p in char.profiles if p.workload.endswith(reference_suffix)),
+        char.profiles[0],
+    )
+    kernel = extract_kernel(reference, target_coverage)
+    coverage: dict[str, float] = {}
+    error: dict[str, float] = {}
+    for profile in char.profiles:
+        coverage[profile.workload] = sum(
+            profile.coverage.fraction(m) for m in kernel.methods
+        )
+        predicted = kernel_prediction(kernel, profile)
+        error[profile.workload] = _topdown_distance(predicted, profile.topdown)
+    return RepresentativenessResult(
+        kernel=kernel,
+        coverage_by_workload=coverage,
+        error_by_workload=error,
+    )

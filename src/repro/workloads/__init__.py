@@ -1,0 +1,57 @@
+"""Alberta workload generators, one per benchmark (Section IV)."""
+
+from .base import WorkloadGenerator, make_rng, workload
+from .blender_gen import BlenderWorkloadGenerator, check_scene
+from .cactubssn_gen import CactuBssnWorkloadGenerator
+from .deepsjeng_gen import DeepsjengWorkloadGenerator, synthesize_corpus
+from .exchange2_gen import Exchange2WorkloadGenerator, make_seed_collection
+from .gcc_gen import GccWorkloadGenerator, generate_program, one_file
+from .lbm_gen import LbmWorkloadGenerator, make_obstacles
+from .leela_gen import LeelaWorkloadGenerator, cull_sgf, synthesize_sgf
+from .mcf_gen import McfWorkloadGenerator, build_city, build_timetable
+from .nab_gen import NabWorkloadGenerator, synthesize_protein
+from .omnetpp_gen import OmnetppWorkloadGenerator, topology_edges
+from .parest_gen import ParestWorkloadGenerator
+from .povray_gen import PovrayWorkloadGenerator
+from .wrf_gen import WrfWorkloadGenerator, synthesize_event
+from .x264_gen import X264WorkloadGenerator, synthesize_video
+from .xalancbmk_gen import XalancbmkWorkloadGenerator, make_auction_xml, make_records_xml
+from .xz_gen import XzWorkloadGenerator
+
+__all__ = [
+    "WorkloadGenerator",
+    "make_rng",
+    "workload",
+    "BlenderWorkloadGenerator",
+    "check_scene",
+    "CactuBssnWorkloadGenerator",
+    "DeepsjengWorkloadGenerator",
+    "synthesize_corpus",
+    "Exchange2WorkloadGenerator",
+    "make_seed_collection",
+    "GccWorkloadGenerator",
+    "generate_program",
+    "one_file",
+    "LbmWorkloadGenerator",
+    "make_obstacles",
+    "LeelaWorkloadGenerator",
+    "cull_sgf",
+    "synthesize_sgf",
+    "McfWorkloadGenerator",
+    "build_city",
+    "build_timetable",
+    "NabWorkloadGenerator",
+    "synthesize_protein",
+    "OmnetppWorkloadGenerator",
+    "topology_edges",
+    "ParestWorkloadGenerator",
+    "PovrayWorkloadGenerator",
+    "WrfWorkloadGenerator",
+    "synthesize_event",
+    "X264WorkloadGenerator",
+    "synthesize_video",
+    "XalancbmkWorkloadGenerator",
+    "make_auction_xml",
+    "make_records_xml",
+    "XzWorkloadGenerator",
+]

@@ -1,0 +1,63 @@
+"""Workload generator protocol and helpers.
+
+Section IV of the paper classifies workload provenance into five
+methods (public files, derived resources, scripted downloads, fully
+procedural generation, manual authoring).  Every generator here is
+*procedural with a seed* — we cannot download anything — but each
+module documents which provenance class the original Alberta workload
+used and mirrors its parameters.
+
+A generator produces a :class:`~repro.core.workload.WorkloadSet`; its
+``alberta_set`` classmethod recreates the default set whose size
+matches the per-benchmark workload count in Table II of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Protocol, runtime_checkable
+
+from ..core.workload import Workload, WorkloadSet
+
+__all__ = ["WorkloadGenerator", "make_rng", "workload"]
+
+
+def make_rng(seed: int) -> random.Random:
+    """The project-wide RNG constructor: explicit seed, isolated stream."""
+    return random.Random(seed)
+
+
+def workload(
+    benchmark: str,
+    name: str,
+    payload: Any,
+    *,
+    kind: str,
+    seed: int | None = None,
+    **params: Any,
+) -> Workload:
+    """Shorthand used by all generators to build a named workload."""
+    return Workload(
+        name=name,
+        benchmark=benchmark,
+        payload=payload,
+        kind=kind,
+        seed=seed,
+        params=params,
+    )
+
+
+@runtime_checkable
+class WorkloadGenerator(Protocol):
+    """Protocol for per-benchmark workload generators."""
+
+    #: The benchmark this generator targets, e.g. ``"557.xz_r"``.
+    benchmark: str
+
+    def generate(self, seed: int, **params: Any) -> Workload:
+        """Produce a single workload from a seed and parameters."""
+        ...
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Recreate the default Alberta-style set (Table II count)."""
+        ...

@@ -1,0 +1,146 @@
+"""Workload generator for ``526.blender_r`` (Section IV-B of the paper).
+
+The Alberta blender workloads come from public .blend collections
+(Crazy Glue, Elephants Dream) via two scripts: one that *identifies
+.blend files that work with the benchmark* (some files are resource
+libraries, not renderable scenes, and the benchmark supports only a
+feature subset) and one that *randomly selects* suitable files; the
+thirteen workloads vary memory footprint, start frame, and frame
+count.  This generator reproduces the pipeline: a seeded scene library
+containing both renderable scenes and resource-only files,
+:func:`check_scene` (the suitability checker), and
+:meth:`BlenderWorkloadGenerator.select` (the random selector).
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.blender import BlendScene, MeshObject
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["BlenderWorkloadGenerator", "check_scene", "make_scene_library"]
+
+
+def check_scene(scene: BlendScene) -> bool:
+    """The suitability checker: is this .blend renderable by the bench?
+
+    Mirrors the paper's script: resource-only files are rejected, as
+    are scenes using unsupported features (here: excessive subdivision
+    that the benchmark's feature subset would refuse)."""
+    if not scene.renderable:
+        return False
+    return all(obj.subdivisions <= 3 for obj in scene.objects)
+
+
+def make_scene_library(seed: int = 5, n_scenes: int = 24) -> list[BlendScene]:
+    """A seeded library of .blend stand-ins, renderable and not."""
+    rng = make_rng(seed)
+    library: list[BlendScene] = []
+    kinds = ("cube", "sphere", "plane")
+    for i in range(n_scenes):
+        n_objects = rng.randint(1, 6)
+        objects = tuple(
+            MeshObject(
+                kind=rng.choice(kinds),
+                subdivisions=rng.randint(0, 4),
+                displace=rng.choice((0.0, 0.0, 0.15, 0.3)),
+                scale=rng.uniform(0.5, 1.6),
+                orbit_radius=rng.uniform(0.5, 3.0),
+                orbit_speed=rng.uniform(0.1, 0.6),
+                phase=rng.uniform(0, 6.28),
+            )
+            for _ in range(n_objects)
+        )
+        library.append(
+            BlendScene(
+                objects=objects,
+                start_frame=rng.randint(0, 40),
+                n_frames=rng.randint(1, 3),
+                renderable=rng.random() > 0.2,  # some are resource files
+            )
+        )
+    return library
+
+
+class BlenderWorkloadGenerator:
+    """Scene-library selection, as the paper's two scripts."""
+
+    benchmark = "526.blender_r"
+
+    def __init__(self, library: list[BlendScene] | None = None):
+        self._library = library
+
+    @property
+    def library(self) -> list[BlendScene]:
+        if self._library is None:
+            self._library = make_scene_library()
+        return self._library
+
+    def select(self, seed: int) -> BlendScene:
+        """Randomly select a *suitable* scene from the library."""
+        rng = make_rng(seed)
+        suitable = [s for s in self.library if check_scene(s)]
+        if not suitable:
+            raise ValueError("no suitable scenes in the library")
+        return rng.choice(suitable)
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        start_frame: int | None = None,
+        n_frames: int | None = None,
+        name: str | None = None,
+    ) -> Workload:
+        scene = self.select(seed)
+        if start_frame is not None or n_frames is not None:
+            scene = BlendScene(
+                objects=scene.objects,
+                start_frame=start_frame if start_frame is not None else scene.start_frame,
+                n_frames=n_frames if n_frames is not None else scene.n_frames,
+                width=scene.width,
+                height=scene.height,
+                renderable=True,
+            )
+        return workload(
+            self.benchmark,
+            name or f"blender.alberta.s{seed}",
+            scene,
+            kind=WorkloadKind.SCRIPTED,
+            seed=seed,
+            start_frame=scene.start_frame,
+            n_frames=scene.n_frames,
+            n_objects=len(scene.objects),
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Sixteen workloads as in Table II: 13 Alberta + 3 SPEC-like.
+
+        The thirteen Alberta selections vary maximum memory (object/
+        subdivision load), start frame, and frame count, as the paper
+        describes for the Crazy Glue / Elephants Dream files."""
+        ws = WorkloadSet(self.benchmark)
+        for i, (label, start, frames) in enumerate(
+            [("blender.refrate", 0, 3), ("blender.train", 0, 2), ("blender.test", 0, 1)]
+        ):
+            w = self.generate(base_seed + 1000, start_frame=start, n_frames=frames, name=label)
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=WorkloadKind.SPEC,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        for i in range(13):
+            ws.add(
+                self.generate(
+                    base_seed + i * 7 + 2,
+                    n_frames=1 + i % 3,
+                    start_frame=(i * 11) % 50,
+                    name=f"blender.alberta.{i + 1}",
+                )
+            )
+        return ws

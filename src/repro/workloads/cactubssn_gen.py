@@ -1,0 +1,94 @@
+"""Workload generator for ``507.cactuBSSN_r`` (Section IV-B of the paper).
+
+"The generation of additional workloads consists of changing
+computational parameters to the solver.  These parameters are provided
+in a file.  The seven new workloads were generated following
+suggestions for parameter setting from the benchmark authors."
+
+The parameters here are the solver file's knobs: grid resolution, step
+count, Courant factor, Kreiss-Oliger dissipation, and the number of
+evolved field components.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.cactubssn import CactusInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import workload
+
+__all__ = ["CactuBssnWorkloadGenerator"]
+
+
+class CactuBssnWorkloadGenerator:
+    """Parameter-file variations (the paper's MANUAL provenance class)."""
+
+    benchmark = "507.cactuBSSN_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        grid: int = 14,
+        steps: int = 10,
+        courant: float = 0.25,
+        dissipation: float = 0.01,
+        n_fields: int = 3,
+        name: str | None = None,
+    ) -> Workload:
+        payload = CactusInput(
+            grid=grid,
+            steps=steps,
+            courant=courant,
+            dissipation=dissipation,
+            n_fields=n_fields,
+        )
+        return workload(
+            self.benchmark,
+            name or f"cactu.s{seed}",
+            payload,
+            kind=WorkloadKind.MANUAL,
+            seed=seed,
+            grid=grid,
+            steps=steps,
+            courant=courant,
+            dissipation=dissipation,
+            n_fields=n_fields,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Eleven workloads as in Table II: 7 Alberta + 4 SPEC-like."""
+        ws = WorkloadSet(self.benchmark)
+        configs = [
+            (16, 12, 0.25, 0.01, 3, WorkloadKind.SPEC, "cactu.refrate"),
+            (12, 8, 0.25, 0.01, 3, WorkloadKind.SPEC, "cactu.train"),
+            (8, 4, 0.25, 0.01, 2, WorkloadKind.SPEC, "cactu.test"),
+            (14, 10, 0.25, 0.01, 3, WorkloadKind.SPEC, "cactu.refspeed"),
+            (20, 8, 0.25, 0.01, 3, WorkloadKind.MANUAL, "cactu.alberta.fine-grid"),
+            (10, 24, 0.25, 0.01, 3, WorkloadKind.MANUAL, "cactu.alberta.long-run"),
+            (14, 10, 0.10, 0.01, 3, WorkloadKind.MANUAL, "cactu.alberta.small-courant"),
+            (14, 10, 0.45, 0.01, 3, WorkloadKind.MANUAL, "cactu.alberta.large-courant"),
+            (14, 10, 0.25, 0.08, 3, WorkloadKind.MANUAL, "cactu.alberta.dissipative"),
+            (14, 10, 0.25, 0.0, 3, WorkloadKind.MANUAL, "cactu.alberta.no-dissipation"),
+            (12, 10, 0.25, 0.01, 6, WorkloadKind.MANUAL, "cactu.alberta.many-fields"),
+        ]
+        for i, (grid, steps, courant, diss, nf, kind, label) in enumerate(configs):
+            w = self.generate(
+                base_seed + i,
+                grid=grid,
+                steps=steps,
+                courant=courant,
+                dissipation=diss,
+                n_fields=nf,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

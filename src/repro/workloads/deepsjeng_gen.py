@@ -1,0 +1,138 @@
+"""Workload generator for ``531.deepsjeng_r`` (Section IV-A of the paper).
+
+The Alberta workloads draw 946 positions from the Arasan chess test
+suite; a script selects N positions per workload and assigns each a ply
+depth drawn from a configurable range (the paper uses 8 positions per
+workload, depths 11-16).  We cannot ship Arasan's positions, so the
+corpus is synthesized the way chess test corpora are born: by playing
+seeded semi-random games from the initial position with the engine's
+own (real) move generator and snapshotting mid-game positions.  The
+paper notes the Arasan file can be swapped for any other position set;
+:class:`DeepsjengWorkloadGenerator` likewise accepts a custom corpus.
+
+Depths are scaled down (default 2-4) because the substrate engine is
+interpreted Python, not C.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.deepsjeng import START_FEN, ChessInput, Position
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["DeepsjengWorkloadGenerator", "synthesize_corpus"]
+
+
+def synthesize_corpus(n_positions: int = 64, seed: int = 946) -> list[str]:
+    """Generate a corpus of mid-game FEN positions from seeded games.
+
+    Each game starts from the initial position and plays uniformly
+    random legal moves; a snapshot is taken between plies 10 and 40.
+    Games that end early (no legal moves) restart with the next seed.
+    """
+    if n_positions < 1:
+        raise ValueError("n_positions must be >= 1")
+    rng = make_rng(seed)
+    corpus: list[str] = []
+    attempts = 0
+    while len(corpus) < n_positions:
+        attempts += 1
+        if attempts > n_positions * 20:
+            raise RuntimeError("corpus synthesis failed to converge")
+        pos = Position.from_fen(START_FEN)
+        target_ply = rng.randint(10, 40)
+        ok = True
+        for _ in range(target_ply):
+            moves = pos.legal_moves()
+            if not moves:
+                ok = False
+                break
+            pos = pos.make_move(rng.choice(moves))
+        if ok and pos.legal_moves():
+            corpus.append(pos.to_fen())
+    return corpus
+
+
+class DeepsjengWorkloadGenerator:
+    """Samples positions and depths, mirroring the Alberta script."""
+
+    benchmark = "531.deepsjeng_r"
+
+    def __init__(self, corpus: list[str] | None = None):
+        self._corpus = corpus
+
+    @property
+    def corpus(self) -> list[str]:
+        if self._corpus is None:
+            self._corpus = synthesize_corpus()
+        return self._corpus
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        positions_per_workload: int = 8,
+        min_depth: int = 2,
+        max_depth: int = 3,
+        name: str | None = None,
+    ) -> Workload:
+        if positions_per_workload < 1:
+            raise ValueError("positions_per_workload must be >= 1")
+        if not 1 <= min_depth <= max_depth:
+            raise ValueError("need 1 <= min_depth <= max_depth")
+        rng = make_rng(seed)
+        corpus = self.corpus
+        chosen = rng.sample(corpus, min(positions_per_workload, len(corpus)))
+        positions = tuple((fen, rng.randint(min_depth, max_depth)) for fen in chosen)
+        return workload(
+            self.benchmark,
+            name or f"deepsjeng.alberta.s{seed}",
+            ChessInput(positions=positions),
+            kind=WorkloadKind.SCRIPTED,
+            seed=seed,
+            positions=positions_per_workload,
+            min_depth=min_depth,
+            max_depth=max_depth,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Twelve workloads as in Table II: 9 Alberta + 3 SPEC-like.
+
+        The paper's nine Alberta workloads hold eight positions each
+        with ply depths 11-16; ours hold four positions at depths 2-3
+        to stay within interpreter speed.
+        """
+        ws = WorkloadSet(self.benchmark)
+        for label, seed_off, n_pos, dmin, dmax in (
+            ("deepsjeng.refrate", 1000, 4, 3, 3),
+            ("deepsjeng.train", 1001, 3, 2, 3),
+            ("deepsjeng.test", 1002, 2, 2, 2),
+        ):
+            w = self.generate(
+                base_seed + seed_off,
+                positions_per_workload=n_pos,
+                min_depth=dmin,
+                max_depth=dmax,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=WorkloadKind.SPEC,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        for i in range(9):
+            ws.add(
+                self.generate(
+                    base_seed + i * 37,
+                    positions_per_workload=4,
+                    min_depth=2,
+                    max_depth=3,
+                    name=f"deepsjeng.alberta.{i + 1}",
+                )
+            )
+        return ws

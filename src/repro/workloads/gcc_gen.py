@@ -1,0 +1,554 @@
+"""Workload generator for ``502.gcc_r`` (Section IV-A of the paper).
+
+The paper's gcc workloads come from three sources, all reproduced here:
+
+1. **Public single-file C programs** — a bundled corpus of hand-written
+   mini-C programs (:data:`CORPUS`) standing in for McCamant's "large
+   single compilation-unit C programs".
+2. **The OneFile tool** — the paper's tool that combines a multi-file C
+   project into one compilation unit, handling identifier collisions by
+   name-mangling.  :func:`one_file` implements that for mini-C: it
+   merges files, renames colliding non-shared functions
+   (``<file>__<name>``), and rewrites call sites file-locally.  The
+   paper used OneFile on three code bases — *mcf*, *lbm* and
+   *johnripper* — and :data:`PROJECTS` provides mini-C projects of the
+   same flavour.
+3. **Procedural generation** — :func:`generate_program` emits random
+   but deterministic, always-terminating mini-C programs with
+   configurable function count, loop density, and expression depth.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..benchmarks.gcc import CSource
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = [
+    "GccWorkloadGenerator",
+    "one_file",
+    "OneFileError",
+    "preprocess",
+    "PreprocessorError",
+    "generate_program",
+    "CORPUS",
+    "PROJECTS",
+]
+
+
+class PreprocessorError(Exception):
+    """The mini-preprocessor rejected a directive."""
+
+
+def preprocess(
+    source: str,
+    *,
+    includes: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+) -> str:
+    """A mini C preprocessor for OneFile inputs.
+
+    The paper names "properly handling preprocessing logic" as one of
+    OneFile's main challenges.  This handles the subset multi-file
+    mini-C projects use:
+
+    * ``#include "name"`` — splice a project header (cycles rejected);
+    * ``#define NAME value`` — object-like macros, token substitution;
+    * ``#ifdef NAME`` / ``#else`` / ``#endif`` — conditional sections;
+    * ``#undef NAME``.
+    """
+    import re as _re
+
+    includes = includes or {}
+    macros = dict(defines or {})
+    out: list[str] = []
+    including: set[str] = set()
+
+    def _expand(line: str) -> str:
+        for name, value in macros.items():
+            line = _re.sub(rf"\b{_re.escape(name)}\b", value, line)
+        return line
+
+    def _run(text: str) -> None:
+        # condition stack: each entry is "are we emitting in this arm?"
+        stack: list[bool] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if line.startswith("#"):
+                parts = line[1:].split(None, 2)
+                directive = parts[0] if parts else ""
+                emitting = all(stack)
+                if directive == "include":
+                    if not emitting:
+                        continue
+                    m = _re.match(r'#\s*include\s+"([^"]+)"', line)
+                    if not m:
+                        raise PreprocessorError(f"bad include: {line!r}")
+                    name = m.group(1)
+                    if name in including:
+                        raise PreprocessorError(f"include cycle through {name!r}")
+                    if name not in includes:
+                        raise PreprocessorError(f"missing include file {name!r}")
+                    including.add(name)
+                    _run(includes[name])
+                    including.discard(name)
+                elif directive == "define":
+                    if emitting:
+                        if len(parts) < 2:
+                            raise PreprocessorError(f"bad define: {line!r}")
+                        macros[parts[1]] = parts[2] if len(parts) > 2 else "1"
+                elif directive == "undef":
+                    if emitting and len(parts) > 1:
+                        macros.pop(parts[1], None)
+                elif directive == "ifdef":
+                    if len(parts) < 2:
+                        raise PreprocessorError(f"bad ifdef: {line!r}")
+                    stack.append(parts[1] in macros)
+                elif directive == "ifndef":
+                    if len(parts) < 2:
+                        raise PreprocessorError(f"bad ifndef: {line!r}")
+                    stack.append(parts[1] not in macros)
+                elif directive == "else":
+                    if not stack:
+                        raise PreprocessorError("#else without #ifdef")
+                    stack[-1] = not stack[-1]
+                elif directive == "endif":
+                    if not stack:
+                        raise PreprocessorError("#endif without #ifdef")
+                    stack.pop()
+                else:
+                    raise PreprocessorError(f"unknown directive: {line!r}")
+                continue
+            if all(stack):
+                out.append(_expand(raw))
+        if stack:
+            raise PreprocessorError("unterminated #ifdef")
+
+    _run(source)
+    return "\n".join(out)
+
+
+class OneFileError(Exception):
+    """OneFile could not merge the project (e.g. ambiguous references)."""
+
+
+_FUNC_DEF = re.compile(r"\bint\s+([A-Za-z_]\w*)\s*\(")
+
+
+def _function_names(source: str) -> list[str]:
+    """Names of functions *defined* in a mini-C file (not just called)."""
+    names = []
+    for m in _FUNC_DEF.finditer(source):
+        # a definition is followed by a parameter list then '{'
+        rest = source[m.end():]
+        depth = 1
+        i = 0
+        while i < len(rest) and depth:
+            if rest[i] == "(":
+                depth += 1
+            elif rest[i] == ")":
+                depth -= 1
+            i += 1
+        tail = rest[i:].lstrip()
+        if tail.startswith("{"):
+            names.append(m.group(1))
+    return names
+
+
+def one_file(
+    files: dict[str, str],
+    entry: str = "main",
+    *,
+    headers: dict[str, str] | None = None,
+    defines: dict[str, str] | None = None,
+) -> str:
+    """Merge a multi-file mini-C project into a single compilation unit.
+
+    The paper's OneFile tool tracks files and external declarations,
+    name-mangles identifiers to avoid collisions, and handles
+    preprocessing logic.  Mini-C has no preprocessor, so the job here
+    is: find function names defined in more than one file, rename each
+    such definition to ``<file>__<name>``, rewrite call sites within
+    the defining file (C's static-linkage intuition), and concatenate.
+
+    Exactly one file may define ``entry``; calls to functions defined
+    in exactly one file resolve across files unchanged.
+    """
+    if not files:
+        raise OneFileError("no files to merge")
+    if headers or defines or any("#" in src for src in files.values()):
+        files = {
+            fname: preprocess(src, includes=headers, defines=defines)
+            for fname, src in files.items()
+        }
+    defined_in: dict[str, list[str]] = {}
+    for fname, src in files.items():
+        for func in _function_names(src):
+            defined_in.setdefault(func, []).append(fname)
+
+    if entry not in defined_in:
+        raise OneFileError(f"no file defines the entry function {entry!r}")
+    if len(defined_in[entry]) > 1:
+        raise OneFileError(f"multiple files define {entry!r}: {defined_in[entry]}")
+
+    pieces: list[str] = []
+    for fname, src in sorted(files.items()):
+        out = src
+        for func, owners in defined_in.items():
+            if len(owners) <= 1 or fname not in owners:
+                continue
+            if func == entry:
+                continue
+            stem = fname.rsplit(".", 1)[0].replace("-", "_")
+            mangled = f"{stem}__{func}"
+            # rewrite both the definition and file-local call sites
+            out = re.sub(rf"\b{re.escape(func)}\b", mangled, out)
+        pieces.append(f"// --- from {fname}\n{out}")
+    return "\n".join(pieces)
+
+
+# --------------------------------------------------------------- the corpus
+
+#: Hand-written single-file mini-C programs (public-corpus stand-ins).
+CORPUS: dict[str, str] = {
+    "fib": """
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int total = 0;
+  int i = 0;
+  while (i < 15) { total = total + fib(i); i = i + 1; }
+  return total;
+}
+""",
+    "sieve": """
+int is_prime(int n) {
+  if (n < 2) { return 0; }
+  int d = 2;
+  while (d * d <= n) {
+    if (n % d == 0) { return 0; }
+    d = d + 1;
+  }
+  return 1;
+}
+int main() {
+  int count = 0;
+  int n = 2;
+  while (n < 600) {
+    if (is_prime(n)) { count = count + 1; }
+    n = n + 1;
+  }
+  return count;
+}
+""",
+    "collatz": """
+int steps(int n) {
+  int count = 0;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    count = count + 1;
+  }
+  return count;
+}
+int main() {
+  int longest = 0;
+  int n = 1;
+  while (n < 120) {
+    int s = steps(n);
+    if (s > longest) { longest = s; }
+    n = n + 1;
+  }
+  return longest;
+}
+""",
+}
+
+#: Multi-file mini-C projects of the flavour the paper merged with
+#: OneFile (mcf, lbm, johnripper).
+PROJECTS: dict[str, dict[str, str]] = {
+    "mcf": {
+        "graph.c": """
+int cost(int u, int v) { return (u * 7 + v * 13) % 19 + 1; }
+int relax(int d, int w) { if (w < d) { return w; } return d; }
+""",
+        "simplex.c": """
+int cost(int u, int v) { return (u * 3 + v * 5) % 11 + 1; }
+int price(int n) {
+  int best = 9999;
+  int u = 0;
+  while (u < n) {
+    int v = 0;
+    while (v < n) {
+      best = relax(best, cost(u, v));
+      v = v + 1;
+    }
+    u = u + 1;
+  }
+  return best;
+}
+int main() {
+  int rounds = 0;
+  int total = 0;
+  while (rounds < 10) {
+    total = total + price(12 + rounds % 5);
+    rounds = rounds + 1;
+  }
+  return total;
+}
+""",
+    },
+    "lbm": {
+        "stencil.c": """
+int site(int x, int y, int t) { return (x * 31 + y * 17 + t * 7) % 97; }
+int collide(int f0, int f1, int f2) { return (f0 + f1 + f2) / 3; }
+""",
+        "driver.c": """
+int step(int t, int n) {
+  int acc = 0;
+  int x = 1;
+  while (x < n - 1) {
+    int y = 1;
+    while (y < n - 1) {
+      acc = acc + collide(site(x - 1, y, t), site(x, y, t), site(x + 1, y, t));
+      y = y + 1;
+    }
+    x = x + 1;
+  }
+  return acc % 1000;
+}
+int main() {
+  int t = 0;
+  int total = 0;
+  while (t < 6) { total = total + step(t, 10); t = t + 1; }
+  return total;
+}
+""",
+    },
+    "johnripper": {
+        "hash.c": """
+int hash(int word) { return (word * 2654435761) % 65536; }
+int check(int word, int target) { if (hash(word) == target) { return 1; } return 0; }
+""",
+        "crack.c": """
+int hash(int word) { return (word * 31 + 7) % 65536; }
+int crack(int target, int limit) {
+  int word = 0;
+  while (word < limit) {
+    if (check(word, target)) { return word; }
+    word = word + 1;
+  }
+  return 0 - 1;
+}
+int main() {
+  int found = 0;
+  int t = 100;
+  while (t < 112) {
+    if (crack(t * 37 % 4096, 160) >= 0) { found = found + 1; }
+    t = t + 1;
+  }
+  return found;
+}
+""",
+    },
+}
+
+
+# -------------------------------------------------------- procedural source
+
+
+def generate_program(
+    seed: int,
+    *,
+    n_functions: int = 8,
+    expr_depth: int = 3,
+    loop_density: float = 0.5,
+    statements_per_function: int = 6,
+) -> str:
+    """Generate a deterministic, always-terminating mini-C program.
+
+    Functions only call lower-numbered functions, loops always run over
+    a bounded counter, and every division is by a non-zero constant —
+    so the program terminates and the compiler's VM validation passes.
+    """
+    if n_functions < 1:
+        raise ValueError("n_functions must be >= 1")
+    rng = make_rng(seed)
+    func_names = [f"f{i}" for i in range(n_functions)]
+
+    def _expr(depth: int, vars_: list[str], callees: list[str]) -> str:
+        if depth <= 0 or rng.random() < 0.3:
+            choices = [str(rng.randint(1, 99))]
+            if vars_:
+                choices.append(rng.choice(vars_))
+            return rng.choice(choices)
+        roll = rng.random()
+        if roll < 0.15 and callees:
+            callee = rng.choice(callees)
+            arg = _expr(depth - 1, vars_, [])
+            return f"{callee}({arg})"
+        op = rng.choice(["+", "-", "*", "%", "/", "&", "|", "^"])
+        left = _expr(depth - 1, vars_, callees)
+        right = (
+            str(rng.randint(1, 31))
+            if op in ("%", "/")
+            else _expr(depth - 1, vars_, callees)
+        )
+        return f"({left} {op} {right})"
+
+    def _cond(vars_: list[str]) -> str:
+        op = rng.choice(["<", ">", "==", "!=", "<=", ">="])
+        left = rng.choice(vars_) if vars_ else str(rng.randint(0, 9))
+        return f"{left} {op} {rng.randint(0, 50)}"
+
+    lines: list[str] = []
+    for i, name in enumerate(func_names[:-1]):
+        callees = func_names[: max(0, i)]
+        lines.append(f"int {name}(int a) {{")
+        lines.append("  int acc = a;")
+        body_vars = ["a", "acc"]
+        for _ in range(statements_per_function // 2):
+            if rng.random() < loop_density:
+                bound = rng.randint(2, 9)
+                lines.append(f"  int i{bound} = 0;")
+                lines.append(f"  while (i{bound} < {bound}) {{")
+                lines.append(
+                    f"    acc = (acc + {_expr(expr_depth - 1, body_vars, callees)}) % 100000;"
+                )
+                lines.append(f"    i{bound} = i{bound} + 1;")
+                lines.append("  }")
+            elif rng.random() < 0.5:
+                lines.append(f"  if ({_cond(body_vars)}) {{")
+                lines.append(f"    acc = acc + {_expr(expr_depth, body_vars, callees)};")
+                lines.append("  } else {")
+                lines.append(f"    acc = acc - {_expr(expr_depth - 1, body_vars, [])};")
+                lines.append("  }")
+            else:
+                lines.append(f"  acc = {_expr(expr_depth, body_vars, callees)};")
+        lines.append("  return acc % 100000;")
+        lines.append("}")
+
+    # main drives every function over a bounded loop
+    lines.append("int main() {")
+    lines.append("  int total = 0;")
+    lines.append("  int k = 0;")
+    lines.append(f"  while (k < {rng.randint(4, 12)}) {{")
+    for name in func_names[:-1]:
+        lines.append(f"    total = (total + {name}(k + {rng.randint(0, 7)})) % 1000000;")
+    lines.append("    k = k + 1;")
+    lines.append("  }")
+    lines.append("  return total;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class GccWorkloadGenerator:
+    """Corpus + OneFile-merged projects + procedural programs."""
+
+    benchmark = "502.gcc_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        source: str | None = None,
+        n_functions: int = 8,
+        expr_depth: int = 3,
+        loop_density: float = 0.5,
+        opt_level: int = 2,
+        name: str | None = None,
+    ) -> Workload:
+        """Procedural workload (or wrap explicit ``source`` text)."""
+        text = source or generate_program(
+            seed,
+            n_functions=n_functions,
+            expr_depth=expr_depth,
+            loop_density=loop_density,
+        )
+        return workload(
+            self.benchmark,
+            name or f"gcc.generated.s{seed}",
+            CSource(text=text, opt_level=opt_level),
+            kind=WorkloadKind.PROCEDURAL,
+            seed=seed,
+            n_functions=n_functions,
+            expr_depth=expr_depth,
+            loop_density=loop_density,
+            opt_level=opt_level,
+        )
+
+    def from_corpus(self, key: str, *, opt_level: int = 2) -> Workload:
+        """A public-corpus single-file workload."""
+        return workload(
+            self.benchmark,
+            f"gcc.corpus.{key}",
+            CSource(text=CORPUS[key], opt_level=opt_level),
+            kind=WorkloadKind.PUBLIC,
+            corpus=key,
+            opt_level=opt_level,
+        )
+
+    def from_project(self, key: str, *, opt_level: int = 2) -> Workload:
+        """A OneFile-merged multi-file project workload."""
+        merged = one_file(PROJECTS[key])
+        return workload(
+            self.benchmark,
+            f"gcc.onefile.{key}",
+            CSource(text=merged, opt_level=opt_level),
+            kind=WorkloadKind.DERIVED,
+            project=key,
+            opt_level=opt_level,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Nineteen workloads as in Table II.
+
+        3 SPEC-like + 3 public corpus + 3 OneFile projects + 10
+        procedural programs spanning size / expression / loop shape.
+        """
+        ws = WorkloadSet(self.benchmark)
+        for label, seed_off, nf, depth, dens in (
+            ("gcc.refrate", 900, 14, 4, 0.6),
+            ("gcc.train", 901, 8, 3, 0.5),
+            ("gcc.test", 902, 3, 2, 0.3),
+        ):
+            w = self.generate(
+                base_seed + seed_off,
+                n_functions=nf,
+                expr_depth=depth,
+                loop_density=dens,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=WorkloadKind.SPEC,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        for key in CORPUS:
+            ws.add(self.from_corpus(key))
+        for key in PROJECTS:
+            ws.add(self.from_project(key))
+        shapes = [
+            (4, 6, 0.1), (6, 5, 0.3), (10, 2, 0.8), (12, 3, 0.5), (16, 2, 0.4),
+            (20, 3, 0.4), (5, 4, 0.9), (9, 5, 0.2), (14, 4, 0.7), (24, 2, 0.5),
+        ]
+        for i, (nf, depth, dens) in enumerate(shapes):
+            ws.add(
+                self.generate(
+                    base_seed + i * 61 + 5,
+                    n_functions=nf,
+                    expr_depth=depth,
+                    loop_density=dens,
+                    name=f"gcc.alberta.{i + 1}",
+                    opt_level=2 if i % 3 else 0,
+                )
+            )
+        return ws

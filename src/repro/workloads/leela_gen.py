@@ -1,0 +1,143 @@
+"""Workload generator for ``541.leela_r`` (Section IV-A of the paper).
+
+The Alberta workloads are sets of Go positions from the No-Name Go
+Server archive with *moves culled from the end of the game* so the
+engine plays each game to completion; board size and cull count vary
+between workloads.  We cannot ship NNGS games, so games are synthesized
+by self-play with the substrate's own (real) rules engine, recorded as
+SGF, and then culled exactly as the Alberta script does.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.leela import BLACK, WHITE, GoBoard, _legal_moves
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["LeelaWorkloadGenerator", "synthesize_sgf", "cull_sgf"]
+
+_COORDS = "abcdefghijklmnopqrs"
+
+
+def synthesize_sgf(seed: int, *, size: int = 9, n_moves: int = 30) -> str:
+    """Self-play a seeded random game and record it as SGF."""
+    if size not in (9, 13, 19):
+        raise ValueError("size must be one of 9, 13, 19")
+    rng = make_rng(seed)
+    board = GoBoard(size)
+    color = BLACK
+    moves: list[str] = []
+    for _ in range(n_moves):
+        legal = _legal_moves(board, color)
+        if not legal:
+            break
+        point = rng.choice(legal)
+        board.play(point, color)
+        row, col = divmod(point, size)
+        prop = "B" if color == BLACK else "W"
+        moves.append(f";{prop}[{_COORDS[col]}{_COORDS[row]}]")
+        color = BLACK + WHITE - color
+    return f"(;SZ[{size}]" + "".join(moves) + ")"
+
+
+def cull_sgf(sgf: str, n_cull: int) -> str:
+    """Remove the last ``n_cull`` moves from an SGF record.
+
+    This is the Alberta script's operation: make the game incomplete so
+    the engine has something to play.
+    """
+    if n_cull < 0:
+        raise ValueError("n_cull must be >= 0")
+    parts = sgf.rstrip(")").split(";")
+    header = parts[0] + ";" + parts[1] if len(parts) > 1 else sgf
+    moves = parts[2:]
+    kept = moves[: max(0, len(moves) - n_cull)]
+    return header + (";" + ";".join(kept) if kept else "") + ")"
+
+
+class LeelaWorkloadGenerator:
+    """Synthesized games, end-culled, over three board sizes."""
+
+    benchmark = "541.leela_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        games_per_workload: int = 2,
+        board_size: int = 9,
+        n_moves: int = 30,
+        n_cull: int = 6,
+        playouts_per_move: int = 8,
+        max_moves_to_play: int = 6,
+        name: str | None = None,
+    ) -> Workload:
+        from ..benchmarks.leela import GoInput
+
+        rng = make_rng(seed)
+        games = []
+        for g in range(games_per_workload):
+            sgf = synthesize_sgf(
+                seed * 1000 + g, size=board_size, n_moves=n_moves + rng.randint(-4, 4)
+            )
+            games.append(cull_sgf(sgf, n_cull))
+        return workload(
+            self.benchmark,
+            name or f"leela.alberta.s{seed}",
+            GoInput(
+                games=tuple(games),
+                playouts_per_move=playouts_per_move,
+                max_moves_to_play=max_moves_to_play,
+            ),
+            kind=WorkloadKind.SCRIPTED,
+            seed=seed,
+            games=games_per_workload,
+            board_size=board_size,
+            n_cull=n_cull,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Twelve workloads as in Table II: 9 Alberta + 3 SPEC-like.
+
+        The paper's nine Alberta workloads each hold six positions with
+        varying board size and cull count; ours hold two games each to
+        stay within interpreter speed, varying the same knobs.
+        """
+        ws = WorkloadSet(self.benchmark)
+        spec = [
+            (2, 9, 30, 6, "leela.refrate"),
+            (1, 9, 24, 5, "leela.train"),
+            (1, 9, 16, 3, "leela.test"),
+        ]
+        alberta = [
+            (2, 9, 28, 4, "leela.alberta.1"),
+            (2, 9, 34, 8, "leela.alberta.2"),
+            (2, 9, 40, 10, "leela.alberta.3"),
+            (2, 13, 36, 6, "leela.alberta.4"),
+            (2, 13, 44, 8, "leela.alberta.5"),
+            (2, 13, 30, 4, "leela.alberta.6"),
+            (2, 9, 22, 6, "leela.alberta.7"),
+            (2, 13, 40, 10, "leela.alberta.8"),
+            (2, 9, 36, 8, "leela.alberta.9"),
+        ]
+        for i, (games, size, n_moves, cull, label) in enumerate(spec + alberta):
+            w = self.generate(
+                base_seed + i * 43 + 7,
+                games_per_workload=games,
+                board_size=size,
+                n_moves=n_moves,
+                n_cull=cull,
+                name=label,
+            )
+            kind = WorkloadKind.SPEC if i < len(spec) else WorkloadKind.SCRIPTED
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

@@ -1,0 +1,94 @@
+"""Workload-set manifests: persist and rebuild workload sets.
+
+The Alberta Workloads are distributed as files; our workloads are
+procedural, so their *manifest* (generator name, seed, parameters) is
+a complete, tiny description — rebuilding from it reproduces the exact
+payload bytes.  This module serializes manifests to JSON and rebuilds
+sets through the generator registry, filtering each entry's recorded
+parameters to what the generator's ``generate`` signature accepts
+(manifests also record derived metadata like ``n_trips`` that is not
+an input).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.suite import get_generator
+from ..core.workload import Workload, WorkloadSet
+
+__all__ = ["save_manifest", "load_manifest", "rebuild_workload", "rebuild_set"]
+
+_FORMAT_VERSION = 1
+
+
+def save_manifest(workloads: WorkloadSet, path: str | Path) -> None:
+    """Write a workload set's manifest as JSON."""
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "benchmark": workloads.benchmark,
+        "workloads": workloads.manifest(),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read a manifest document, checking the format version."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported manifest format_version {version!r}")
+    if "benchmark" not in doc or "workloads" not in doc:
+        raise ValueError("manifest missing required keys")
+    return doc
+
+
+def _accepted_params(generator: Any, params: dict[str, Any]) -> dict[str, Any]:
+    """Filter recorded params to the generator's keyword signature."""
+    signature = inspect.signature(generator.generate)
+    accepted = {
+        name
+        for name, p in signature.parameters.items()
+        if p.kind in (p.KEYWORD_ONLY, p.POSITIONAL_OR_KEYWORD) and name != "seed"
+    }
+    return {k: v for k, v in params.items() if k in accepted}
+
+
+def rebuild_workload(entry: dict[str, Any]) -> Workload:
+    """Reconstruct one workload from its manifest entry.
+
+    The rebuilt workload carries the recorded name and provenance kind;
+    because generation is seed-deterministic, the payload is
+    bit-identical to the original.
+    """
+    benchmark_id = entry["benchmark"]
+    generator = get_generator(benchmark_id)
+    seed = entry.get("seed")
+    if seed is None:
+        raise ValueError(
+            f"manifest entry {entry.get('name')!r} has no seed; only "
+            "procedurally generated workloads can be rebuilt"
+        )
+    kwargs = _accepted_params(generator, dict(entry.get("params", {})))
+    if "name" in inspect.signature(generator.generate).parameters:
+        kwargs["name"] = entry["name"]
+    rebuilt = generator.generate(seed, **kwargs)
+    return Workload(
+        name=entry["name"],
+        benchmark=benchmark_id,
+        payload=rebuilt.payload,
+        kind=entry.get("kind", rebuilt.kind),
+        seed=seed,
+        params=entry.get("params", {}),
+    )
+
+
+def rebuild_set(doc: dict[str, Any]) -> WorkloadSet:
+    """Reconstruct a whole workload set from a manifest document."""
+    ws = WorkloadSet(doc["benchmark"])
+    for entry in doc["workloads"]:
+        ws.add(rebuild_workload(entry))
+    return ws

@@ -1,0 +1,135 @@
+"""Workload generator for ``544.nab_r`` (Section IV-B of the paper).
+
+"The seven new workloads model forces in seven distinct proteins.  The
+pdb files, which describe the protein structure, were downloaded from
+the Brookhaven Protein Data Bank."  PDB downloads are unavailable
+offline, so :func:`synthesize_protein` builds the structural
+equivalent: a self-avoiding backbone random walk with side-chain
+atoms, partial charges, and a bond topology — the quantities a pdb +
+prm pair feeds the force field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..benchmarks.nab import NabInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["NabWorkloadGenerator", "synthesize_protein"]
+
+
+def synthesize_protein(
+    seed: int,
+    *,
+    n_residues: int = 40,
+    compact: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray, tuple[tuple[int, int], ...]]:
+    """Generate (positions, charges, bonds) for a synthetic protein.
+
+    The backbone is a step-length-1.5 random walk whose turning angle
+    is damped by ``compact`` (0 = extended chain, 1 = tight globule);
+    each residue carries one side-chain atom bonded to the backbone.
+    """
+    if n_residues < 2:
+        raise ValueError("n_residues must be >= 2")
+    rng = make_rng(seed)
+    positions: list[np.ndarray] = []
+    bonds: list[tuple[int, int]] = []
+    direction = np.array([1.0, 0.0, 0.0])
+    pos = np.zeros(3)
+    backbone_ids: list[int] = []
+    for r in range(n_residues):
+        positions.append(pos.copy())
+        backbone_ids.append(len(positions) - 1)
+        if r > 0:
+            bonds.append((backbone_ids[r - 1], backbone_ids[r]))
+        # side-chain atom off the backbone
+        offset = np.array([rng.gauss(0, 1) for _ in range(3)])
+        offset = offset / (np.linalg.norm(offset) or 1.0) * 1.4
+        positions.append(pos + offset)
+        bonds.append((backbone_ids[r], len(positions) - 1))
+        # advance the backbone
+        turn = np.array([rng.gauss(0, compact) for _ in range(3)])
+        direction = direction + turn
+        direction = direction / (np.linalg.norm(direction) or 1.0)
+        pos = pos + direction * 1.5
+    arr = np.array(positions)
+    charges = np.array(
+        [rng.choice([-0.5, -0.25, 0.0, 0.0, 0.25, 0.5]) for _ in range(len(positions))]
+    )
+    return arr, charges, tuple(bonds)
+
+
+class NabWorkloadGenerator:
+    """Synthetic protein structures (pdb/prm stand-ins)."""
+
+    benchmark = "544.nab_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        n_residues: int = 40,
+        compact: float = 0.5,
+        cutoff: float = 6.0,
+        minimize_steps: int = 3,
+        name: str | None = None,
+    ) -> Workload:
+        positions, charges, bonds = synthesize_protein(
+            seed, n_residues=n_residues, compact=compact
+        )
+        payload = NabInput(
+            positions=positions,
+            charges=charges,
+            bonds=bonds,
+            cutoff=cutoff,
+            minimize_steps=minimize_steps,
+        )
+        return workload(
+            self.benchmark,
+            name or f"nab.s{seed}",
+            payload,
+            kind=WorkloadKind.PUBLIC,
+            seed=seed,
+            n_residues=n_residues,
+            compact=compact,
+            cutoff=cutoff,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Eleven workloads as in Table II: 7 proteins + 4 SPEC-like."""
+        ws = WorkloadSet(self.benchmark)
+        spec = [
+            (48, 0.5, "nab.refrate"),
+            (32, 0.5, "nab.train"),
+            (12, 0.5, "nab.test"),
+            (40, 0.5, "nab.refspeed"),
+        ]
+        # seven "distinct proteins": size x compactness spread
+        alberta = [
+            (24, 0.2, "nab.alberta.1ext"),
+            (24, 0.9, "nab.alberta.1glb"),
+            (40, 0.35, "nab.alberta.2med"),
+            (56, 0.5, "nab.alberta.3big"),
+            (56, 0.95, "nab.alberta.3dense"),
+            (72, 0.4, "nab.alberta.4long"),
+            (36, 0.7, "nab.alberta.2fold"),
+        ]
+        for i, (n_res, compact, label) in enumerate(spec + alberta):
+            w = self.generate(
+                base_seed + i * 11 + 3, n_residues=n_res, compact=compact, name=label
+            )
+            kind = WorkloadKind.SPEC if i < len(spec) else WorkloadKind.PUBLIC
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

@@ -1,0 +1,154 @@
+"""Workload generator for ``520.omnetpp_r`` (Section IV-A of the paper).
+
+The SPEC train and ref inputs only change how long the simulation runs;
+they keep the same network.  The Alberta workloads instead change the
+*topology*: "line topology, ring topology, star topology, tree
+topology, and three random topologies with 9, 18, and 27 edges."  This
+generator builds exactly those NED-equivalent topologies (plus traffic
+parameters), and the SPEC-like trio that varies only simulation time.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.omnetpp import OmnetInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["OmnetppWorkloadGenerator", "topology_edges", "TOPOLOGIES"]
+
+TOPOLOGIES = ("line", "ring", "star", "tree", "random")
+
+
+def topology_edges(
+    kind: str,
+    n_nodes: int,
+    *,
+    n_edges: int | None = None,
+    seed: int = 0,
+) -> tuple[tuple[int, int], ...]:
+    """Edge list for a named topology over ``n_nodes`` modules.
+
+    ``random`` requires ``n_edges`` and always includes a connecting
+    backbone so the network is never disconnected.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if kind == "line":
+        return tuple((i, i + 1) for i in range(n_nodes - 1))
+    if kind == "ring":
+        return tuple((i, (i + 1) % n_nodes) for i in range(n_nodes))
+    if kind == "star":
+        return tuple((0, i) for i in range(1, n_nodes))
+    if kind == "tree":
+        # balanced binary tree
+        return tuple((i, (i - 1) // 2) for i in range(1, n_nodes))
+    if kind == "random":
+        if n_edges is None or n_edges < n_nodes - 1:
+            raise ValueError("random topology needs n_edges >= n_nodes - 1")
+        rng = make_rng(seed)
+        edges: set[tuple[int, int]] = set()
+        order = list(range(n_nodes))
+        rng.shuffle(order)
+        for i in range(n_nodes - 1):
+            a, b = order[i], order[i + 1]
+            edges.add((min(a, b), max(a, b)))
+        attempts = 0
+        while len(edges) < n_edges and attempts < n_edges * 50:
+            attempts += 1
+            a, b = rng.randrange(n_nodes), rng.randrange(n_nodes)
+            if a != b:
+                edges.add((min(a, b), max(a, b)))
+        return tuple(sorted(edges))
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+class OmnetppWorkloadGenerator:
+    """The paper's seven topology workloads + SPEC-like time variants."""
+
+    benchmark = "520.omnetpp_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        topology: str = "random",
+        n_nodes: int = 10,
+        n_edges: int | None = None,
+        sim_time: int = 1500,
+        send_interval_ms: float = 12.0,
+        packet_bytes: int = 60_000,
+        as_ned: bool = False,
+        name: str | None = None,
+    ) -> Workload:
+        if topology == "random" and n_edges is None:
+            n_edges = n_nodes + 4
+        edges = topology_edges(topology, n_nodes, n_edges=n_edges, seed=seed)
+        config = OmnetInput(
+            n_nodes=n_nodes,
+            edges=edges,
+            sim_time=sim_time,
+            send_interval_ms=send_interval_ms,
+            packet_bytes=packet_bytes,
+            seed=seed,
+        )
+        from ..benchmarks.omnetpp import to_ned
+
+        payload = to_ned(config, name=f"{topology}{n_nodes}") if as_ned else config
+        return workload(
+            self.benchmark,
+            name or f"omnetpp.{topology}.s{seed}",
+            payload,
+            kind=WorkloadKind.PROCEDURAL,
+            seed=seed,
+            topology=topology,
+            n_nodes=n_nodes,
+            n_edges=len(edges),
+            sim_time=sim_time,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Ten workloads as in Table II: 7 Alberta topologies + 3 SPEC.
+
+        The SPEC-like trio keeps one network and varies only the
+        simulated time, exactly the pattern the paper criticizes; the
+        Alberta seven change the topology (line/ring/star/tree and
+        random with 9, 18, 27 edges).
+        """
+        ws = WorkloadSet(self.benchmark)
+        spec = [
+            ("random", 10, 14, 2000, "omnetpp.refrate"),
+            ("random", 10, 14, 800, "omnetpp.train"),
+            ("random", 10, 14, 200, "omnetpp.test"),
+        ]
+        alberta = [
+            ("line", 10, None, 1500, "omnetpp.alberta.line"),
+            ("ring", 10, None, 1500, "omnetpp.alberta.ring"),
+            ("star", 10, None, 1500, "omnetpp.alberta.star"),
+            ("tree", 10, None, 1500, "omnetpp.alberta.tree"),
+            ("random", 8, 9, 1500, "omnetpp.alberta.random9"),
+            ("random", 12, 18, 1500, "omnetpp.alberta.random18"),
+            ("random", 14, 27, 1500, "omnetpp.alberta.random27"),
+        ]
+        for i, (topo, n_nodes, n_edges, sim_time, label) in enumerate(spec + alberta):
+            # SPEC trio shares one seed (same network), Alberta vary
+            seed = base_seed + (17 if i < len(spec) else i * 29)
+            w = self.generate(
+                seed,
+                topology=topo,
+                n_nodes=n_nodes,
+                n_edges=n_edges,
+                sim_time=sim_time,
+                name=label,
+            )
+            kind = WorkloadKind.SPEC if i < len(spec) else WorkloadKind.PROCEDURAL
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

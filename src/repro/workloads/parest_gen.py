@@ -1,0 +1,85 @@
+"""Workload generator for ``510.parest_r``.
+
+Table II lists eight parest workloads (the paper's Section IV does not
+detail this benchmark; its workloads vary the finite-element problem
+definition).  The natural axes for a FEM parameter-estimation code are
+mesh resolution, solver tolerance, and the diffusion-coefficient
+field; this generator provides all three.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.parest import ParestInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import workload
+
+__all__ = ["ParestWorkloadGenerator"]
+
+
+class ParestWorkloadGenerator:
+    """Mesh / tolerance / coefficient-field variations."""
+
+    benchmark = "510.parest_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        mesh: int = 20,
+        tolerance: float = 1e-8,
+        coefficient_kind: str = "smooth",
+        estimate: bool = False,
+        name: str | None = None,
+    ) -> Workload:
+        payload = ParestInput(
+            mesh=mesh,
+            tolerance=tolerance,
+            coefficient_kind=coefficient_kind,
+            estimate=estimate,
+        )
+        return workload(
+            self.benchmark,
+            name or f"parest.s{seed}",
+            payload,
+            kind=WorkloadKind.MANUAL,
+            seed=seed,
+            mesh=mesh,
+            tolerance=tolerance,
+            coefficient_kind=coefficient_kind,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Eight workloads as in Table II: 5 Alberta + 3 SPEC-like."""
+        ws = WorkloadSet(self.benchmark)
+        configs = [
+            # the refrate run performs the full inverse problem, as the
+            # real parest does; smaller runs are single forward solves
+            (20, 1e-8, "smooth", True, WorkloadKind.SPEC, "parest.refrate"),
+            (16, 1e-7, "smooth", False, WorkloadKind.SPEC, "parest.train"),
+            (8, 1e-6, "smooth", False, WorkloadKind.SPEC, "parest.test"),
+            (28, 1e-8, "checker", False, WorkloadKind.MANUAL, "parest.alberta.checker"),
+            (28, 1e-8, "spike", False, WorkloadKind.MANUAL, "parest.alberta.spike"),
+            (36, 1e-7, "smooth", False, WorkloadKind.MANUAL, "parest.alberta.fine"),
+            (20, 1e-10, "smooth", False, WorkloadKind.MANUAL, "parest.alberta.tight"),
+            (16, 1e-6, "checker", True, WorkloadKind.MANUAL, "parest.alberta.estimate"),
+        ]
+        for i, (mesh, tol, coef, estimate, kind, label) in enumerate(configs):
+            w = self.generate(
+                base_seed + i,
+                mesh=mesh,
+                tolerance=tol,
+                coefficient_kind=coef,
+                estimate=estimate,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

@@ -1,0 +1,159 @@
+"""Workload generator for ``511.povray_r`` (Section IV-B of the paper).
+
+The paper's seven povray workloads fall into three families:
+
+* **collection** — "real-world uses of POV-Ray ... rendering of
+  moderately complex geometry made up of simple primitives";
+* **lumpy** — "a single object placed over a checkered plane and
+  illuminated by two spotlights", stressing the FPU;
+* **primitive** — "geometric primitives built into POV-Ray ...
+  emphasize rendering techniques such as reflection, refraction, and
+  camera lens aperture".
+
+:class:`PovrayWorkloadGenerator` builds scenes of each family.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.povray import Light, PlaneFloor, SceneInput, Sphere
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["PovrayWorkloadGenerator", "SCENE_FAMILIES"]
+
+SCENE_FAMILIES = ("collection", "lumpy", "primitive")
+
+
+def _collection_scene(rng, n_objects: int) -> SceneInput:
+    """Many simple diffuse primitives: intersection-heavy."""
+    spheres = tuple(
+        Sphere(
+            center=(rng.uniform(-3, 3), rng.uniform(0.3, 2.5), rng.uniform(-1, 4)),
+            radius=rng.uniform(0.2, 0.7),
+            color=(rng.uniform(0.2, 1), rng.uniform(0.2, 1), rng.uniform(0.2, 1)),
+            reflect=0.1 if rng.random() < 0.3 else 0.0,
+        )
+        for _ in range(n_objects)
+    )
+    lights = (Light(position=(4.0, 6.0, -3.0), intensity=1.0),)
+    return SceneInput(
+        spheres=spheres,
+        floor=PlaneFloor(checker=False),
+        lights=lights,
+        family="collection",
+    )
+
+
+def _lumpy_scene(rng) -> SceneInput:
+    """One object over a checkered plane, two spotlights (FPU stress)."""
+    lump = Sphere(
+        center=(0.0, 1.0, 1.0),
+        radius=1.0 + rng.uniform(-0.2, 0.2),
+        color=(0.7, 0.6, 0.5),
+        reflect=0.05,
+    )
+    lights = (
+        Light(position=(3.0, 5.0, -2.0), intensity=1.4, spot_target=(0.0, 1.0, 1.0), spot_angle=0.5),
+        Light(position=(-3.0, 5.0, -2.0), intensity=1.4, spot_target=(0.0, 1.0, 1.0), spot_angle=0.5),
+    )
+    return SceneInput(
+        spheres=(lump,),
+        floor=PlaneFloor(checker=True),
+        lights=lights,
+        max_depth=2,
+        family="lumpy",
+    )
+
+
+def _primitive_scene(rng, aperture_samples: int) -> SceneInput:
+    """Reflective/refractive primitives + camera aperture."""
+    spheres = (
+        Sphere(center=(-1.2, 1.0, 1.5), radius=0.9, color=(0.9, 0.9, 0.95), reflect=0.7),
+        Sphere(
+            center=(1.1, 0.9, 1.0),
+            radius=0.8,
+            color=(0.4, 0.7, 0.9),
+            refract=0.8,
+            ior=1.5 + rng.uniform(-0.2, 0.2),
+        ),
+        Sphere(center=(0.0, 0.5, 3.0), radius=0.5, color=(0.9, 0.4, 0.3), reflect=0.3),
+    )
+    lights = (Light(position=(5.0, 7.0, -4.0), intensity=1.2),)
+    return SceneInput(
+        spheres=spheres,
+        floor=PlaneFloor(checker=True, reflect=0.2),
+        lights=lights,
+        max_depth=4,
+        aperture_samples=aperture_samples,
+        family="primitive",
+    )
+
+
+class PovrayWorkloadGenerator:
+    """Collection / lumpy / primitive scenes, as in the paper."""
+
+    benchmark = "511.povray_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        family: str = "collection",
+        n_objects: int = 10,
+        aperture_samples: int = 3,
+        name: str | None = None,
+    ) -> Workload:
+        rng = make_rng(seed)
+        if family == "collection":
+            scene = _collection_scene(rng, n_objects)
+        elif family == "lumpy":
+            scene = _lumpy_scene(rng)
+        elif family == "primitive":
+            scene = _primitive_scene(rng, aperture_samples)
+        else:
+            raise ValueError(f"unknown scene family {family!r}")
+        return workload(
+            self.benchmark,
+            name or f"povray.{family}.s{seed}",
+            scene,
+            kind=WorkloadKind.MANUAL,
+            seed=seed,
+            family=family,
+            n_objects=n_objects if family == "collection" else len(scene.spheres),
+            aperture_samples=scene.aperture_samples,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Ten workloads as in Table II: 7 Alberta + 3 SPEC-like."""
+        ws = WorkloadSet(self.benchmark)
+        configs = [
+            ("collection", 12, 1, WorkloadKind.SPEC, "povray.refrate"),
+            ("collection", 7, 1, WorkloadKind.SPEC, "povray.train"),
+            ("collection", 3, 1, WorkloadKind.SPEC, "povray.test"),
+            ("collection", 16, 1, WorkloadKind.MANUAL, "povray.alberta.collection1"),
+            ("collection", 24, 1, WorkloadKind.MANUAL, "povray.alberta.collection2"),
+            ("lumpy", 1, 1, WorkloadKind.MANUAL, "povray.alberta.lumpy1"),
+            ("lumpy", 1, 1, WorkloadKind.MANUAL, "povray.alberta.lumpy2"),
+            ("lumpy", 1, 1, WorkloadKind.MANUAL, "povray.alberta.lumpy3"),
+            ("primitive", 3, 4, WorkloadKind.MANUAL, "povray.alberta.primitive1"),
+            ("primitive", 3, 6, WorkloadKind.MANUAL, "povray.alberta.primitive2"),
+        ]
+        for i, (family, n_obj, samples, kind, label) in enumerate(configs):
+            w = self.generate(
+                base_seed + i * 23 + 1,
+                family=family,
+                n_objects=n_obj,
+                aperture_samples=samples,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

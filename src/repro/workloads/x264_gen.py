@@ -1,0 +1,156 @@
+"""Workload generator for ``525.x264_r`` (Section IV-A of the paper).
+
+The paper's script takes a source video plus parameters (start frame,
+frame count, dump interval, ...) and prepares everything a workload
+needs, including one-pass and two-pass grayscale encodes.  Public-
+domain HD videos are not available offline, so :func:`synthesize_video`
+produces the synthetic equivalents: moving geometric shapes over a
+gradient background, camera pans, optional scene cuts, and sensor
+noise — the content attributes (motion magnitude, texture, cut
+frequency) that drive an encoder's workload sensitivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..benchmarks.x264 import VideoInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["X264WorkloadGenerator", "synthesize_video", "VIDEO_STYLES"]
+
+VIDEO_STYLES = ("pan", "objects", "noisy", "cuts", "static")
+
+
+def synthesize_video(
+    seed: int,
+    *,
+    n_frames: int = 8,
+    height: int = 48,
+    width: int = 64,
+    style: str = "objects",
+) -> np.ndarray:
+    """Synthetic grayscale video as a (n, h, w) uint8 array."""
+    if style not in VIDEO_STYLES:
+        raise ValueError(f"unknown video style {style!r}")
+    rng = make_rng(seed)
+    nprng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = ((xx * 2 + yy) % 256).astype(np.float64) * 0.5 + 64
+
+    frames = np.empty((n_frames, height, width), dtype=np.uint8)
+    # moving objects state
+    objects = [
+        {
+            "x": rng.uniform(8, width - 16),
+            "y": rng.uniform(8, height - 16),
+            "vx": rng.uniform(-2, 2),
+            "vy": rng.uniform(-1.5, 1.5),
+            "r": rng.uniform(3, 7),
+            "lum": rng.uniform(150, 240),
+        }
+        for _ in range(4)
+    ]
+    pan_x = 0.0
+
+    for f in range(n_frames):
+        img = base.copy()
+        if style == "pan":
+            pan_x += 1.5
+            img = ((xx * 2 + yy + int(pan_x)) % 256).astype(np.float64) * 0.5 + 64
+        if style in ("objects", "cuts", "noisy"):
+            for obj in objects:
+                obj["x"] = (obj["x"] + obj["vx"]) % width
+                obj["y"] = (obj["y"] + obj["vy"]) % height
+                dist2 = (xx - obj["x"]) ** 2 + (yy - obj["y"]) ** 2
+                img = np.where(dist2 < obj["r"] ** 2, obj["lum"], img)
+        if style == "cuts" and f and f % 4 == 0:
+            # scene cut: new background and objects
+            base = ((xx * rng.randint(1, 4) + yy * rng.randint(1, 3)) % 256).astype(
+                np.float64
+            ) * 0.5 + rng.uniform(32, 96)
+            img = base.copy()
+        if style == "noisy":
+            img = img + nprng.normal(0, 12, size=img.shape)
+        elif style != "static":
+            img = img + nprng.normal(0, 2, size=img.shape)
+        frames[f] = np.clip(img, 0, 255).astype(np.uint8)
+    return frames
+
+
+class X264WorkloadGenerator:
+    """Synthetic videos + encode parameters, mirroring the paper script."""
+
+    benchmark = "525.x264_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        style: str = "objects",
+        n_frames: int = 8,
+        start_frame: int = 0,
+        encode_frames: int | None = None,
+        qp: int = 8,
+        two_pass: bool = False,
+        name: str | None = None,
+    ) -> Workload:
+        frames = synthesize_video(seed, n_frames=n_frames, style=style)
+        payload = VideoInput(
+            frames=frames,
+            start_frame=start_frame,
+            n_frames=encode_frames,
+            qp=qp,
+            two_pass=two_pass,
+        )
+        return workload(
+            self.benchmark,
+            name or f"x264.{style}.s{seed}",
+            payload,
+            kind=WorkloadKind.SCRIPTED,
+            seed=seed,
+            style=style,
+            n_frames=n_frames,
+            start_frame=start_frame,
+            qp=qp,
+            two_pass=two_pass,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Ten workloads: 3 SPEC-like + 7 Alberta content/param variants."""
+        ws = WorkloadSet(self.benchmark)
+        configs = [
+            ("objects", 10, 0, None, 8, False, WorkloadKind.SPEC, "x264.refrate"),
+            ("objects", 6, 0, None, 8, False, WorkloadKind.SPEC, "x264.train"),
+            ("objects", 3, 0, None, 8, False, WorkloadKind.SPEC, "x264.test"),
+            ("pan", 8, 0, None, 8, False, WorkloadKind.SCRIPTED, "x264.alberta.pan"),
+            ("noisy", 8, 0, None, 8, False, WorkloadKind.SCRIPTED, "x264.alberta.noisy"),
+            ("cuts", 10, 0, None, 8, False, WorkloadKind.SCRIPTED, "x264.alberta.cuts"),
+            ("static", 8, 0, None, 8, False, WorkloadKind.SCRIPTED, "x264.alberta.static"),
+            ("objects", 10, 3, 6, 8, False, WorkloadKind.SCRIPTED, "x264.alberta.window"),
+            ("objects", 8, 0, None, 16, False, WorkloadKind.SCRIPTED, "x264.alberta.lowq"),
+            ("objects", 8, 0, None, 8, True, WorkloadKind.SCRIPTED, "x264.alberta.twopass"),
+        ]
+        for i, (style, nf, start, enc, qp, two_pass, kind, label) in enumerate(configs):
+            w = self.generate(
+                base_seed + i * 41 + 3,
+                style=style,
+                n_frames=nf,
+                start_frame=start,
+                encode_frames=enc,
+                qp=qp,
+                two_pass=two_pass,
+                name=label,
+            )
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

@@ -1,0 +1,226 @@
+"""Workload generator for ``523.xalancbmk_r`` (Section IV-A of the paper).
+
+The Alberta workloads came from two XSLT benchmark families:
+
+* **XSLTMark-style** — after studying the format of one XML file, the
+  team wrote a script producing *random XML files of different sizes
+  with the same format*, reusing one stylesheet.  We reproduce that
+  directly: :func:`make_records_xml` emits record-oriented documents of
+  any size with a fixed schema.
+* **XMark-style** — XMark ships twenty short queries over an auction
+  document; two need XSLT 2.0, so the paper *combined the remaining
+  eighteen queries* into one workload.  :func:`make_auction_xml` builds
+  the auction-site document and :data:`XMARK_QUERIES` provides eighteen
+  query operations that are combined into single workloads.
+
+The five Alberta workloads plus three SPEC-like ones give the eight
+workloads of Table II.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.xalancbmk import TransformOp, XalanInput
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = [
+    "XalancbmkWorkloadGenerator",
+    "make_records_xml",
+    "make_auction_xml",
+    "XMARK_QUERIES",
+]
+
+_FIRST = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi")
+_LAST = ("smith", "jones", "kim", "garcia", "chen", "patel", "novak", "silva")
+_CATEGORIES = ("books", "music", "tools", "sports", "garden", "toys")
+_CITIES = ("edmonton", "campinas", "london", "redmond", "austin", "seattle")
+
+
+def make_records_xml(rng, n_records: int) -> str:
+    """XSLTMark-style record document: flat, schema-regular."""
+    rows = ["<records>"]
+    for i in range(n_records):
+        first = rng.choice(_FIRST)
+        last = rng.choice(_LAST)
+        rows.append(
+            f'<record id="{i}" region="{rng.choice(_CITIES)}">'
+            f"<name>{first} {last}</name>"
+            f"<score>{rng.randint(0, 10_000)}</score>"
+            f"<balance>{rng.uniform(0, 5000):.2f}</balance>"
+            f"<note>{'x' * rng.randint(4, 40)}</note>"
+            "</record>"
+        )
+    rows.append("</records>")
+    return "".join(rows)
+
+
+def make_auction_xml(rng, n_items: int, n_people: int) -> str:
+    """XMark-style auction document: nested regions/items/people/bids."""
+    parts = ["<site>", "<regions>"]
+    per_region = max(1, n_items // len(_CATEGORIES))
+    item_id = 0
+    for region in _CATEGORIES:
+        parts.append(f"<{region}>")
+        for _ in range(per_region):
+            item_id += 1
+            n_bids = rng.randint(0, 5)
+            bids = "".join(
+                f'<bid increase="{rng.randint(1, 50)}">'
+                f"<bidder>p{rng.randrange(max(1, n_people))}</bidder></bid>"
+                for _ in range(n_bids)
+            )
+            parts.append(
+                f'<item id="i{item_id}" featured="{"yes" if rng.random() < 0.2 else "no"}">'
+                f"<name>item {item_id}</name>"
+                f"<price>{rng.uniform(1, 500):.2f}</price>"
+                f"<quantity>{rng.randint(1, 9)}</quantity>"
+                f"<description>{'lorem ' * rng.randint(1, 6)}</description>"
+                f"<bids>{bids}</bids>"
+                "</item>"
+            )
+        parts.append(f"</{region}>")
+    parts.append("</regions><people>")
+    for p in range(n_people):
+        parts.append(
+            f'<person id="p{p}">'
+            f"<name>{rng.choice(_FIRST)} {rng.choice(_LAST)}</name>"
+            f"<city>{rng.choice(_CITIES)}</city>"
+            f"<income>{rng.uniform(20_000, 150_000):.0f}</income>"
+            "</person>"
+        )
+    parts.append("</people></site>")
+    return "".join(parts)
+
+
+#: Eighteen XMark-like queries (the paper combined XMark's eighteen
+#: XSLT-1.0-compatible queries into one workload).
+XMARK_QUERIES: tuple[TransformOp, ...] = (
+    TransformOp("extract", "regions/*/item", key="name"),
+    TransformOp("extract", "regions/books/item", key="price"),
+    TransformOp("extract", "regions/*/item[featured=yes]", key="name"),
+    TransformOp("aggregate", "regions/*/item", key="price"),
+    TransformOp("aggregate", "regions/*/item", key="quantity"),
+    TransformOp("aggregate", "people/person", key="income"),
+    TransformOp("sort", "regions/*/item", key="price"),
+    TransformOp("sort", "people/person", key="name"),
+    TransformOp("sort", "regions/*/item", key="name"),
+    TransformOp("string", "people/person", key="name", params=(("A", "4"), ("E", "3"))),
+    TransformOp("string", "regions/*/item", key="description"),
+    TransformOp("extract", "people/person", key="city"),
+    TransformOp("extract", "regions/*/item/bids/bid", key="bidder"),
+    TransformOp("aggregate", "regions/*/item/bids/bid", key="@increase"),
+    TransformOp("descend", "regions"),
+    TransformOp("descend", "people"),
+    TransformOp("extract", "regions/*/item[bids]", key="name"),
+    TransformOp("sort", "regions/*/item", key="quantity"),
+)
+
+#: XSLTMark-style stylesheets over record documents, each emphasizing a
+#: different engine path.
+_RECORD_STYLESHEETS: dict[str, tuple[TransformOp, ...]] = {
+    "identity": (
+        TransformOp("extract", "record", key="name"),
+        TransformOp("extract", "record", key="score"),
+        TransformOp("descend", "."),
+    ),
+    "sortkey": (
+        TransformOp("sort", "record", key="score"),
+        TransformOp("sort", "record", key="name"),
+        TransformOp("sort", "record", key="balance"),
+    ),
+    "compute": (
+        TransformOp("aggregate", "record", key="score"),
+        TransformOp("aggregate", "record", key="balance"),
+        TransformOp("aggregate", "record[region=edmonton]", key="score"),
+        TransformOp("aggregate", "record[region=london]", key="balance"),
+    ),
+    "stringy": (
+        TransformOp("string", "record", key="name", params=(("A", "@"), ("O", "0"))),
+        TransformOp("string", "record", key="note"),
+    ),
+}
+
+
+class XalancbmkWorkloadGenerator:
+    """Record-format documents + query-set combination, per the paper."""
+
+    benchmark = "523.xalancbmk_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        family: str = "records",
+        stylesheet: str = "identity",
+        size: int = 400,
+        repeats: int = 2,
+        name: str | None = None,
+    ) -> Workload:
+        """One workload.
+
+        ``family``: ``"records"`` (XSLTMark-style; ``stylesheet`` picks
+        one of identity/sortkey/compute/stringy and ``size`` is the
+        record count) or ``"auction"`` (XMark-style; the eighteen
+        combined queries run over an auction site with ``size`` items).
+        """
+        rng = make_rng(seed)
+        if family == "records":
+            if stylesheet not in _RECORD_STYLESHEETS:
+                raise ValueError(f"unknown stylesheet {stylesheet!r}")
+            xml = make_records_xml(rng, size)
+            ops = _RECORD_STYLESHEETS[stylesheet]
+            label = name or f"xalancbmk.{stylesheet}.{size}.s{seed}"
+        elif family == "auction":
+            xml = make_auction_xml(rng, n_items=size, n_people=max(4, size // 3))
+            ops = XMARK_QUERIES
+            label = name or f"xalancbmk.xmark.{size}.s{seed}"
+        else:
+            raise ValueError(f"unknown family {family!r}")
+        return workload(
+            self.benchmark,
+            label,
+            XalanInput(xml=xml, ops=ops, repeats=repeats),
+            kind=WorkloadKind.DERIVED,
+            seed=seed,
+            family=family,
+            stylesheet=stylesheet if family == "records" else "xmark-18",
+            size=size,
+            repeats=repeats,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Eight workloads as in Table II: 5 Alberta + 3 SPEC-like."""
+        ws = WorkloadSet(self.benchmark)
+        spec = [
+            ("auction", "identity", 240, 3, "xalancbmk.refrate"),
+            ("records", "identity", 300, 2, "xalancbmk.train"),
+            ("records", "identity", 60, 1, "xalancbmk.test"),
+        ]
+        alberta = [
+            ("records", "sortkey", 500, 8, "xalancbmk.alberta.xsltmark-sort"),
+            ("records", "compute", 600, 8, "xalancbmk.alberta.xsltmark-compute"),
+            ("records", "stringy", 400, 8, "xalancbmk.alberta.xsltmark-string"),
+            ("records", "identity", 900, 1, "xalancbmk.alberta.xsltmark-large"),
+            ("auction", "identity", 160, 4, "xalancbmk.alberta.xmark-combined"),
+        ]
+        for i, (family, stylesheet, size, repeats, label) in enumerate(spec + alberta):
+            w = self.generate(
+                base_seed + i * 53,
+                family=family,
+                stylesheet=stylesheet,
+                size=size,
+                repeats=repeats,
+                name=label,
+            )
+            kind = WorkloadKind.SPEC if i < len(spec) else WorkloadKind.DERIVED
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

@@ -1,0 +1,178 @@
+"""Workload generator for ``557.xz_r`` (Section IV-A of the paper).
+
+The Alberta team's key insight for xz: the sliding-window dictionary
+memoizes content, so a workload made by repeating a file shorter than
+the dictionary degenerates into dictionary lookups instead of
+exercising the compression search.  Their eight workloads therefore
+span a 2x2x2-ish design: very compressible vs. barely compressible
+content, and files smaller vs. larger than the dictionary — plus
+repeated-content files that trigger the memoization path.
+
+This generator reproduces that design procedurally:
+
+* ``text`` — Markov-chain English-like text (very compressible);
+* ``random`` — uniform random bytes (incompressible);
+* ``mixed`` — alternating text and random blocks;
+* ``repeated`` — a short seed block tiled to the target size (the
+  memoization stressor);
+* ``binary`` — structured records with repeating field layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..benchmarks.xz import XzInput, compress
+from ..core.workload import Workload, WorkloadKind, WorkloadSet
+from .base import make_rng, workload
+
+__all__ = ["XzWorkloadGenerator", "CONTENT_STYLES"]
+
+CONTENT_STYLES = ("text", "random", "mixed", "repeated", "binary")
+
+_WORDS = (
+    b"the", b"of", b"and", b"to", b"in", b"a", b"is", b"that", b"for", b"it",
+    b"benchmark", b"workload", b"compression", b"dictionary", b"window",
+    b"spec", b"cpu", b"alberta", b"profile", b"feedback", b"optimization",
+    b"lzma", b"stream", b"buffer", b"match", b"length", b"encode", b"decode",
+)
+
+
+def _text_content(rng: Any, size: int) -> bytes:
+    """English-like text via a first-order Markov chain over a word list."""
+    out = bytearray()
+    prev = 0
+    n_words = len(_WORDS)
+    while len(out) < size:
+        # favour transitions near the previous word index -> phrase reuse
+        if rng.random() < 0.6:
+            idx = (prev + rng.randint(0, 4)) % n_words
+        else:
+            idx = rng.randrange(n_words)
+        out += _WORDS[idx]
+        out += b" " if rng.random() > 0.1 else b".\n"
+        prev = idx
+    return bytes(out[:size])
+
+
+def _random_content(rng: Any, size: int) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+def _mixed_content(rng: Any, size: int) -> bytes:
+    out = bytearray()
+    while len(out) < size:
+        block = min(1024, size - len(out))
+        if rng.random() < 0.5:
+            out += _text_content(rng, block)
+        else:
+            out += _random_content(rng, block)
+    return bytes(out[:size])
+
+
+def _repeated_content(rng: Any, size: int, block: int = 512) -> bytes:
+    seed_block = _text_content(rng, block)
+    reps = size // block + 1
+    return (seed_block * reps)[:size]
+
+
+def _binary_content(rng: Any, size: int) -> bytes:
+    """Structured records: fixed layout, varying numeric fields."""
+    out = bytearray()
+    record_id = 0
+    while len(out) < size:
+        record_id += 1
+        out += b"REC:"
+        out += record_id.to_bytes(4, "big")
+        out += bytes(rng.randrange(16) for _ in range(8))
+        out += b"\x00" * 4
+    return bytes(out[:size])
+
+
+_MAKERS = {
+    "text": _text_content,
+    "random": _random_content,
+    "mixed": _mixed_content,
+    "repeated": _repeated_content,
+    "binary": _binary_content,
+}
+
+
+class XzWorkloadGenerator:
+    """Procedural xz workloads spanning compressibility x dictionary size."""
+
+    benchmark = "557.xz_r"
+
+    def generate(
+        self,
+        seed: int,
+        *,
+        style: str = "text",
+        size: int = 16 * 1024,
+        dict_size: int = 1 << 13,
+        name: str | None = None,
+        precompress: bool = True,
+    ) -> Workload:
+        if style not in _MAKERS:
+            raise ValueError(f"unknown content style {style!r}; choose from {CONTENT_STYLES}")
+        if size < 1024:
+            raise ValueError("size must be >= 1024 bytes")
+        rng = make_rng(seed)
+        content = _MAKERS[style](rng, size)
+        params = XzInput(content=content, dict_size=dict_size)
+        if precompress:
+            params = XzInput(
+                content=content,
+                dict_size=dict_size,
+                stored=compress(content, params),
+            )
+        return workload(
+            self.benchmark,
+            name or f"xz.{style}.{size // 1024}k.s{seed}",
+            params,
+            kind=WorkloadKind.PROCEDURAL,
+            seed=seed,
+            style=style,
+            size=size,
+            dict_size=dict_size,
+        )
+
+    def alberta_set(self, base_seed: int = 0) -> WorkloadSet:
+        """Twelve workloads, as in Table II (8 Alberta + 4 SPEC-like).
+
+        The design crosses content style with below/above-dictionary
+        sizes; the dictionary is 8 KiB so "large" files exceed it.
+        """
+        small = 4 * 1024
+        large = 24 * 1024
+        spec = [
+            ("mixed", 16 * 1024, "xz.refrate"),
+            ("text", 6 * 1024, "xz.train"),
+            ("text", 2 * 1024, "xz.test"),
+            ("binary", 12 * 1024, "xz.refspeed"),
+        ]
+        alberta = [
+            ("text", small, "xz.alberta.text-small"),
+            ("text", large, "xz.alberta.text-large"),
+            ("random", small, "xz.alberta.random-small"),
+            ("random", large, "xz.alberta.random-large"),
+            ("repeated", small, "xz.alberta.repeated-small"),
+            ("repeated", large, "xz.alberta.repeated-large"),
+            ("mixed", large, "xz.alberta.mixed-large"),
+            ("binary", large, "xz.alberta.binary-large"),
+        ]
+        ws = WorkloadSet(self.benchmark)
+        for i, (style, size, wl_name) in enumerate(spec + alberta):
+            kind = WorkloadKind.SPEC if wl_name.count(".") == 1 else WorkloadKind.PROCEDURAL
+            w = self.generate(base_seed + i * 101, style=style, size=size, name=wl_name)
+            ws.add(
+                Workload(
+                    name=w.name,
+                    benchmark=w.benchmark,
+                    payload=w.payload,
+                    kind=kind,
+                    seed=w.seed,
+                    params=w.params,
+                )
+            )
+        return ws

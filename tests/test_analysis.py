@@ -1,0 +1,118 @@
+"""Tests for the table/figure renderers and sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_series,
+    figure2_series,
+    render_figure1,
+    render_figure2,
+)
+from repro.analysis.sensitivity import (
+    detect_caveats,
+    rank_by_mu_g_m,
+    rank_by_mu_g_v,
+    sensitivity_report,
+)
+from repro.analysis.tables import render_table1, render_table2, table1_rows, table2_rows
+from repro.core.characterize import characterize
+
+
+@pytest.fixture(scope="module")
+def xz_char():
+    return characterize("557.xz_r", keep_profiles=True)
+
+
+@pytest.fixture(scope="module")
+def lbm_char():
+    return characterize("519.lbm_r", keep_profiles=True)
+
+
+class TestTable1:
+    def test_rows_include_footer(self):
+        rows = table1_rows()
+        assert rows[-1]["area"] == "Arithmetic Average of Times"
+        assert rows[-1]["time2017"] == 517
+        assert rows[-1]["time2006"] == 405
+
+    def test_render_contains_benchmarks(self):
+        text = render_table1()
+        assert "505.mcf_r" in text
+        assert "429.mcf" in text
+        assert "633" in text
+
+
+class TestTable2:
+    def test_rows_sorted_and_complete(self, xz_char, lbm_char):
+        rows = table2_rows([xz_char, lbm_char])
+        assert [r["benchmark"] for r in rows] == ["519.lbm_r", "557.xz_r"]
+        for row in rows:
+            for key in ("f_mu_g", "b_sigma_g", "s_mu_g", "r_sigma_g", "mu_g_v", "mu_g_m"):
+                assert key in row
+
+    def test_mu_g_percentages_sum_to_about_100(self, xz_char):
+        row = xz_char.table2_row()
+        total = row["f_mu_g"] + row["b_mu_g"] + row["s_mu_g"] + row["r_mu_g"]
+        # geometric means of the four categories need not sum exactly,
+        # but must be in the right ballpark
+        assert 60 < total < 110
+
+    def test_render(self, xz_char):
+        text = render_table2([xz_char])
+        assert "557.xz_r" in text
+        assert "mu_g(V)" in text
+
+
+class TestFigures:
+    def test_figure1_series_shape(self, xz_char):
+        series = figure1_series(xz_char)
+        n = len(series["workloads"])
+        assert n == xz_char.n_workloads
+        for cat, values in series["categories"].items():
+            assert len(values) == n
+
+    def test_figure1_requires_profiles(self):
+        char = characterize("557.xz_r", keep_profiles=False)
+        with pytest.raises(ValueError):
+            figure1_series(char)
+
+    def test_figure1_render(self, xz_char):
+        text = render_figure1(xz_char)
+        assert "557.xz_r" in text
+        assert "xz.refrate" in text
+
+    def test_figure2_series_top_methods(self, xz_char):
+        series = figure2_series(xz_char, top_n=3)
+        assert len(series["methods"]) == 4  # 3 + others
+        assert "others" in series["methods"]
+
+    def test_figure2_render(self, xz_char):
+        text = render_figure2(xz_char)
+        assert "lzma_encode" in text
+
+
+class TestSensitivity:
+    def test_lbm_caveat_detected(self, lbm_char):
+        """The paper's Section V-B caveat: lbm's tiny bad-speculation
+        mean with a large sigma_g must be flagged."""
+        caveats = detect_caveats([lbm_char])
+        assert any(
+            c.category == "bad_speculation" and c.benchmark_id == "519.lbm_r"
+            for c in caveats
+        )
+
+    def test_xz_not_flagged(self, xz_char):
+        assert not any(
+            c.benchmark_id == "557.xz_r" for c in detect_caveats([xz_char])
+        )
+
+    def test_rankings(self, xz_char, lbm_char):
+        by_v = rank_by_mu_g_v([xz_char, lbm_char])
+        assert by_v[0][1] >= by_v[1][1]
+        by_m = rank_by_mu_g_m([xz_char, lbm_char])
+        assert by_m[0][1] >= by_m[1][1]
+
+    def test_report_text(self, xz_char, lbm_char):
+        text = sensitivity_report([lbm_char, xz_char])
+        assert "519.lbm_r" in text
+        assert "*" in text  # the caveat marker

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_accepts_ids(self):
+        args = build_parser().parse_args(["table2", "557.xz_r", "505.mcf_r"])
+        assert args.benchmarks == ["557.xz_r", "505.mcf_r"]
+
+    def test_generate_seed(self):
+        args = build_parser().parse_args(["generate", "505.mcf_r", "--seed", "9"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "505.mcf_r" in out
+        assert "no Table II row" in out  # x264
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Arithmetic Average" in out
+
+    def test_generate(self, capsys):
+        assert main(["generate", "548.exchange2_r", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verified : yes" in out
+        assert "exchange2" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "548.exchange2_r"]) == 0
+        out = capsys.readouterr().out
+        assert "mu_g(V)" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "505.mcf_r"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_table2_single(self, capsys):
+        assert main(["table2", "548.exchange2_r"]) == 0
+        out = capsys.readouterr().out
+        assert "548.exchange2_r" in out
+        assert "mu_g(V)" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "548.exchange2_r"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "548.exchange2_r"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_export_bundle(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        assert main(["export", str(out), "548.exchange2_r", "557.xz_r", "541.leela_r"]) == 0
+        assert (out / "table1.txt").exists()
+        assert (out / "table2.txt").exists()
+        assert (out / "table2.json").exists()
+        assert (out / "sensitivity.txt").exists()
+        assert (out / "comparison.json").exists()
+        assert (out / "reports" / "548.exchange2_r.txt").exists()
+        assert (out / "figures" / "557.xz_r.fig1.txt").exists()
+        assert (out / "figures" / "557.xz_r.fig2.txt").exists()

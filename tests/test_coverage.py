@@ -1,0 +1,102 @@
+"""Tests for coverage profiles and Equation 5 summarization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    OTHERS_LABEL,
+    CoverageProfile,
+    summarize_coverage,
+)
+
+
+class TestCoverageProfile:
+    def test_from_times(self):
+        p = CoverageProfile.from_times({"a": 30.0, "b": 70.0})
+        assert p.fraction("a") == pytest.approx(0.3)
+        assert p.fraction("b") == pytest.approx(0.7)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            CoverageProfile({"a": 0.5, "b": 0.2})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CoverageProfile({"a": 1.2, "b": -0.2})
+
+    def test_empty_profile_allowed(self):
+        assert CoverageProfile({}).methods() == []
+
+    def test_from_times_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            CoverageProfile.from_times({"a": 0.0})
+
+    def test_missing_method_fraction_zero(self):
+        p = CoverageProfile({"a": 1.0})
+        assert p.fraction("nope") == 0.0
+
+    def test_top(self):
+        p = CoverageProfile({"a": 0.5, "b": 0.3, "c": 0.2})
+        assert p.top(2) == [("a", 0.5), ("b", 0.3)]
+
+
+class TestSummarizeCoverage:
+    def test_stable_coverage_gives_one(self):
+        p = CoverageProfile({"hot": 0.8, "warm": 0.2})
+        summary = summarize_coverage([p, p, p])
+        assert summary.mu_g_m == pytest.approx(1.0)
+        assert summary.n_workloads == 3
+
+    def test_shifting_coverage_grows(self):
+        profiles = [
+            CoverageProfile({"a": 0.9, "b": 0.1}),
+            CoverageProfile({"a": 0.1, "b": 0.9}),
+        ]
+        assert summarize_coverage(profiles).mu_g_m > 2.0
+
+    def test_others_bucket(self):
+        profiles = [
+            CoverageProfile({"hot": 0.9996, "t1": 0.0002, "t2": 0.0002}),
+            CoverageProfile({"hot": 0.9996, "t1": 0.0003, "t2": 0.0001}),
+        ]
+        summary = summarize_coverage(profiles)
+        assert OTHERS_LABEL in summary.per_method
+        assert "t1" not in summary.per_method
+        assert summary.methods == ("hot",)
+
+    def test_appearing_method_drives_variation(self):
+        """A method present in only one workload is a large sigma_g —
+        the paper's lbm test-input mechanism."""
+        stable = [CoverageProfile({"k": 1.0})] * 3
+        appearing = [
+            CoverageProfile({"k": 1.0}),
+            CoverageProfile({"k": 1.0}),
+            CoverageProfile({"k": 0.6, "init": 0.4}),
+        ]
+        assert (
+            summarize_coverage(appearing).mu_g_m
+            > summarize_coverage(stable).mu_g_m
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_coverage([])
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=4),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_mu_g_m_at_least_one(self, raw):
+        profiles = []
+        for values in raw:
+            total = sum(values)
+            profiles.append(
+                CoverageProfile(
+                    {f"m{i}": v / total for i, v in enumerate(values)}
+                )
+            )
+        assert summarize_coverage(profiles).mu_g_m >= 1.0 - 1e-9

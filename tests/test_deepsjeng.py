@@ -1,0 +1,128 @@
+"""Tests for the 531.deepsjeng_r chess substrate and generator."""
+
+import pytest
+
+from repro.benchmarks.deepsjeng import (
+    START_FEN,
+    ChessInput,
+    DeepsjengBenchmark,
+    Position,
+    evaluate,
+    perft,
+)
+from repro.machine import run_benchmark
+from repro.workloads.deepsjeng_gen import DeepsjengWorkloadGenerator, synthesize_corpus
+
+
+class TestPosition:
+    def test_perft_initial(self):
+        """Standard perft values from the initial position."""
+        pos = Position.from_fen(START_FEN)
+        assert perft(pos, 1) == 20
+        assert perft(pos, 2) == 400
+        assert perft(pos, 3) == 8902
+
+    def test_fen_roundtrip(self):
+        pos = Position.from_fen(START_FEN)
+        again = Position.from_fen(pos.to_fen())
+        assert again.board == pos.board
+        assert again.white_to_move == pos.white_to_move
+
+    def test_bad_fen(self):
+        with pytest.raises(Exception):
+            Position.from_fen("not a fen")
+
+    def test_en_passant_capture(self):
+        # white pawn e5, black plays d7-d5, white exd6 e.p.
+        pos = Position.from_fen("k7/3p4/8/4P3/8/8/8/K7 b - - 0 1")
+        # black double push d7-d5
+        d7 = 6 * 16 + 3
+        d5 = 4 * 16 + 3
+        pos = pos.make_move((d7, d5, 0))
+        assert pos.ep_square == 5 * 16 + 3
+        moves = pos.legal_moves()
+        ep = [m for m in moves if m[1] == pos.ep_square]
+        assert len(ep) == 1
+        after = pos.make_move(ep[0])
+        assert after.board[d5] == 0  # captured pawn removed
+
+    def test_promotion(self):
+        pos = Position.from_fen("k7/7P/8/8/8/8/8/K7 w - - 0 1")
+        h7 = 6 * 16 + 7
+        h8 = 7 * 16 + 7
+        after = pos.make_move((h7, h8, 0))
+        assert after.board[h8] == 5  # QUEEN
+
+    def test_check_detection(self):
+        pos = Position.from_fen("k7/8/8/8/8/8/8/K6r w - - 0 1")
+        assert pos.in_check()
+
+    def test_checkmate_no_moves(self):
+        # back-rank mate
+        pos = Position.from_fen("k7/8/8/8/8/8/R7/1R5K b - - 0 1")
+        assert pos.legal_moves() == []
+        assert pos.in_check()
+
+    def test_stalemate_no_moves_no_check(self):
+        pos = Position.from_fen("k7/8/1Q6/8/8/8/8/K7 b - - 0 1")
+        assert pos.legal_moves() == []
+        assert not pos.in_check()
+
+    def test_zobrist_changes_with_move(self):
+        pos = Position.from_fen(START_FEN)
+        child = pos.make_move(pos.legal_moves()[0])
+        assert child.hash_ != pos.hash_
+
+    def test_evaluate_material(self):
+        up_queen = Position.from_fen("k7/8/8/8/8/8/8/KQ6 w - - 0 1")
+        assert evaluate(up_queen) > 800
+
+
+class TestBenchmark:
+    def test_search_returns_scores(self):
+        w = DeepsjengWorkloadGenerator().generate(
+            1, positions_per_workload=2, min_depth=2, max_depth=2
+        )
+        prof = run_benchmark(DeepsjengBenchmark(), w)
+        assert prof.verified
+        assert len(prof.output["scores"]) == 2
+        assert prof.output["nodes"] > 0
+
+    def test_deeper_search_visits_more_nodes(self):
+        gen = DeepsjengWorkloadGenerator()
+        bm = DeepsjengBenchmark()
+        shallow = gen.generate(2, positions_per_workload=2, min_depth=2, max_depth=2)
+        deep = gen.generate(2, positions_per_workload=2, min_depth=3, max_depth=3)
+        n1 = run_benchmark(bm, shallow).output["nodes"]
+        n2 = run_benchmark(bm, deep).output["nodes"]
+        assert n2 > n1 * 2
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            ChessInput(positions=())
+        with pytest.raises(ValueError):
+            ChessInput(positions=(("k7/8/8/8/8/8/8/K7 w - -", 0),))
+
+
+class TestGenerator:
+    def test_corpus_positions_are_valid(self):
+        corpus = synthesize_corpus(n_positions=6, seed=11)
+        assert len(corpus) == 6
+        for fen in corpus:
+            pos = Position.from_fen(fen)
+            assert pos.legal_moves()  # playable mid-game positions
+
+    def test_determinism(self):
+        a = synthesize_corpus(n_positions=4, seed=5)
+        b = synthesize_corpus(n_positions=4, seed=5)
+        assert a == b
+
+    def test_alberta_set_size(self):
+        ws = DeepsjengWorkloadGenerator().alberta_set()
+        assert len(ws) == 12  # Table II count
+
+    def test_depth_range_respected(self):
+        w = DeepsjengWorkloadGenerator().generate(
+            3, positions_per_workload=6, min_depth=2, max_depth=3
+        )
+        assert all(2 <= d <= 3 for _, d in w.payload.positions)

@@ -1,0 +1,148 @@
+"""Tests for the 548.exchange2_r Sudoku substrate and generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.exchange2 import (
+    BASE_SOLUTION,
+    Exchange2Benchmark,
+    SudokuInput,
+    _canonical_solution,
+    _transform_solution,
+    count_solutions,
+    solve,
+)
+from repro.machine import run_benchmark
+from repro.workloads.base import make_rng
+from repro.workloads.exchange2_gen import (
+    SPEC_SEEDS,
+    Exchange2WorkloadGenerator,
+    make_seed_collection,
+)
+
+# a classic puzzle with a unique solution
+_KNOWN_PUZZLE = (
+    "530070000"
+    "600195000"
+    "098000060"
+    "800060003"
+    "400803001"
+    "700020006"
+    "060000280"
+    "000419005"
+    "000080079"
+)
+_KNOWN_SOLUTION = (
+    "534678912"
+    "672195348"
+    "198342567"
+    "859761423"
+    "426853791"
+    "713924856"
+    "961537284"
+    "287419635"
+    "345286179"
+)
+
+
+def _grid_valid(solution: str) -> bool:
+    digits = [int(c) for c in solution]
+    for i in range(9):
+        row = digits[i * 9 : (i + 1) * 9]
+        col = digits[i::9]
+        band, stack = (i // 3) * 3, (i % 3) * 3
+        box = [
+            digits[(band + r) * 9 + stack + c] for r in range(3) for c in range(3)
+        ]
+        if sorted(row) != list(range(1, 10)):
+            return False
+        if sorted(col) != list(range(1, 10)):
+            return False
+        if sorted(box) != list(range(1, 10)):
+            return False
+    return True
+
+
+class TestSolver:
+    def test_known_puzzle(self):
+        assert solve(_KNOWN_PUZZLE) == _KNOWN_SOLUTION
+
+    def test_known_puzzle_unique(self):
+        assert count_solutions(_KNOWN_PUZZLE, limit=2) == 1
+
+    def test_unsolvable(self):
+        # two 5s in the first row
+        bad = "55" + "0" * 79
+        assert solve(bad) is None
+
+    def test_empty_grid_solvable(self):
+        solution = solve("0" * 81)
+        assert solution is not None
+        assert _grid_valid(solution)
+
+    def test_empty_grid_many_solutions(self):
+        assert count_solutions("0" * 81, limit=2) == 2
+
+    def test_base_solution_valid(self):
+        assert _grid_valid(BASE_SOLUTION)
+
+    def test_solution_respects_clues(self):
+        solution = solve(_KNOWN_PUZZLE)
+        for i, ch in enumerate(_KNOWN_PUZZLE):
+            if ch != "0":
+                assert solution[i] == ch
+
+
+class TestTransforms:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_transform_preserves_validity(self, seed):
+        rng = make_rng(seed)
+        transformed = _transform_solution(_canonical_solution(), rng)
+        assert _grid_valid("".join(map(str, transformed)))
+
+    def test_transform_changes_grid(self):
+        rng = make_rng(123)
+        transformed = _transform_solution(_canonical_solution(), rng)
+        assert transformed != _canonical_solution()
+
+
+class TestSeedCollection:
+    def test_twenty_seven_seeds(self):
+        """The benchmark distributes 27 seed puzzles."""
+        assert len(SPEC_SEEDS) == 27
+
+    def test_all_seeds_solvable(self):
+        for seed in SPEC_SEEDS[:8]:
+            assert solve(seed) is not None
+
+    def test_collection_deterministic(self):
+        assert make_seed_collection(5, base_seed=1) == make_seed_collection(5, base_seed=1)
+
+
+class TestBenchmark:
+    def test_run_and_verify(self):
+        w = Exchange2WorkloadGenerator().generate(1, n_seeds=2, puzzles_per_seed=2)
+        prof = run_benchmark(Exchange2Benchmark(), w)
+        assert prof.verified
+        assert prof.output["n_generated"] >= 2
+
+    def test_generated_puzzles_share_clue_pattern(self):
+        w = Exchange2WorkloadGenerator().generate(2, n_seeds=1, puzzles_per_seed=3)
+        prof = run_benchmark(Exchange2Benchmark(), w)
+        seed_puzzle = w.payload.seeds[0]
+        pattern = {i for i, ch in enumerate(seed_puzzle) if ch != "0"}
+        for puzzle in prof.output["generated"]:
+            assert {i for i, ch in enumerate(puzzle) if ch != "0"} == pattern
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            SudokuInput(seeds=())
+        with pytest.raises(ValueError):
+            SudokuInput(seeds=("12",))
+        with pytest.raises(ValueError):
+            SudokuInput(seeds=(SPEC_SEEDS[0],), puzzles_per_seed=0)
+
+    def test_alberta_set_size(self):
+        assert len(Exchange2WorkloadGenerator().alberta_set()) == 13  # Table II

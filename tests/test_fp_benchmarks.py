@@ -1,0 +1,364 @@
+"""Tests for cactuBSSN, parest, nab, povray, wrf, blender substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.blender import BlendScene, BlenderBenchmark, MeshObject, make_mesh
+from repro.benchmarks.cactubssn import CactusInput, CactuBssnBenchmark, run_wave
+from repro.benchmarks.nab import NabBenchmark, NabInput, compute_forces
+from repro.benchmarks.parest import (
+    ParestBenchmark,
+    ParestInput,
+    assemble_poisson,
+    conjugate_gradient,
+)
+from repro.benchmarks.povray import (
+    Light,
+    PlaneFloor,
+    PovrayBenchmark,
+    SceneInput,
+    Sphere,
+    render,
+)
+from repro.benchmarks.wrf import WrfBenchmark, WrfInput, run_forecast
+from repro.machine import run_benchmark
+from repro.workloads.blender_gen import (
+    BlenderWorkloadGenerator,
+    check_scene,
+    make_scene_library,
+)
+from repro.workloads.cactubssn_gen import CactuBssnWorkloadGenerator
+from repro.workloads.nab_gen import NabWorkloadGenerator, synthesize_protein
+from repro.workloads.parest_gen import ParestWorkloadGenerator
+from repro.workloads.povray_gen import PovrayWorkloadGenerator
+from repro.workloads.wrf_gen import WrfWorkloadGenerator, synthesize_event
+
+
+class TestCactuBssn:
+    def test_energy_bounded(self):
+        out = run_wave(CactusInput(grid=10, steps=8, n_fields=2))
+        assert out["final_energy"] <= out["initial_energy"] * 4.0
+
+    def test_dissipation_reduces_energy(self):
+        lo = run_wave(CactusInput(grid=10, steps=10, dissipation=0.0, n_fields=1))
+        hi = run_wave(CactusInput(grid=10, steps=10, dissipation=0.1, n_fields=1))
+        assert hi["final_energy"] < lo["final_energy"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CactusInput(grid=4)
+        with pytest.raises(ValueError):
+            CactusInput(courant=0.9)  # violates the CFL bound
+
+    def test_alberta_set_size(self):
+        assert len(CactuBssnWorkloadGenerator().alberta_set()) == 11
+
+    def test_run_and_verify(self):
+        w = CactuBssnWorkloadGenerator().generate(1, grid=10, steps=6, n_fields=2)
+        assert run_benchmark(CactuBssnBenchmark(), w).verified
+
+
+class TestParest:
+    def test_cg_matches_dense_solve(self):
+        csr, rhs = assemble_poisson(8, "smooth")
+        x, iterations = conjugate_gradient(csr, rhs, 1e-10, 2000)
+        # rebuild the dense matrix and compare against numpy
+        n = csr["n"]
+        dense = np.zeros((n, n))
+        for r in range(n):
+            for k in range(csr["indptr"][r], csr["indptr"][r + 1]):
+                dense[r, csr["indices"][k]] = csr["data"][k]
+        expected = np.linalg.solve(dense, rhs)
+        assert np.allclose(x, expected, atol=1e-6)
+        assert iterations > 0
+
+    def test_matrix_symmetric(self):
+        csr, _ = assemble_poisson(6, "checker")
+        n = csr["n"]
+        dense = np.zeros((n, n))
+        for r in range(n):
+            for k in range(csr["indptr"][r], csr["indptr"][r + 1]):
+                dense[r, csr["indices"][k]] = csr["data"][k]
+        assert np.allclose(dense, dense.T)
+
+    def test_tighter_tolerance_needs_more_iterations(self):
+        csr, rhs = assemble_poisson(12, "checker")
+        _, it_loose = conjugate_gradient(csr, rhs, 1e-3, 4000)
+        _, it_tight = conjugate_gradient(csr, rhs, 1e-11, 4000)
+        assert it_tight > it_loose
+
+    def test_all_coefficient_kinds_converge(self):
+        for kind in ("smooth", "checker", "spike"):
+            csr, rhs = assemble_poisson(10, kind)
+            _, iterations = conjugate_gradient(csr, rhs, 1e-9, 4000)
+            assert 0 < iterations < 4000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParestInput(mesh=2)
+        with pytest.raises(ValueError):
+            ParestInput(coefficient_kind="random")
+
+    def test_alberta_set_size(self):
+        assert len(ParestWorkloadGenerator().alberta_set()) == 8
+
+    def test_run_and_verify(self):
+        w = ParestWorkloadGenerator().generate(1, mesh=10)
+        prof = run_benchmark(ParestBenchmark(), w)
+        assert prof.verified
+        assert prof.output["relative_residual"] < 1e-5
+
+
+class TestNab:
+    def test_newtons_third_law(self):
+        """Internal forces must sum to ~zero (action = reaction)."""
+        positions, charges, bonds = synthesize_protein(3, n_residues=12)
+        forces, _ = compute_forces(positions, charges, bonds, cutoff=6.0)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-6)
+
+    def test_energy_terms_present(self):
+        positions, charges, bonds = synthesize_protein(4, n_residues=16)
+        _, energies = compute_forces(positions, charges, bonds, cutoff=6.0)
+        assert energies["bond"] >= 0.0
+        assert energies["pairs"] > 0
+
+    def test_compactness_increases_pairs(self):
+        ext_p, ext_q, ext_b = synthesize_protein(5, n_residues=24, compact=0.1)
+        glb_p, glb_q, glb_b = synthesize_protein(5, n_residues=24, compact=0.95)
+        _, e_ext = compute_forces(ext_p, ext_q, ext_b, cutoff=6.0)
+        _, e_glb = compute_forces(glb_p, glb_q, glb_b, cutoff=6.0)
+        assert e_glb["pairs"] > e_ext["pairs"]
+
+    def test_validation(self):
+        pos, q, bonds = synthesize_protein(1, n_residues=6)
+        with pytest.raises(ValueError):
+            NabInput(positions=pos, charges=q[:-1], bonds=bonds)
+        with pytest.raises(ValueError):
+            NabInput(positions=pos, charges=q, bonds=((0, 99),))
+
+    def test_alberta_set_size(self):
+        assert len(NabWorkloadGenerator().alberta_set()) == 11
+
+    def test_run_and_verify(self):
+        w = NabWorkloadGenerator().generate(1, n_residues=16, minimize_steps=2)
+        assert run_benchmark(NabBenchmark(), w).verified
+
+
+class TestPovray:
+    def _scene(self, **kw):
+        defaults = dict(
+            spheres=(Sphere(center=(0.0, 1.0, 1.0), radius=1.0),),
+            floor=PlaneFloor(),
+            lights=(Light(position=(4.0, 6.0, -3.0)),),
+            width=16,
+            height=12,
+        )
+        defaults.update(kw)
+        return SceneInput(**defaults)
+
+    def test_renders_nonzero_image(self):
+        out = render(self._scene())
+        assert out["mean_luminance"] > 0
+        assert out["rays"] >= out["pixels"]
+
+    def test_reflection_spawns_rays(self):
+        plain = render(self._scene())
+        shiny = render(
+            self._scene(
+                spheres=(Sphere(center=(0.0, 1.0, 1.0), radius=1.0, reflect=0.8),),
+                max_depth=3,
+            )
+        )
+        assert shiny["reflect_rays"] > plain["reflect_rays"]
+
+    def test_refraction_spawns_rays(self):
+        glassy = render(
+            self._scene(
+                spheres=(Sphere(center=(0.0, 1.0, 1.0), radius=1.0, refract=0.8),),
+                max_depth=3,
+            )
+        )
+        assert glassy["refract_rays"] > 0
+
+    def test_aperture_multiplies_rays(self):
+        one = render(self._scene(aperture_samples=1))
+        four = render(self._scene(aperture_samples=4))
+        assert four["rays"] > one["rays"] * 3
+
+    def test_shadows_darken(self):
+        """A light below the floor leaves the scene in ambient darkness."""
+        lit = render(self._scene())
+        dark = render(self._scene(lights=(Light(position=(0.0, -5.0, 1.0)),)))
+        assert dark["mean_luminance"] < lit["mean_luminance"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._scene(lights=())
+        with pytest.raises(ValueError):
+            Sphere(center=(0, 0, 0), radius=-1)
+
+    def test_alberta_set_size(self):
+        assert len(PovrayWorkloadGenerator().alberta_set()) == 10
+
+    def test_families_shift_coverage(self):
+        gen = PovrayWorkloadGenerator()
+        bm = PovrayBenchmark()
+        lumpy = run_benchmark(bm, gen.generate(1, family="lumpy")).coverage
+        primitive = run_benchmark(bm, gen.generate(1, family="primitive")).coverage
+        assert primitive.fraction("reflect_refract") > lumpy.fraction("reflect_refract")
+
+
+class TestWrf:
+    def _input(self, **kw):
+        h, u, v, q = synthesize_event("katrina", grid=(16, 16))
+        defaults = dict(height=h, u=u, v=v, moisture=q, steps=8)
+        defaults.update(kw)
+        return WrfInput(**defaults)
+
+    def test_forecast_stable(self):
+        out = run_forecast(self._input())
+        assert out["max_wind"] < 500.0
+        assert out["final_mass"] > 0
+
+    def test_mass_drift_bounded(self):
+        out = run_forecast(self._input(microphysics=False))
+        drift = abs(out["final_mass"] - out["initial_mass"]) / out["initial_mass"]
+        assert drift < 0.05
+
+    def test_microphysics_rains(self):
+        wet = run_forecast(self._input(microphysics=True))
+        dry = run_forecast(self._input(microphysics=False))
+        assert wet["rain_total"] > 0
+        assert dry["rain_total"] == 0
+
+    def test_surface_drag_slows_wind(self):
+        dragged = run_forecast(self._input(surface_layer=True))
+        free = run_forecast(self._input(surface_layer=False))
+        assert dragged["max_wind"] < free["max_wind"]
+
+    def test_events_differ(self):
+        k = synthesize_event("katrina")
+        r = synthesize_event("rusa")
+        assert not np.array_equal(k[0], r[0])
+
+    def test_validation(self):
+        h, u, v, q = synthesize_event("katrina", grid=(16, 16))
+        with pytest.raises(ValueError):
+            WrfInput(height=-h, u=u, v=v, moisture=q)
+        with pytest.raises(ValueError):
+            WrfInput(height=h, u=u[:8], v=v, moisture=q)
+        with pytest.raises(ValueError):
+            synthesize_event("sandy")
+
+    def test_alberta_set_size(self):
+        assert len(WrfWorkloadGenerator().alberta_set()) == 16
+
+    def test_run_and_verify(self):
+        w = WrfWorkloadGenerator().generate(1, steps=6)
+        assert run_benchmark(WrfBenchmark(), w).verified
+
+
+class TestBlender:
+    def test_mesh_primitives(self):
+        for kind, n_tris in (("cube", 12), ("sphere", 96), ("plane", 32)):
+            verts, tris = make_mesh(MeshObject(kind=kind))
+            assert len(tris) == n_tris
+            assert all(0 <= i < len(verts) for t in tris for i in t)
+
+    def test_subdivision_quadruples_triangles(self):
+        _, base = make_mesh(MeshObject(kind="cube"))
+        _, sub = make_mesh(MeshObject(kind="cube", subdivisions=2))
+        assert len(sub) == len(base) * 16
+
+    def test_displacement_moves_vertices(self):
+        flat, _ = make_mesh(MeshObject(kind="sphere"))
+        bumpy, _ = make_mesh(MeshObject(kind="sphere", displace=0.3))
+        assert flat != bumpy
+
+    def test_scene_suitability_checker(self):
+        good = BlendScene(objects=(MeshObject(kind="cube"),))
+        resource = BlendScene(objects=(MeshObject(kind="cube"),), renderable=False)
+        heavy = BlendScene(objects=(MeshObject(kind="cube", subdivisions=4),))
+        assert check_scene(good)
+        assert not check_scene(resource)
+        assert not check_scene(heavy)
+
+    def test_library_contains_resource_files(self):
+        library = make_scene_library(seed=5)
+        assert any(not s.renderable for s in library)
+        assert any(check_scene(s) for s in library)
+
+    def test_selector_only_picks_suitable(self):
+        gen = BlenderWorkloadGenerator()
+        for seed in range(6):
+            assert check_scene(gen.select(seed)) or gen.select(seed).renderable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlendScene(objects=())
+        with pytest.raises(ValueError):
+            MeshObject(kind="torus")
+        with pytest.raises(ValueError):
+            MeshObject(kind="cube", subdivisions=9)
+
+    def test_alberta_set_size(self):
+        assert len(BlenderWorkloadGenerator().alberta_set()) == 16
+
+    def test_run_and_verify(self):
+        w = BlenderWorkloadGenerator().generate(3, n_frames=1)
+        prof = run_benchmark(BlenderBenchmark(), w)
+        assert prof.verified
+        assert prof.output["total_tris"] > 0
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_protein_synthesis_always_valid(seed):
+    positions, charges, bonds = synthesize_protein(seed, n_residues=10)
+    NabInput(positions=positions, charges=charges, bonds=bonds)  # validates
+
+
+class TestParestEstimation:
+    """The inverse problem that gives parest its name."""
+
+    def test_recovers_true_scale(self):
+        from repro.workloads.parest_gen import ParestWorkloadGenerator
+
+        w = ParestWorkloadGenerator().generate(
+            3, mesh=10, tolerance=1e-8, estimate=True
+        )
+        prof = run_benchmark(ParestBenchmark(), w)
+        assert prof.verified
+        assert prof.output["estimated_scale"] == 1.0
+        assert prof.output["misfit"] < 1e-6
+
+    def test_estimation_runs_candidate_solves(self):
+        from repro.machine.telemetry import Probe
+        from repro.core.workload import Workload
+
+        payload = ParestInput(mesh=8, estimate=True, candidate_scales=(0.5, 1.0, 2.0))
+        w = Workload(name="est", benchmark="510.parest_r", payload=payload)
+        probe = Probe()
+        out = ParestBenchmark().run(w, probe)
+        assert out["estimated_scale"] == 1.0
+        by_name = {m.name: m for m in probe.methods()}
+        # one reference + three candidate assemblies
+        assert by_name["assemble_system"].calls == 4
+        assert by_name["compute_misfit"].calls == 3
+
+    def test_estimation_validation(self):
+        with pytest.raises(ValueError):
+            ParestInput(mesh=8, estimate=True, candidate_scales=(1.0,))
+
+    def test_wrong_scale_has_larger_misfit(self):
+        from repro.benchmarks.parest import assemble_poisson, conjugate_gradient
+        import numpy as np
+
+        csr1, rhs1 = assemble_poisson(10, "smooth", scale=1.0)
+        x1, _ = conjugate_gradient(csr1, rhs1, 1e-10, 2000)
+        csr2, rhs2 = assemble_poisson(10, "smooth", scale=2.0)
+        x2, _ = conjugate_gradient(csr2, rhs2, 1e-10, 2000)
+        # doubled coefficient halves the solution: clearly distinguishable
+        assert np.linalg.norm(x2 - x1) > 0.1 * np.linalg.norm(x1)

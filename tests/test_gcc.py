@@ -1,0 +1,380 @@
+"""Tests for the 502.gcc_r mini-C compiler, OneFile, and the generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.gcc import (
+    CSource,
+    GccBenchmark,
+    Parser,
+    codegen,
+    interpret,
+    lex,
+    optimize,
+    peephole,
+    resolve,
+    run_vm,
+)
+from repro.machine import run_benchmark
+from repro.workloads.gcc_gen import (
+    CORPUS,
+    PROJECTS,
+    GccWorkloadGenerator,
+    OneFileError,
+    generate_program,
+    one_file,
+)
+
+
+def compile_and_run(source: str, opt: bool = True) -> int:
+    tokens = lex(source)
+    funcs = Parser(tokens).parse_program()
+    table = resolve(funcs)
+    if opt:
+        funcs = optimize(funcs)
+        table = {f[1]: f for f in funcs}
+    code = peephole(codegen(funcs))
+    return run_vm(code, table, "main", [])
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = lex("int x = 42; // comment\nx == 7;")
+        values = [t.value for t in toks]
+        assert values == ["int", "x", "=", "42", ";", "x", "==", "7", ";"]
+
+    def test_block_comment(self):
+        toks = lex("int /* hi */ y;")
+        assert [t.value for t in toks] == ["int", "y", ";"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(Exception):
+            lex("int /* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(Exception):
+            lex("int $x;")
+
+
+class TestParserAndInterp:
+    def test_arithmetic(self):
+        assert compile_and_run("int main() { return 2 + 3 * 4; }") == 14
+
+    def test_precedence_and_parens(self):
+        assert compile_and_run("int main() { return (2 + 3) * 4; }") == 20
+
+    def test_unary(self):
+        assert compile_and_run("int main() { return -5 + 10; }") == 5
+        assert compile_and_run("int main() { return !0; }") == 1
+
+    def test_variables_and_assignment(self):
+        src = "int main() { int x = 3; x = x + 4; return x; }"
+        assert compile_and_run(src) == 7
+
+    def test_if_else(self):
+        src = "int main() { int x = 5; if (x > 3) { return 1; } else { return 2; } }"
+        assert compile_and_run(src) == 1
+
+    def test_while_loop(self):
+        src = "int main() { int s = 0; int i = 0; while (i < 5) { s = s + i; i = i + 1; } return s; }"
+        assert compile_and_run(src) == 10
+
+    def test_function_calls(self):
+        src = "int double_it(int x) { return x * 2; } int main() { return double_it(21); }"
+        assert compile_and_run(src) == 42
+
+    def test_recursion(self):
+        src = "int f(int n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } int main() { return f(10); }"
+        assert compile_and_run(src) == 55
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(Exception):
+            compile_and_run("int main() { return y; }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(Exception):
+            compile_and_run("int main() { return g(1); }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            compile_and_run("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(Exception):
+            compile_and_run("int f() { return 1; } int f() { return 2; } int main() { return f(); }")
+
+
+class TestOptimizer:
+    def test_constant_folding(self):
+        stats = {}
+        funcs = Parser(lex("int main() { return 2 * 3 + 4; }")).parse_program()
+        optimize(funcs, stats)
+        assert stats["folded"] >= 2
+
+    def test_dead_branch_elimination(self):
+        stats = {}
+        src = "int main() { if (0) { return 1; } return 2; }"
+        funcs = Parser(lex(src)).parse_program()
+        out = optimize(funcs, stats)
+        assert stats["dead_branches"] == 1
+        # the if is gone entirely
+        body = out[0][3][1]
+        assert all(s[0] != "if" for s in body)
+
+    def test_dead_code_after_return(self):
+        stats = {}
+        src = "int main() { return 1; int x = 2; x = 3; return x; }"
+        funcs = Parser(lex(src)).parse_program()
+        optimize(funcs, stats)
+        assert stats["dead_code"] >= 1
+
+    def test_algebraic_identities(self):
+        stats = {}
+        src = "int main() { int x = 5; return x * 1 + 0; }"
+        funcs = Parser(lex(src)).parse_program()
+        optimize(funcs, stats)
+        assert stats["identities"] >= 1
+
+    def test_optimization_preserves_semantics_on_corpus(self):
+        for name, source in CORPUS.items():
+            assert compile_and_run(source, opt=True) == compile_and_run(
+                source, opt=False
+            ), name
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_optimization_preserves_semantics_property(self, seed):
+        """O2 and O0 must agree on every generated program."""
+        source = generate_program(seed, n_functions=4, expr_depth=3)
+        assert compile_and_run(source, opt=True) == compile_and_run(source, opt=False)
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=20, deadline=None)
+    def test_vm_matches_interpreter_property(self, seed):
+        """Compiled stack code and direct AST interpretation must agree."""
+        source = generate_program(seed, n_functions=3, expr_depth=3)
+        funcs = Parser(lex(source)).parse_program()
+        table = resolve(funcs)
+        code = peephole(codegen(funcs))
+        assert run_vm(code, table, "main", []) == interpret(table, "main", [])
+
+
+class TestOneFile:
+    def test_merges_and_mangles(self):
+        merged = one_file(PROJECTS["mcf"])
+        # the colliding `cost` is mangled per file, `main` survives
+        assert "graph__cost" in merged
+        assert "simplex__cost" in merged
+        assert "int main()" in merged
+
+    def test_merged_projects_compile_and_match(self):
+        for key in PROJECTS:
+            merged = one_file(PROJECTS[key])
+            assert compile_and_run(merged, opt=True) == compile_and_run(
+                merged, opt=False
+            ), key
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(OneFileError):
+            one_file({"a.c": "int helper() { return 1; }"})
+
+    def test_duplicate_entry_rejected(self):
+        files = {
+            "a.c": "int main() { return 1; }",
+            "b.c": "int main() { return 2; }",
+        }
+        with pytest.raises(OneFileError):
+            one_file(files)
+
+    def test_empty_project_rejected(self):
+        with pytest.raises(OneFileError):
+            one_file({})
+
+    def test_non_colliding_functions_untouched(self):
+        files = {
+            "a.c": "int helper(int x) { return x + 1; }",
+            "b.c": "int main() { return helper(41); }",
+        }
+        merged = one_file(files)
+        assert "a__helper" not in merged
+        assert compile_and_run(merged) == 42
+
+
+class TestGenerator:
+    def test_generated_programs_terminate(self):
+        for seed in range(5):
+            source = generate_program(seed, n_functions=5)
+            result = compile_and_run(source)
+            assert isinstance(result, int)
+
+    def test_determinism(self):
+        assert generate_program(9) == generate_program(9)
+
+    def test_alberta_set_size(self):
+        assert len(GccWorkloadGenerator().alberta_set()) == 19  # Table II
+
+    def test_benchmark_run_and_verify(self):
+        w = GccWorkloadGenerator().generate(4, n_functions=5)
+        prof = run_benchmark(GccBenchmark(), w)
+        assert prof.verified
+        assert prof.output["result"] == prof.output["reference"]
+
+    def test_opt_level_validation(self):
+        with pytest.raises(ValueError):
+            CSource(text="int main() { return 0; }", opt_level=1)
+
+
+class TestCse:
+    """Local common-subexpression elimination (value numbering)."""
+
+    def _compile(self, src, with_cse=True):
+        from repro.benchmarks.gcc import cse
+
+        funcs = Parser(lex(src)).parse_program()
+        resolve(funcs)
+        stats = {}
+        opt = optimize(funcs, stats)
+        if with_cse:
+            opt = cse(opt, stats)
+        table = {f[1]: f for f in opt}
+        code = peephole(codegen(opt))
+        return run_vm(code, table, "main", []), stats
+
+    def test_repeated_subexpression_eliminated(self):
+        src = """
+        int main() {
+          int a = 5; int b = 7;
+          int x = (a + b) * (a + b);
+          return x + (a + b);
+        }
+        """
+        result, stats = self._compile(src)
+        assert stats["cse_hits"] >= 2
+        baseline, _ = self._compile(src, with_cse=False)
+        assert result == baseline == 144 + 12
+
+    def test_reassignment_invalidates(self):
+        """After `a = ...`, the cached (a + b) must not be reused."""
+        src = """
+        int main() {
+          int a = 5; int b = 7;
+          int x = a + b;
+          a = 100;
+          int y = a + b;
+          return y - x;
+        }
+        """
+        result, _ = self._compile(src)
+        assert result == 95  # 107 - 12: reuse would give 0
+
+    def test_no_hoist_across_branches(self):
+        src = """
+        int main() {
+          int a = 2; int b = 3;
+          int x = a * b;
+          if (x > 5) { a = 9; }
+          return a * b;
+        }
+        """
+        result, _ = self._compile(src)
+        assert result == 27  # a*b recomputed after the branch
+
+    def test_calls_not_eliminated(self):
+        """Call-containing expressions stay put (conservative pass)."""
+        src = """
+        int bump(int v) { return v + 1; }
+        int main() { return bump(1) + bump(1); }
+        """
+        result, stats = self._compile(src)
+        assert result == 4
+
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_cse_preserves_semantics_property(self, seed):
+        source = generate_program(seed, n_functions=4, expr_depth=4)
+        with_cse, _ = self._compile(source, with_cse=True)
+        without, _ = self._compile(source, with_cse=False)
+        assert with_cse == without
+
+
+class TestPreprocessor:
+    """OneFile's mini-preprocessor: the paper names preprocessing logic
+    as one of the tool's main challenges."""
+
+    def _pp(self, src, **kw):
+        from repro.workloads.gcc_gen import preprocess
+
+        return preprocess(src, **kw)
+
+    def test_define_substitution(self):
+        out = self._pp("#define N 7\nint main() { return N; }")
+        assert "return 7;" in out
+
+    def test_define_does_not_touch_substrings(self):
+        out = self._pp("#define N 7\nint main() { int NN = 2; return NN; }")
+        assert "NN" in out
+
+    def test_ifdef_selects_arm(self):
+        src = "#ifdef FAST\nint a;\n#else\nint b;\n#endif"
+        assert "int b;" in self._pp(src)
+        assert "int a;" not in self._pp(src)
+        fast = self._pp(src, defines={"FAST": "1"})
+        assert "int a;" in fast and "int b;" not in fast
+
+    def test_ifndef(self):
+        src = "#ifndef X\nint yes;\n#endif"
+        assert "int yes;" in self._pp(src)
+        assert "int yes;" not in self._pp(src, defines={"X": "1"})
+
+    def test_nested_conditionals(self):
+        src = "#ifdef A\n#ifdef B\nint ab;\n#endif\nint a;\n#endif"
+        both = self._pp(src, defines={"A": "1", "B": "1"})
+        assert "int ab;" in both and "int a;" in both
+        only_a = self._pp(src, defines={"A": "1"})
+        assert "int ab;" not in only_a and "int a;" in only_a
+
+    def test_undef(self):
+        src = "#define N 5\n#undef N\nint main() { return N; }"
+        assert "return N;" in self._pp(src)
+
+    def test_include_splices_header(self):
+        out = self._pp('#include "h.h"\nint main() { return f(); }',
+                       includes={"h.h": "int f() { return 3; }"})
+        assert "int f()" in out
+
+    def test_include_cycle_rejected(self):
+        from repro.workloads.gcc_gen import PreprocessorError
+
+        with pytest.raises(PreprocessorError):
+            self._pp('#include "a.h"', includes={"a.h": '#include "a.h"'})
+
+    def test_missing_include_rejected(self):
+        from repro.workloads.gcc_gen import PreprocessorError
+
+        with pytest.raises(PreprocessorError):
+            self._pp('#include "nope.h"')
+
+    def test_unterminated_ifdef_rejected(self):
+        from repro.workloads.gcc_gen import PreprocessorError
+
+        with pytest.raises(PreprocessorError):
+            self._pp("#ifdef X\nint a;")
+
+    def test_unknown_directive_rejected(self):
+        from repro.workloads.gcc_gen import PreprocessorError
+
+        with pytest.raises(PreprocessorError):
+            self._pp("#pragma once")
+
+    def test_onefile_with_headers_compiles(self):
+        src = (
+            "#define LIMIT 6\n"
+            '#include "util.h"\n'
+            "int main() { return helper(LIMIT); }"
+        )
+        merged = one_file(
+            {"main.c": src},
+            headers={"util.h": "int helper(int n) { return n * n; }"},
+        )
+        assert compile_and_run(merged) == 36

@@ -1,0 +1,113 @@
+"""Tests for the 519.lbm_r lattice Boltzmann substrate and generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.lbm import LbmBenchmark, LbmInput, run_lbm
+from repro.machine import run_benchmark
+from repro.workloads.lbm_gen import OBSTACLE_SHAPES, LbmWorkloadGenerator, make_obstacles
+
+
+def _channel(seed=1, **kw):
+    mask = make_obstacles(seed, height=20, width=30, shape=kw.pop("shape", "circle"))
+    defaults = dict(obstacles=mask, steps=8)
+    defaults.update(kw)
+    return LbmInput(**defaults)
+
+
+class TestSimulation:
+    def test_runs_and_stays_finite(self):
+        out = run_lbm(_channel())
+        assert np.isfinite(out["final_momentum"])
+        assert out["final_momentum"] >= 0
+
+    def test_mass_approximately_conserved(self):
+        config = _channel()
+        out = run_lbm(config)
+        free = config.obstacles.size - int(config.obstacles.sum())
+        assert out["total_mass"] / free == pytest.approx(1.0, rel=0.2)
+
+    def test_flow_develops_from_inflow(self):
+        out = run_lbm(_channel(steps=12))
+        assert out["momentum_trace"][-1] > 0.001
+
+    def test_lid_driven_differs_from_channel(self):
+        a = run_lbm(_channel(step_kind="channel"))
+        b = run_lbm(_channel(step_kind="lid"))
+        assert a["final_momentum"] != b["final_momentum"]
+
+    def test_determinism(self):
+        assert run_lbm(_channel()) == run_lbm(_channel())
+
+    @given(st.floats(min_value=0.5, max_value=1.8))
+    @settings(max_examples=8, deadline=None)
+    def test_stable_for_valid_omega(self, omega):
+        out = run_lbm(_channel(omega=omega, steps=6))
+        assert np.isfinite(out["final_momentum"])
+
+    def test_validation(self):
+        mask = make_obstacles(1, height=20, width=30)
+        with pytest.raises(ValueError):
+            LbmInput(obstacles=mask, steps=0)
+        with pytest.raises(ValueError):
+            LbmInput(obstacles=mask, omega=2.5)
+        with pytest.raises(ValueError):
+            LbmInput(obstacles=np.ones((10, 10), dtype=bool))
+        with pytest.raises(ValueError):
+            LbmInput(obstacles=mask.astype(int))
+
+
+class TestObstacles:
+    def test_shapes(self):
+        for shape in OBSTACLE_SHAPES:
+            mask = make_obstacles(2, shape=shape)
+            assert mask.dtype == np.bool_
+            assert mask[0].all() and mask[-1].all()  # walls
+
+    def test_size_grows_obstacle(self):
+        small = make_obstacles(3, shape="circle", size=0.10)
+        large = make_obstacles(3, shape="circle", size=0.30)
+        assert large.sum() > small.sum()
+
+    def test_density_adds_blobs(self):
+        sparse = make_obstacles(4, shape="blobs", density=0.5)
+        dense = make_obstacles(4, shape="blobs", density=2.5)
+        assert dense.sum() >= sparse.sum()
+
+    def test_channel_never_fully_blocked(self):
+        for seed in range(6):
+            mask = make_obstacles(seed, shape="blobs", size=0.3, density=3.0)
+            assert not mask.all(axis=0).any() or not mask[mask.shape[0] // 2].all()
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            make_obstacles(1, shape="torus")
+
+
+class TestBenchmarkAndGenerator:
+    def test_run_and_verify(self):
+        w = LbmWorkloadGenerator().generate(1, steps=6)
+        prof = run_benchmark(LbmBenchmark(), w)
+        assert prof.verified
+
+    def test_alberta_set_size(self):
+        assert len(LbmWorkloadGenerator().alberta_set()) == 30  # Table II
+
+    def test_backend_bound_profile(self):
+        """lbm is the FP suite's most back-end-bound benchmark."""
+        w = LbmWorkloadGenerator().generate(2, steps=10)
+        prof = run_benchmark(LbmBenchmark(), w)
+        td = prof.topdown
+        assert td.back_end > td.front_end
+        assert td.back_end > td.bad_speculation
+        assert td.bad_speculation < 0.02  # the paper's tiny-s caveat
+
+    def test_test_input_profile_differs(self):
+        """The SPEC test input has a distinct init-heavy profile."""
+        ws = LbmWorkloadGenerator().alberta_set()
+        bm = LbmBenchmark()
+        ref = run_benchmark(bm, ws["lbm.refrate"]).coverage
+        test = run_benchmark(bm, ws["lbm.test"]).coverage
+        assert test.fraction("init_grid") > ref.fraction("init_grid") * 3

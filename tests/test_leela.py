@@ -1,0 +1,161 @@
+"""Tests for the 541.leela_r Go substrate: rules, SGF, generator."""
+
+import pytest
+
+from repro.benchmarks.leela import (
+    BLACK,
+    EMPTY,
+    WHITE,
+    GoBoard,
+    GoInput,
+    LeelaBenchmark,
+    parse_sgf,
+    sgf_coord,
+)
+from repro.machine import run_benchmark
+from repro.workloads.leela_gen import LeelaWorkloadGenerator, cull_sgf, synthesize_sgf
+
+
+class TestGoRules:
+    def test_single_stone_capture(self):
+        b = GoBoard(9)
+        # surround a white stone at (1,1) = point 10
+        b.play(10, WHITE)
+        b.play(1, BLACK)
+        b.play(9, BLACK)
+        b.play(11, BLACK)
+        captured = b.play(19, BLACK)
+        assert captured == 1
+        assert b.cells[10] == EMPTY
+
+    def test_group_capture(self):
+        b = GoBoard(9)
+        # two-stone white group on the edge
+        b.play(0, WHITE)
+        b.play(1, WHITE)
+        for p in (9, 10, 2):
+            b.play(p, BLACK)
+        assert b.cells[0] == EMPTY
+        assert b.cells[1] == EMPTY
+        assert b.captures[BLACK] == 2
+
+    def test_suicide_rejected(self):
+        b = GoBoard(9)
+        b.play(1, BLACK)
+        b.play(9, BLACK)
+        assert not b.is_legal(0, WHITE)
+
+    def test_capture_not_suicide(self):
+        b = GoBoard(9)
+        # white at 0; black plays to capture it from 1 and 9
+        b.play(0, WHITE)
+        b.play(1, BLACK)
+        # playing 9 captures the white stone, so it is legal even though
+        # point 9's own liberties would be shared
+        assert b.is_legal(9, BLACK)
+
+    def test_simple_ko_forbidden(self):
+        # corner ko: white at 0 has its last liberty at 1; black's
+        # capturing stone at 1 ends as a single stone whose only
+        # liberty is the emptied point 0 -> ko
+        b = GoBoard(9)
+        b.play(0, WHITE)
+        b.play(2, WHITE)
+        b.play(10, WHITE)
+        b.play(9, BLACK)
+        captured = b.play(1, BLACK)
+        assert captured == 1
+        assert b.cells[0] == EMPTY
+        assert b.ko_point == 0
+        assert not b.is_legal(0, WHITE)
+        # the ko clears after a move elsewhere
+        b.play(40, WHITE)
+        assert b.is_legal(0, WHITE)
+
+    def test_eyelike_detection(self):
+        b = GoBoard(9)
+        for p in (1, 9):
+            b.play(p, BLACK)
+        assert b.is_eyelike(0, BLACK)
+        assert not b.is_eyelike(0, WHITE)
+
+    def test_score_empty_board(self):
+        b = GoBoard(9)
+        assert b.score() == pytest.approx(-6.5)  # komi only
+
+    def test_score_counts_territory(self):
+        b = GoBoard(9)
+        # a black wall across row 1 claims row 0 as territory
+        for col in range(9):
+            b.play(9 + col, BLACK)
+        score = b.score()
+        # 9 stones + 9 territory + remaining empty bordered only by black
+        assert score > 0
+
+
+class TestSgf:
+    def test_coord_parse(self):
+        assert sgf_coord("aa", 9) == 0
+        assert sgf_coord("ba", 9) == 1
+        assert sgf_coord("ab", 9) == 9
+        assert sgf_coord("", 9) is None
+
+    def test_coord_out_of_range(self):
+        with pytest.raises(Exception):
+            sgf_coord("zz", 9)
+
+    def test_parse_game(self):
+        size, moves = parse_sgf("(;SZ[9];B[aa];W[ba];B[ab])")
+        assert size == 9
+        assert moves == [(BLACK, 0), (WHITE, 1), (BLACK, 9)]
+
+    def test_unsupported_size(self):
+        with pytest.raises(Exception):
+            parse_sgf("(;SZ[7];B[aa])")
+
+    def test_synthesized_sgf_replays(self):
+        sgf = synthesize_sgf(3, size=9, n_moves=20)
+        size, moves = parse_sgf(sgf)
+        board = GoBoard(size)
+        for color, point in moves:
+            assert board.is_legal(point, color)
+            board.play(point, color)
+
+    def test_cull_removes_moves(self):
+        sgf = synthesize_sgf(3, size=9, n_moves=20)
+        _, full = parse_sgf(sgf)
+        _, culled = parse_sgf(cull_sgf(sgf, 6))
+        assert len(culled) == len(full) - 6
+
+    def test_cull_zero_is_identity(self):
+        sgf = synthesize_sgf(4, size=9, n_moves=10)
+        assert parse_sgf(cull_sgf(sgf, 0)) == parse_sgf(sgf)
+
+
+class TestBenchmark:
+    def test_run_and_verify(self):
+        w = LeelaWorkloadGenerator().generate(
+            2, games_per_workload=1, board_size=9, n_moves=16, n_cull=4,
+            playouts_per_move=4, max_moves_to_play=3,
+        )
+        prof = run_benchmark(LeelaBenchmark(), w)
+        assert prof.verified
+        assert prof.output["playouts"] > 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            GoInput(games=())
+        with pytest.raises(ValueError):
+            GoInput(games=("(;SZ[9])",), playouts_per_move=0)
+
+    def test_alberta_set_size(self):
+        assert len(LeelaWorkloadGenerator().alberta_set()) == 12  # Table II
+
+    def test_coverage_concentrated_in_playouts(self):
+        """The paper reports mu_g(M)=1 for leela: play-out dominated."""
+        w = LeelaWorkloadGenerator().generate(
+            3, games_per_workload=1, board_size=9, n_moves=16, n_cull=4,
+            playouts_per_move=4, max_moves_to_play=3,
+        )
+        prof = run_benchmark(LeelaBenchmark(), w)
+        assert prof.coverage.top(1)[0][0] == "run_playout"

@@ -1,0 +1,369 @@
+"""Tests for the machine model: caches, predictors, cost model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.branch import BimodalPredictor, GsharePredictor
+from repro.machine.cache import Cache, CacheConfig, CacheHierarchy, Tlb
+from repro.machine.cost import CostModel, MachineConfig
+from repro.machine.telemetry import Probe
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig(32 * 1024, 64, 8)
+        assert cfg.n_sets == 64
+
+    def test_rejects_nonmultiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64, 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 64, 2)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(CacheConfig(1024, 64, 2))
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True  # same line
+        assert c.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct line mapping to the same set evicts LRU
+        c = Cache(CacheConfig(1024, 64, 2))
+        n_sets = c.config.n_sets
+        stride = n_sets * 64  # same set index, different tags
+        c.access(0)
+        c.access(stride)
+        c.access(2 * stride)  # evicts line 0
+        assert c.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        c = Cache(CacheConfig(1024, 64, 2))
+        stride = c.config.n_sets * 64
+        c.access(0)
+        c.access(stride)
+        c.access(0)  # refresh 0: now `stride` is LRU
+        c.access(2 * stride)  # evicts `stride`
+        assert c.access(0) is True
+        assert c.access(stride) is False
+
+    def test_sequential_within_working_set_all_hits_second_pass(self):
+        c = Cache(CacheConfig(4096, 64, 4))
+        addrs = list(range(0, 4096, 64))
+        for a in addrs:
+            c.access(a)
+        c.reset_stats()
+        for a in addrs:
+            assert c.access(a) is True
+        assert c.miss_rate() == 0.0
+
+    def test_streaming_larger_than_cache_always_misses(self):
+        c = Cache(CacheConfig(1024, 64, 2))
+        for _ in range(3):
+            for a in range(0, 64 * 1024, 64):
+                c.access(a)
+        # every pass evicts everything before reuse
+        assert c.miss_rate() > 0.99
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=500))
+    @settings(max_examples=30)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        c = Cache(CacheConfig(2048, 64, 4))
+        for a in addrs:
+            c.access(a)
+        for s in c._sets:
+            assert len(s) <= 4
+
+
+class TestTlb:
+    def test_page_granularity(self):
+        t = Tlb(entries=4, page_bytes=4096)
+        assert t.access(0) is False
+        assert t.access(4095) is True
+        assert t.access(4096) is False
+
+    def test_capacity_eviction(self):
+        t = Tlb(entries=2, page_bytes=4096)
+        t.access(0)
+        t.access(4096)
+        t.access(8192)  # evicts page 0
+        assert t.access(0) is False
+
+
+class TestHierarchy:
+    def test_levels(self):
+        h = CacheHierarchy()
+        assert h.access_data(0) == 4  # cold: memory
+        assert h.access_data(0) == 1  # L1 hit
+
+    def test_l2_serves_l1_victim(self):
+        h = CacheHierarchy()
+        # fill L1D (32KiB) with a 64KiB stream: early lines fall out of
+        # L1 but stay in L2 (256KiB)
+        for a in range(0, 64 * 1024, 64):
+            h.access_data(a)
+        assert h.access_data(0) == 2
+
+    def test_code_and_data_separate_l1(self):
+        h = CacheHierarchy()
+        h.access_data(0)
+        # same address via code path misses L1I (separate array)
+        assert h.access_code(0) in (2, 3)  # but hits unified L2
+
+
+class TestPredictors:
+    def test_bimodal_learns_bias(self):
+        p = BimodalPredictor()
+        for _ in range(100):
+            p.predict_and_update(0x400, True)
+        assert p.stats.misprediction_rate() < 0.05
+
+    def test_bimodal_alternating_is_hard(self):
+        p = BimodalPredictor()
+        for i in range(200):
+            p.predict_and_update(0x400, i % 2 == 0)
+        assert p.stats.misprediction_rate() > 0.3
+
+    def test_gshare_learns_pattern(self):
+        """Gshare captures a repeating pattern bimodal cannot."""
+        pattern = [True, True, False, True, False, False]
+        g = GsharePredictor()
+        b = BimodalPredictor()
+        for i in range(3000):
+            outcome = pattern[i % len(pattern)]
+            g.predict_and_update(0x400, outcome)
+            b.predict_and_update(0x400, outcome)
+        assert g.stats.misprediction_rate() < b.stats.misprediction_rate()
+        assert g.stats.misprediction_rate() < 0.05
+
+    def test_random_branches_mispredict_heavily(self):
+        rng = random.Random(7)
+        g = GsharePredictor()
+        for _ in range(5000):
+            g.predict_and_update(0x400, rng.random() < 0.5)
+        assert g.stats.misprediction_rate() > 0.3
+
+    def test_invalid_table_bits(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=10, history_bits=20)
+
+
+class TestProbe:
+    def test_requires_method_scope(self):
+        p = Probe()
+        with pytest.raises(RuntimeError):
+            p.ops(1)
+
+    def test_counters_exact(self):
+        p = Probe()
+        with p.method("m"):
+            p.ops(10)
+            p.ops(5, kind="fp")
+            p.branch(True)
+            p.branch(False)
+            p.load(0)
+            p.store(8)
+        mc = p.methods()[0]
+        assert mc.int_ops == 10
+        assert mc.fp_ops == 5
+        assert mc.branches == 2
+        assert mc.branches_taken == 1
+        assert mc.loads == 1
+        assert mc.stores == 1
+        assert mc.calls == 1
+
+    def test_nested_scopes_attribute_to_innermost(self):
+        p = Probe()
+        with p.method("outer"):
+            p.ops(1)
+            with p.method("inner"):
+                p.ops(100)
+        by_name = {m.name: m for m in p.methods()}
+        assert by_name["outer"].int_ops == 1
+        assert by_name["inner"].int_ops == 100
+
+    def test_unknown_op_kind(self):
+        p = Probe()
+        with p.method("m"):
+            with pytest.raises(ValueError):
+                p.ops(1, kind="simd")
+
+    def test_event_decimation_keeps_cap(self):
+        p = Probe(event_cap=2048)
+        with p.method("m"):
+            for i in range(10_000):
+                p.load(i * 64)
+        assert len(p.events) <= 2048
+        assert p.sampling_stride > 1
+        # exact counters unaffected by sampling
+        assert p.methods()[0].loads == 10_000
+
+    def test_registration_idempotent(self):
+        p = Probe()
+        with p.method("m"):
+            pass
+        with p.method("m"):
+            pass
+        assert len(p.methods()) == 1
+        assert p.methods()[0].calls == 2
+
+    def test_deterministic_code_base(self):
+        p1, p2 = Probe(), Probe()
+        a = p1.register("alpha").code_base
+        b = p2.register("alpha").code_base
+        assert a == b
+
+
+class TestCostModel:
+    def _profile(self, fill):
+        p = Probe()
+        fill(p)
+        return CostModel().evaluate(p)
+
+    def test_pure_compute_is_retiring_dominated(self):
+        def fill(p):
+            with p.method("kernel"):
+                p.ops(100_000)
+
+        rep = self._profile(fill)
+        assert rep.topdown.retiring > 0.9
+
+    def test_random_memory_is_backend_bound(self):
+        rng = random.Random(3)
+
+        def fill(p):
+            with p.method("chase"):
+                p.ops(10_000)
+                p.accesses([rng.randrange(0, 1 << 26) & ~7 for _ in range(30_000)])
+
+        rep = self._profile(fill)
+        assert rep.topdown.back_end > 0.5
+
+    def test_random_branches_raise_bad_speculation(self):
+        rng = random.Random(4)
+
+        def fill(p):
+            with p.method("branchy"):
+                p.ops(10_000)
+                p.branches([rng.random() < 0.5 for _ in range(30_000)])
+
+        rep = self._profile(fill)
+        assert rep.topdown.bad_speculation > 0.2
+
+    def test_big_code_footprint_is_frontend_bound(self):
+        def fill(p):
+            # many large methods called round-robin: L1I thrashing
+            for rounds in range(30):
+                for m in range(40):
+                    with p.method(f"huge_{m}", code_bytes=4096):
+                        p.ops(50)
+
+        rep = self._profile(fill)
+        assert rep.topdown.front_end > 0.2
+
+    def test_coverage_fractions_sum_to_one(self):
+        def fill(p):
+            with p.method("a"):
+                p.ops(1000)
+            with p.method("b"):
+                p.ops(3000)
+
+        rep = self._profile(fill)
+        assert sum(rep.coverage.fractions.values()) == pytest.approx(1.0)
+        assert rep.coverage.fraction("b") > rep.coverage.fraction("a")
+
+    def test_empty_probe_raises(self):
+        p = Probe()
+        with pytest.raises(ValueError):
+            CostModel().evaluate(p)
+
+    def test_seconds_scale_with_clock(self):
+        def fill(p):
+            with p.method("k"):
+                p.ops(50_000)
+
+        p = Probe()
+        fill(p)
+        slow = CostModel(MachineConfig(clock_ghz=1.0)).evaluate(p)
+        p2 = Probe()
+        fill(p2)
+        fast = CostModel(MachineConfig(clock_ghz=4.0)).evaluate(p2)
+        assert slow.seconds == pytest.approx(4 * fast.seconds)
+
+    def test_determinism(self):
+        def fill(p):
+            rng = random.Random(11)
+            with p.method("m"):
+                p.ops(5000)
+                p.branches([rng.random() < 0.6 for _ in range(5000)])
+                p.accesses([rng.randrange(1 << 20) for _ in range(5000)])
+
+        p1, p2 = Probe(), Probe()
+        fill(p1)
+        fill(p2)
+        r1 = CostModel().evaluate(p1)
+        r2 = CostModel().evaluate(p2)
+        assert r1.cycles == r2.cycles
+        assert r1.topdown == r2.topdown
+
+    def test_machine_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=0)
+        with pytest.raises(ValueError):
+            MachineConfig(predictor="tage")
+        with pytest.raises(ValueError):
+            MachineConfig(mlp=0.5)
+
+
+class TestPresets:
+    def test_lookup(self):
+        from repro.machine import I7_2600, preset
+
+        assert preset("i7-2600") is I7_2600
+        assert preset("I7-2600") is I7_2600
+
+    def test_unknown(self):
+        from repro.machine import preset
+
+        with pytest.raises(KeyError):
+            preset("threadripper")
+
+    def test_skylake_is_faster(self):
+        from repro.machine import I7_2600, I7_6700K
+
+        def fill(p):
+            rng = random.Random(8)
+            with p.method("k"):
+                p.ops(40_000)
+                p.accesses([rng.randrange(1 << 22) for _ in range(10_000)])
+                p.branches((rng.random() < 0.6 for _ in range(10_000)))
+
+        p1, p2 = Probe(), Probe()
+        fill(p1)
+        fill(p2)
+        sandy = CostModel(I7_2600).evaluate(p1)
+        sky = CostModel(I7_6700K).evaluate(p2)
+        assert sky.seconds < sandy.seconds
+
+    def test_atom_is_slowest(self):
+        from repro.machine import ATOM_LIKE, I7_2600
+
+        def fill(p):
+            with p.method("k"):
+                p.ops(50_000)
+
+        p1, p2 = Probe(), Probe()
+        fill(p1)
+        fill(p2)
+        atom = CostModel(ATOM_LIKE).evaluate(p1)
+        sandy = CostModel(I7_2600).evaluate(p2)
+        assert atom.seconds > 2 * sandy.seconds

@@ -1,0 +1,79 @@
+"""Tests for workload-manifest persistence and rebuild."""
+
+import json
+
+import pytest
+
+from repro.core import alberta_workloads
+from repro.workloads.manifest import (
+    load_manifest,
+    rebuild_set,
+    rebuild_workload,
+    save_manifest,
+)
+from repro.workloads.mcf_gen import McfWorkloadGenerator
+from repro.workloads.xz_gen import XzWorkloadGenerator
+
+
+class TestSaveLoad:
+    def test_roundtrip_document(self, tmp_path):
+        ws = McfWorkloadGenerator().alberta_set()
+        path = tmp_path / "mcf.json"
+        save_manifest(ws, path)
+        doc = load_manifest(path)
+        assert doc["benchmark"] == "505.mcf_r"
+        assert len(doc["workloads"]) == len(ws)
+
+    def test_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+    def test_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1}))
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+
+class TestRebuild:
+    def test_mcf_rebuild_is_bit_identical(self):
+        original = McfWorkloadGenerator().generate(77, n_terminals=10, n_routes=5)
+        rebuilt = rebuild_workload(original.manifest())
+        assert rebuilt.payload.supplies == original.payload.supplies
+        assert rebuilt.payload.arcs == original.payload.arcs
+
+    def test_xz_rebuild_is_bit_identical(self):
+        original = XzWorkloadGenerator().generate(13, style="mixed", size=2048)
+        rebuilt = rebuild_workload(original.manifest())
+        assert rebuilt.payload.content == original.payload.content
+
+    def test_rebuild_preserves_name_and_kind(self):
+        original = XzWorkloadGenerator().generate(13, style="text", size=2048)
+        rebuilt = rebuild_workload(original.manifest())
+        assert rebuilt.name == original.name
+        assert rebuilt.kind == original.kind
+
+    def test_seedless_entry_rejected(self):
+        entry = {"name": "x", "benchmark": "557.xz_r", "seed": None, "params": {}}
+        with pytest.raises(ValueError):
+            rebuild_workload(entry)
+
+    def test_full_set_roundtrip(self, tmp_path):
+        ws = alberta_workloads("548.exchange2_r")
+        path = tmp_path / "ex2.json"
+        save_manifest(ws, path)
+        rebuilt = rebuild_set(load_manifest(path))
+        assert rebuilt.names() == ws.names()
+        for name in ws.names():
+            assert rebuilt[name].payload.seeds == ws[name].payload.seeds
+
+    def test_derived_params_ignored(self):
+        """mcf manifests record n_trips (an output, not an input); the
+        rebuild must filter it out instead of crashing."""
+        original = McfWorkloadGenerator().generate(5)
+        entry = original.manifest()
+        assert "n_trips" in entry["params"]
+        rebuilt = rebuild_workload(entry)  # must not raise
+        assert rebuilt.payload.n_nodes == original.payload.n_nodes

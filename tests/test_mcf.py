@@ -1,0 +1,191 @@
+"""Tests for the 505.mcf_r network simplex solver and city generator."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.mcf import McfBenchmark, McfInstance, NetworkSimplex
+from repro.machine import run_benchmark
+from repro.workloads.mcf_gen import (
+    CIRCADIAN,
+    McfWorkloadGenerator,
+    build_city,
+    build_timetable,
+    timetable_to_mcf,
+)
+from repro.workloads.base import make_rng
+
+
+def random_feasible_instance(rng, n=10, extra_arcs=25):
+    """A random instance guaranteed feasible via a bidirectional backbone."""
+    supplies = [0] * n
+    srcs = rng.sample(range(n), 2)
+    dsts = [x for x in range(n) if x not in srcs][:2]
+    total = 0
+    for s in srcs:
+        amt = rng.randint(1, 8)
+        supplies[s] += amt
+        total += amt
+    first = rng.randint(0, total)
+    supplies[dsts[0]] = -first
+    supplies[dsts[1]] = -(total - first)
+    arcs = []
+    perm = list(range(n))
+    rng.shuffle(perm)
+    for i in range(n - 1):
+        arcs.append((perm[i], perm[i + 1], total + 5, rng.randint(1, 40)))
+        arcs.append((perm[i + 1], perm[i], total + 5, rng.randint(1, 40)))
+    for _ in range(extra_arcs):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            arcs.append((u, v, rng.randint(1, 15), rng.randint(1, 40)))
+    return McfInstance(n_nodes=n, supplies=tuple(supplies), arcs=tuple(arcs))
+
+
+class TestNetworkSimplex:
+    def test_trivial_single_arc(self):
+        inst = McfInstance(2, (5, -5), (((0, 1, 10, 3)),))
+        res = NetworkSimplex(inst).solve()
+        assert res.feasible
+        assert res.cost == 15
+        assert res.flows == [5]
+
+    def test_prefers_cheap_path(self):
+        inst = McfInstance(
+            3,
+            (4, 0, -4),
+            ((0, 2, 10, 10), (0, 1, 10, 2), (1, 2, 10, 3)),
+        )
+        res = NetworkSimplex(inst).solve()
+        assert res.cost == 4 * 5  # via the 2+3 path
+
+    def test_capacity_forces_split(self):
+        inst = McfInstance(
+            3,
+            (6, 0, -6),
+            ((0, 2, 3, 10), (0, 1, 10, 2), (1, 2, 3, 3)),
+        )
+        res = NetworkSimplex(inst).solve()
+        # 3 units on each route
+        assert res.cost == 3 * 10 + 3 * 5
+
+    def test_infeasible_detected(self):
+        # demand node unreachable
+        inst = McfInstance(3, (2, 0, -2), ((0, 1, 5, 1),))
+        res = NetworkSimplex(inst).solve()
+        assert not res.feasible
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_optimum(self, seed):
+        rng = random.Random(seed)
+        inst = random_feasible_instance(rng)
+        res = NetworkSimplex(inst).solve()
+        assert res.feasible
+        g = nx.MultiDiGraph()
+        for i, b in enumerate(inst.supplies):
+            g.add_node(i, demand=-b)
+        for tail, head, cap, cost in inst.arcs:
+            g.add_edge(tail, head, capacity=cap, weight=cost)
+        assert res.cost == nx.min_cost_flow_cost(g)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_flow_conservation_property(self, seed):
+        rng = random.Random(seed)
+        inst = random_feasible_instance(rng, n=8, extra_arcs=12)
+        res = NetworkSimplex(inst).solve()
+        balance = list(inst.supplies)
+        for (tail, head, cap, _), flow in zip(inst.arcs, res.flows):
+            assert 0 <= flow <= cap
+            balance[tail] -= flow
+            balance[head] += flow
+        if res.feasible:
+            assert all(b == 0 for b in balance)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            McfInstance(2, (1, 1), ())  # supplies don't sum to zero
+        with pytest.raises(ValueError):
+            McfInstance(2, (1, -1), ((0, 5, 1, 1),))  # bad endpoint
+        with pytest.raises(ValueError):
+            McfInstance(2, (1, -1), ((0, 1, -1, 1),))  # bad capacity
+
+
+class TestCityGenerator:
+    def test_city_connected(self):
+        rng = make_rng(3)
+        city = build_city(rng, n_terminals=10)
+        # all travel times finite
+        assert all(t < 10**9 for row in city.travel_time for t in row)
+
+    def test_density_shrinks_map(self):
+        rng1, rng2 = make_rng(3), make_rng(3)
+        sparse = build_city(rng1, density=0.25)
+        dense = build_city(rng2, density=1.0)
+        span_sparse = max(max(p) for p in sparse.positions)
+        span_dense = max(max(p) for p in dense.positions)
+        assert span_dense <= span_sparse
+
+    def test_connectivity_adds_roads(self):
+        low = build_city(make_rng(4), connectivity=0.0)
+        high = build_city(make_rng(4), connectivity=1.0)
+        assert len(high.roads) > len(low.roads)
+
+    def test_circadian_peaks(self):
+        """The circadian cycle has morning and evening commute peaks."""
+        assert CIRCADIAN[7] > CIRCADIAN[3]
+        assert CIRCADIAN[17] > CIRCADIAN[13]
+        assert len(CIRCADIAN) == 24
+
+    def test_timetable_follows_circadian(self):
+        rng = make_rng(5)
+        city = build_city(rng)
+        trips = build_timetable(rng, city, n_routes=8, service_level=1.5)
+        by_hour = [0] * 24
+        for t in trips:
+            by_hour[t.start_time // 60 % 24] += 1
+        # rush hours should out-schedule the small hours
+        assert sum(by_hour[6:9]) > sum(by_hour[0:3])
+
+    def test_timetable_times_consistent(self):
+        rng = make_rng(6)
+        city = build_city(rng)
+        for trip in build_timetable(rng, city):
+            assert trip.end_time > trip.start_time
+
+    def test_mcf_encoding_feasible_by_construction(self):
+        rng = make_rng(7)
+        city = build_city(rng)
+        trips = build_timetable(rng, city, n_routes=5)
+        inst = timetable_to_mcf(city, trips)
+        res = NetworkSimplex(inst).solve()
+        assert res.feasible
+
+    def test_deadhead_arcs_time_feasible(self):
+        rng = make_rng(8)
+        city = build_city(rng)
+        trips = build_timetable(rng, city, n_routes=5)
+        inst = timetable_to_mcf(city, trips)
+        depot = 2 * len(trips)
+        for tail, head, _cap, _cost in inst.arcs:
+            if tail == depot or head == depot:
+                continue
+            j, k = tail // 2, head // 2
+            gap = trips[k].start_time - trips[j].end_time
+            deadhead = city.travel_time[trips[j].end_terminal][trips[k].start_terminal]
+            assert deadhead <= gap
+
+
+class TestBenchmark:
+    def test_run_and_verify(self):
+        w = McfWorkloadGenerator().generate(1, n_terminals=8, n_routes=4)
+        prof = run_benchmark(McfBenchmark(), w)
+        assert prof.verified
+        assert prof.output.feasible
+        assert prof.output.cost > 0
+
+    def test_alberta_set_size(self):
+        assert len(McfWorkloadGenerator().alberta_set()) == 7  # Table II

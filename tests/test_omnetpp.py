@@ -1,0 +1,182 @@
+"""Tests for the 520.omnetpp_r discrete-event simulator and topologies."""
+
+import pytest
+
+from repro.benchmarks.omnetpp import Network, OmnetInput, OmnetppBenchmark, simulate
+from repro.machine import run_benchmark
+from repro.workloads.omnetpp_gen import OmnetppWorkloadGenerator, topology_edges
+
+
+class TestNetwork:
+    def test_next_hop_line(self):
+        edges = topology_edges("line", 4)
+        net = Network(4, edges)
+        assert net.next_hop[0][3] == 1
+        assert net.next_hop[1][3] == 2
+        assert net.next_hop[3][0] == 2
+
+    def test_next_hop_star(self):
+        edges = topology_edges("star", 5)
+        net = Network(5, edges)
+        # leaf to leaf always goes through the hub
+        assert net.next_hop[1][2] == 0
+        assert net.next_hop[0][4] == 4
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(Exception):
+            Network(4, ((0, 1),))
+
+
+class TestTopologies:
+    def test_line_edge_count(self):
+        assert len(topology_edges("line", 10)) == 9
+
+    def test_ring_edge_count(self):
+        assert len(topology_edges("ring", 10)) == 10
+
+    def test_star_edge_count(self):
+        assert len(topology_edges("star", 10)) == 9
+
+    def test_tree_is_binary(self):
+        edges = topology_edges("tree", 15)
+        children = {}
+        for a, b in edges:
+            parent = min(a, b) if (max(a, b) - 1) // 2 == min(a, b) else None
+            assert parent is not None
+            children.setdefault(parent, []).append(max(a, b))
+        assert all(len(c) <= 2 for c in children.values())
+
+    def test_random_respects_edge_count(self):
+        edges = topology_edges("random", 10, n_edges=18, seed=4)
+        assert len(edges) == 18
+
+    def test_random_needs_enough_edges(self):
+        with pytest.raises(ValueError):
+            topology_edges("random", 10, n_edges=3)
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            topology_edges("mesh3d", 10)
+
+    def test_paper_random_sizes(self):
+        """The paper's three random topologies have 9, 18, 27 edges."""
+        for n_nodes, n_edges in ((8, 9), (12, 18), (14, 27)):
+            assert len(topology_edges("random", n_nodes, n_edges=n_edges, seed=1)) == n_edges
+
+
+class TestSimulation:
+    def _config(self, **kw):
+        defaults = dict(
+            n_nodes=6,
+            edges=topology_edges("ring", 6),
+            sim_time=500,
+            send_interval_ms=20.0,
+            packet_bytes=20_000,
+            seed=3,
+        )
+        defaults.update(kw)
+        return OmnetInput(**defaults)
+
+    def test_packets_delivered(self):
+        out = simulate(self._config())
+        assert out["delivered"] > 0
+        assert out["events"] > out["delivered"]
+
+    def test_latency_positive(self):
+        out = simulate(self._config())
+        assert out["avg_latency_ms"] > 0
+        assert out["avg_hops"] >= 1.0
+
+    def test_longer_sim_more_events(self):
+        short = simulate(self._config(sim_time=300))
+        long = simulate(self._config(sim_time=1200))
+        assert long["events"] > short["events"] * 2
+
+    def test_determinism(self):
+        a = simulate(self._config())
+        b = simulate(self._config())
+        assert a == b
+
+    def test_line_has_more_hops_than_star(self):
+        line = simulate(
+            self._config(n_nodes=8, edges=topology_edges("line", 8), sim_time=1000)
+        )
+        star = simulate(
+            self._config(n_nodes=8, edges=topology_edges("star", 8), sim_time=1000)
+        )
+        assert line["avg_hops"] > star["avg_hops"]
+
+    def test_congestion_queues_packets(self):
+        light = simulate(self._config(packet_bytes=1000))
+        heavy = simulate(self._config(packet_bytes=100_000, send_interval_ms=10.0))
+        assert heavy["queue_peak"] > light["queue_peak"]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            OmnetInput(n_nodes=1, edges=((0, 0),))
+        with pytest.raises(ValueError):
+            OmnetInput(n_nodes=4, edges=((0, 9),))
+        with pytest.raises(ValueError):
+            OmnetInput(n_nodes=4, edges=((0, 1),), sim_time=0)
+
+
+class TestBenchmark:
+    def test_run_and_verify(self):
+        w = OmnetppWorkloadGenerator().generate(
+            1, topology="ring", n_nodes=8, sim_time=600
+        )
+        prof = run_benchmark(OmnetppBenchmark(), w)
+        assert prof.verified
+        assert prof.output["delivered"] > 0
+
+    def test_alberta_set_size(self):
+        ws = OmnetppWorkloadGenerator().alberta_set()
+        assert len(ws) == 10  # Table II count
+        names = ws.names()
+        # the paper's seven topologies
+        for t in ("line", "ring", "star", "tree", "random9", "random18", "random27"):
+            assert any(t in n for n in names)
+
+
+class TestNedFormat:
+    """The paper's workloads are .ned files; test the parser/renderer."""
+
+    def test_roundtrip(self):
+        from repro.benchmarks.omnetpp import parse_ned, to_ned
+
+        config = OmnetInput(
+            n_nodes=6,
+            edges=topology_edges("ring", 6),
+            sim_time=700,
+            send_interval_ms=15.0,
+            packet_bytes=2000,
+            seed=9,
+        )
+        assert parse_ned(to_ned(config, "ring6")) == config
+
+    def test_parse_rejects_garbage(self):
+        from repro.benchmarks.omnetpp import parse_ned
+
+        with pytest.raises(Exception):
+            parse_ned("simple Module {}")
+        with pytest.raises(Exception):
+            parse_ned("network x { submodules: node[4]: Host; }")  # no edges
+
+    def test_benchmark_accepts_ned_payload(self):
+        gen = OmnetppWorkloadGenerator()
+        w = gen.generate(2, topology="star", n_nodes=6, sim_time=400, as_ned=True)
+        assert isinstance(w.payload, str)
+        prof = run_benchmark(OmnetppBenchmark(), w)
+        assert prof.verified
+        assert prof.coverage.fraction("parseNed") > 0
+
+    def test_ned_and_direct_payload_agree(self):
+        from repro.benchmarks.omnetpp import parse_ned
+
+        gen = OmnetppWorkloadGenerator()
+        direct = gen.generate(4, topology="tree", n_nodes=7, sim_time=400)
+        as_text = gen.generate(4, topology="tree", n_nodes=7, sim_time=400, as_ned=True)
+        assert parse_ned(as_text.payload) == direct.payload
+        a = simulate(direct.payload)
+        b = simulate(parse_ned(as_text.payload))
+        assert a == b

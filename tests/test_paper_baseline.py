@@ -1,0 +1,81 @@
+"""Tests for the published-Table-II baseline and rank comparison."""
+
+import pytest
+
+from repro.analysis.paper_baseline import PAPER_TABLE2, compare_to_paper, spearman
+from repro.core.characterize import characterize
+
+
+class TestPaperData:
+    def test_fifteen_rows(self):
+        assert len(PAPER_TABLE2) == 15
+
+    def test_workload_counts_match_table(self):
+        counts = {r.benchmark: r.n_workloads for r in PAPER_TABLE2}
+        assert counts["519.lbm_r"] == 30
+        assert counts["505.mcf_r"] == 7
+        assert counts["502.gcc_r"] == 19
+
+    def test_known_values(self):
+        leela = next(r for r in PAPER_TABLE2 if r.benchmark == "541.leela_r")
+        assert leela.s_mu == 27.6
+        xalan = next(r for r in PAPER_TABLE2 if r.benchmark == "523.xalancbmk_r")
+        assert xalan.mu_g_m == 108
+
+    def test_paper_category_means_roughly_sum(self):
+        """Each row's four mu_g percentages sum near 100 (geometric
+        means of fractions need not sum exactly)."""
+        for row in PAPER_TABLE2:
+            total = row.f_mu + row.b_mu + row.s_mu + row.r_mu
+            assert 85 < total < 110, row.benchmark
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        r = spearman([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= r <= 1.0
+
+    def test_constant_series_is_zero(self):
+        assert spearman([5, 5, 5], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_monotone_transform_invariance(self):
+        a = [3.0, 1.0, 4.0, 1.5, 9.0]
+        b = [x**3 for x in a]
+        assert spearman(a, b) == pytest.approx(1.0)
+
+
+class TestCompareToPaper:
+    def test_subset_comparison(self):
+        chars = [
+            characterize(bid)
+            for bid in ("541.leela_r", "548.exchange2_r", "557.xz_r", "519.lbm_r")
+        ]
+        result = compare_to_paper(chars)
+        for key in ("spearman_f_mu", "spearman_b_mu", "spearman_s_mu", "spearman_r_mu"):
+            assert -1.0 <= result[key] <= 1.0
+        assert "leaders" in result
+
+    def test_needs_enough_benchmarks(self):
+        chars = [characterize("557.xz_r")]
+        with pytest.raises(ValueError):
+            compare_to_paper(chars)
+
+    def test_bad_speculation_ranking_matches_paper(self):
+        """On this subset the bad-spec ranking (leela >> xz >> lbm,
+        exchange2 in between) is paper-identical -> correlation 1.0."""
+        chars = [
+            characterize(bid)
+            for bid in ("541.leela_r", "557.xz_r", "548.exchange2_r", "519.lbm_r")
+        ]
+        result = compare_to_paper(chars)
+        assert result["spearman_s_mu"] == pytest.approx(1.0)

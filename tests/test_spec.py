@@ -1,0 +1,66 @@
+"""Tests for SPEC metadata and the Section III evolution analysis."""
+
+import pytest
+
+from repro.spec.history import (
+    carried_over,
+    dropped_after_2006,
+    evolution_summary,
+    mean_time_2006,
+    mean_time_2017,
+    new_in_2017,
+)
+from repro.spec.spec2017 import FP_2017, INT_2017, TABLE1_ROWS, info
+
+
+class TestTable1Data:
+    def test_mean_2017_matches_paper(self):
+        """Table I reports an arithmetic average of 517 s for 2017."""
+        assert round(mean_time_2017()) == 517
+
+    def test_mean_2006_matches_paper(self):
+        """Table I reports an arithmetic average of 405 s for 2006."""
+        assert round(mean_time_2006()) == 405
+
+    def test_row_count(self):
+        assert len(TABLE1_ROWS) == 13
+
+    def test_known_row(self):
+        mcf = next(r for r in TABLE1_ROWS if r.spec2017 == "505.mcf_r")
+        assert mcf.spec2006 == "429.mcf"
+        assert mcf.time2017 == 633
+        assert mcf.time2006 == 333
+
+    def test_2017_only_rows(self):
+        new = new_in_2017()
+        assert len(new) == 1  # exchange (Sudoku) is the only new INT entry
+
+    def test_2006_only_rows(self):
+        dropped = {r.spec2006 for r in dropped_after_2006()}
+        assert dropped == {"456.hmmer", "462.libquantum", "473.astar"}
+
+    def test_carried_over_count(self):
+        assert len(carried_over()) == 9
+
+
+class TestSuiteInfo:
+    def test_info_lookup(self):
+        entry = info("502.gcc_r")
+        assert entry.area == "Compiler"
+        assert entry.predecessor_2006 == "403.gcc"
+
+    def test_info_unknown(self):
+        with pytest.raises(KeyError):
+            info("999.nope_r")
+
+    def test_int_suite_has_ten_benchmarks(self):
+        assert len(INT_2017) == 10
+
+    def test_fp_entries_are_fp(self):
+        assert all(b.suite == "fp" for b in FP_2017)
+
+    def test_evolution_summary_keys(self):
+        s = evolution_summary()
+        assert s["mean_time_2017"] > s["mean_time_2006"]
+        assert len(s["fp_areas_new"]) == 5
+        assert len(s["fp_areas_dropped"]) == 5

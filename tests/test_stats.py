@@ -1,0 +1,197 @@
+"""Unit and property tests for repro.core.stats (Equations 1-5)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    COVERAGE_FLOOR,
+    RatioSummary,
+    geometric_mean,
+    geometric_std,
+    method_variation,
+    mu_g_of_variations,
+    proportional_variation,
+    summarize_ratio,
+)
+
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_three_values(self):
+        assert geometric_mean([2.0, 4.0, 8.0]) == pytest.approx(4.0)
+
+    def test_identical_values(self):
+        assert geometric_mean([3.5] * 10) == pytest.approx(3.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, float("nan")])
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_bounded_by_min_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30), positive_floats)
+    def test_scale_equivariance(self, values, k):
+        """gm(k*x) == k * gm(x)."""
+        g1 = geometric_mean(values)
+        g2 = geometric_mean([k * v for v in values])
+        assert g2 == pytest.approx(k * g1, rel=1e-9)
+
+    @given(st.lists(positive_floats, min_size=2, max_size=30))
+    def test_leq_arithmetic_mean(self, values):
+        """AM-GM inequality."""
+        g = geometric_mean(values)
+        a = sum(values) / len(values)
+        assert g <= a * (1 + 1e-9)
+
+
+class TestGeometricStd:
+    def test_no_variation_gives_one(self):
+        assert geometric_std([5.0] * 7) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # values e and 1/e around mu_g = 1: ln-ratios are +-1, variance 1
+        values = [math.e, 1 / math.e]
+        assert geometric_std(values) == pytest.approx(math.e)
+
+    def test_always_at_least_one(self):
+        assert geometric_std([1.0, 2.0, 3.0]) >= 1.0
+
+    def test_accepts_precomputed_mean(self):
+        values = [1.0, 2.0, 4.0]
+        mu = geometric_mean(values)
+        assert geometric_std(values, mu) == pytest.approx(geometric_std(values))
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_property_at_least_one(self, values):
+        assert geometric_std(values) >= 1.0 - 1e-12
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30), positive_floats)
+    def test_scale_invariance(self, values, k):
+        """Geometric std is invariant under scaling."""
+        s1 = geometric_std(values)
+        s2 = geometric_std([k * v for v in values])
+        assert s2 == pytest.approx(s1, rel=1e-6)
+
+
+class TestProportionalVariation:
+    def test_constant_series(self):
+        # sigma_g = 1, mu_g = 0.5 -> V = 2
+        assert proportional_variation([0.5, 0.5]) == pytest.approx(2.0)
+
+    def test_small_mean_inflates_v(self):
+        """The paper's lbm caveat: tiny means give large V even for
+        modest absolute variation."""
+        small = [0.004, 0.002, 0.008]
+        large = [0.4, 0.2, 0.8]
+        assert proportional_variation(small) > proportional_variation(large)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=20))
+    def test_v_is_sigma_over_mu(self, values):
+        v = proportional_variation(values)
+        assert v == pytest.approx(geometric_std(values) / geometric_mean(values), rel=1e-9)
+
+
+class TestRatioSummary:
+    def test_fields_consistent(self):
+        rs = summarize_ratio([0.1, 0.2, 0.4])
+        assert rs.n == 3
+        assert rs.mu_g == pytest.approx(0.2)
+        assert rs.variation == pytest.approx(rs.sigma_g / rs.mu_g)
+
+    def test_is_ratio_summary(self):
+        assert isinstance(summarize_ratio([0.5]), RatioSummary)
+
+
+class TestMuGOfVariations:
+    def test_four_identical(self):
+        assert mu_g_of_variations([2.0, 2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_matches_paper_equation4(self):
+        vs = [1.2, 1.8, 3.3, 1.1]
+        expected = (1.2 * 1.8 * 3.3 * 1.1) ** 0.25
+        assert mu_g_of_variations(vs) == pytest.approx(expected)
+
+
+class TestMethodVariation:
+    def test_identical_coverage_gives_one(self):
+        """Workload-invariant coverage must yield exactly mu_g(M) = 1,
+        matching the published Table II values for mcf, deepsjeng,
+        leela, and exchange2."""
+        cov = {"a": 0.6, "b": 0.4}
+        result = method_variation([cov, dict(cov), dict(cov)])
+        assert result == pytest.approx(1.0)
+
+    def test_shifting_coverage_increases_variation(self):
+        stable = [{"a": 0.6, "b": 0.4}] * 3
+        shifting = [{"a": 0.9, "b": 0.1}, {"a": 0.1, "b": 0.9}, {"a": 0.5, "b": 0.5}]
+        assert method_variation(shifting) > method_variation(stable)
+
+    def test_others_bucket_groups_small_methods(self):
+        # two methods below the 0.05% threshold in all workloads get
+        # grouped; the result must still be computable and >= 1
+        cov1 = {"hot": 0.9992, "tiny1": 0.0004, "tiny2": 0.0004}
+        cov2 = {"hot": 0.9992, "tiny1": 0.0002, "tiny2": 0.0006}
+        v = method_variation([cov1, cov2])
+        assert v >= 1.0
+
+    def test_method_missing_in_one_workload(self):
+        cov1 = {"a": 1.0}
+        cov2 = {"a": 0.5, "b": 0.5}
+        v = method_variation([cov1, cov2])
+        assert v > 1.0
+
+    def test_floor_prevents_zero_blowup(self):
+        # without the floor, a zero fraction would make mu_g undefined
+        cov1 = {"a": 1.0, "b": 0.0}
+        cov2 = {"a": 0.0, "b": 1.0}
+        v = method_variation([cov1, cov2], floor=COVERAGE_FLOOR)
+        assert math.isfinite(v)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            method_variation([])
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["m1", "m2", "m3"]),
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_always_finite_and_geq_close_to_one(self, covs):
+        v = method_variation(covs)
+        assert math.isfinite(v)
+        # V >= 1 would hold exactly for raw ratios; flooring keeps it close
+        assert v > 0.9

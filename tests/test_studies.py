@@ -1,0 +1,193 @@
+"""Tests for the Section VII studies: kernels, hidden learning, similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core import alberta_workloads
+from repro.core.characterize import characterize
+from repro.studies import (
+    collect_features,
+    evaluate_objective,
+    extract_kernel,
+    hidden_learning_gap,
+    kernel_prediction,
+    kernel_representativeness,
+    most_similar_pairs,
+    pca,
+    similarity_matrix,
+    tune_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def xz_char():
+    return characterize("557.xz_r", keep_profiles=True)
+
+
+@pytest.fixture(scope="module")
+def exchange2_char():
+    return characterize("548.exchange2_r", keep_profiles=True)
+
+
+class TestKernels:
+    def test_extract_covers_target(self, xz_char):
+        kernel = extract_kernel(xz_char.profiles[0], target_coverage=0.8)
+        assert kernel.coverage_on_reference >= 0.8
+        assert kernel.methods
+
+    def test_full_coverage_takes_all_methods(self, xz_char):
+        profile = xz_char.profiles[0]
+        kernel = extract_kernel(profile, target_coverage=1.0)
+        assert set(kernel.methods) == set(profile.coverage.fractions)
+
+    def test_invalid_target(self, xz_char):
+        with pytest.raises(ValueError):
+            extract_kernel(xz_char.profiles[0], target_coverage=0.0)
+
+    def test_prediction_is_valid_topdown(self, xz_char):
+        kernel = extract_kernel(xz_char.profiles[0])
+        vec = kernel_prediction(kernel, xz_char.profiles[1])
+        assert abs(sum(vec.as_tuple()) - 1.0) < 1e-4
+
+    def test_representativeness_reference_is_exactly_covered(self, xz_char):
+        rep = kernel_representativeness(xz_char, target_coverage=0.9)
+        ref = rep.kernel.reference_workload
+        assert rep.coverage_by_workload[ref] >= 0.9
+
+    def test_stable_benchmark_kernels_generalize(self, exchange2_char):
+        """For a workload-stable benchmark, a single-reference kernel
+        stays representative — the paper's expectation for 'some
+        benchmarks'."""
+        rep = kernel_representativeness(exchange2_char)
+        assert rep.worst_coverage > 0.75
+        assert rep.worst_error < 0.15
+
+    def test_sensitive_benchmark_kernels_degrade(self):
+        """For xalancbmk, single-reference kernels lose coverage on
+        other workloads — the §VII failure mode."""
+        char = characterize("523.xalancbmk_r", keep_profiles=True)
+        rep = kernel_representativeness(char)
+        assert rep.worst_coverage < rep.kernel.coverage_on_reference
+
+    def test_requires_profiles(self):
+        char = characterize("557.xz_r", keep_profiles=False)
+        with pytest.raises(ValueError):
+            kernel_representativeness(char)
+
+
+class TestHiddenLearning:
+    def test_objective_positive_and_effort_sensitive(self):
+        ws = list(alberta_workloads("557.xz_r"))[:2]
+        low = evaluate_objective(ws, 2)
+        high = evaluate_objective(ws, 64)
+        assert low > 0 and high > 0
+        assert low != high
+
+    def test_tuning_picks_grid_minimum(self):
+        ws = list(alberta_workloads("557.xz_r"))[:2]
+        result = tune_parameter(ws, candidates=(2, 16, 64))
+        assert result.best_value in (2, 16, 64)
+        assert result.best_objective == min(result.objective_by_value.values())
+
+    def test_gap_report_structure(self):
+        ws = alberta_workloads("557.xz_r")
+        report = hidden_learning_gap(ws, n_tuning=3, candidates=(4, 32))
+        # regret is non-negative by construction
+        assert report.regret >= -1e-9
+        assert report.tuning.best_value in (4, 32)
+
+    def test_needs_holdout(self):
+        ws = alberta_workloads("557.xz_r")
+        with pytest.raises(ValueError):
+            hidden_learning_gap(ws, n_tuning=len(ws))
+
+
+class TestSimilarity:
+    @pytest.fixture(scope="class")
+    def features(self):
+        return [
+            collect_features(b)
+            for b in ("557.xz_r", "519.lbm_r", "521.wrf_r", "541.leela_r")
+        ]
+
+    def test_feature_vector_shape(self, features):
+        from repro.studies.similarity import FEATURE_NAMES
+
+        for f in features:
+            assert f.vector.shape == (len(FEATURE_NAMES),)
+            assert np.isfinite(f.vector).all()
+
+    def test_machine_independence(self):
+        """Features must not depend on the machine configuration —
+        they are derived from raw telemetry counts only."""
+        a = collect_features("557.xz_r")
+        b = collect_features("557.xz_r")
+        assert np.allclose(a.vector, b.vector)
+
+    def test_fp_codes_have_fp_ops(self, features):
+        by_name = {f.benchmark: f.as_dict() for f in features}
+        assert by_name["519.lbm_r"]["fp_op_share"] > 0.5
+        assert by_name["557.xz_r"]["fp_op_share"] < 0.1
+
+    def test_similarity_matrix_properties(self, features):
+        sim = similarity_matrix(features)
+        assert np.allclose(np.diag(sim), 1.0)
+        assert np.allclose(sim, sim.T)
+        assert (sim >= -1e-9).all() and (sim <= 1.0 + 1e-9).all()
+
+    def test_stencil_codes_are_similar(self, features):
+        """lbm and wrf (both grid-sweep FP codes) should be more
+        similar to each other than either is to the Go engine."""
+        pairs = {
+            (a, b): s for a, b, s in most_similar_pairs(features, top=10)
+        }
+        lbm_wrf = pairs[("519.lbm_r", "521.wrf_r")]
+        assert lbm_wrf > pairs.get(("519.lbm_r", "541.leela_r"), 0.0)
+
+    def test_pca(self, features):
+        pts, explained = pca(np.stack([f.vector for f in features]), 2)
+        assert pts.shape == (4, 2)
+        assert 0 < explained.sum() <= 1.0 + 1e-9
+
+    def test_pca_validation(self):
+        with pytest.raises(ValueError):
+            pca(np.zeros(3))
+
+
+class TestCompilerVariation:
+    @pytest.fixture(scope="class")
+    def observations(self):
+        from repro.studies import compiler_variation
+
+        return compiler_variation("557.xz_r", max_workloads=3)
+
+    def test_two_builds_per_workload(self, observations):
+        builds = {}
+        for obs in observations:
+            builds.setdefault(obs.workload, set()).add(obs.build)
+        assert all(b == {"baseline", "fdo-train"} for b in builds.values())
+
+    def test_counters_in_range(self, observations):
+        for obs in observations:
+            assert 0.0 <= obs.branch_misprediction_rate <= 1.0
+            assert 0.0 <= obs.l1d_miss_rate <= 1.0
+            assert 0.0 <= obs.l2_miss_rate <= 1.0
+            assert obs.seconds > 0
+
+    def test_fdo_build_faster_on_training_workload(self, observations):
+        by_key = {(o.workload, o.build): o for o in observations}
+        base = by_key[("xz.train", "baseline")]
+        fdo = by_key[("xz.train", "fdo-train")]
+        assert fdo.seconds <= base.seconds * 1.02
+
+    def test_workloads_disagree_on_counters(self, observations):
+        """The point of the distributed study: counters vary by workload."""
+        rates = {o.l1d_miss_rate for o in observations if o.build == "baseline"}
+        assert len(rates) == 3
+
+    def test_render(self, observations):
+        from repro.studies import variation_table
+
+        text = variation_table(observations)
+        assert "br-miss" in text
+        assert "xz.refrate" in text

@@ -1,0 +1,101 @@
+"""Tests for the top-down category model and its summarization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.topdown import CATEGORIES, TopDownVector, summarize_topdown
+
+
+def vec(f, b, s, r):
+    return TopDownVector(front_end=f, back_end=b, bad_speculation=s, retiring=r)
+
+
+class TestTopDownVector:
+    def test_valid_vector(self):
+        v = vec(0.1, 0.4, 0.2, 0.3)
+        assert v.front_end == 0.1
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            vec(0.5, 0.5, 0.5, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vec(-0.1, 0.5, 0.3, 0.3)
+
+    def test_from_cycles_normalizes(self):
+        v = TopDownVector.from_cycles(10, 40, 20, 30)
+        assert v.back_end == pytest.approx(0.4)
+        assert sum(v.as_tuple()) == pytest.approx(1.0, abs=1e-4)
+
+    def test_from_cycles_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            TopDownVector.from_cycles(0, 0, 0, 0)
+
+    def test_zero_clamped_in_as_tuple(self):
+        v = vec(0.0, 0.5, 0.0, 0.5)
+        f, b, s, r = v.as_tuple()
+        assert f > 0 and s > 0
+
+    def test_category_accessor(self):
+        v = vec(0.1, 0.4, 0.2, 0.3)
+        assert v.category("retiring") == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            v.category("nope")
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=4, max_size=4)
+    )
+    def test_from_cycles_always_valid(self, cycles):
+        v = TopDownVector.from_cycles(*cycles)
+        assert abs(sum((v.front_end, v.back_end, v.bad_speculation, v.retiring)) - 1.0) < 1e-9
+
+
+class TestSummarizeTopdown:
+    def test_identical_vectors_no_variation(self):
+        vs = [vec(0.1, 0.4, 0.2, 0.3)] * 5
+        summary = summarize_topdown(vs)
+        assert summary.n_workloads == 5
+        for c in CATEGORIES:
+            assert summary.sigma_g(c) == pytest.approx(1.0)
+        # V = sigma/mu = 1/mu per category; mu_g(V) = gm of those
+        expected = (
+            (1 / 0.1) * (1 / 0.4) * (1 / 0.2) * (1 / 0.3)
+        ) ** 0.25
+        assert summary.mu_g_v == pytest.approx(expected)
+
+    def test_variation_increases_mu_g_v(self):
+        stable = [vec(0.25, 0.25, 0.25, 0.25)] * 4
+        varying = [
+            vec(0.1, 0.4, 0.2, 0.3),
+            vec(0.4, 0.1, 0.3, 0.2),
+            vec(0.2, 0.3, 0.1, 0.4),
+            vec(0.3, 0.2, 0.4, 0.1),
+        ]
+        assert summarize_topdown(varying).mu_g_v > summarize_topdown(stable).mu_g_v
+
+    def test_small_mean_caveat(self):
+        """Reproduce the paper's lbm/cactuBSSN caveat: a category with a
+        tiny mean and large spread inflates mu_g(V)."""
+        lbm_like = [
+            vec(0.019, 0.612, 0.001, 0.368),
+            vec(0.019, 0.612, 0.012, 0.357),
+            vec(0.019, 0.612, 0.002, 0.367),
+        ]
+        steady = [
+            vec(0.15, 0.45, 0.15, 0.25),
+            vec(0.16, 0.44, 0.14, 0.26),
+            vec(0.14, 0.46, 0.16, 0.24),
+        ]
+        assert summarize_topdown(lbm_like).mu_g_v > summarize_topdown(steady).mu_g_v
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_topdown([])
+
+    def test_mu_g_matches_paper_table_semantics(self):
+        """mu_g per category is the geometric mean of per-workload fractions."""
+        vs = [vec(0.1, 0.4, 0.2, 0.3), vec(0.4, 0.1, 0.3, 0.2)]
+        summary = summarize_topdown(vs)
+        assert summary.mu_g("front_end") == pytest.approx((0.1 * 0.4) ** 0.5)

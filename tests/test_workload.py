@@ -1,0 +1,68 @@
+"""Tests for Workload / WorkloadSet value objects."""
+
+import pytest
+
+from repro.core.workload import Workload, WorkloadKind, WorkloadSet
+
+
+def wl(name="w1", benchmark="505.mcf_r", **kw):
+    return Workload(name=name, benchmark=benchmark, payload=object(), **kw)
+
+
+class TestWorkload:
+    def test_defaults(self):
+        w = wl()
+        assert w.kind == WorkloadKind.PROCEDURAL
+        assert w.seed is None
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            wl(name="")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            wl(kind="downloaded")
+
+    def test_manifest_excludes_payload(self):
+        w = wl(seed=42, params={"n": 3})
+        m = w.manifest()
+        assert m["seed"] == 42
+        assert m["params"] == {"n": 3}
+        assert "payload" not in m
+
+    def test_all_kinds_accepted(self):
+        for kind in WorkloadKind.ALL:
+            assert wl(kind=kind).kind == kind
+
+
+class TestWorkloadSet:
+    def test_add_and_lookup(self):
+        ws = WorkloadSet("505.mcf_r")
+        ws.add(wl("a"))
+        ws.add(wl("b"))
+        assert len(ws) == 2
+        assert ws["a"].name == "a"
+        assert ws[1].name == "b"
+        assert "a" in ws
+        assert "zzz" not in ws
+
+    def test_rejects_duplicate_names(self):
+        ws = WorkloadSet("505.mcf_r")
+        ws.add(wl("a"))
+        with pytest.raises(ValueError):
+            ws.add(wl("a"))
+
+    def test_rejects_wrong_benchmark(self):
+        ws = WorkloadSet("505.mcf_r")
+        with pytest.raises(ValueError):
+            ws.add(wl("a", benchmark="557.xz_r"))
+
+    def test_iteration_preserves_order(self):
+        ws = WorkloadSet("505.mcf_r", [wl("c"), wl("a"), wl("b")])
+        assert ws.names() == ["c", "a", "b"]
+
+    def test_manifest(self):
+        ws = WorkloadSet("505.mcf_r", [wl("a", seed=1), wl("b", seed=2)])
+        manifest = ws.manifest()
+        assert [m["name"] for m in manifest] == ["a", "b"]
+        assert all(m["benchmark"] == "505.mcf_r" for m in manifest)

@@ -1,0 +1,157 @@
+"""Tests for the 525.x264_r video-encoder substrate and generator."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.x264 import VideoInput, X264Benchmark, encode_video, psnr
+from repro.machine import run_benchmark
+from repro.workloads.x264_gen import VIDEO_STYLES, X264WorkloadGenerator, synthesize_video
+
+
+class TestPsnr:
+    def test_identical_images(self):
+        img = np.full((16, 16), 128, dtype=np.uint8)
+        assert psnr(img, img) == 99.0
+
+    def test_noise_lowers_psnr(self):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 255, size=(32, 32)).astype(np.uint8)
+        slightly = np.clip(img.astype(int) + rng.integers(-2, 3, img.shape), 0, 255).astype(np.uint8)
+        very = np.clip(img.astype(int) + rng.integers(-40, 41, img.shape), 0, 255).astype(np.uint8)
+        assert psnr(img, slightly) > psnr(img, very)
+
+
+class TestEncoder:
+    def _frames(self, style="objects", n=4):
+        return synthesize_video(3, n_frames=n, height=24, width=32, style=style)
+
+    def test_reconstruction_quality(self):
+        frames = self._frames()
+        recon, stats = encode_video(frames, qp=4)
+        for i in range(frames.shape[0]):
+            assert psnr(frames[i], recon[i]) > 28.0
+        assert stats["bits"] > 0
+
+    def test_higher_qp_fewer_bits_lower_quality(self):
+        frames = self._frames()
+        recon_lo, stats_lo = encode_video(frames, qp=2)
+        recon_hi, stats_hi = encode_video(frames, qp=24)
+        assert stats_hi["bits"] < stats_lo["bits"]
+        assert psnr(frames[-1], recon_hi[-1]) <= psnr(frames[-1], recon_lo[-1])
+
+    def test_static_video_mostly_skips(self):
+        frames = self._frames(style="static")
+        _, stats = encode_video(frames, qp=8)
+        assert stats["skip_blocks"] > stats["coded_blocks"]
+
+    def test_first_frame_is_intra(self):
+        frames = self._frames(n=2)
+        _, stats = encode_video(frames, qp=8)
+        n_blocks = (24 // 8) * (32 // 8)
+        assert stats["intra_blocks"] == n_blocks
+
+    def test_motion_search_counts(self):
+        frames = self._frames(n=3)
+        _, stats = encode_video(frames, qp=8)
+        assert stats["sad_evals"] > 0
+
+
+class TestVideoInput:
+    def test_validation(self):
+        good = synthesize_video(1, n_frames=3, height=16, width=16)
+        with pytest.raises(ValueError):
+            VideoInput(frames=good[:1])  # too few frames
+        with pytest.raises(ValueError):
+            VideoInput(frames=good, start_frame=99)
+        with pytest.raises(ValueError):
+            VideoInput(frames=good, qp=0)
+        with pytest.raises(ValueError):
+            VideoInput(frames=np.zeros((4, 10, 16), dtype=np.uint8))  # h % 8
+
+
+class TestBenchmark:
+    def test_pipeline_runs(self):
+        w = X264WorkloadGenerator().generate(2, style="objects", n_frames=4)
+        prof = run_benchmark(X264Benchmark(), w)
+        assert prof.verified
+        assert prof.output["psnr_min"] >= X264Benchmark.PSNR_THRESHOLD
+
+    def test_two_pass(self):
+        w = X264WorkloadGenerator().generate(2, style="objects", n_frames=4, two_pass=True)
+        prof = run_benchmark(X264Benchmark(), w)
+        assert prof.verified
+
+    def test_frame_window(self):
+        w = X264WorkloadGenerator().generate(
+            2, style="objects", n_frames=8, start_frame=2, encode_frames=4
+        )
+        prof = run_benchmark(X264Benchmark(), w)
+        assert prof.output["frames"] == 4
+
+    def test_content_drives_bits(self):
+        gen = X264WorkloadGenerator()
+        bm = X264Benchmark()
+        noisy = run_benchmark(bm, gen.generate(4, style="noisy", n_frames=4)).output
+        static = run_benchmark(bm, gen.generate(4, style="static", n_frames=4)).output
+        assert noisy["bits"] > static["bits"] * 3
+
+
+class TestGenerator:
+    def test_styles(self):
+        for style in VIDEO_STYLES:
+            frames = synthesize_video(1, n_frames=3, style=style)
+            assert frames.shape == (3, 48, 64)
+            assert frames.dtype == np.uint8
+
+    def test_determinism(self):
+        a = synthesize_video(5, n_frames=3)
+        b = synthesize_video(5, n_frames=3)
+        assert np.array_equal(a, b)
+
+    def test_alberta_set_size(self):
+        assert len(X264WorkloadGenerator().alberta_set()) == 10
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            synthesize_video(1, style="imax")
+
+
+class TestDiamondSearch:
+    """The fast motion-estimation mode real encoders default to."""
+
+    def _frames(self):
+        return synthesize_video(7, n_frames=4, height=24, width=32, style="objects")
+
+    def test_diamond_round_trips(self):
+        frames = self._frames()
+        recon, stats = encode_video(frames, qp=4, me_method="diamond")
+        assert psnr(frames[-1], recon[-1]) > 26.0
+
+    def test_diamond_needs_fewer_sad_evals(self):
+        frames = self._frames()
+        _, full = encode_video(frames, qp=8, me_method="full")
+        _, diamond = encode_video(frames, qp=8, me_method="diamond")
+        assert diamond["sad_evals"] < full["sad_evals"] / 3
+
+    def test_diamond_quality_close_to_full(self):
+        frames = self._frames()
+        recon_f, _ = encode_video(frames, qp=8, me_method="full")
+        recon_d, _ = encode_video(frames, qp=8, me_method="diamond")
+        assert psnr(frames[-1], recon_d[-1]) > psnr(frames[-1], recon_f[-1]) - 4.0
+
+    def test_me_method_validation(self):
+        frames = self._frames()
+        with pytest.raises(ValueError):
+            VideoInput(frames=frames, me_method="hexagon")
+
+    def test_benchmark_accepts_diamond(self):
+        gen = X264WorkloadGenerator()
+        w = gen.generate(2, style="objects", n_frames=4)
+        payload = VideoInput(
+            frames=w.payload.frames, qp=w.payload.qp, me_method="diamond"
+        )
+        from repro.core.workload import Workload
+
+        w2 = Workload(name="diamond", benchmark="525.x264_r", payload=payload)
+        prof = run_benchmark(X264Benchmark(), w2)
+        assert prof.verified

@@ -1,0 +1,158 @@
+"""Tests for the 523.xalancbmk_r XML/XSLT substrate and generator."""
+
+import pytest
+
+from repro.benchmarks.xalancbmk import (
+    TransformOp,
+    XalanInput,
+    XalancbmkBenchmark,
+    parse_xml,
+    select,
+)
+from repro.machine import run_benchmark
+from repro.workloads.xalancbmk_gen import (
+    XMARK_QUERIES,
+    XalancbmkWorkloadGenerator,
+    make_auction_xml,
+    make_records_xml,
+)
+from repro.workloads.base import make_rng
+
+
+class TestXmlParser:
+    def test_simple_tree(self):
+        root = parse_xml("<a><b>hi</b><c x=\"1\"/></a>")
+        assert root.tag == "a"
+        assert len(root.children) == 2
+        assert root.children[0].text == "hi"
+        assert root.children[1].attrs == {"x": "1"}
+
+    def test_nested_depth(self):
+        root = parse_xml("<a><b><c><d>deep</d></c></b></a>")
+        assert root.children[0].children[0].children[0].text == "deep"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(Exception):
+            parse_xml("<a><b></a></b>")
+
+    def test_stray_close_rejected(self):
+        with pytest.raises(Exception):
+            parse_xml("</a>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(Exception):
+            parse_xml("<a/><b/>")
+
+    def test_prolog_and_comments_skipped(self):
+        root = parse_xml('<?xml version="1.0"?><!-- note --><a>x</a>')
+        assert root.tag == "a"
+
+
+class TestSelect:
+    def _tree(self):
+        return parse_xml(
+            "<site><items>"
+            '<item id="1" hot="yes"><price>5</price></item>'
+            '<item id="2" hot="no"><price>9</price></item>'
+            "</items><people><person/></people></site>"
+        )
+
+    def test_child_path(self):
+        assert len(select(self._tree(), "items/item")) == 2
+
+    def test_wildcard(self):
+        assert len(select(self._tree(), "*/item")) == 2
+
+    def test_attr_predicate(self):
+        nodes = select(self._tree(), "items/item[hot=yes]")
+        assert len(nodes) == 1
+        assert nodes[0].attrs["id"] == "1"
+
+    def test_child_predicate(self):
+        assert len(select(self._tree(), "items/item[price]")) == 2
+
+    def test_descendant(self):
+        tags = {n.tag for n in select(self._tree(), "**")}
+        assert {"items", "item", "price", "people", "person"} <= tags
+
+    def test_no_match(self):
+        assert select(self._tree(), "items/order") == []
+
+
+class TestTransforms:
+    def test_aggregate(self):
+        xml = make_records_xml(make_rng(1), 20)
+        w = XalanInput(
+            xml=xml,
+            ops=(TransformOp("aggregate", "record", key="score"),),
+            repeats=1,
+        )
+        from repro.core.workload import Workload
+
+        wl = Workload(name="t", benchmark="523.xalancbmk_r", payload=w)
+        out = XalancbmkBenchmark().run(wl, _probe())
+        total, count = out["output"].split("/")
+        assert int(count) == 20
+        assert float(total) > 0
+
+    def test_sort_orders_output(self):
+        xml = "<r><x><k>b</k></x><x><k>a</k></x><x><k>c</k></x></r>"
+        w = XalanInput(xml=xml, ops=(TransformOp("sort", "x", key="k"),), repeats=1)
+        from repro.core.workload import Workload
+
+        out = XalancbmkBenchmark().run(
+            Workload(name="t", benchmark="523.xalancbmk_r", payload=w), _probe()
+        )
+        assert out["output"].splitlines() == ["a", "b", "c"]
+
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            TransformOp("rename", "a/b")
+        with pytest.raises(ValueError):
+            TransformOp("extract", "")
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            XalanInput(xml=" ", ops=(TransformOp("extract", "a"),))
+        with pytest.raises(ValueError):
+            XalanInput(xml="<a/>", ops=())
+
+
+def _probe():
+    from repro.machine.telemetry import Probe
+
+    return Probe()
+
+
+class TestGenerators:
+    def test_records_xml_parses(self):
+        xml = make_records_xml(make_rng(2), 30)
+        root = parse_xml(xml)
+        assert len(root.children) == 30
+
+    def test_auction_xml_parses(self):
+        xml = make_auction_xml(make_rng(2), n_items=12, n_people=6)
+        root = parse_xml(xml)
+        assert root.tag == "site"
+        people = select(root, "people/person")
+        assert len(people) == 6
+
+    def test_xmark_has_eighteen_queries(self):
+        """The paper combined XMark's eighteen XSLT-1.0 queries."""
+        assert len(XMARK_QUERIES) == 18
+
+    def test_alberta_set_size(self):
+        ws = XalancbmkWorkloadGenerator().alberta_set()
+        assert len(ws) == 8  # Table II count
+
+    def test_workloads_run(self):
+        gen = XalancbmkWorkloadGenerator()
+        bm = XalancbmkBenchmark()
+        w = gen.generate(5, family="records", stylesheet="compute", size=50)
+        prof = run_benchmark(bm, w)
+        assert prof.verified
+        assert prof.output["lines"] > 0
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            XalancbmkWorkloadGenerator().generate(1, family="wiki")
