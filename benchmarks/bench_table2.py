@@ -16,11 +16,15 @@ findings the paper reports:
   kernel-style benchmarks (mcf, deepsjeng, leela) sit near 1.
 """
 
+import os
+import time
+
 import pytest
 
 from repro.analysis.paper_baseline import compare_to_paper
 from repro.analysis.sensitivity import detect_caveats, rank_by_mu_g_m
 from repro.analysis.tables import render_table2
+from repro.core.characterize import characterize_suite
 from repro.core.suite import benchmark_ids
 
 TABLE2_COUNTS = {
@@ -123,3 +127,52 @@ def test_table2_full_and_shape(benchmark, characterized):
     for col, who in comparison["leaders"].items():
         paper_leader, our_leader = (part.split("=")[1] for part in who.split())
         assert paper_leader == our_leader, f"{col}: {who}"
+
+
+def test_table2_engine_speedup(tmp_path):
+    """Parallel + cached Table II vs. the serial loop.
+
+    Measures the three regimes the engine exists for — serial cold,
+    parallel cold (``workers=4``), and warm cache — over the full
+    benchmark x workload matrix, asserts all three produce byte-identical
+    ``table2_row()`` dicts, and prints the perf trajectory.  The speedup
+    assertions only apply where the hardware can express them: the
+    parallel bound needs >= 4 CPUs, the warm-cache bound always holds.
+    """
+    cache_dir = tmp_path / "cache"
+
+    t0 = time.perf_counter()
+    serial = characterize_suite(workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = characterize_suite(workers=4)
+    t_parallel = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = characterize_suite(workers=4, cache=cache_dir)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = characterize_suite(workers=4, cache=cache_dir)
+    t_warm = time.perf_counter() - t0
+
+    serial_rows = [c.table2_row() for c in serial]
+    assert [c.table2_row() for c in parallel] == serial_rows
+    assert [c.table2_row() for c in cold] == serial_rows
+    assert [c.table2_row() for c in warm] == serial_rows
+
+    print()
+    print(f"serial cold        : {t_serial:8.2f}s")
+    print(f"parallel-4 cold    : {t_parallel:8.2f}s  ({t_serial / t_parallel:.2f}x)")
+    print(f"parallel-4 + cache : {t_cold:8.2f}s  (cold, writes cache)")
+    print(f"warm cache         : {t_warm:8.2f}s  ({t_warm / t_serial:6.1%} of serial)")
+
+    assert t_warm < 0.10 * t_serial, "warm-cache rerun should be <10% of cold serial"
+    if (os.cpu_count() or 1) >= 4:
+        assert t_serial / t_parallel >= 2.5, (
+            f"expected >=2.5x parallel speedup on {os.cpu_count()} CPUs, "
+            f"got {t_serial / t_parallel:.2f}x"
+        )
+    else:
+        print(f"(only {os.cpu_count()} CPU(s): parallel speedup bound not applicable)")

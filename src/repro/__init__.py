@@ -23,7 +23,9 @@ from .analysis import (
 )
 from .core import (
     BenchmarkCharacterization,
+    CharacterizationEngine,
     CoverageProfile,
+    ResultCache,
     TopDownVector,
     Workload,
     WorkloadSet,
@@ -47,7 +49,9 @@ __all__ = [
     "render_table2",
     "sensitivity_report",
     "BenchmarkCharacterization",
+    "CharacterizationEngine",
     "CoverageProfile",
+    "ResultCache",
     "TopDownVector",
     "Workload",
     "WorkloadSet",

@@ -20,8 +20,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core.characterize import BenchmarkCharacterization, characterize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cache import ResultCache
 from ..core.suite import benchmark_ids
 from .figures import render_figure1, render_figure2
 from .paper_baseline import compare_to_paper
@@ -37,9 +41,16 @@ def export_bundle(
     ids: list[str] | None = None,
     *,
     base_seed: int = 0,
+    workers: int | None = 1,
+    cache: "ResultCache | str | Path | None" = None,
 ) -> dict[str, int]:
     """Characterize ``ids`` (default: all Table II rows) and write the
-    distribution bundle; returns {artifact kind: count written}."""
+    distribution bundle; returns {artifact kind: count written}.
+
+    ``workers``/``cache`` are forwarded to :func:`characterize` — the
+    bundle is the prime warm-cache beneficiary, since it re-runs the
+    exact Table II matrix that a prior ``table2`` already profiled.
+    """
     out = Path(out_dir)
     (out / "reports").mkdir(parents=True, exist_ok=True)
     (out / "figures").mkdir(parents=True, exist_ok=True)
@@ -47,7 +58,15 @@ def export_bundle(
     selected = ids or sorted(benchmark_ids(table2_only=True))
     chars: list[BenchmarkCharacterization] = []
     for bid in selected:
-        chars.append(characterize(bid, base_seed=base_seed, keep_profiles=True))
+        chars.append(
+            characterize(
+                bid,
+                base_seed=base_seed,
+                keep_profiles=True,
+                workers=workers,
+                cache=cache,
+            )
+        )
 
     (out / "table1.txt").write_text(render_table1() + "\n")
     (out / "table2.txt").write_text(render_table2(chars) + "\n")

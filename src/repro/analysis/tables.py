@@ -73,6 +73,8 @@ def render_table2(characterizations: Sequence[BenchmarkCharacterization]) -> str
     )
     lines = [header, "-" * len(header)]
     for row in table2_rows(characterizations):
+        refrate = row["refrate_seconds"]
+        refrate_text = f"{refrate:>11.4f}" if refrate is not None else f"{'n/a':>11}"
         lines.append(
             f"{row['benchmark']:<17} {row['n_workloads']:>3} "
             f"{row['f_mu_g']:>6.1f} {row['f_sigma_g']:>5.1f} "
@@ -80,6 +82,6 @@ def render_table2(characterizations: Sequence[BenchmarkCharacterization]) -> str
             f"{row['s_mu_g']:>6.1f} {row['s_sigma_g']:>5.1f} "
             f"{row['r_mu_g']:>6.1f} {row['r_sigma_g']:>5.1f} "
             f"{row['mu_g_v']:>8.1f} {row['mu_g_m']:>8.1f} "
-            f"{row['refrate_seconds']:>11.4f}"
+            f"{refrate_text}"
         )
     return "\n".join(lines)

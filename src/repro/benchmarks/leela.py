@@ -416,6 +416,9 @@ class LeelaBenchmark:
         payload = workload.payload
         if not isinstance(payload, GoInput):
             raise BenchmarkError(f"leela: bad payload type {type(payload).__name__}")
+        # the tree-node allocation cursor is process-global; start every
+        # run from a canonical layout so results depend only on the workload
+        _MctsNode._next = 0
         rng = random.Random(0xA11CE)
         finished = 0
         total_playouts = 0

@@ -301,6 +301,10 @@ class XalancbmkBenchmark:
         if not isinstance(payload, XalanInput):
             raise BenchmarkError(f"xalancbmk: bad payload type {type(payload).__name__}")
 
+        # the DOM-node allocation cursor is process-global; start every
+        # run from a canonical layout so results depend only on the workload
+        XmlNode._next_addr = 0
+
         with probe.method("XMLScanner_scan", code_bytes=6144):
             root = parse_xml(payload.xml, probe)
 

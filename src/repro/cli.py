@@ -15,9 +15,48 @@ Commands mirror the deliverables:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Where the CLI keeps its characterization result cache."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that runs characterizations."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for characterization (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the engine flags into characterize() keyword arguments."""
+    cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return {"workers": args.workers, "cache": cache}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,13 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="characterize benchmarks, print Table II")
     p.add_argument("benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)")
+    _add_engine_options(p)
 
     for name in ("fig1", "fig2"):
         p = sub.add_parser(name, help=f"render Figure {name[-1]} for one benchmark")
         p.add_argument("benchmark")
+        _add_engine_options(p)
 
     p = sub.add_parser("report", help="per-benchmark Alberta report")
     p.add_argument("benchmark")
+    _add_engine_options(p)
+
+    p = sub.add_parser("cache", help="inspect or wipe the result cache")
+    p.add_argument("action", choices=("info", "wipe"))
+    p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=f"result cache directory (default: {default_cache_dir()})",
+    )
 
     p = sub.add_parser("generate", help="mint and validate one workload")
     p.add_argument("benchmark")
@@ -53,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("export", help="write the full result bundle to a directory")
     p.add_argument("out_dir")
     p.add_argument("benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)")
+    _add_engine_options(p)
 
     sub.add_parser("list", help="list registered benchmarks")
     return parser
@@ -72,22 +125,33 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.tables import render_table2
         from .core.characterize import characterize
         from .core.suite import benchmark_ids
+        from .machine import telemetry
 
+        kwargs = _engine_kwargs(args)
         ids = args.benchmarks or sorted(benchmark_ids(table2_only=True))
         chars = []
         for bid in ids:
             print(f"characterizing {bid} ...", file=sys.stderr)
-            chars.append(characterize(bid))
+            chars.append(characterize(bid, **kwargs))
         print(render_table2(chars))
         print()
         print(sensitivity_report(chars))
+        stats = telemetry.counters("engine.cache")
+        if stats:
+            print(
+                f"cache: {stats.get('engine.cache.hits', 0)} hits, "
+                f"{stats.get('engine.cache.misses', 0)} misses, "
+                f"{stats.get('engine.cache.bytes_read', 0)} B read, "
+                f"{stats.get('engine.cache.bytes_written', 0)} B written",
+                file=sys.stderr,
+            )
         return 0
 
     if args.command in ("fig1", "fig2"):
         from .analysis.figures import render_figure1, render_figure2
         from .core.characterize import characterize
 
-        char = characterize(args.benchmark, keep_profiles=True)
+        char = characterize(args.benchmark, keep_profiles=True, **_engine_kwargs(args))
         render = render_figure1 if args.command == "fig1" else render_figure2
         print(render(char))
         return 0
@@ -96,7 +160,20 @@ def main(argv: list[str] | None = None) -> int:
         from .core.characterize import characterize
         from .core.reports import benchmark_report
 
-        print(benchmark_report(characterize(args.benchmark)))
+        print(benchmark_report(characterize(args.benchmark, **_engine_kwargs(args))))
+        return 0
+
+    if args.command == "cache":
+        from .core.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+        if args.action == "wipe":
+            n = cache.wipe()
+            print(f"removed {n} cached profiles from {cache.root}")
+        else:
+            print(f"cache dir : {cache.root}")
+            print(f"entries   : {len(cache)}")
+            print(f"bytes     : {cache.total_bytes()}")
         return 0
 
     if args.command == "generate":
@@ -142,7 +219,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "export":
         from .analysis.export import export_bundle
 
-        counts = export_bundle(args.out_dir, args.benchmarks or None)
+        counts = export_bundle(args.out_dir, args.benchmarks or None, **_engine_kwargs(args))
         print(f"wrote {counts['tables']} tables, {counts['reports']} reports, "
               f"{counts['figures']} figures to {args.out_dir}")
         return 0

@@ -1,7 +1,14 @@
 """Core methodology: workloads, statistics, top-down and coverage summaries."""
 
-from .characterize import BenchmarkCharacterization, characterize, characterize_suite
+from .cache import CacheStats, ResultCache, cache_key, payload_digest
+from .characterize import (
+    BenchmarkCharacterization,
+    assemble_characterization,
+    characterize,
+    characterize_suite,
+)
 from .coverage import CoverageProfile, CoverageSummary, summarize_coverage
+from .engine import CharacterizationEngine, default_workers
 from .reports import benchmark_report, execution_time_report
 from .suite import alberta_workloads, benchmark_ids, get_benchmark, get_generator
 from .validation import ValidationReport, validate_workload_set
@@ -19,8 +26,15 @@ from .workload import Workload, WorkloadKind, WorkloadSet
 
 __all__ = [
     "BenchmarkCharacterization",
+    "assemble_characterization",
     "characterize",
     "characterize_suite",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "payload_digest",
+    "CharacterizationEngine",
+    "default_workers",
     "benchmark_report",
     "execution_time_report",
     "alberta_workloads",

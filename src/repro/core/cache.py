@@ -1,0 +1,320 @@
+"""Content-addressed on-disk cache for characterization results.
+
+Re-running Table II, the figures, or the studies repeats the exact same
+(benchmark, workload) executions; since the whole pipeline is
+deterministic (see DESIGN.md §6), every :class:`ExecutionProfile` is a
+pure function of four inputs:
+
+* the benchmark id,
+* the workload content (name, seed, params, and a digest of the
+  payload itself),
+* the machine configuration,
+* the repro version (the cost model may change between releases).
+
+:func:`cache_key` hashes those four inputs into a stable SHA-256 key
+and :class:`ResultCache` stores the profile (minus the benchmark
+output, which the summaries never read) as JSON under
+``<root>/<key[:2]>/<key>.json``.  JSON floats round-trip exactly
+(``repr`` is shortest-round-trip), so a cached profile reconstructs the
+summaries bit-identically.
+
+Cache traffic (hits / misses / bytes) is mirrored into the process-wide
+counters of :mod:`repro.machine.telemetry` under ``engine.cache.*`` so
+operational tooling can observe it without holding the cache object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Mapping, Set
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+from typing import Any
+
+from ..machine import telemetry
+from ..machine.cache import HierarchyStats
+from ..machine.cost import MachineConfig, MachineReport, MethodCost
+from ..machine.profiler import ExecutionProfile
+from .coverage import CoverageProfile
+from .topdown import TopDownVector
+from .workload import Workload
+
+__all__ = [
+    "CACHE_FORMAT",
+    "payload_digest",
+    "workload_fingerprint",
+    "cache_key",
+    "profile_to_dict",
+    "profile_from_dict",
+    "CacheStats",
+    "ResultCache",
+]
+
+#: Bump when the serialized profile layout changes; part of every key.
+CACHE_FORMAT = 1
+
+
+# --------------------------------------------------------------- hashing
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed a canonical, type-tagged encoding of ``obj`` into ``h``.
+
+    Equal values produce equal streams regardless of how they were
+    built; mappings are visited in sorted key order and sets as sorted
+    element digests, so insertion order never leaks into the hash.
+    """
+    if obj is None:
+        h.update(b"N;")
+    elif isinstance(obj, bool):
+        h.update(b"T;" if obj else b"F;")
+    elif isinstance(obj, int):
+        h.update(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        h.update(b"f" + repr(obj).encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        h.update(b"s%d:" % len(raw))
+        h.update(raw)
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        raw = bytes(obj)
+        h.update(b"b%d:" % len(raw))
+        h.update(raw)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"l")
+        for item in obj:
+            _update(h, item)
+        h.update(b"e")
+    elif isinstance(obj, Mapping):
+        h.update(b"d")
+        for key in sorted(obj, key=lambda k: (type(k).__name__, repr(k))):
+            _update(h, key)
+            _update(h, obj[key])
+        h.update(b"e")
+    elif isinstance(obj, (set, frozenset, Set)):
+        h.update(b"S")
+        for digest in sorted(payload_digest(item) for item in obj):
+            h.update(digest.encode())
+        h.update(b"e")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"D" + type(obj).__name__.encode() + b":")
+        for f in fields(obj):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+        h.update(b"e")
+    elif type(obj).__module__ == "numpy" and hasattr(obj, "tobytes"):
+        h.update(b"A" + str(obj.dtype).encode() + repr(obj.shape).encode() + b":")
+        h.update(obj.tobytes())
+    else:
+        rep = repr(obj)
+        if " at 0x" in rep:
+            raise TypeError(
+                f"payload_digest: {type(obj).__name__} has no value-based repr; "
+                "add a dataclass wrapper or a stable __repr__"
+            )
+        h.update(b"r" + rep.encode() + b";")
+
+
+def payload_digest(obj: Any) -> str:
+    """SHA-256 hex digest of a canonical encoding of any payload value."""
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def workload_fingerprint(workload: Workload) -> dict[str, Any]:
+    """The workload identity that participates in the cache key."""
+    return {
+        "name": workload.name,
+        "benchmark": workload.benchmark,
+        "kind": workload.kind,
+        "seed": workload.seed,
+        "params": payload_digest(dict(workload.params)),
+        "payload": payload_digest(workload.payload),
+    }
+
+
+def cache_key(
+    benchmark_id: str,
+    workload: Workload,
+    machine: MachineConfig | None = None,
+) -> str:
+    """Stable key for one (benchmark, workload, machine, version) cell."""
+    from .. import __version__
+
+    h = hashlib.sha256()
+    _update(
+        h,
+        {
+            "format": CACHE_FORMAT,
+            "version": __version__,
+            "benchmark": benchmark_id,
+            "workload": workload_fingerprint(workload),
+            "machine": asdict(machine or MachineConfig()),
+        },
+    )
+    return h.hexdigest()
+
+
+# --------------------------------------------------------- serialization
+
+
+def profile_to_dict(profile: ExecutionProfile) -> dict[str, Any]:
+    """Serialize a profile (minus its benchmark ``output``) to plain JSON.
+
+    The output object is intentionally dropped: summaries only read the
+    machine report, and outputs can be arbitrarily large.  A profile
+    restored from the cache therefore has ``output=None``.
+    """
+    report = profile.report
+    td = report.topdown
+    return {
+        "format": CACHE_FORMAT,
+        "benchmark": profile.benchmark,
+        "workload": profile.workload,
+        "verified": profile.verified,
+        "report": {
+            "topdown": [td.front_end, td.back_end, td.bad_speculation, td.retiring],
+            "coverage": dict(report.coverage.fractions),
+            "cycles": report.cycles,
+            "seconds": report.seconds,
+            "per_method": {name: asdict(mc) for name, mc in report.per_method.items()},
+            "cache_stats": asdict(report.cache_stats),
+            "branch_misprediction_rate": report.branch_misprediction_rate,
+            "sampling_stride": report.sampling_stride,
+            "counters": dict(report.counters),
+        },
+    }
+
+
+def profile_from_dict(data: Mapping[str, Any]) -> ExecutionProfile:
+    """Reconstruct an :class:`ExecutionProfile` from :func:`profile_to_dict`."""
+    if data.get("format") != CACHE_FORMAT:
+        raise ValueError(f"unsupported cache entry format {data.get('format')!r}")
+    rep = data["report"]
+    f, b, s, r = rep["topdown"]
+    report = MachineReport(
+        topdown=TopDownVector(front_end=f, back_end=b, bad_speculation=s, retiring=r),
+        coverage=CoverageProfile(dict(rep["coverage"])),
+        cycles=rep["cycles"],
+        seconds=rep["seconds"],
+        per_method={name: MethodCost(**mc) for name, mc in rep["per_method"].items()},
+        cache_stats=HierarchyStats(**rep["cache_stats"]),
+        branch_misprediction_rate=rep["branch_misprediction_rate"],
+        sampling_stride=rep["sampling_stride"],
+        counters=dict(rep["counters"]),
+    )
+    return ExecutionProfile(
+        benchmark=data["benchmark"],
+        workload=data["workload"],
+        report=report,
+        output=None,
+        verified=data["verified"],
+    )
+
+
+# ----------------------------------------------------------------- cache
+
+
+class CacheStats:
+    """Traffic counters for one :class:`ResultCache` instance."""
+
+    __slots__ = ("hits", "misses", "bytes_read", "bytes_written")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"read={self.bytes_read}B, written={self.bytes_written}B)"
+        )
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized execution profiles.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + ``os.replace``), so concurrent writers of
+    the *same* key are safe — last writer wins with identical content.
+    A corrupt or truncated entry reads as a miss and is overwritten on
+    the next :meth:`put`.
+
+    Invalidation is purely key-based: any change to the workload
+    content, machine config, serialization format, or repro version
+    produces a different key, and stale entries are simply never read
+    again.  :meth:`wipe` removes everything under the root.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ExecutionProfile | None:
+        """Look up a profile; a miss (or unreadable entry) returns None."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+            profile = profile_from_dict(json.loads(raw))
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            telemetry.record("engine.cache.misses")
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw)
+        telemetry.record("engine.cache.hits")
+        telemetry.record("engine.cache.bytes_read", len(raw))
+        return profile
+
+    def put(self, key: str, profile: ExecutionProfile) -> None:
+        """Store a profile under ``key`` (atomic replace)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        raw = json.dumps(profile_to_dict(profile), separators=(",", ":")).encode()
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(raw)
+        os.replace(tmp, path)
+        self.stats.bytes_written += len(raw)
+        telemetry.record("engine.cache.bytes_written", len(raw))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*/*.json"))
+
+    def wipe(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        n = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return n

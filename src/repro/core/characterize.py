@@ -15,15 +15,25 @@ the whole table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile, Profiler
 from .coverage import CoverageSummary, summarize_coverage
 from .suite import alberta_workloads, benchmark_ids, get_benchmark
 from .topdown import TopDownSummary, summarize_topdown
-from .workload import WorkloadSet
+from .workload import Workload, WorkloadSet
 
-__all__ = ["BenchmarkCharacterization", "characterize", "characterize_suite"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import ResultCache
+
+__all__ = [
+    "BenchmarkCharacterization",
+    "assemble_characterization",
+    "characterize",
+    "characterize_suite",
+]
 
 
 @dataclass
@@ -46,7 +56,7 @@ class BenchmarkCharacterization:
     def mu_g_m(self) -> float:
         return self.coverage.mu_g_m
 
-    def table2_row(self) -> dict[str, float | int | str]:
+    def table2_row(self) -> dict[str, float | int | str | None]:
         """The Table II row: percentages for mu_g, sigma_g raw."""
         td = self.topdown
         row: dict[str, float | int | str] = {
@@ -63,37 +73,33 @@ class BenchmarkCharacterization:
             row[f"{short}_sigma_g"] = td.sigma_g(cat)
         row["mu_g_v"] = self.mu_g_v
         row["mu_g_m"] = self.mu_g_m
-        row["refrate_seconds"] = self.refrate_seconds if self.refrate_seconds else 0.0
+        # None (no .refrate workload in the set) stays None so exports can
+        # distinguish "not measured" from a measured 0.0 refrate time.
+        row["refrate_seconds"] = self.refrate_seconds
         return row
 
 
-def characterize(
+def assemble_characterization(
     benchmark_id: str,
-    workloads: WorkloadSet | None = None,
+    workloads: list[Workload],
+    profiles: list[ExecutionProfile],
     *,
-    machine: MachineConfig | None = None,
-    base_seed: int = 0,
     keep_profiles: bool = False,
 ) -> BenchmarkCharacterization:
-    """Run one benchmark over its workload set and summarize.
+    """Summarize ordered per-workload profiles into one Table II row.
 
-    ``workloads`` defaults to the benchmark's Alberta set.  The refrate
-    time is taken from the workload whose name ends in ``.refrate``
-    (every default set has one).
+    This is the single summarization path: the serial loop below and
+    the parallel/cached engine both feed their profiles (in workload
+    order) through here, which is what makes their results identical.
     """
-    benchmark = get_benchmark(benchmark_id)
-    if workloads is None:
-        workloads = alberta_workloads(benchmark_id, base_seed)
-    if len(workloads) == 0:
-        raise ValueError(f"characterize: empty workload set for {benchmark_id}")
-
-    profiler = Profiler(machine)
-    profiles: list[ExecutionProfile] = []
+    if len(workloads) != len(profiles):
+        raise ValueError(
+            f"assemble_characterization: {len(workloads)} workloads but "
+            f"{len(profiles)} profiles for {benchmark_id}"
+        )
     seconds: dict[str, float] = {}
     refrate_seconds: float | None = None
-    for workload in workloads:
-        profile = profiler.run(benchmark, workload)
-        profiles.append(profile)
+    for workload, profile in zip(workloads, profiles):
         seconds[workload.name] = profile.seconds
         if workload.name.endswith(".refrate"):
             refrate_seconds = profile.seconds
@@ -107,7 +113,51 @@ def characterize(
         coverage=coverage,
         seconds_by_workload=seconds,
         refrate_seconds=refrate_seconds,
-        profiles=profiles if keep_profiles else [],
+        profiles=list(profiles) if keep_profiles else [],
+    )
+
+
+def characterize(
+    benchmark_id: str,
+    workloads: WorkloadSet | None = None,
+    *,
+    machine: MachineConfig | None = None,
+    base_seed: int = 0,
+    keep_profiles: bool = False,
+    workers: int | None = 1,
+    cache: "ResultCache | str | Path | None" = None,
+) -> BenchmarkCharacterization:
+    """Run one benchmark over its workload set and summarize.
+
+    ``workloads`` defaults to the benchmark's Alberta set.  The refrate
+    time is taken from the workload whose name ends in ``.refrate``
+    (every default set has one).
+
+    ``workers`` fans the per-workload runs out over a process pool
+    (``None`` means ``os.cpu_count()``); ``cache`` reuses profiles from
+    a :class:`~repro.core.cache.ResultCache` (or a directory path).
+    The default ``workers=1, cache=None`` is the plain serial path;
+    both paths produce identical characterizations.
+    """
+    if workers != 1 or cache is not None:
+        from .engine import CharacterizationEngine
+
+        engine = CharacterizationEngine(workers=workers, cache=cache, machine=machine)
+        return engine.characterize(
+            benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
+        )
+
+    benchmark = get_benchmark(benchmark_id)
+    if workloads is None:
+        workloads = alberta_workloads(benchmark_id, base_seed)
+    if len(workloads) == 0:
+        raise ValueError(f"characterize: empty workload set for {benchmark_id}")
+
+    profiler = Profiler(machine)
+    wl = list(workloads)
+    profiles = [profiler.run(benchmark, workload) for workload in wl]
+    return assemble_characterization(
+        benchmark_id, wl, profiles, keep_profiles=keep_profiles
     )
 
 
@@ -117,8 +167,23 @@ def characterize_suite(
     table2_only: bool = True,
     machine: MachineConfig | None = None,
     base_seed: int = 0,
+    workers: int | None = 1,
+    cache: "ResultCache | str | Path | None" = None,
 ) -> list[BenchmarkCharacterization]:
-    """Characterize every registered benchmark (the full Table II)."""
+    """Characterize every registered benchmark (the full Table II).
+
+    With ``workers`` or ``cache`` set, the whole benchmark × workload
+    matrix is handed to the :class:`~repro.core.engine.CharacterizationEngine`
+    as one flat batch (see its ``characterize_suite``); the serial path
+    runs benchmark-by-benchmark, workload-by-workload.
+    """
+    if workers != 1 or cache is not None:
+        from .engine import CharacterizationEngine
+
+        engine = CharacterizationEngine(workers=workers, cache=cache, machine=machine)
+        return engine.characterize_suite(
+            suite=suite, table2_only=table2_only, base_seed=base_seed
+        )
     out = []
     for bid in sorted(benchmark_ids(suite, table2_only=table2_only)):
         out.append(characterize(bid, machine=machine, base_seed=base_seed))

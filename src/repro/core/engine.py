@@ -1,0 +1,241 @@
+"""Parallel, cached characterization execution engine.
+
+:func:`repro.core.characterize.characterize_suite` is a benchmark ×
+workload profiling matrix; every cell — run one benchmark on one
+workload under a fixed machine config — is independent and
+deterministic.  The engine exploits both properties:
+
+* **Parallelism** — cells fan out over a ``ProcessPoolExecutor``
+  (worker count configurable, default ``os.cpu_count()``).  Results
+  are collected in submission order, so parallel runs feed
+  ``summarize_topdown`` / ``summarize_coverage`` the exact same profile
+  sequence as a serial run and the summaries are bit-identical.
+* **Caching** — each cell is looked up in a
+  :class:`~repro.core.cache.ResultCache` before being scheduled, keyed
+  by the cell's full content (see :func:`repro.core.cache.cache_key`),
+  so warm re-runs of Table II, the figures, and the studies skip the
+  profiling entirely.
+
+Worker processes regenerate default Alberta workload sets from
+``(benchmark_id, base_seed)`` instead of receiving pickled payloads
+(sets are memoized per process); explicitly-provided workload sets are
+shipped to the workers as-is.  Profiles returned from workers and from
+the cache carry ``output=None`` — the summaries never read the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from ..machine.cost import MachineConfig
+from ..machine.profiler import ExecutionProfile, Profiler
+from .cache import ResultCache, cache_key
+from .suite import alberta_workloads, benchmark_ids, get_benchmark
+from .workload import Workload, WorkloadSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .characterize import BenchmarkCharacterization
+
+__all__ = ["CharacterizationEngine", "default_workers"]
+
+
+def default_workers() -> int:
+    """The engine's default worker count: every available CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One (benchmark, workload) unit of the profiling matrix.
+
+    ``workload`` is ``None`` for default Alberta workloads — the worker
+    regenerates them from ``(benchmark_id, base_seed)`` rather than
+    unpickling the payload.  Custom workloads ride along explicitly.
+    """
+
+    benchmark_id: str
+    workload_name: str
+    base_seed: int
+    machine: MachineConfig | None
+    workload: Workload | None = None
+
+
+# Per-worker-process memoization: regenerating a 30-workload Alberta set
+# per cell would swamp the run cost for cheap benchmarks.
+_WORKER_SETS: dict[tuple[str, int], WorkloadSet] = {}
+_WORKER_BENCHMARKS: dict[str, Any] = {}
+
+
+def _worker_benchmark(benchmark_id: str) -> Any:
+    bench = _WORKER_BENCHMARKS.get(benchmark_id)
+    if bench is None:
+        bench = _WORKER_BENCHMARKS[benchmark_id] = get_benchmark(benchmark_id)
+    return bench
+
+
+def _worker_workload(cell: _Cell) -> Workload:
+    if cell.workload is not None:
+        return cell.workload
+    key = (cell.benchmark_id, cell.base_seed)
+    workloads = _WORKER_SETS.get(key)
+    if workloads is None:
+        workloads = _WORKER_SETS[key] = alberta_workloads(cell.benchmark_id, cell.base_seed)
+    return workloads[cell.workload_name]
+
+
+def _run_cell(cell: _Cell) -> ExecutionProfile:
+    """Execute one matrix cell (runs in a worker process or inline).
+
+    The benchmark output is stripped before the profile crosses the
+    process boundary: outputs can be large, are never summarized, and
+    dropping them keeps worker results byte-compatible with cache hits.
+    """
+    profile = Profiler(cell.machine).run(_worker_benchmark(cell.benchmark_id), _worker_workload(cell))
+    return replace(profile, output=None)
+
+
+class CharacterizationEngine:
+    """Runs profiling matrices in parallel with an optional result cache.
+
+    Args:
+        workers: process count; ``None`` means ``os.cpu_count()``.
+            ``workers=1`` executes inline (no pool, no pickling).
+        cache: a :class:`ResultCache`, a directory path to open one at,
+            or ``None`` to disable caching.
+        machine: machine configuration shared by every cell.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        cache: ResultCache | str | Path | None = None,
+        machine: MachineConfig | None = None,
+    ):
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.machine = machine
+
+    # ------------------------------------------------------------ matrix
+
+    def run_matrix(
+        self, cells: list[_Cell], workloads: list[Workload]
+    ) -> list[ExecutionProfile]:
+        """Profile every cell, returning results in ``cells`` order.
+
+        Cache lookups and stores happen in the parent process only;
+        workers never touch the cache directory.
+        """
+        if len(cells) != len(workloads):
+            raise ValueError("run_matrix: cells and workloads must align")
+        results: list[ExecutionProfile | None] = [None] * len(cells)
+        keys: list[str | None] = [None] * len(cells)
+        pending: list[tuple[int, _Cell]] = []
+
+        for i, (cell, workload) in enumerate(zip(cells, workloads)):
+            if self.cache is not None:
+                keys[i] = cache_key(cell.benchmark_id, workload, cell.machine)
+                cached = self.cache.get(keys[i])
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            pending.append((i, cell))
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                fresh = [_run_cell(cell) for _, cell in pending]
+            else:
+                n = min(self.workers, len(pending))
+                chunk = max(1, len(pending) // (n * 4))
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    fresh = list(
+                        pool.map(_run_cell, [cell for _, cell in pending], chunksize=chunk)
+                    )
+            for (i, _), profile in zip(pending, fresh):
+                results[i] = profile
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], profile)
+
+        return [p for p in results if p is not None]
+
+    # --------------------------------------------------- characterization
+
+    def characterize(
+        self,
+        benchmark_id: str,
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> "BenchmarkCharacterization":
+        """Engine-backed equivalent of :func:`repro.core.characterize.characterize`."""
+        from .characterize import assemble_characterization
+
+        alberta = workloads is None
+        if alberta:
+            workloads = alberta_workloads(benchmark_id, base_seed)
+        if len(workloads) == 0:
+            raise ValueError(f"characterize: empty workload set for {benchmark_id}")
+        wl = list(workloads)
+        cells = [
+            _Cell(
+                benchmark_id=benchmark_id,
+                workload_name=w.name,
+                base_seed=base_seed,
+                machine=self.machine,
+                workload=None if alberta else w,
+            )
+            for w in wl
+        ]
+        profiles = self.run_matrix(cells, wl)
+        return assemble_characterization(benchmark_id, wl, profiles, keep_profiles=keep_profiles)
+
+    def characterize_suite(
+        self,
+        *,
+        suite: str | None = None,
+        table2_only: bool = True,
+        base_seed: int = 0,
+    ) -> "list[BenchmarkCharacterization]":
+        """Fan the full benchmark × workload matrix out at once.
+
+        The whole matrix is scheduled as a single flat cell list so the
+        pool stays saturated across benchmark boundaries (a per-benchmark
+        fan-out would drain to one straggler at each join).
+        """
+        from .characterize import assemble_characterization
+
+        ids = sorted(benchmark_ids(suite, table2_only=table2_only))
+        sets = {bid: alberta_workloads(bid, base_seed) for bid in ids}
+        cells: list[_Cell] = []
+        flat: list[Workload] = []
+        for bid in ids:
+            for w in sets[bid]:
+                cells.append(
+                    _Cell(
+                        benchmark_id=bid,
+                        workload_name=w.name,
+                        base_seed=base_seed,
+                        machine=self.machine,
+                    )
+                )
+                flat.append(w)
+        profiles = self.run_matrix(cells, flat)
+
+        out: list[BenchmarkCharacterization] = []
+        cursor = 0
+        for bid in ids:
+            wl = list(sets[bid])
+            chunk = profiles[cursor : cursor + len(wl)]
+            cursor += len(wl)
+            out.append(assemble_characterization(bid, wl, chunk, keep_profiles=False))
+        return out

@@ -33,7 +33,16 @@ import zlib
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["Probe", "MethodCounters", "EV_BRANCH", "EV_DATA", "EV_CALL"]
+__all__ = [
+    "Probe",
+    "MethodCounters",
+    "EV_BRANCH",
+    "EV_DATA",
+    "EV_CALL",
+    "record",
+    "counters",
+    "reset_counters",
+]
 
 EV_BRANCH = 0
 EV_DATA = 1
@@ -44,6 +53,40 @@ _CODE_REGION_BASE = 1 << 40
 
 #: Default cap on sampled events kept in the stream.
 _DEFAULT_EVENT_CAP = 262_144
+
+
+# --------------------------------------------------------------------------
+# Process-wide operational counters.
+#
+# Probes observe one benchmark execution; these counters observe the
+# harness itself (e.g. the characterization engine's result cache:
+# ``engine.cache.hits`` / ``.misses`` / ``.bytes_read`` /
+# ``.bytes_written``).  They are plain monotonically-increasing ints,
+# namespaced by dotted prefix, and live for the life of the process.
+
+_COUNTERS: dict[str, int] = {}
+
+
+def record(name: str, n: int = 1) -> None:
+    """Add ``n`` to the process-wide counter ``name``."""
+    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+
+
+def counters(prefix: str | None = None) -> dict[str, int]:
+    """Snapshot the counters, optionally filtered to a dotted prefix."""
+    if prefix is None:
+        return dict(_COUNTERS)
+    dotted = prefix if prefix.endswith(".") else prefix + "."
+    return {k: v for k, v in _COUNTERS.items() if k == prefix or k.startswith(dotted)}
+
+
+def reset_counters(prefix: str | None = None) -> None:
+    """Zero the counters (all of them, or just one dotted prefix)."""
+    if prefix is None:
+        _COUNTERS.clear()
+        return
+    for key in list(counters(prefix)):
+        del _COUNTERS[key]
 
 
 @dataclass

@@ -1,0 +1,14 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Keep CLI-default result caches out of the real ``~/.cache``.
+
+    The CLI enables the characterization result cache by default;
+    pointing it at a per-test temp dir keeps tests hermetic (no state
+    shared between runs, nothing written to the user's home).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

@@ -61,6 +61,7 @@ class TestCommands:
         assert main(["fig2", "548.exchange2_r"]) == 0
         assert "Figure 2" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_export_bundle(self, tmp_path, capsys):
         out = tmp_path / "bundle"
         assert main(["export", str(out), "548.exchange2_r", "557.xz_r", "541.leela_r"]) == 0

@@ -141,6 +141,7 @@ class TestEvaluationProtocols:
         assert result.eval_workload == "xz.refrate"
         assert result.speedup > 0.5
 
+    @pytest.mark.slow
     def test_cross_validation_spread(self):
         """Cross-validation over diverse workloads shows a speedup
         *distribution*, which single-point evaluation hides."""

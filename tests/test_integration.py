@@ -116,6 +116,7 @@ class TestValidation:
         assert report.ok, report.summary()
 
 
+@pytest.mark.slow
 class TestPaperShape:
     """Coarse shape assertions against the paper's Table II."""
 

@@ -54,6 +54,7 @@ class TestSpearman:
         assert spearman(a, b) == pytest.approx(1.0)
 
 
+@pytest.mark.slow
 class TestCompareToPaper:
     def test_subset_comparison(self):
         chars = [

@@ -1,0 +1,135 @@
+"""Property-based invariants for the Section V statistics.
+
+Hypothesis drives :mod:`repro.core.stats` and :mod:`repro.core.topdown`
+with arbitrary (bounded, strictly positive) inputs and checks the
+mathematical facts the pipeline relies on:
+
+* ``min <= mu_g <= max`` — the geometric mean is bounded by the data;
+* ``sigma_g >= 1`` — geometric dispersion has 1 as its floor;
+* top-down fractions sum to ~1 and survive normalization;
+* ``mu_g(V)`` is invariant under workload-order permutation (Table II
+  must not depend on the order workloads happen to run in — the exact
+  property the parallel engine leans on).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    RatioSummary,
+    geometric_mean,
+    geometric_std,
+    mu_g_of_variations,
+    proportional_variation,
+)
+from repro.core.topdown import CATEGORIES, TopDownVector, summarize_topdown
+
+# Strictly positive, sane-magnitude ratios: wide enough to stress the
+# log-space math, narrow enough to avoid overflow artifacts.
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(positive_floats, min_size=1, max_size=40)
+
+# Raw cycle counts for top-down vectors (at least one must be nonzero).
+cycle_quads = st.tuples(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.floats(min_value=1e-3, max_value=1e9, allow_nan=False),
+)
+
+
+class TestGeometricMean:
+    @given(value_lists)
+    def test_bounded_by_min_and_max(self, values):
+        mu = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= mu <= max(values) * (1 + 1e-9)
+
+    @given(positive_floats)
+    def test_constant_series_is_identity(self, v):
+        assert geometric_mean([v, v, v]) == pytest.approx(v)
+
+    @given(value_lists, positive_floats)
+    def test_scale_equivariance(self, values, k):
+        scaled = geometric_mean([v * k for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * k, rel=1e-6)
+
+
+class TestGeometricStd:
+    @given(value_lists)
+    def test_at_least_one(self, values):
+        assert geometric_std(values) >= 1.0
+
+    @given(positive_floats)
+    def test_no_variation_is_exactly_floor(self, v):
+        assert geometric_std([v, v, v, v]) == pytest.approx(1.0)
+
+    @given(value_lists)
+    def test_ratio_summary_consistent(self, values):
+        rs = RatioSummary(values)
+        assert rs.mu_g == pytest.approx(geometric_mean(values))
+        assert rs.sigma_g == pytest.approx(geometric_std(values))
+        assert rs.variation == pytest.approx(rs.sigma_g / rs.mu_g)
+        assert rs.variation > 0.0
+
+    @given(value_lists)
+    def test_proportional_variation_matches_definition(self, values):
+        v = proportional_variation(values)
+        assert v == pytest.approx(geometric_std(values) / geometric_mean(values))
+
+
+class TestTopDownVector:
+    @given(cycle_quads)
+    def test_from_cycles_sums_to_one(self, quad):
+        vec = TopDownVector.from_cycles(*quad)
+        total = vec.front_end + vec.back_end + vec.bad_speculation + vec.retiring
+        assert math.isclose(total, 1.0, abs_tol=1e-6)
+        for name in CATEGORIES:
+            assert 0.0 <= getattr(vec, name) <= 1.0
+            assert vec.category(name) > 0.0  # epsilon-clamped
+
+    def test_rejects_non_unit_sum(self):
+        with pytest.raises(ValueError):
+            TopDownVector(0.5, 0.5, 0.5, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TopDownVector(-0.1, 0.6, 0.2, 0.3)
+
+
+@st.composite
+def topdown_vectors(draw):
+    quad = draw(cycle_quads)
+    return TopDownVector.from_cycles(*quad)
+
+
+class TestSummaryPermutationInvariance:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(topdown_vectors(), min_size=2, max_size=12), st.randoms())
+    def test_mu_g_v_order_invariant(self, vectors, rng):
+        """Workload order must not affect Table II — the property the
+        parallel engine relies on when it reorders nothing but could."""
+        base = summarize_topdown(vectors)
+        shuffled = list(vectors)
+        rng.shuffle(shuffled)
+        permuted = summarize_topdown(shuffled)
+        assert permuted.mu_g_v == pytest.approx(base.mu_g_v, rel=1e-12)
+        for cat in CATEGORIES:
+            assert permuted.mu_g(cat) == pytest.approx(base.mu_g(cat), rel=1e-12)
+            assert permuted.sigma_g(cat) == pytest.approx(base.sigma_g(cat), rel=1e-12)
+            assert permuted.sigma_g(cat) >= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(topdown_vectors(), min_size=1, max_size=12))
+    def test_summary_category_bounds(self, vectors):
+        summary = summarize_topdown(vectors)
+        for cat in CATEGORIES:
+            series = [v.category(cat) for v in vectors]
+            assert min(series) * (1 - 1e-9) <= summary.mu_g(cat) <= max(series) * (1 + 1e-9)
+        assert summary.mu_g_v == pytest.approx(
+            mu_g_of_variations(summary.variation(c) for c in CATEGORIES)
+        )

@@ -89,6 +89,7 @@ class TestHiddenLearning:
         assert result.best_value in (2, 16, 64)
         assert result.best_objective == min(result.objective_by_value.values())
 
+    @pytest.mark.slow
     def test_gap_report_structure(self):
         ws = alberta_workloads("557.xz_r")
         report = hidden_learning_gap(ws, n_tuning=3, candidates=(4, 32))
