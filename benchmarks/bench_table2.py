@@ -176,3 +176,48 @@ def test_table2_engine_speedup(tmp_path):
         )
     else:
         print(f"(only {os.cpu_count()} CPU(s): parallel speedup bound not applicable)")
+
+
+def test_table2_fault_tolerance_overhead(tmp_path):
+    """Retry/quarantine/trace machinery vs. the plain parallel path.
+
+    On a healthy suite run the fault tolerance is pure bookkeeping: no
+    retries fire, nothing is quarantined, and the trace journal is a
+    sequential append.  This bench runs the full matrix both ways,
+    asserts every resilience counter is zero and the rows are
+    byte-identical, and prints the measured overhead (expected ~0; the
+    bound is generous because both runs pay the pool-startup noise).
+    """
+    from repro.core.run import Run
+
+    t0 = time.perf_counter()
+    plain = characterize_suite(workers=4)
+    t_plain = time.perf_counter() - t0
+
+    trace_path = tmp_path / "suite.jsonl"
+    t0 = time.perf_counter()
+    result = Run(
+        workers=4, retries=2, strict=False, timeout=300.0, trace=trace_path
+    ).characterize_suite()
+    t_guarded = time.perf_counter() - t0
+
+    assert result.ok
+    summary = result.summary
+    assert summary.retries == 0
+    assert summary.timeouts == 0
+    assert summary.crashes == 0
+    assert summary.quarantined == 0
+    assert summary.failed == 0
+
+    plain_rows = [c.table2_row() for c in plain]
+    assert [c.table2_row() for c in result.characterizations] == plain_rows
+
+    overhead = t_guarded / t_plain - 1.0
+    print()
+    print(f"parallel-4 plain            : {t_plain:8.2f}s")
+    print(f"parallel-4 + retries/trace  : {t_guarded:8.2f}s  ({overhead:+.1%})")
+    print(f"journal                     : {trace_path.stat().st_size} B, "
+          f"{summary.cells} spans")
+    assert t_guarded < 1.5 * t_plain, (
+        f"fault-tolerance overhead too high: {overhead:+.1%}"
+    )

@@ -4,6 +4,9 @@ Commands mirror the deliverables:
 
 * ``table1``                       — print Table I;
 * ``table2 [IDS...]``              — characterize and print Table II rows;
+* ``suite``                        — fault-tolerant full-suite run with
+  an optional ``--trace`` JSONL journal;
+* ``trace summary|show PATH``      — inspect a run-trace journal;
 * ``fig1 BENCH`` / ``fig2 BENCH``  — render a figure panel;
 * ``report BENCH``                 — the per-benchmark Alberta report;
 * ``generate BENCH --seed N``      — mint one workload and validate it;
@@ -81,6 +84,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark")
     _add_engine_options(p)
 
+    p = sub.add_parser(
+        "suite",
+        help="characterize the whole suite, tolerating failed cells",
+    )
+    p.add_argument(
+        "benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)"
+    )
+    p.add_argument("--suite", choices=("int", "fp"), default=None, help="restrict to one suite")
+    p.add_argument(
+        "--all-benchmarks",
+        action="store_true",
+        help="include benchmarks without a Table II row",
+    )
+    _add_engine_options(p)
+    p.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL run-trace journal (see `repro trace`)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget (needs a worker pool to enforce)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failed cell (default: 1)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first failed cell instead of completing degraded",
+    )
+
+    p = sub.add_parser("trace", help="inspect a run-trace JSONL journal")
+    p.add_argument("action", choices=("summary", "show"))
+    p.add_argument("path", type=Path)
+
     p = sub.add_parser("cache", help="inspect or wipe the result cache")
     p.add_argument("action", choices=("info", "wipe"))
     p.add_argument(
@@ -147,6 +195,59 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
+    if args.command == "suite":
+        from .analysis.tables import render_table2
+        from .core.errors import CellFailure
+        from .core.run import Session
+
+        kwargs = _engine_kwargs(args)
+        session = Session(
+            workers=kwargs["workers"],
+            cache=kwargs["cache"],
+            timeout=args.timeout,
+            retries=args.retries,
+            strict=args.strict,
+            trace=args.trace,
+        )
+        try:
+            with session:
+                result = session.characterize_suite(
+                    suite=args.suite,
+                    table2_only=not args.all_benchmarks,
+                    ids=args.benchmarks or None,
+                )
+        except CellFailure as failure:
+            print(f"aborted (strict): {failure}", file=sys.stderr)
+            if args.trace:
+                print(f"trace journal: {args.trace}", file=sys.stderr)
+            return 1
+        print(render_table2(result.characterizations))
+        summary = session.summary
+        print(
+            f"cells: {summary.cells} ({summary.ok} ok, {summary.failed} failed, "
+            f"{summary.cache_hits} cached) retries={summary.retries} "
+            f"timeouts={summary.timeouts} crashes={summary.crashes} "
+            f"quarantined={summary.quarantined} in {summary.duration_s:.2f}s",
+            file=sys.stderr,
+        )
+        if result.failures:
+            print("failed cells:", file=sys.stderr)
+            for failure in result.failures:
+                print(f"  {failure}", file=sys.stderr)
+        if args.trace:
+            print(f"trace journal: {args.trace}", file=sys.stderr)
+        return 1 if result.failures else 0
+
+    if args.command == "trace":
+        from .core.trace import render_trace_spans, render_trace_summary
+
+        if not args.path.exists():
+            print(f"no trace journal at {args.path}", file=sys.stderr)
+            return 1
+        render = render_trace_summary if args.action == "summary" else render_trace_spans
+        print(render(args.path))
+        return 0
+
     if args.command in ("fig1", "fig2"):
         from .analysis.figures import render_figure1, render_figure2
         from .core.characterize import characterize
@@ -174,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cache dir : {cache.root}")
             print(f"entries   : {len(cache)}")
             print(f"bytes     : {cache.total_bytes()}")
+            print(f"corrupt   : {cache.quarantined_entries()} (quarantined *.corrupt)")
         return 0
 
     if args.command == "generate":

@@ -8,8 +8,18 @@ from .characterize import (
     characterize_suite,
 )
 from .coverage import CoverageProfile, CoverageSummary, summarize_coverage
-from .engine import CharacterizationEngine, default_workers
+from .engine import CellOutcome, CharacterizationEngine, default_workers
+from .errors import CacheCorruption, CellFailure, ReproError, WorkloadError
 from .reports import benchmark_report, execution_time_report
+from .run import Run, RunResult, Session
+from .trace import (
+    CellSpan,
+    RunSummary,
+    TraceWriter,
+    read_trace,
+    summarize_trace,
+    trace_spans,
+)
 from .suite import alberta_workloads, benchmark_ids, get_benchmark, get_generator
 from .validation import ValidationReport, validate_workload_set
 from .stats import (
@@ -33,8 +43,22 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "payload_digest",
+    "CellOutcome",
     "CharacterizationEngine",
     "default_workers",
+    "ReproError",
+    "WorkloadError",
+    "CellFailure",
+    "CacheCorruption",
+    "Run",
+    "RunResult",
+    "Session",
+    "CellSpan",
+    "RunSummary",
+    "TraceWriter",
+    "read_trace",
+    "summarize_trace",
+    "trace_spans",
     "benchmark_report",
     "execution_time_report",
     "alberta_workloads",

@@ -38,6 +38,7 @@ from ..machine.cache import HierarchyStats
 from ..machine.cost import MachineConfig, MachineReport, MethodCost
 from ..machine.profiler import ExecutionProfile
 from .coverage import CoverageProfile
+from .errors import CacheCorruption
 from .topdown import TopDownVector
 from .workload import Workload
 
@@ -190,9 +191,13 @@ def profile_to_dict(profile: ExecutionProfile) -> dict[str, Any]:
 
 
 def profile_from_dict(data: Mapping[str, Any]) -> ExecutionProfile:
-    """Reconstruct an :class:`ExecutionProfile` from :func:`profile_to_dict`."""
+    """Reconstruct an :class:`ExecutionProfile` from :func:`profile_to_dict`.
+
+    Raises :class:`~repro.core.errors.CacheCorruption` (a ``ValueError``
+    subclass, for compatibility) on an unrecognized layout.
+    """
     if data.get("format") != CACHE_FORMAT:
-        raise ValueError(f"unsupported cache entry format {data.get('format')!r}")
+        raise CacheCorruption(f"unsupported cache entry format {data.get('format')!r}")
     rep = data["report"]
     f, b, s, r = rep["topdown"]
     report = MachineReport(
@@ -221,13 +226,14 @@ def profile_from_dict(data: Mapping[str, Any]) -> ExecutionProfile:
 class CacheStats:
     """Traffic counters for one :class:`ResultCache` instance."""
 
-    __slots__ = ("hits", "misses", "bytes_read", "bytes_written")
+    __slots__ = ("hits", "misses", "bytes_read", "bytes_written", "quarantined")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.quarantined = 0
 
     @property
     def hit_rate(self) -> float:
@@ -240,12 +246,14 @@ class CacheStats:
             "misses": self.misses,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "quarantined": self.quarantined,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"read={self.bytes_read}B, written={self.bytes_written}B)"
+            f"read={self.bytes_read}B, written={self.bytes_written}B, "
+            f"quarantined={self.quarantined})"
         )
 
 
@@ -255,8 +263,9 @@ class ResultCache:
     Entries live at ``<root>/<key[:2]>/<key>.json`` and are written
     atomically (temp file + ``os.replace``), so concurrent writers of
     the *same* key are safe — last writer wins with identical content.
-    A corrupt or truncated entry reads as a miss and is overwritten on
-    the next :meth:`put`.
+    A corrupt or truncated entry is quarantined (renamed to
+    ``*.json.corrupt``), reads as a miss, and is re-created by the next
+    :meth:`put`.
 
     Invalidation is purely key-based: any change to the workload
     content, machine config, serialization format, or repro version
@@ -273,12 +282,27 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> ExecutionProfile | None:
-        """Look up a profile; a miss (or unreadable entry) returns None."""
+        """Look up a profile; a miss (or unreadable entry) returns None.
+
+        An entry that exists but cannot be decoded — truncated write,
+        bit rot, foreign format — is *quarantined*: renamed to
+        ``<key>.json.corrupt`` so the evidence survives for inspection,
+        counted under ``engine.cache.quarantined``, and reported as a
+        miss so the cell is simply re-profiled (and re-cached) instead
+        of crashing the run.
+        """
         path = self._path(key)
         try:
             raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            telemetry.record("engine.cache.misses")
+            return None
+        try:
             profile = profile_from_dict(json.loads(raw))
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # Includes json.JSONDecodeError and CacheCorruption.
+            self._quarantine(path)
             self.stats.misses += 1
             telemetry.record("engine.cache.misses")
             return None
@@ -287,6 +311,15 @@ class ResultCache:
         telemetry.record("engine.cache.hits")
         telemetry.record("engine.cache.bytes_read", len(raw))
         return profile
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (best effort) and count it."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - racing unlink/permissions
+            pass
+        self.stats.quarantined += 1
+        telemetry.record("engine.cache.quarantined")
 
     def put(self, key: str, profile: ExecutionProfile) -> None:
         """Store a profile under ``key`` (atomic replace)."""
@@ -305,9 +338,16 @@ class ResultCache:
     def total_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.root.glob("*/*.json"))
 
+    def quarantined_entries(self) -> int:
+        """How many corrupt entries have been moved aside on disk."""
+        return sum(1 for _ in self.root.glob("*/*.json.corrupt"))
+
     def wipe(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
+        """Delete every entry (and quarantined ``*.corrupt`` remains);
+        returns the number of live entries removed."""
         n = 0
+        for path in self.root.glob("*/*.json.corrupt"):
+            path.unlink(missing_ok=True)
         for path in self.root.glob("*/*.json"):
             path.unlink(missing_ok=True)
             n += 1

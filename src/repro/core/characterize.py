@@ -19,9 +19,9 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..machine.cost import MachineConfig
-from ..machine.profiler import ExecutionProfile, Profiler
+from ..machine.profiler import ExecutionProfile
 from .coverage import CoverageSummary, summarize_coverage
-from .suite import alberta_workloads, benchmark_ids, get_benchmark
+from .errors import WorkloadError
 from .topdown import TopDownSummary, summarize_topdown
 from .workload import Workload, WorkloadSet
 
@@ -93,7 +93,7 @@ def assemble_characterization(
     order) through here, which is what makes their results identical.
     """
     if len(workloads) != len(profiles):
-        raise ValueError(
+        raise WorkloadError(
             f"assemble_characterization: {len(workloads)} workloads but "
             f"{len(profiles)} profiles for {benchmark_id}"
         )
@@ -136,29 +136,20 @@ def characterize(
     ``workers`` fans the per-workload runs out over a process pool
     (``None`` means ``os.cpu_count()``); ``cache`` reuses profiles from
     a :class:`~repro.core.cache.ResultCache` (or a directory path).
-    The default ``workers=1, cache=None`` is the plain serial path;
-    both paths produce identical characterizations.
+    Every configuration is one execution path — the
+    :class:`~repro.core.run.Run` facade over the engine — with
+    ``workers=1, cache=None`` as its serial special case (verified
+    bit-identical to the historical serial loop in
+    ``tests/test_run.py``).  Failures raise
+    :class:`~repro.core.errors.CellFailure`; use :class:`Run` directly
+    for ``strict=False`` degraded runs, timeouts, and trace journals.
     """
-    if workers != 1 or cache is not None:
-        from .engine import CharacterizationEngine
+    from .run import Run
 
-        engine = CharacterizationEngine(workers=workers, cache=cache, machine=machine)
-        return engine.characterize(
-            benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
-        )
-
-    benchmark = get_benchmark(benchmark_id)
-    if workloads is None:
-        workloads = alberta_workloads(benchmark_id, base_seed)
-    if len(workloads) == 0:
-        raise ValueError(f"characterize: empty workload set for {benchmark_id}")
-
-    profiler = Profiler(machine)
-    wl = list(workloads)
-    profiles = [profiler.run(benchmark, workload) for workload in wl]
-    return assemble_characterization(
-        benchmark_id, wl, profiles, keep_profiles=keep_profiles
+    result = Run(workers=workers, cache=cache, machine=machine).characterize(
+        benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
     )
+    return result.characterization
 
 
 def characterize_suite(
@@ -172,19 +163,15 @@ def characterize_suite(
 ) -> list[BenchmarkCharacterization]:
     """Characterize every registered benchmark (the full Table II).
 
-    With ``workers`` or ``cache`` set, the whole benchmark × workload
-    matrix is handed to the :class:`~repro.core.engine.CharacterizationEngine`
-    as one flat batch (see its ``characterize_suite``); the serial path
-    runs benchmark-by-benchmark, workload-by-workload.
+    The whole benchmark × workload matrix is handed to the
+    :class:`~repro.core.engine.CharacterizationEngine` as one flat
+    batch via the :class:`~repro.core.run.Run` facade — the only
+    execution path; ``workers=1, cache=None`` runs it serially, cell
+    by cell, in matrix order.
     """
-    if workers != 1 or cache is not None:
-        from .engine import CharacterizationEngine
+    from .run import Run
 
-        engine = CharacterizationEngine(workers=workers, cache=cache, machine=machine)
-        return engine.characterize_suite(
-            suite=suite, table2_only=table2_only, base_seed=base_seed
-        )
-    out = []
-    for bid in sorted(benchmark_ids(suite, table2_only=table2_only)):
-        out.append(characterize(bid, machine=machine, base_seed=base_seed))
-    return out
+    result = Run(workers=workers, cache=cache, machine=machine).characterize_suite(
+        suite=suite, table2_only=table2_only, base_seed=base_seed
+    )
+    return result.characterizations

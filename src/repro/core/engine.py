@@ -1,4 +1,4 @@
-"""Parallel, cached characterization execution engine.
+"""Fault-tolerant, parallel, cached characterization execution engine.
 
 :func:`repro.core.characterize.characterize_suite` is a benchmark ×
 workload profiling matrix; every cell — run one benchmark on one
@@ -15,6 +15,20 @@ deterministic.  The engine exploits both properties:
   by the cell's full content (see :func:`repro.core.cache.cache_key`),
   so warm re-runs of Table II, the figures, and the studies skip the
   profiling entirely.
+* **Fault tolerance** — a cell that raises, exceeds the per-cell
+  ``timeout``, or takes its worker process down with it is retried up
+  to ``retries`` times with a deterministic exponential backoff; a
+  broken or timed-out pool is torn down and the surviving cells are
+  resubmitted to a fresh one (bounded by ``max_pool_restarts``).
+  Under ``strict=True`` (default) an exhausted cell raises
+  :class:`~repro.core.errors.CellFailure`; under ``strict=False`` the
+  run completes and failed cells are reported in the result instead.
+* **Tracing** — every completed cell emits a
+  :class:`~repro.core.trace.CellSpan` through the engine's
+  :class:`~repro.core.trace.TraceWriter` (benchmark, workload, cache
+  hit/miss, attempts, duration, outcome), mirrored into
+  ``engine.run.*`` telemetry counters and optionally journaled as
+  JSONL (see ``repro suite --trace`` / ``repro trace``).
 
 Worker processes regenerate default Alberta workload sets from
 ``(benchmark_id, base_seed)`` instead of receiving pickled payloads
@@ -22,26 +36,48 @@ Worker processes regenerate default Alberta workload sets from
 shipped to the workers as-is.  Profiles returned from workers and from
 the cache carry ``output=None`` — the summaries never read the
 benchmark output.
+
+Fault injection (for tests and chaos drills): set
+``REPRO_FAULT_INJECT`` to ``;``-separated entries of the form
+``mode[(arg)]:benchmark_glob:workload_glob[:max_attempt]`` with modes
+``raise`` (worker raises), ``exit`` (worker process dies via
+``os._exit(arg or 13)``, breaking the pool), and ``hang`` (worker
+sleeps ``arg or 60`` seconds, tripping the timeout).  ``max_attempt``
+limits the injection to the first N attempts, so retry-recovery paths
+are testable deterministically.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError  # distinct type pre-3.11
 from dataclasses import dataclass, replace
+from fnmatch import fnmatch
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile, Profiler
 from .cache import ResultCache, cache_key
+from .errors import CellFailure, WorkloadError
 from .suite import alberta_workloads, benchmark_ids, get_benchmark
+from .trace import CellSpan, TraceWriter
 from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .characterize import BenchmarkCharacterization
 
-__all__ = ["CharacterizationEngine", "default_workers"]
+__all__ = [
+    "CharacterizationEngine",
+    "CellOutcome",
+    "default_workers",
+    "FAULT_INJECT_ENV",
+]
+
+#: Environment variable holding the fault-injection spec.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 
 def default_workers() -> int:
@@ -64,6 +100,46 @@ class _Cell:
     machine: MachineConfig | None
     workload: Workload | None = None
 
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The terminal record of one cell's execution (or cache hit)."""
+
+    cell: _Cell
+    profile: ExecutionProfile | None
+    cache: str  # "hit" | "miss" | "off"
+    attempts: int
+    duration_s: float
+    outcome: str  # "ok" | "failed" | "timeout" | "crashed"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def span(self) -> CellSpan:
+        return CellSpan(
+            benchmark=self.cell.benchmark_id,
+            workload=self.cell.workload_name,
+            cache=self.cache,
+            attempts=self.attempts,
+            duration_s=self.duration_s,
+            outcome=self.outcome,
+            error=self.error,
+        )
+
+    def failure(self) -> CellFailure:
+        """The unraised :class:`CellFailure` describing this outcome."""
+        return CellFailure(
+            self.cell.benchmark_id,
+            self.cell.workload_name,
+            attempts=self.attempts,
+            outcome=self.outcome,
+            error=self.error or "",
+        )
+
+
+# ----------------------------------------------------------- worker side
 
 # Per-worker-process memoization: regenerating a 30-workload Alberta set
 # per cell would swamp the run cost for cheap benchmarks.
@@ -88,26 +164,98 @@ def _worker_workload(cell: _Cell) -> Workload:
     return workloads[cell.workload_name]
 
 
-def _run_cell(cell: _Cell) -> ExecutionProfile:
+class _InjectedFault(RuntimeError):
+    """Raised by ``REPRO_FAULT_INJECT`` ``raise`` entries."""
+
+
+def _parse_fault_spec(spec: str) -> list[tuple[str, float | None, str, str, int]]:
+    """``mode[(arg)]:bench_glob:wl_glob[:max_attempt]`` entries."""
+    entries = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 3:
+            continue
+        mode, arg = parts[0], None
+        if "(" in mode and mode.endswith(")"):
+            mode, raw = mode[:-1].split("(", 1)
+            arg = float(raw)
+        max_attempt = int(parts[3]) if len(parts) > 3 else 1 << 30
+        entries.append((mode, arg, parts[1], parts[2], max_attempt))
+    return entries
+
+
+def _maybe_inject_fault(cell: _Cell, attempt: int) -> None:
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec:
+        return
+    for mode, arg, bench_glob, wl_glob, max_attempt in _parse_fault_spec(spec):
+        if attempt > max_attempt:
+            continue
+        if not fnmatch(cell.benchmark_id, bench_glob):
+            continue
+        if not fnmatch(cell.workload_name, wl_glob):
+            continue
+        if mode == "raise":
+            raise _InjectedFault(
+                f"injected fault: {cell.benchmark_id}/{cell.workload_name} "
+                f"attempt {attempt}"
+            )
+        if mode == "exit":
+            os._exit(int(arg) if arg is not None else 13)
+        if mode == "hang":
+            time.sleep(arg if arg is not None else 60.0)
+
+
+def _run_cell(cell: _Cell, attempt: int = 1) -> ExecutionProfile:
     """Execute one matrix cell (runs in a worker process or inline).
 
     The benchmark output is stripped before the profile crosses the
     process boundary: outputs can be large, are never summarized, and
     dropping them keeps worker results byte-compatible with cache hits.
     """
+    _maybe_inject_fault(cell, attempt)
     profile = Profiler(cell.machine).run(_worker_benchmark(cell.benchmark_id), _worker_workload(cell))
     return replace(profile, output=None)
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Best-effort terminate a pool's worker processes (hung/broken)."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - process already gone
+            pass
+
+
+# ----------------------------------------------------------- parent side
+
+
 class CharacterizationEngine:
-    """Runs profiling matrices in parallel with an optional result cache.
+    """Runs profiling matrices in parallel with cache, retries, tracing.
 
     Args:
         workers: process count; ``None`` means ``os.cpu_count()``.
-            ``workers=1`` executes inline (no pool, no pickling).
+            ``workers=1`` executes inline (no pool, no pickling) unless
+            a ``timeout`` is set, which requires a pool to enforce.
         cache: a :class:`ResultCache`, a directory path to open one at,
             or ``None`` to disable caching.
         machine: machine configuration shared by every cell.
+        timeout: per-cell wall-clock budget in seconds (pool mode
+            only); a cell that exceeds it is retried on a fresh pool.
+        retries: extra attempts per failed cell (total = 1 + retries).
+        backoff: base of the deterministic exponential backoff; the
+            sleep before retry *k* is ``backoff * 2**(k-1)`` seconds.
+        strict: when True, an exhausted cell raises
+            :class:`CellFailure`; when False, runs complete and report
+            failed cells in their results.
+        trace: a :class:`TraceWriter`, a journal path, or ``None`` for
+            a tally-only writer (telemetry is mirrored either way).
+        max_pool_restarts: how many broken/timed-out pools to replace
+            before declaring every still-pending cell crashed.
     """
 
     def __init__(
@@ -116,6 +264,12 @@ class CharacterizationEngine:
         workers: int | None = None,
         cache: ResultCache | str | Path | None = None,
         machine: MachineConfig | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        strict: bool = True,
+        trace: TraceWriter | str | Path | None = None,
+        max_pool_restarts: int = 3,
     ):
         self.workers = default_workers() if workers is None else int(workers)
         if self.workers < 1:
@@ -124,67 +278,313 @@ class CharacterizationEngine:
             cache = ResultCache(cache)
         self.cache = cache
         self.machine = machine
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout!r}")
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        self.strict = strict
+        if not isinstance(trace, TraceWriter):
+            trace = TraceWriter(trace)
+        self.trace = trace
+        self.max_pool_restarts = max(0, int(max_pool_restarts))
 
     # ------------------------------------------------------------ matrix
 
-    def run_matrix(
-        self, cells: list[_Cell], workloads: list[Workload]
-    ) -> list[ExecutionProfile]:
-        """Profile every cell, returning results in ``cells`` order.
+    def run_cells(self, cells: list[_Cell], workloads: list[Workload]) -> list[CellOutcome]:
+        """Resolve every cell to a :class:`CellOutcome`, in ``cells`` order.
 
+        Never raises for per-cell failures — inspect ``outcome.ok``.
         Cache lookups and stores happen in the parent process only;
-        workers never touch the cache directory.
+        workers never touch the cache directory.  Spans are emitted to
+        the trace writer in matrix order once all cells settle.
         """
         if len(cells) != len(workloads):
-            raise ValueError("run_matrix: cells and workloads must align")
-        results: list[ExecutionProfile | None] = [None] * len(cells)
+            raise WorkloadError("run_cells: cells and workloads must align")
+        outcomes: list[CellOutcome | None] = [None] * len(cells)
         keys: list[str | None] = [None] * len(cells)
-        pending: list[tuple[int, _Cell]] = []
+        pending: list[int] = []
+        quarantined_before = self.cache.stats.quarantined if self.cache is not None else 0
 
         for i, (cell, workload) in enumerate(zip(cells, workloads)):
             if self.cache is not None:
                 keys[i] = cache_key(cell.benchmark_id, workload, cell.machine)
                 cached = self.cache.get(keys[i])
                 if cached is not None:
-                    results[i] = cached
+                    outcomes[i] = CellOutcome(cell, cached, "hit", 0, 0.0, "ok")
                     continue
-            pending.append((i, cell))
+            pending.append(i)
 
         if pending:
-            if self.workers == 1 or len(pending) == 1:
-                fresh = [_run_cell(cell) for _, cell in pending]
-            else:
-                n = min(self.workers, len(pending))
-                chunk = max(1, len(pending) // (n * 4))
-                with ProcessPoolExecutor(max_workers=n) as pool:
-                    fresh = list(
-                        pool.map(_run_cell, [cell for _, cell in pending], chunksize=chunk)
-                    )
-            for (i, _), profile in zip(pending, fresh):
-                results[i] = profile
-                if self.cache is not None and keys[i] is not None:
-                    self.cache.put(keys[i], profile)
+            cache_state = "off" if self.cache is None else "miss"
+            self._execute(cells, pending, outcomes, cache_state)
+            for i in pending:
+                oc = outcomes[i]
+                if oc is not None and oc.ok and keys[i] is not None:
+                    self.cache.put(keys[i], oc.profile)
 
-        return [p for p in results if p is not None]
+        if self.cache is not None:
+            self.trace.quarantine(self.cache.stats.quarantined - quarantined_before)
+        done = [oc for oc in outcomes if oc is not None]
+        for oc in done:
+            self.trace.span(oc.span())
+        return done
+
+    def _execute(
+        self,
+        cells: list[_Cell],
+        pending: list[int],
+        outcomes: list[CellOutcome | None],
+        cache_state: str,
+    ) -> None:
+        """Run the cache-missed cells, inline or pooled."""
+        inline = self.timeout is None and (self.workers == 1 or len(pending) == 1)
+        if inline:
+            self._execute_inline(cells, pending, outcomes, cache_state)
+        else:
+            self._execute_pool(cells, pending, outcomes, cache_state)
+
+    def _execute_inline(
+        self,
+        cells: list[_Cell],
+        pending: list[int],
+        outcomes: list[CellOutcome | None],
+        cache_state: str,
+    ) -> None:
+        for i in pending:
+            cell = cells[i]
+            attempts = 0
+            started = time.perf_counter()
+            while True:
+                attempts += 1
+                try:
+                    profile = _run_cell(cell, attempts)
+                except Exception as exc:
+                    if attempts <= self.retries:
+                        self._backoff_sleep(attempts)
+                        continue
+                    outcomes[i] = CellOutcome(
+                        cell, None, cache_state, attempts,
+                        time.perf_counter() - started, "failed",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    outcomes[i] = CellOutcome(
+                        cell, profile, cache_state, attempts,
+                        time.perf_counter() - started, "ok",
+                    )
+                break
+
+    def _execute_pool(
+        self,
+        cells: list[_Cell],
+        pending: list[int],
+        outcomes: list[CellOutcome | None],
+        cache_state: str,
+    ) -> None:
+        """Pool execution with per-cell timeout, retry, and pool recovery.
+
+        Two phases.  **Batch rounds**: every unresolved cell is
+        submitted to a (fresh) shared pool and harvested in matrix
+        order.  A per-cell failure (worker raised) is charged to that
+        cell and retried.  A timeout charges the cell that tripped it
+        and *abandons* the round; a broken pool charges nobody —
+        when a worker dies every pending future raises
+        ``BrokenProcessPool``, so the culprit is not attributable —
+        and also abandons.  On abandon, finished futures are still
+        harvested, unfinished cells get their attempt refunded, the
+        pool's processes are terminated, and a fresh round begins.
+        After ``max_pool_restarts`` abandoned rounds, **isolation**:
+        each surviving cell runs alone in a single-worker pool, where a
+        crash implicates exactly that cell, so innocents always
+        complete and only genuinely crashing cells fail.
+        """
+        remaining: dict[int, int] = {i: 0 for i in pending}  # index -> attempts
+        first_seen: dict[int, float] = {}
+        restarts = 0
+        round_no = 0
+
+        def finalize(i: int, profile: ExecutionProfile | None, outcome: str, error: str | None) -> None:
+            outcomes[i] = CellOutcome(
+                cells[i], profile, cache_state, max(remaining[i], 1),
+                time.perf_counter() - first_seen[i], outcome, error,
+            )
+            del remaining[i]
+
+        def fail_or_requeue(i: int, outcome: str, error: str) -> None:
+            if remaining[i] > self.retries:
+                finalize(i, None, outcome, error)
+
+        while remaining and restarts <= self.max_pool_restarts:
+            round_no += 1
+            order = sorted(remaining)
+            now = time.perf_counter()
+            for i in order:
+                first_seen.setdefault(i, now)
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(order)))
+            futures: dict[int, Future] = {}
+            abandon = False
+            try:
+                for i in order:
+                    remaining[i] += 1
+                    futures[i] = pool.submit(_run_cell, cells[i], remaining[i])
+            except BrokenExecutor:  # pragma: no cover - instant bootstrap death
+                for i in order:
+                    if i in remaining and i not in futures:
+                        remaining[i] -= 1
+                abandon = True
+
+            for i in order:
+                if i not in remaining or i not in futures:
+                    continue
+                fut = futures[i]
+                if abandon and not fut.done():
+                    remaining[i] -= 1  # refund: goes back on the queue
+                    continue
+                try:
+                    profile = fut.result(timeout=None if abandon else self.timeout)
+                except (FuturesTimeoutError, TimeoutError) as exc:
+                    if fut.done():  # the *worker* raised TimeoutError
+                        fail_or_requeue(i, "failed", f"TimeoutError: {exc}")
+                        continue
+                    abandon = True
+                    fail_or_requeue(
+                        i, "timeout",
+                        f"cell exceeded per-cell timeout of {self.timeout}s",
+                    )
+                except BrokenExecutor:
+                    # Unattributable: the dead worker poisons every
+                    # pending future.  Refund and let the next round —
+                    # or isolation, once the restart budget runs out —
+                    # sort the culprit from the innocents.
+                    abandon = True
+                    remaining[i] -= 1
+                except Exception as exc:
+                    fail_or_requeue(i, "failed", f"{type(exc).__name__}: {exc}")
+                else:
+                    finalize(i, profile, "ok", None)
+
+            if abandon:
+                pool.shutdown(wait=False, cancel_futures=True)
+                _kill_pool(pool)
+                restarts += 1
+            else:
+                pool.shutdown(wait=True)
+
+            if remaining:
+                # Deterministic exponential backoff between retry rounds.
+                self._backoff_sleep(round_no)
+
+        if remaining:
+            self._execute_isolated(cells, remaining, outcomes, cache_state, first_seen)
+
+    def _execute_isolated(
+        self,
+        cells: list[_Cell],
+        remaining: dict[int, int],
+        outcomes: list[CellOutcome | None],
+        cache_state: str,
+        first_seen: dict[int, float],
+    ) -> None:
+        """Run each surviving cell alone in a one-worker pool.
+
+        The fallback when shared pools keep breaking: a single-cell
+        pool makes crashes exactly attributable, so each cell gets its
+        honest retry budget and only genuinely failing cells fail.
+        """
+        for i in sorted(remaining):
+            cell = cells[i]
+            first_seen.setdefault(i, time.perf_counter())
+            while i in remaining:
+                remaining[i] += 1
+                attempt = remaining[i]
+                pool = ProcessPoolExecutor(max_workers=1)
+                abandon = False
+                outcome, error = "", ""
+                profile: ExecutionProfile | None = None
+                try:
+                    fut = pool.submit(_run_cell, cell, attempt)
+                    profile = fut.result(timeout=self.timeout)
+                except (FuturesTimeoutError, TimeoutError) as exc:
+                    abandon = True
+                    if fut.done():
+                        outcome, error = "failed", f"TimeoutError: {exc}"
+                    else:
+                        outcome, error = (
+                            "timeout",
+                            f"cell exceeded per-cell timeout of {self.timeout}s",
+                        )
+                except BrokenExecutor as exc:
+                    abandon = True
+                    outcome = "crashed"
+                    error = f"worker process died: {exc}" if str(exc) else "worker process died"
+                except Exception as exc:
+                    outcome, error = "failed", f"{type(exc).__name__}: {exc}"
+                if abandon:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+                if profile is not None:
+                    outcomes[i] = CellOutcome(
+                        cell, profile, cache_state, attempt,
+                        time.perf_counter() - first_seen[i], "ok",
+                    )
+                    del remaining[i]
+                elif attempt > self.retries:
+                    outcomes[i] = CellOutcome(
+                        cell, None, cache_state, attempt,
+                        time.perf_counter() - first_seen[i], outcome, error,
+                    )
+                    del remaining[i]
+                else:
+                    self._backoff_sleep(attempt)
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        if self.backoff > 0.0:
+            time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def run_matrix(
+        self, cells: list[_Cell], workloads: list[Workload]
+    ) -> list[ExecutionProfile]:
+        """Profile every cell, returning results in ``cells`` order.
+
+        Backward-compatible strict surface over :meth:`run_cells`: the
+        first failed cell raises its :class:`CellFailure` when
+        ``strict`` (failed cells are dropped from the result
+        otherwise).
+        """
+        outcomes = self.run_cells(cells, workloads)
+        failed = [oc for oc in outcomes if not oc.ok]
+        if failed and self.strict:
+            raise failed[0].failure()
+        return [oc.profile for oc in outcomes if oc.ok]
 
     # --------------------------------------------------- characterization
 
-    def characterize(
+    def characterize_run(
         self,
         benchmark_id: str,
         workloads: WorkloadSet | None = None,
         *,
         base_seed: int = 0,
         keep_profiles: bool = False,
-    ) -> "BenchmarkCharacterization":
-        """Engine-backed equivalent of :func:`repro.core.characterize.characterize`."""
+    ) -> "tuple[BenchmarkCharacterization | None, list[CellOutcome]]":
+        """Characterize one benchmark, reporting per-cell outcomes.
+
+        Under ``strict=True`` a failed cell raises its
+        :class:`CellFailure` (after all spans are journaled).  Under
+        ``strict=False`` the characterization is assembled from the
+        surviving cells (``None`` if nothing survived) and the failures
+        ride along in the outcome list.
+        """
         from .characterize import assemble_characterization
 
         alberta = workloads is None
         if alberta:
             workloads = alberta_workloads(benchmark_id, base_seed)
         if len(workloads) == 0:
-            raise ValueError(f"characterize: empty workload set for {benchmark_id}")
+            raise WorkloadError(f"characterize: empty workload set for {benchmark_id}")
         wl = list(workloads)
         cells = [
             _Cell(
@@ -196,25 +596,63 @@ class CharacterizationEngine:
             )
             for w in wl
         ]
-        profiles = self.run_matrix(cells, wl)
-        return assemble_characterization(benchmark_id, wl, profiles, keep_profiles=keep_profiles)
+        outcomes = self.run_cells(cells, wl)
+        failed = [oc for oc in outcomes if not oc.ok]
+        if failed and self.strict:
+            raise failed[0].failure()
+        pairs = [(w, oc.profile) for w, oc in zip(wl, outcomes) if oc.ok]
+        char = None
+        if pairs:
+            char = assemble_characterization(
+                benchmark_id,
+                [w for w, _ in pairs],
+                [p for _, p in pairs],
+                keep_profiles=keep_profiles,
+            )
+        return char, outcomes
 
-    def characterize_suite(
+    def characterize(
+        self,
+        benchmark_id: str,
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> "BenchmarkCharacterization":
+        """Engine-backed equivalent of :func:`repro.core.characterize.characterize`."""
+        char, outcomes = self.characterize_run(
+            benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
+        )
+        if char is None:
+            # strict=False but literally nothing survived: there is no
+            # characterization to degrade to, so surface the first failure.
+            raise next(oc for oc in outcomes if not oc.ok).failure()
+        return char
+
+    def characterize_suite_run(
         self,
         *,
         suite: str | None = None,
         table2_only: bool = True,
         base_seed: int = 0,
-    ) -> "list[BenchmarkCharacterization]":
+        ids: "list[str] | None" = None,
+    ) -> "tuple[list[BenchmarkCharacterization], list[CellOutcome]]":
         """Fan the full benchmark × workload matrix out at once.
 
         The whole matrix is scheduled as a single flat cell list so the
         pool stays saturated across benchmark boundaries (a per-benchmark
         fan-out would drain to one straggler at each join).
+        ``ids`` restricts the run to an explicit benchmark subset
+        (overriding ``suite`` / ``table2_only``).
+
+        Returns the characterizations (assembled per benchmark from the
+        surviving cells; benchmarks with zero survivors are omitted)
+        and every cell outcome.  Under ``strict=True`` the first failed
+        cell raises its :class:`CellFailure` after spans are journaled.
         """
         from .characterize import assemble_characterization
 
-        ids = sorted(benchmark_ids(suite, table2_only=table2_only))
+        ids = sorted(ids if ids is not None else benchmark_ids(suite, table2_only=table2_only))
         sets = {bid: alberta_workloads(bid, base_seed) for bid in ids}
         cells: list[_Cell] = []
         flat: list[Workload] = []
@@ -229,13 +667,39 @@ class CharacterizationEngine:
                     )
                 )
                 flat.append(w)
-        profiles = self.run_matrix(cells, flat)
+        outcomes = self.run_cells(cells, flat)
+        failed = [oc for oc in outcomes if not oc.ok]
+        if failed and self.strict:
+            raise failed[0].failure()
 
         out: list[BenchmarkCharacterization] = []
         cursor = 0
         for bid in ids:
             wl = list(sets[bid])
-            chunk = profiles[cursor : cursor + len(wl)]
+            chunk = outcomes[cursor : cursor + len(wl)]
             cursor += len(wl)
-            out.append(assemble_characterization(bid, wl, chunk, keep_profiles=False))
-        return out
+            pairs = [(w, oc.profile) for w, oc in zip(wl, chunk) if oc.ok]
+            if pairs:
+                out.append(
+                    assemble_characterization(
+                        bid,
+                        [w for w, _ in pairs],
+                        [p for _, p in pairs],
+                        keep_profiles=False,
+                    )
+                )
+        return out, outcomes
+
+    def characterize_suite(
+        self,
+        *,
+        suite: str | None = None,
+        table2_only: bool = True,
+        base_seed: int = 0,
+        ids: "list[str] | None" = None,
+    ) -> "list[BenchmarkCharacterization]":
+        """Characterizations only (see :meth:`characterize_suite_run`)."""
+        chars, _ = self.characterize_suite_run(
+            suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
+        )
+        return chars

@@ -1,0 +1,100 @@
+"""Typed exception hierarchy for the characterization pipeline.
+
+Historically :mod:`repro.core.characterize` and :mod:`repro.core.cache`
+raised bare ``ValueError`` for every failure mode, which made it
+impossible for callers (and the fault-tolerant engine) to distinguish
+"you passed nonsense" from "this cell crashed" from "the on-disk cache
+is damaged".  This module gives each mode its own type:
+
+* :class:`WorkloadError` — the request itself is invalid (empty
+  workload set, misaligned workload/profile lists, unknown benchmark);
+* :class:`CellFailure` — one (benchmark, workload) matrix cell failed
+  to execute after every configured attempt (worker exception, timeout,
+  or crashed worker process);
+* :class:`CacheCorruption` — a cache entry exists but cannot be
+  decoded (truncated write, bit rot, foreign format).
+
+Deprecation note: every type subclasses :class:`ReproError`, which
+itself subclasses ``ValueError``, so pre-existing ``except ValueError``
+call sites keep working for one deprecation cycle.  New code should
+catch the typed exceptions; the ``ValueError`` base will be dropped in
+a future release.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "WorkloadError", "CellFailure", "CacheCorruption"]
+
+
+class ReproError(ValueError):
+    """Base for all repro-typed errors.
+
+    Subclasses ``ValueError`` only for backward compatibility with
+    callers written against the old untyped raises; do not rely on it.
+    """
+
+
+class WorkloadError(ReproError):
+    """The characterization request is invalid before any cell runs."""
+
+
+class CellFailure(ReproError):
+    """One matrix cell exhausted its attempts without producing a profile.
+
+    Carried both as a raised exception (``strict=True``) and as a plain
+    record in :class:`~repro.core.run.RunResult.failures`
+    (``strict=False``).
+
+    Attributes:
+        benchmark: benchmark id of the failed cell.
+        workload: workload name of the failed cell.
+        attempts: how many executions were tried (1 + retries).
+        outcome: ``"failed"`` (worker raised), ``"timeout"`` (exceeded
+            the per-cell timeout), or ``"crashed"`` (worker process
+            died and broke the pool).
+        error: stringified terminal error, for humans and the trace.
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        workload: str,
+        *,
+        attempts: int,
+        outcome: str = "failed",
+        error: str = "",
+    ):
+        self.benchmark = benchmark
+        self.workload = workload
+        self.attempts = attempts
+        self.outcome = outcome
+        self.error = error
+        detail = f": {error}" if error else ""
+        super().__init__(
+            f"cell {benchmark}/{workload} {outcome} after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}{detail}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """The trace-journal representation of this failure."""
+        return {
+            "benchmark": self.benchmark,
+            "workload": self.workload,
+            "attempts": self.attempts,
+            "outcome": self.outcome,
+            "error": self.error,
+        }
+
+
+class CacheCorruption(ReproError):
+    """A result-cache entry exists but cannot be decoded.
+
+    :class:`~repro.core.cache.ResultCache` catches this internally,
+    quarantines the entry (renames it to ``*.corrupt``) and treats the
+    lookup as a miss; the type is public so direct users of
+    :func:`~repro.core.cache.profile_from_dict` can handle it.
+    """
+
+    def __init__(self, message: str, *, path: object = None):
+        self.path = path
+        super().__init__(message)

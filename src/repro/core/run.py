@@ -1,0 +1,239 @@
+"""The single entry point for characterization runs: ``Run`` / ``Session``.
+
+Before this module existed, ``characterize()`` / ``characterize_suite()``
+each carried a duplicated ``workers != 1 or cache is not None`` dispatch
+between a private serial loop and the engine.  Now the
+:class:`~repro.core.engine.CharacterizationEngine` is the *only*
+execution path — ``workers=1, cache=None`` is simply its serial special
+case (verified bit-identical to the old loop in
+``tests/test_run.py``) — and this module is the API over it:
+
+* :class:`Session` — a context manager owning one engine and one trace
+  journal across any number of characterization calls.  Use it when
+  several runs should share a cache, a worker pool configuration, and
+  a single JSONL journal::
+
+      with Session(workers=4, cache="~/.cache/repro", trace="run.jsonl") as s:
+          mcf = s.characterize("505.mcf_r")
+          table2 = s.characterize_suite()
+      summary = s.summary  # RunSummary for everything the session ran
+
+* :class:`Run` — the one-shot facade: configure once, call once, the
+  journal is finalized when the call returns::
+
+      result = Run(workers=4, strict=False).characterize_suite()
+      result.characterizations   # every benchmark that completed
+      result.failures            # CellFailure records for the rest
+
+Every call returns a :class:`RunResult`.  Under ``strict=True`` (the
+default) a failed cell raises :class:`~repro.core.errors.CellFailure`
+after the journal is written; under ``strict=False`` the run completes,
+unaffected benchmarks are bit-identical to a clean run, and the failed
+cells are reported in ``result.failures`` and the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..machine.cost import MachineConfig
+from .cache import ResultCache
+from .engine import CharacterizationEngine, CellOutcome
+from .errors import CellFailure
+from .trace import RunSummary, TraceWriter
+from .workload import WorkloadSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .characterize import BenchmarkCharacterization
+
+__all__ = ["Run", "RunResult", "Session"]
+
+
+@dataclass
+class RunResult:
+    """What one characterization call produced.
+
+    ``summary`` is filled in by :class:`Run` one-shots (whose journal
+    closes with the call) and by :meth:`Session.close` for the last
+    result of a session; mid-session results carry ``summary=None``
+    because the journal is still open.
+    """
+
+    characterizations: "list[BenchmarkCharacterization]"
+    failures: list[CellFailure] = field(default_factory=list)
+    summary: RunSummary | None = None
+    trace_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def characterization(self) -> "BenchmarkCharacterization | None":
+        """The single characterization of a one-benchmark run (or None)."""
+        return self.characterizations[0] if self.characterizations else None
+
+    @property
+    def failed_cells(self) -> list[tuple[str, str]]:
+        """(benchmark, workload) pairs that exhausted their attempts."""
+        return [(f.benchmark, f.workload) for f in self.failures]
+
+    @property
+    def partial_benchmarks(self) -> set[str]:
+        """Benchmarks that completed but are missing failed cells."""
+        completed = {c.benchmark_id for c in self.characterizations}
+        return completed & {f.benchmark for f in self.failures}
+
+
+class Session:
+    """One engine + one trace journal across many characterization calls.
+
+    Accepts the full engine configuration (see
+    :class:`~repro.core.engine.CharacterizationEngine`); the default
+    ``workers=1, cache=None`` is the engine's serial special case, so a
+    bare ``Session()`` behaves exactly like the historical serial loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = 1,
+        cache: ResultCache | str | Path | None = None,
+        machine: MachineConfig | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        strict: bool = True,
+        trace: TraceWriter | str | Path | None = None,
+        max_pool_restarts: int = 3,
+    ):
+        if not isinstance(trace, TraceWriter):
+            trace = TraceWriter(trace)
+        self._writer = trace
+        self.engine = CharacterizationEngine(
+            workers=workers,
+            cache=cache,
+            machine=machine,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            strict=strict,
+            trace=trace,
+            max_pool_restarts=max_pool_restarts,
+        )
+        from .. import __version__
+
+        self._writer.start(
+            {
+                "version": __version__,
+                "workers": self.engine.workers,
+                "cache": self.engine.cache is not None,
+                "strict": strict,
+                "timeout": timeout,
+                "retries": retries,
+            }
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------- runs
+
+    def characterize(
+        self,
+        benchmark_id: str,
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> RunResult:
+        """Characterize one benchmark; failures per the session's ``strict``."""
+        char, outcomes = self.engine.characterize_run(
+            benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
+        )
+        return self._result([char] if char is not None else [], outcomes)
+
+    def characterize_suite(
+        self,
+        *,
+        suite: str | None = None,
+        table2_only: bool = True,
+        base_seed: int = 0,
+        ids: list[str] | None = None,
+    ) -> RunResult:
+        """Characterize the whole suite (or an ``ids`` subset) as one flat matrix."""
+        chars, outcomes = self.engine.characterize_suite_run(
+            suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
+        )
+        return self._result(chars, outcomes)
+
+    def _result(
+        self, chars: "list[BenchmarkCharacterization]", outcomes: list[CellOutcome]
+    ) -> RunResult:
+        return RunResult(
+            characterizations=chars,
+            failures=[oc.failure() for oc in outcomes if not oc.ok],
+            trace_path=self._writer.path,
+        )
+
+    # -------------------------------------------------------- lifecycle
+
+    @property
+    def summary(self) -> RunSummary | None:
+        """The session summary (available once closed)."""
+        return self._writer.summary
+
+    def close(self) -> RunSummary:
+        """Finalize the journal (idempotent) and return the summary."""
+        summary = self._writer.finish()
+        self._writer.close()
+        self._closed = True
+        return summary
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class Run:
+    """One-shot facade over :class:`Session`.
+
+    Holds the configuration; each call opens a session, runs, closes
+    the journal, and returns a :class:`RunResult` with its ``summary``
+    populated.
+    """
+
+    def __init__(self, **config: object):
+        self._config = config
+
+    def characterize(
+        self,
+        benchmark_id: str,
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> RunResult:
+        with Session(**self._config) as session:  # type: ignore[arg-type]
+            result = session.characterize(
+                benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
+            )
+        result.summary = session.summary
+        return result
+
+    def characterize_suite(
+        self,
+        *,
+        suite: str | None = None,
+        table2_only: bool = True,
+        base_seed: int = 0,
+        ids: list[str] | None = None,
+    ) -> RunResult:
+        with Session(**self._config) as session:  # type: ignore[arg-type]
+            result = session.characterize_suite(
+                suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
+            )
+        result.summary = session.summary
+        return result

@@ -1,0 +1,311 @@
+"""Structured run tracing for the characterization engine.
+
+Every engine run can emit a JSONL *journal*: one record per matrix cell
+(a :class:`CellSpan`) plus a terminal :class:`RunSummary`, giving a
+per-run provenance record of what executed, what came from the cache,
+how many attempts each cell took, and how long everything ran — the
+per-run counterpart to the process-global counters in
+:mod:`repro.machine.telemetry`.
+
+Journal format (one JSON object per line, append-only, flushed per
+record so a crashed run leaves a readable prefix):
+
+* ``{"type": "run_start", "run_id": ..., "version": ..., "workers": ...,
+  "cache": bool, "strict": ..., "timeout": ..., "retries": ...,
+  "started_at": <unix seconds>}``
+* ``{"type": "span", "benchmark": ..., "workload": ..., "cache":
+  "hit"|"miss"|"off", "attempts": int, "duration_s": float, "outcome":
+  "ok"|"failed"|"timeout"|"crashed", "error": str|null}`` — one per
+  cell, in matrix order.  ``duration_s`` is parent-observed wall time
+  (submission to completion), so concurrent cells overlap.
+* ``{"type": "summary", "cells": ..., "ok": ..., "failed": ...,
+  "cache_hits": ..., "cache_misses": ..., "retries": ...,
+  "timeouts": ..., "crashes": ..., "quarantined": ...,
+  "duration_s": ...}``
+
+Each span is also mirrored into :mod:`repro.machine.telemetry` under
+``engine.run.*`` so operational tooling sees run traffic without
+holding the journal.  ``repro trace summary|show PATH`` render a
+journal from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+from ..machine import telemetry
+
+__all__ = [
+    "CellSpan",
+    "RunSummary",
+    "TraceWriter",
+    "read_trace",
+    "trace_spans",
+    "summarize_trace",
+    "render_trace_summary",
+    "render_trace_spans",
+]
+
+#: Span outcomes that count as failures in summaries.
+FAILURE_OUTCOMES = ("failed", "timeout", "crashed")
+
+
+@dataclass(frozen=True)
+class CellSpan:
+    """The trace record for one (benchmark, workload) matrix cell."""
+
+    benchmark: str
+    workload: str
+    cache: str  # "hit" | "miss" | "off"
+    attempts: int
+    duration_s: float
+    outcome: str  # "ok" | "failed" | "timeout" | "crashed"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "span", **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CellSpan":
+        return cls(
+            benchmark=data["benchmark"],
+            workload=data["workload"],
+            cache=data.get("cache", "off"),
+            attempts=int(data.get("attempts", 1)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            outcome=data.get("outcome", "ok"),
+            error=data.get("error"),
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate tallies over one engine run's spans."""
+
+    cells: int = 0
+    ok: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    quarantined: int = 0
+    duration_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "summary", **asdict(self)}
+
+    @classmethod
+    def from_spans(
+        cls,
+        spans: Iterable[CellSpan],
+        *,
+        quarantined: int = 0,
+        duration_s: float | None = None,
+    ) -> "RunSummary":
+        """Recompute a summary from spans (e.g. a truncated journal)."""
+        cells = ok = failed = hits = misses = retries = timeouts = crashes = 0
+        busy = 0.0
+        for span in spans:
+            cells += 1
+            busy += span.duration_s
+            if span.ok:
+                ok += 1
+            else:
+                failed += 1
+            if span.cache == "hit":
+                hits += 1
+            elif span.cache == "miss":
+                misses += 1
+            retries += max(0, span.attempts - 1)
+            if span.outcome == "timeout":
+                timeouts += 1
+            elif span.outcome == "crashed":
+                crashes += 1
+        return cls(
+            cells=cells,
+            ok=ok,
+            failed=failed,
+            cache_hits=hits,
+            cache_misses=misses,
+            retries=retries,
+            timeouts=timeouts,
+            crashes=crashes,
+            quarantined=quarantined,
+            duration_s=busy if duration_s is None else duration_s,
+        )
+
+
+class TraceWriter:
+    """Accumulates spans, mirrors them to telemetry, optionally to disk.
+
+    ``path=None`` makes a tally-only writer: the engine always routes
+    spans through one of these so ``engine.run.*`` telemetry stays
+    accurate whether or not a journal was requested.  Records are
+    flushed line-by-line, so a killed run leaves a parsable journal
+    (``summarize_trace`` recomputes the summary from the spans).
+    """
+
+    def __init__(self, path: str | Path | None = None, *, mirror_telemetry: bool = True):
+        self.path = Path(path) if path is not None else None
+        self.mirror_telemetry = mirror_telemetry
+        self._fh: IO[str] | None = None
+        self._spans: list[CellSpan] = []
+        self._quarantined = 0
+        self._started = time.perf_counter()
+        self.summary: RunSummary | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self, meta: dict[str, Any] | None = None) -> None:
+        """Begin the journal with a ``run_start`` record."""
+        self._started = time.perf_counter()
+        record = {
+            "type": "run_start",
+            "run_id": f"{int(time.time() * 1000):x}-{os.getpid()}",
+            "started_at": time.time(),
+            **(meta or {}),
+        }
+        self._write(record)
+
+    def span(self, span: CellSpan) -> None:
+        """Record one completed cell."""
+        self._spans.append(span)
+        self._write(span.to_dict())
+        if self.mirror_telemetry:
+            telemetry.record("engine.run.cells")
+            telemetry.record("engine.run.ok" if span.ok else "engine.run.failed")
+            retries = max(0, span.attempts - 1)
+            if retries:
+                telemetry.record("engine.run.retries", retries)
+            if span.outcome == "timeout":
+                telemetry.record("engine.run.timeouts")
+            elif span.outcome == "crashed":
+                telemetry.record("engine.run.crashes")
+
+    def quarantine(self, n: int = 1) -> None:
+        """Note cache entries quarantined during this run."""
+        self._quarantined += n
+
+    def finish(self) -> RunSummary:
+        """Write the summary record and return it (idempotent)."""
+        if self.summary is None:
+            self.summary = RunSummary.from_spans(
+                self._spans,
+                quarantined=self._quarantined,
+                duration_s=time.perf_counter() - self._started,
+            )
+            self._write(self.summary.to_dict())
+            if self.mirror_telemetry:
+                telemetry.record("engine.run.runs")
+        return self.summary
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.finish()
+        self.close()
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def spans(self) -> list[CellSpan]:
+        return list(self._spans)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+
+# ------------------------------------------------------------------ readers
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a journal into raw records, skipping truncated tail lines."""
+    records: list[dict[str, Any]] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # truncated final line from a killed run
+    return records
+
+
+def trace_spans(path: str | Path) -> list[CellSpan]:
+    """The journal's spans, in matrix order."""
+    return [
+        CellSpan.from_dict(r) for r in read_trace(path) if r.get("type") == "span"
+    ]
+
+
+def summarize_trace(path: str | Path) -> RunSummary:
+    """The journal's summary; recomputed from spans if the run died."""
+    records = read_trace(path)
+    for record in reversed(records):
+        if record.get("type") == "summary":
+            data = {k: v for k, v in record.items() if k != "type"}
+            return RunSummary(**data)
+    spans = [CellSpan.from_dict(r) for r in records if r.get("type") == "span"]
+    return RunSummary.from_spans(spans)
+
+
+def render_trace_summary(path: str | Path) -> str:
+    """Human-readable summary of a journal, for ``repro trace summary``."""
+    s = summarize_trace(path)
+    lines = [
+        f"trace      : {path}",
+        f"cells      : {s.cells}  ({s.ok} ok, {s.failed} failed)",
+        f"cache      : {s.cache_hits} hits, {s.cache_misses} misses, "
+        f"{s.quarantined} quarantined",
+        f"resilience : {s.retries} retries, {s.timeouts} timeouts, "
+        f"{s.crashes} crashes",
+        f"duration   : {s.duration_s:.3f}s",
+    ]
+    failed = [sp for sp in trace_spans(path) if not sp.ok]
+    if failed:
+        lines.append("failed cells:")
+        for sp in failed:
+            err = f" — {sp.error}" if sp.error else ""
+            lines.append(
+                f"  {sp.benchmark}/{sp.workload}: {sp.outcome} "
+                f"after {sp.attempts} attempt(s){err}"
+            )
+    return "\n".join(lines)
+
+
+def render_trace_spans(path: str | Path) -> str:
+    """Per-cell listing of a journal, for ``repro trace show``."""
+    lines = []
+    for sp in trace_spans(path):
+        flag = "ok " if sp.ok else sp.outcome
+        lines.append(
+            f"{flag:<8} {sp.benchmark:<18} {sp.workload:<28} "
+            f"cache={sp.cache:<4} attempts={sp.attempts} "
+            f"t={sp.duration_s:.4f}s"
+        )
+    return "\n".join(lines) if lines else "(no spans)"

@@ -40,6 +40,7 @@ __all__ = [
     "EV_DATA",
     "EV_CALL",
     "record",
+    "record_many",
     "counters",
     "reset_counters",
 ]
@@ -70,6 +71,17 @@ _COUNTERS: dict[str, int] = {}
 def record(name: str, n: int = 1) -> None:
     """Add ``n`` to the process-wide counter ``name``."""
     _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+
+
+def record_many(values: "dict[str, int]", prefix: str = "") -> None:
+    """Bulk-add counters, optionally under a dotted ``prefix``.
+
+    Used by the run-trace layer to mirror a whole run summary into the
+    process-wide counters in one call.
+    """
+    dotted = prefix if not prefix or prefix.endswith(".") else prefix + "."
+    for name, n in values.items():
+        record(dotted + name, n)
 
 
 def counters(prefix: str | None = None) -> dict[str, int]:

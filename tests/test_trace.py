@@ -1,0 +1,184 @@
+"""Run-trace journal tests: writer, readers, CLI, telemetry mirror."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.trace import (
+    CellSpan,
+    RunSummary,
+    TraceWriter,
+    read_trace,
+    summarize_trace,
+    trace_spans,
+)
+from repro.machine import telemetry
+
+SPANS = [
+    CellSpan("505.mcf_r", "mcf.refrate", "miss", 1, 0.05, "ok"),
+    CellSpan("505.mcf_r", "mcf.train", "hit", 0, 0.0, "ok"),
+    CellSpan("505.mcf_r", "mcf.test", "miss", 3, 0.21, "failed", "boom"),
+    CellSpan("557.xz_r", "xz.refrate", "off", 2, 0.40, "timeout", "cell timed out"),
+]
+
+
+def write_journal(path, spans=SPANS, finish=True):
+    writer = TraceWriter(path, mirror_telemetry=False)
+    writer.start({"workers": 2, "strict": False})
+    for span in spans:
+        writer.span(span)
+    if finish:
+        writer.finish()
+    writer.close()
+    return writer
+
+
+class TestWriter:
+    def test_journal_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = write_journal(path)
+
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["run_start"] + ["span"] * 4 + ["summary"]
+        assert records[0]["workers"] == 2
+        assert trace_spans(path) == SPANS
+
+        summary = summarize_trace(path)
+        assert summary == writer.summary
+        assert summary.cells == 4
+        assert summary.ok == 2
+        assert summary.failed == 2
+        assert summary.cache_hits == 1
+        assert summary.cache_misses == 2
+        assert summary.retries == (3 - 1) + (2 - 1)  # attempts beyond the first
+        assert summary.timeouts == 1
+        assert summary.crashes == 0
+
+    def test_finish_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        writer = TraceWriter(path, mirror_telemetry=False)
+        writer.start()
+        writer.span(SPANS[0])
+        first = writer.finish()
+        assert writer.finish() is first
+        writer.close()
+        assert sum(1 for r in read_trace(path) if r["type"] == "summary") == 1
+
+    def test_tally_only_writer_has_no_path(self):
+        writer = TraceWriter(None, mirror_telemetry=False)
+        writer.start()
+        writer.span(SPANS[0])
+        summary = writer.finish()
+        assert writer.path is None
+        assert summary.cells == 1
+
+    def test_quarantine_tally_reaches_summary(self, tmp_path):
+        writer = TraceWriter(tmp_path / "run.jsonl", mirror_telemetry=False)
+        writer.start()
+        writer.quarantine(2)
+        assert writer.finish().quarantined == 2
+        writer.close()
+
+
+class TestTruncatedJournal:
+    def test_readers_survive_a_killed_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_journal(path, finish=False)  # no summary record
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"type":"span","benchmark":"999.trunc')  # torn write
+
+        spans = trace_spans(path)
+        assert spans == SPANS  # torn tail skipped
+        summary = summarize_trace(path)  # recomputed from spans
+        assert summary.cells == 4
+        assert summary.failed == 2
+        assert summary.timeouts == 1
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n" + json.dumps(SPANS[0].to_dict()) + "\n\n")
+        assert trace_spans(path) == [SPANS[0]]
+
+
+class TestTelemetryMirror:
+    def test_spans_mirror_into_engine_run_counters(self):
+        telemetry.reset_counters("engine.run")
+        writer = TraceWriter(None)
+        writer.start()
+        for span in SPANS:
+            writer.span(span)
+        writer.finish()
+
+        stats = telemetry.counters("engine.run")
+        assert stats["engine.run.cells"] == 4
+        assert stats["engine.run.ok"] == 2
+        assert stats["engine.run.failed"] == 2
+        assert stats["engine.run.retries"] == 3
+        assert stats["engine.run.timeouts"] == 1
+        assert stats["engine.run.runs"] == 1
+        assert "engine.run.crashes" not in stats
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+        rc = main(["suite", "505.mcf_r", "--no-cache", "--trace", str(path)])
+        assert rc == 0
+        return path
+
+    def test_suite_writes_a_complete_journal(self, journal):
+        summary = summarize_trace(journal)
+        assert summary.cells == 7  # the mcf Alberta set
+        assert summary.failed == 0
+
+    def test_trace_summary_renders(self, journal, capsys):
+        assert main(["trace", "summary", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "cells      : 7  (7 ok, 0 failed)" in out
+
+    def test_trace_show_lists_every_cell(self, journal, capsys):
+        assert main(["trace", "show", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("505.mcf_r") == 7
+        assert "mcf.alberta.sparse" in out
+
+    def test_trace_summary_names_failed_cells(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_journal(path)
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "failed cells:" in out
+        assert "505.mcf_r/mcf.test: failed after 3 attempt(s) — boom" in out
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no trace journal" in capsys.readouterr().err
+
+    def test_suite_strict_flag_aborts_on_failure(self, tmp_path, monkeypatch, capsys):
+        from repro.core.engine import FAULT_INJECT_ENV
+
+        monkeypatch.setenv(FAULT_INJECT_ENV, "raise:505.mcf_r:mcf.train")
+        path = tmp_path / "run.jsonl"
+        rc = main(
+            ["suite", "505.mcf_r", "--no-cache", "--strict", "--retries", "0",
+             "--trace", str(path)]
+        )
+        assert rc == 1
+        assert "aborted (strict)" in capsys.readouterr().err
+        # The journal still records every settled cell.
+        assert any(not s.ok for s in trace_spans(path))
+
+    def test_suite_degraded_run_reports_and_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.core.engine import FAULT_INJECT_ENV
+
+        monkeypatch.setenv(FAULT_INJECT_ENV, "raise:505.mcf_r:mcf.train")
+        rc = main(["suite", "505.mcf_r", "--no-cache", "--retries", "0"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "505.mcf_r" in captured.out  # degraded row still printed
+        assert "failed cells:" in captured.err
+        assert "mcf.train" in captured.err
