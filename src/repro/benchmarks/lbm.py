@@ -95,7 +95,9 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
     if probe is not None:
         with probe.method("init_grid", code_bytes=1536):
             probe.ops(cells * 9, kind="fp")
-            probe.accesses([_GRID_REGION + i * 8 for i in range(0, cells * 9, 64)])
+            probe.accesses(
+                _GRID_REGION + np.arange(0, cells * 9, 64, dtype=np.int64) * 8
+            )
 
     momentum_trace = []
     for step in range(config.steps):
@@ -107,11 +109,11 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
                 probe.ops(cells * 9 // 2)
                 # touch all nine lattice planes: pure streaming traffic
                 probe.accesses(
-                    [
-                        _GRID_REGION + (k * cells * 8 + i)
-                        for k in range(9)
-                        for i in range(0, cells * 8, 512)
-                    ]
+                    (
+                        _GRID_REGION
+                        + np.arange(9, dtype=np.int64)[:, None] * (cells * 8)
+                        + np.arange(0, cells * 8, 512, dtype=np.int64)[None, :]
+                    ).ravel()
                 )
 
         # bounce-back on obstacles
@@ -120,9 +122,7 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
             with probe.method("bounce_back", code_bytes=1024):
                 n_obstacle = int(mask.sum())
                 probe.ops(max(1, n_obstacle * 9 // 2))
-                probe.branches(
-                    (bool(v) for v in mask.ravel()[:: max(1, cells // 512)]), site=1
-                )
+                probe.branches(mask.ravel()[:: max(1, cells // 512)], site=1)
         f[:, mask] = boundary[_OPPOSITE]
 
         # macroscopic moments
@@ -141,7 +141,9 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
         if probe is not None:
             with probe.method("compute_macroscopic", code_bytes=1536):
                 probe.ops(cells * 12, kind="fp")
-                probe.accesses([_GRID_REGION + i for i in range(0, cells * 8, 256)])
+                probe.accesses(
+                    _GRID_REGION + np.arange(0, cells * 8, 256, dtype=np.int64)
+                )
 
         # BGK collision
         feq = _equilibrium(rho, ux, uy)
@@ -151,7 +153,11 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
                 probe.ops(cells * 9 * 6, kind="fp")
                 probe.ops(cells, kind="fpdiv")
                 probe.accesses(
-                    [_GRID_REGION + (k * cells * 8 + i) for k in range(9) for i in range(0, cells * 8, 1024)]
+                    (
+                        _GRID_REGION
+                        + np.arange(9, dtype=np.int64)[:, None] * (cells * 8)
+                        + np.arange(0, cells * 8, 1024, dtype=np.int64)[None, :]
+                    ).ravel()
                 )
 
         momentum = float(np.sqrt(ux * ux + uy * uy)[~mask].mean())

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -348,7 +350,8 @@ class NetworkSimplex:
                 with probe.method("refresh_potential", code_bytes=1024):
                     probe.ops(self.n * 5)
                     probe.accesses(
-                        [_NODE_REGION + i * _NODE_BYTES for i in range(0, self.n, 2)]
+                        _NODE_REGION
+                        + np.arange(0, self.n, 2, dtype=np.int64) * _NODE_BYTES
                     )
             if len(self._arc_reads) >= 16384:
                 self._flush_telemetry("solve")
@@ -363,7 +366,8 @@ class NetworkSimplex:
             with probe.method("flow_cost", code_bytes=512):
                 probe.ops(self.m * 3)
                 probe.accesses(
-                    [_ARC_REGION + a * _ARC_BYTES for a in range(0, self.m, 2)]
+                    _ARC_REGION
+                    + np.arange(0, self.m, 2, dtype=np.int64) * _ARC_BYTES
                 )
         return SolveResult(
             cost=total_cost,
@@ -387,7 +391,8 @@ class McfBenchmark:
         with probe.method("read_min", code_bytes=1024):
             probe.ops(len(payload.arcs) * 4 + payload.n_nodes * 2)
             probe.accesses(
-                [_ARC_REGION + a * _ARC_BYTES for a in range(len(payload.arcs))]
+                _ARC_REGION
+                + np.arange(len(payload.arcs), dtype=np.int64) * _ARC_BYTES
             )
         solver = NetworkSimplex(payload, probe)
         result = solver.solve()

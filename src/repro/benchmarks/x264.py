@@ -247,7 +247,8 @@ def encode_video(
                 probe.ops(n_blocks * 4 * 16 * 3, kind="fp")
                 probe.branches(coef_branches, site=2)
                 probe.accesses(
-                    [_COEF_REGION + (f * n_blocks + b) * 256 for b in range(n_blocks)]
+                    _COEF_REGION
+                    + (f * n_blocks + np.arange(n_blocks, dtype=np.int64)) * 256
                 )
             with probe.method("entropy_encode", code_bytes=2048):
                 probe.ops(stats["bits"] // 2)
@@ -291,7 +292,8 @@ class X264Benchmark:
             probe.ops(int(window.size) // 2)
             h, w = window.shape[1:]
             probe.accesses(
-                [_FRAME_REGION + i * 64 for i in range(0, int(window.size), 512)]
+                _FRAME_REGION
+                + np.arange(0, int(window.size), 512, dtype=np.int64) * 64
             )
         if not np.array_equal(rebuilt, window):
             raise BenchmarkError("x264: ldecod reconstruction failed")
@@ -307,7 +309,8 @@ class X264Benchmark:
             scores = [psnr(window[i], recon[i]) for i in range(window.shape[0])]
             probe.ops(int(window.size) // 4, kind="fp")
             probe.accesses(
-                [_REF_REGION + i * 64 for i in range(0, int(window.size), 1024)]
+                _REF_REGION
+                + np.arange(0, int(window.size), 1024, dtype=np.int64) * 64
             )
 
         return {

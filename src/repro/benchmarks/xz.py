@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -303,7 +305,13 @@ def compress(
         # entropy-coder work: ~9 ops per literal bit, ~24 per match token
         probe.ops(n_literals * 9 * 8 + n_matches * 24 * 3)
         probe.accesses(
-            [_PROB_REGION + (i * 31 % 32768) * 8 for i in range(0, n_literals * 8 + n_matches * 24, 5)]
+            _PROB_REGION
+            + (
+                np.arange(0, n_literals * 8 + n_matches * 24, 5, dtype=np.int64)
+                * 31
+                % 32768
+            )
+            * 8
         )
 
     return enc.finish()

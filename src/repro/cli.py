@@ -54,6 +54,11 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the on-disk result cache for this run",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print a replay-throughput summary after the run (needs --workers 1)",
+    )
 
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
@@ -159,9 +164,54 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _replay_counters() -> dict:
+    from .machine import telemetry
+
+    return dict(telemetry.counters("engine.profile"))
+
+
+def _print_replay_summary(args: argparse.Namespace, before: dict) -> None:
+    """One-line replay-throughput summary from ``engine.profile.*`` deltas.
+
+    Counters are process-wide, so the numbers are only meaningful when
+    the characterizations ran in this process (``--workers 1``).
+    """
+    if args.workers != 1:
+        print(
+            "verbose: replay summary needs --workers 1 "
+            "(worker processes keep their own counters)",
+            file=sys.stderr,
+        )
+        return
+    after = _replay_counters()
+
+    def delta(name: str) -> int:
+        key = f"engine.profile.{name}"
+        return after.get(key, 0) - before.get(key, 0)
+
+    events = delta("replay_events")
+    ns = delta("replay_ns")
+    evals = delta("evaluations")
+    stride = after.get("engine.profile.replay_stride_max", 0)
+    rate = events / (ns / 1e9) if ns else 0.0
+    print(
+        f"replay: {events} events over {evals} evaluations, "
+        f"stride<={stride}, {rate / 1e6:.2f}M events/s",
+        file=sys.stderr,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        before = _replay_counters()
+        status = _dispatch(args)
+        _print_replay_summary(args, before)
+        return status
+    return _dispatch(args)
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         from .analysis.tables import render_table1
 

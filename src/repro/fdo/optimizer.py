@@ -22,6 +22,8 @@ according to the profile.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..machine.cost import CostModel, MachineConfig, MachineReport
 from ..machine.telemetry import EV_BRANCH, Probe
 from .profile_data import FdoProfile
@@ -84,22 +86,28 @@ class FdoCostModel(CostModel):
             # Concretely: a hinted branch that matches its hint becomes a
             # perfectly-predicted event (all outcomes identical teach the
             # predictor nothing harmful), and a mismatch becomes a
-            # mispredict.  We implement this by replaying manually here
-            # and removing hinted events from the stream.
-            kept = []
+            # mispredict.  We implement this by resolving hinted events
+            # columnar here and removing them from the stream.
             static_mispredicts: dict[int, int] = {}
             static_branches: dict[int, int] = {}
-            for ev in probe.events:
-                method_idx, kind, _a, b = ev
-                if kind == EV_BRANCH and method_idx in hints:
-                    static_branches[method_idx] = static_branches.get(method_idx, 0) + 1
-                    if bool(b) != hints[method_idx]:
-                        static_mispredicts[method_idx] = (
-                            static_mispredicts.get(method_idx, 0) + 1
-                        )
-                    continue
-                kept.append(ev)
-            probe._events = kept
+            midx, kind, a, b = probe.events.columns()
+            n_slots = len(probe.methods())
+            hint_val = np.zeros(n_slots, dtype=bool)
+            is_hinted = np.zeros(n_slots, dtype=bool)
+            for idx, hint in hints.items():
+                hint_val[idx] = hint
+                is_hinted[idx] = True
+            hinted_sel = (kind == EV_BRANCH) & is_hinted[midx]
+            h_midx = midx[hinted_sel]
+            mismatch = (b[hinted_sel] != 0) != hint_val[h_midx]
+            sb = np.bincount(h_midx, minlength=n_slots)
+            sm = np.bincount(h_midx, weights=mismatch, minlength=n_slots).astype(np.int64)
+            for idx in np.flatnonzero(sb).tolist():
+                static_branches[idx] = int(sb[idx])
+                if sm[idx]:
+                    static_mispredicts[idx] = int(sm[idx])
+            keep = ~hinted_sel
+            probe.replace_events_columns(midx[keep], kind[keep], a[keep], b[keep])
 
             report = super().evaluate(probe)
 

@@ -1,0 +1,398 @@
+"""Exact vectorized replay primitives for the machine model.
+
+The cost model replays sampled event streams through a branch
+predictor and an LRU cache hierarchy.  Both structures look inherently
+serial — every access mutates state the next access reads — but both
+admit exact reformulations that vectorize:
+
+* **2-bit saturating counters** are clamped walks.  Every update is a
+  monotone clamp function ``s -> min(u, max(l, s + d))``, and that
+  family is closed under composition, so a whole outcome stream per
+  table slot collapses to one composed function via an associative
+  (segmented, Hillis-Steele) parallel-prefix scan — :func:`counter_scan`.
+
+* **LRU hit/miss** is a stack-distance test: an access hits iff fewer
+  than ``associativity`` distinct lines touched its set since the
+  previous access to the same line.  With ``V[q]`` the position of that
+  previous access (set-major order), the distinct count in the window
+  is ``C[q] - V[q] - 1`` where ``C[q] = #{p < q : V[p] <= V[q]}``,
+  because every ``p <= V[q]`` trivially satisfies ``V[p] < p <= V[q]``.
+  ``C`` is a left-rank count, computed by :func:`left_rank` with a
+  vectorized mergesort — :func:`lru_hits`.
+
+* **Common streams avoid the general kernel entirely.**  Most sampled
+  address streams never evict: when every set's distinct-line count is
+  at most the associativity, an access hits iff it is not the first
+  touch of its line, which one ``np.unique`` answers — :func:`lru_filter`.
+  Sets are independent, so conflict sets that do evict are carved out
+  and replayed exactly on their own.
+
+Every function here is bit-exact against the scalar dict/bytearray
+implementations; ``tests/test_kernel.py`` fuzzes them against brute
+force and ``tests/test_golden_equivalence.py`` checks whole reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["left_rank", "lru_hits", "lru_filter", "counter_scan", "gshare_history"]
+
+# Below this block size, cross-counts are cheaper by broadcast compare
+# than by searchsorted-based merging.
+_BROADCAST_MAX_BLOCK = 32
+
+# Below this stream length the plain dict walk in ``_lru_scalar`` beats
+# any vector setup cost.
+_FILTER_SCALAR_MAX = 1024
+
+
+def _stable_order(values: np.ndarray) -> np.ndarray:
+    """Indices that stable-sort ``values`` (int64).
+
+    NumPy's ``kind="stable"`` argsort on int64 is timsort and several
+    times slower than quicksort at these sizes, so when the value range
+    permits we sort the collision-free composite key ``value * n + pos``
+    with the default quicksort instead; distinct keys make the result
+    deterministic and equal to the stable order.
+    """
+    n = values.size
+    if n <= 1:
+        return np.zeros(n, dtype=np.int64)
+    vmin = int(values.min())
+    vmax = int(values.max())
+    if vmax - vmin < (1 << 62) // n:
+        pos = np.arange(n, dtype=np.int64)
+        return np.argsort((values - vmin) * n + pos)
+    return np.argsort(values, kind="stable")
+
+
+def left_rank(values: np.ndarray) -> np.ndarray:
+    """For distinct integers, ``C[q] = #{p < q : values[p] < values[q]}``.
+
+    Iterative bottom-up mergesort.  Levels with blocks up to
+    ``_BROADCAST_MAX_BLOCK`` count left-half-vs-right-half pairs with one
+    broadcast comparison per level (no sorting needed); larger levels
+    keep blocks sorted and use a single flattened ``searchsorted`` per
+    direction — row offsets larger than the value range make the
+    concatenation of sorted blocks globally sorted, so one call serves
+    every block pair at once.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    n = v.size
+    if n <= 1:
+        return np.zeros(n, dtype=np.int64)
+    # Rank-compress to a permutation of 0..n-1 so pads and row offsets
+    # have a known range.  Values are distinct, so the default quicksort
+    # is deterministic.
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[np.argsort(v)] = np.arange(n, dtype=np.int64)
+    m = 1 << (n - 1).bit_length()
+    a = np.empty(m, dtype=np.int64)
+    a[:n] = ranks
+    # Pads sort above every real rank, so they never count for a real
+    # query; their own counts land on positions >= n and are discarded.
+    a[n:] = np.arange(n, m, dtype=np.int64)
+    perm = np.arange(m, dtype=np.int64)
+    out = np.zeros(m, dtype=np.int64)
+
+    width = 1
+    while width < m and width <= _BROADCAST_MAX_BLOCK:
+        pairs = a.reshape(m // (2 * width), 2 * width)
+        left, right = pairs[:, :width], pairs[:, width:]
+        cnt = (left[:, :, None] < right[:, None, :]).sum(axis=1, dtype=np.int64)
+        out[perm.reshape(m // (2 * width), 2 * width)[:, width:].ravel()] += cnt.ravel()
+        width *= 2
+
+    if width < m:
+        # Seed the merge levels: sort each block once.
+        rows = a.reshape(m // width, width)
+        order = np.argsort(rows, axis=1, kind="stable")
+        a = np.take_along_axis(rows, order, axis=1).ravel()
+        perm = np.take_along_axis(perm.reshape(m // width, width), order, axis=1).ravel()
+        while width < m:
+            nblocks = m // (2 * width)
+            blocks = a.reshape(nblocks, 2 * width)
+            pblocks = perm.reshape(nblocks, 2 * width)
+            row = np.repeat(np.arange(nblocks, dtype=np.int64), width)
+            offset = row * m
+            lkeys = blocks[:, :width].ravel() + offset
+            rkeys = blocks[:, width:].ravel() + offset
+            # of each right element: how many left-block values are below
+            cnt_r = np.searchsorted(lkeys, rkeys) - row * width
+            out[pblocks[:, width:].ravel()] += cnt_r
+            # merge the sorted halves by final position (values distinct)
+            cnt_l = np.searchsorted(rkeys, lkeys) - row * width
+            within = np.tile(np.arange(width, dtype=np.int64), nblocks)
+            base = row * (2 * width)
+            merged = np.empty(m, dtype=np.int64)
+            mperm = np.empty(m, dtype=np.int64)
+            lpos = base + within + cnt_l
+            rpos = base + within + cnt_r
+            merged[lpos] = blocks[:, :width].ravel()
+            mperm[lpos] = pblocks[:, :width].ravel()
+            merged[rpos] = blocks[:, width:].ravel()
+            mperm[rpos] = pblocks[:, width:].ravel()
+            a, perm = merged, mperm
+            width *= 2
+    return out[:n]
+
+
+def lru_hits(tags: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
+    """Exact LRU hit flags for one allocate-on-miss cache level.
+
+    ``tags`` are line tags in access order; a tag's set is
+    ``tag & set_mask`` (pass 0 for a fully-associative structure).
+    Returns a boolean array, True where the access hits.  Matches the
+    insertion-ordered-dict LRU in :mod:`repro.machine.cache` exactly,
+    starting from an empty cache.
+    """
+    t = np.asarray(tags, dtype=np.int64)
+    n = t.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = _stable_order(t & set_mask)
+    st = t[order]
+    # An access repeating the immediately-previous tag of its set is a
+    # hit that leaves LRU state unchanged — drop it before the expensive
+    # rank computation.  (Equal tags imply equal sets.)
+    rerun = np.empty(n, dtype=bool)
+    rerun[0] = False
+    if set_mask:
+        ss = st & set_mask
+        rerun[1:] = (st[1:] == st[:-1]) & (ss[1:] == ss[:-1])
+    else:
+        rerun[1:] = st[1:] == st[:-1]
+    keep = np.flatnonzero(~rerun)
+    kt = st[keep]
+    k = keep.size
+
+    # V[q]: position (in kept, set-major order) of the previous access
+    # to the same tag, or -1.  Same tag implies same set, so grouping by
+    # tag alone finds the predecessor.
+    by_tag = _stable_order(kt)
+    grouped = kt[by_tag]
+    same_tag = grouped[1:] == grouped[:-1]
+    V = np.full(k, -1, dtype=np.int64)
+    V[by_tag[1:][same_tag]] = by_tag[:-1][same_tag]
+
+    # distinct lines since previous access: d = C - V - 1
+    Vd = V.copy()
+    first = np.flatnonzero(V < 0)
+    Vd[first] = -2 - np.arange(first.size, dtype=np.int64)
+    C = left_rank(Vd)
+    kept_hits = (V >= 0) & (C <= V + assoc)
+
+    sorted_hits = np.empty(n, dtype=bool)
+    sorted_hits[rerun] = True
+    sorted_hits[keep] = kept_hits
+    hits = np.empty(n, dtype=bool)
+    hits[order] = sorted_hits
+    return hits
+
+
+def _lru_scalar(tags: list, set_mask: int, assoc: int) -> np.ndarray:
+    """Reference dict-LRU walk of one cache level; returns hit flags.
+
+    Mirrors the insertion-ordered-dict model in
+    :mod:`repro.machine.cache` exactly (allocate on miss, evict the
+    least recently used way).
+    """
+    hits = np.empty(len(tags), dtype=bool)
+    sets: dict = {}
+    i = 0
+    for t in tags:
+        lset = sets.get(t & set_mask)
+        if lset is None:
+            lset = sets[t & set_mask] = {}
+        if t in lset:
+            del lset[t]
+            lset[t] = None
+            hits[i] = True
+        else:
+            hits[i] = False
+            if len(lset) >= assoc:
+                lset.pop(next(iter(lset)))
+            lset[t] = None
+        i += 1
+    return hits
+
+
+def lru_filter(tags: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
+    """Exact LRU hit flags for one level, exploiting stream structure.
+
+    Sampled address streams are usually eviction-free: when a set's
+    distinct-line count never exceeds the associativity, nothing is
+    ever evicted from it, so an access to that set hits iff it is not
+    the first touch of its line — answered by one ``np.unique``.  Sets
+    behave independently under LRU, so the (typically few) conflict
+    sets whose distinct count does exceed the associativity are carved
+    out as a subsequence and replayed exactly by the reference dict
+    walk, then scattered back.  Results are bit-identical to
+    :func:`lru_hits` and to :mod:`repro.machine.cache`.
+    """
+    t = np.asarray(tags, dtype=np.int64)
+    n = t.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if n < _FILTER_SCALAR_MAX:
+        return _lru_scalar(t.tolist(), set_mask, assoc)
+    # uniques and their first-occurrence indices (np.unique would use
+    # the slow stable sort when asked for indices)
+    order = _stable_order(t)
+    st = t[order]
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    head[1:] = st[1:] != st[:-1]
+    uniq = st[head]
+    first = order[head]
+    if set_mask == 0:
+        # fully associative: one set, all-or-nothing
+        if uniq.size <= assoc:
+            hits = np.ones(n, dtype=bool)
+            hits[first] = False
+            return hits
+        return _lru_scalar(t.tolist(), set_mask, assoc)
+    counts = np.bincount(uniq & set_mask, minlength=set_mask + 1)
+    bad = counts > assoc
+    if not bad.any():
+        hits = np.ones(n, dtype=bool)
+        hits[first] = False
+        return hits
+    hits = np.ones(n, dtype=bool)
+    hits[first[~bad[uniq & set_mask]]] = False
+    conflict = np.flatnonzero(bad[t & set_mask])
+    hits[conflict] = _lru_scalar(t[conflict].tolist(), set_mask, assoc)
+    return hits
+
+
+def _build_counter_luts() -> tuple[np.ndarray, np.ndarray]:
+    """Composition / evaluation tables for canonical 2-bit clip codes.
+
+    On the domain {0..3} every update function is ``x -> min(hi,
+    max(lo, x + d))`` with ``lo, hi`` in [0, 3] and ``d`` in [-3, 3]
+    (a shift beyond the window acts saturated), so each function packs
+    into a 7-bit code ``(d + 3) * 16 + lo * 4 + hi``.  The family is
+    closed under composition; tabulating it turns the whole segmented
+    prefix scan into one uint8 gather per round.
+    """
+    codes = np.arange(112, dtype=np.int64)
+    d = codes // 16 - 3
+    lo = (codes // 4) % 4
+    hi = codes % 4
+    x = np.arange(4, dtype=np.int64)
+    # val[c, x] = f_c(x)
+    val = np.minimum(hi[:, None], np.maximum(lo[:, None], x[None, :] + d[:, None]))
+    val = np.clip(val, 0, 3)
+    # h[c1, c2, x] = f_c2(f_c1(x)) — apply c1 first
+    h = val[codes[None, :, None], val[:, None, :]]
+    h0 = h[:, :, 0]
+    h3 = h[:, :, 3]
+    step = h[:, :, 1:] != h[:, :, :-1]
+    ramp = np.argmax(step, axis=2)  # first x with f(x+1) = f(x) + 1
+    d_c = np.where(
+        h0 == h3,
+        h0 - 3,  # constant function: any in-range shift works
+        np.take_along_axis(h, ramp[:, :, None], axis=2)[:, :, 0] - ramp,
+    )
+    compose = ((d_c + 3) * 16 + h0 * 4 + h3).astype(np.uint8)
+    return compose.ravel(), val.astype(np.uint8).ravel()
+
+
+_COMPOSE_LUT, _EVAL_LUT = _build_counter_luts()
+
+
+def counter_scan(idx: np.ndarray, taken: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Replay 2-bit saturating counters; returns mispredict flags.
+
+    ``idx`` is the table slot per event, ``taken`` the outcome (0/1),
+    ``table`` the uint8 counter table updated in place.  A taken update
+    is ``s -> min(3, s + 1)``, not-taken is ``s -> max(0, s - 1)``; both
+    are clip functions, and that family is closed under composition, so
+    each slot's event run reduces by a segmented parallel-prefix scan.
+
+    Two structural compressions make the scan cheap: a run of ``k``
+    same-direction outcomes is itself one clip function (``k`` takens
+    are ``min(3, s + min(k, 3))``), so the scan runs over outcome
+    *runs*, not events; and every clip function canonicalizes to a
+    7-bit code (:func:`_build_counter_luts`), so one composition is one
+    table gather.  Per-event flags come back from the run level in
+    closed form: a taken-run entered at state ``x`` mispredicts exactly
+    its first ``max(0, 2 - x)`` events, a not-taken-run its first
+    ``max(0, x - 1)``.
+    """
+    n = idx.size
+    miss = np.empty(n, dtype=np.uint8)
+    if n == 0:
+        return miss
+    order = _stable_order(idx)
+    sidx = idx[order]
+    tk = taken[order] != 0
+
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    head[1:] = sidx[1:] != sidx[:-1]
+
+    # Run-length compress: consecutive same-outcome events in one slot.
+    rb = head.copy()
+    rb[1:] |= tk[1:] != tk[:-1]
+    run_start = np.flatnonzero(rb)
+    r = run_start.size
+    run_len = np.empty(r, dtype=np.int64)
+    run_len[:-1] = np.diff(run_start)
+    run_len[-1] = n - run_start[-1]
+    run_tak = tk[run_start]
+    run_head = head[run_start]  # first run of its slot segment
+
+    # Canonical codes per run (see _build_counter_luts for the packing).
+    k3 = np.minimum(run_len, 3)
+    code = np.where(run_tak, (k3 + 3) * 16 + k3 * 4 + 3, (3 - k3) * 17)
+
+    # Segmented Hillis-Steele over runs; active sets are nested, so each
+    # pass filters the shrinking index list instead of rescanning.
+    rpos = np.arange(r, dtype=np.int64)
+    rseg_head = np.maximum.accumulate(np.where(run_head, rpos, 0))
+    rrun = rpos - rseg_head
+    active = np.flatnonzero(rrun >= 1)
+    shift = 1
+    while active.size:
+        code[active] = _COMPOSE_LUT[code[active - shift] * 112 + code[active]]
+        shift <<= 1
+        active = active[rrun[active] >= shift]
+
+    # Entry state of each run: the segment's initial counter pushed
+    # through the previous runs' composed function.
+    c0 = table[sidx[run_start]].astype(np.int64)  # constant per segment
+    x_before = c0.copy()
+    inner = ~run_head
+    x_before[inner] = _EVAL_LUT[code[np.flatnonzero(inner) - 1] * 4 + c0[inner]]
+
+    thresh = np.where(run_tak, 2 - x_before, x_before - 1)
+    np.maximum(thresh, 0, out=thresh)
+    pos = np.arange(n, dtype=np.int64)
+    miss[order] = (pos - np.repeat(run_start, run_len)) < np.repeat(thresh, run_len)
+
+    last = np.empty(r, dtype=bool)
+    last[:-1] = run_head[1:]
+    last[-1] = True
+    table[sidx[run_start[last]]] = _EVAL_LUT[code[last] * 4 + c0[last]]
+    return miss
+
+
+def gshare_history(taken: np.ndarray, history0: int, history_bits: int) -> np.ndarray:
+    """Per-event global history column for a gshare replay.
+
+    ``history`` before event ``i`` packs outcomes ``i-1, i-2, ...`` into
+    the low bits, seeded with ``history0``; each bit position is one
+    shifted slice of the outcome column.
+    """
+    n = taken.size
+    h = np.zeros(n, dtype=np.int64)
+    if n == 0 or history_bits == 0:
+        return h
+    hmask = (1 << history_bits) - 1
+    for bit in range(min(history_bits, n - 1) if n > 1 else 0):
+        h[bit + 1 :] |= taken[: n - 1 - bit] << bit
+    for i in range(min(n, history_bits)):
+        h[i] |= (history0 << i) & hmask
+    return h

@@ -18,6 +18,15 @@ appended to a single, order-preserving event stream that is decimated
 cost stays bounded while hit/miss *rates* remain representative; the
 cost model extrapolates the sampled rates back to the exact counts.
 
+The stream is stored **columnar**: four parallel ``array('q')`` columns
+(method index, event kind, ``a``, ``b``) instead of a list of tuples.
+The bulk recorders (:meth:`Probe.branches`, :meth:`Probe.accesses`)
+have vector fast paths that apply the decimation stride with NumPy
+slicing — one slice per stride segment instead of one Python call per
+event — and decimation itself is a column slice.  The sampled stream is
+bit-identical to the historical scalar implementation (see
+``tests/test_golden_equivalence.py``).
+
 Decimation caveat: subsampling strips temporal locality from the
 address stream and history correlation from the branch stream, so
 decimated runs conservatively *overestimate* miss and misprediction
@@ -30,17 +39,22 @@ only comparable between runs with similar sampling strides.
 from __future__ import annotations
 
 import zlib
-from collections.abc import Iterable, Sequence
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = [
     "Probe",
     "MethodCounters",
+    "EventStream",
     "EV_BRANCH",
     "EV_DATA",
     "EV_CALL",
     "record",
     "record_many",
+    "record_max",
     "counters",
     "reset_counters",
 ]
@@ -62,7 +76,8 @@ _DEFAULT_EVENT_CAP = 262_144
 # Probes observe one benchmark execution; these counters observe the
 # harness itself (e.g. the characterization engine's result cache:
 # ``engine.cache.hits`` / ``.misses`` / ``.bytes_read`` /
-# ``.bytes_written``).  They are plain monotonically-increasing ints,
+# ``.bytes_written``, or the replay kernel's ``engine.profile.*``
+# throughput gauges).  They are plain monotonically-increasing ints,
 # namespaced by dotted prefix, and live for the life of the process.
 
 _COUNTERS: dict[str, int] = {}
@@ -82,6 +97,13 @@ def record_many(values: "dict[str, int]", prefix: str = "") -> None:
     dotted = prefix if not prefix or prefix.endswith(".") else prefix + "."
     for name, n in values.items():
         record(dotted + name, n)
+
+
+def record_max(name: str, n: int) -> None:
+    """Raise the counter ``name`` to ``n`` if ``n`` exceeds it (a gauge
+    for high-water marks such as the largest sampling stride seen)."""
+    if n > _COUNTERS.get(name, 0):
+        _COUNTERS[name] = n
 
 
 def counters(prefix: str | None = None) -> dict[str, int]:
@@ -128,6 +150,53 @@ class MethodCounters:
         return self.int_ops + self.fp_ops + self.fpdiv_ops
 
 
+class EventStream(Sequence):
+    """Read-only view over the probe's four event columns.
+
+    Indexing and iteration yield the historical ``(method_index, kind,
+    a, b)`` tuples, so scalar consumers are unchanged; the replay
+    kernel instead pulls whole columns at once via :meth:`columns`.
+    The view cannot mutate the probe's stream — rewriters (e.g. the FDO
+    hint filter) must go through :meth:`Probe.replace_events`.
+    """
+
+    __slots__ = ("_method", "_kind", "_a", "_b")
+
+    def __init__(self, method: array, kind: array, a: array, b: array):
+        self._method = method
+        self._kind = kind
+        self._a = a
+        self._b = b
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [
+                (self._method[j], self._kind[j], self._a[j], self._b[j])
+                for j in range(*i.indices(len(self._kind)))
+            ]
+        return (self._method[i], self._kind[i], self._a[i], self._b[i])
+
+    def __iter__(self) -> Iterator[tuple[int, int, int, int]]:
+        return zip(self._method, self._kind, self._a, self._b)
+
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The stream as four int64 NumPy arrays (snapshot copies).
+
+        Copies (via ``tobytes``) rather than buffer views so the probe
+        can keep appending afterwards — a live buffer export would make
+        ``array`` resizes raise ``BufferError``.
+        """
+        return (
+            np.frombuffer(self._method.tobytes(), dtype=np.int64),
+            np.frombuffer(self._kind.tobytes(), dtype=np.int64),
+            np.frombuffer(self._a.tobytes(), dtype=np.int64),
+            np.frombuffer(self._b.tobytes(), dtype=np.int64),
+        )
+
+
 class Probe:
     """Collects telemetry for one benchmark execution.
 
@@ -140,8 +209,12 @@ class Probe:
         if event_cap < 1024:
             raise ValueError("event_cap too small to be representative")
         self._methods: dict[str, MethodCounters] = {}
+        self._by_index: list[MethodCounters] = []
         self._stack: list[MethodCounters] = []
-        self._events: list[tuple[int, int, int, int]] = []
+        self._ev_method = array("q")
+        self._ev_kind = array("q")
+        self._ev_a = array("q")
+        self._ev_b = array("q")
         self._event_cap = event_cap
         self._keep_every = 1
         self._tick = 0
@@ -160,6 +233,7 @@ class Probe:
                 code_bytes=code_bytes,
             )
             self._methods[name] = mc
+            self._by_index.append(mc)
         return mc
 
     def method(self, name: str, code_bytes: int = 512) -> "_MethodScope":
@@ -173,30 +247,114 @@ class Probe:
         return self._stack[-1]
 
     def methods(self) -> list[MethodCounters]:
-        return list(self._methods.values())
+        return list(self._by_index)
 
     def method_by_index(self, index: int) -> MethodCounters:
-        for mc in self._methods.values():
-            if mc.index == index:
-                return mc
-        raise KeyError(index)
+        """O(1) lookup by registration index (indices are dense)."""
+        try:
+            return self._by_index[index]
+        except IndexError:
+            raise KeyError(index) from None
 
     # ----------------------------------------------------------------- events
+
+    def _decimate(self) -> None:
+        # Uniform deterministic decimation: keep every other sampled
+        # event and double the sampling stride.  Every surviving event
+        # now represents twice as many raw events; the cost model only
+        # uses *rates* from the stream, so no weights are needed.
+        self._ev_method = self._ev_method[::2]
+        self._ev_kind = self._ev_kind[::2]
+        self._ev_a = self._ev_a[::2]
+        self._ev_b = self._ev_b[::2]
+        self._keep_every *= 2
 
     def _push_event(self, kind: int, a: int, b: int) -> None:
         self._tick += 1
         if self._tick % self._keep_every:
             return
-        events = self._events
-        events.append((self._stack[-1].index, kind, a, b))
-        if len(events) >= self._event_cap:
-            # Uniform deterministic decimation: keep every other sampled
-            # event and double the sampling stride.  Every surviving
-            # event now represents twice as many raw events; the cost
-            # model only uses *rates* from the stream, so no weights are
-            # needed.
-            self._events = events[::2]
-            self._keep_every *= 2
+        self._ev_method.append(self._stack[-1].index)
+        self._ev_kind.append(kind)
+        self._ev_a.append(a)
+        self._ev_b.append(b)
+        if len(self._ev_kind) >= self._event_cap:
+            self._decimate()
+
+    def _push_events_vector(self, kind: int, a: np.ndarray, b: np.ndarray) -> None:
+        """Append a batch of same-kind events, applying the decimation
+        stride with slices instead of per-event pushes.
+
+        ``a`` and ``b`` are int64 arrays of equal length.  Equivalent,
+        event for event, to calling ``_push_event`` in a loop: the tick
+        counter advances once per input event, survivors are the events
+        whose tick is a stride multiple, and hitting the cap mid-batch
+        halves the stored stream and doubles the stride for the rest of
+        the batch.
+        """
+        n = len(a)
+        midx = self._stack[-1].index
+        pos = 0
+        while pos < n:
+            k = self._keep_every
+            t = self._tick
+            # First input index whose tick lands on the stride: event i
+            # consumes tick t + (i - pos) + 1, kept iff divisible by k.
+            first = pos + ((-t - 1) % k)
+            if first >= n:
+                self._tick = t + (n - pos)
+                return
+            room = self._event_cap - len(self._ev_kind)
+            avail = (n - 1 - first) // k + 1
+            take = min(avail, room)
+            stop = first + (take - 1) * k + 1
+            sel_a = a[first:stop:k]
+            sel_b = b[first:stop:k]
+            self._ev_method.frombytes(np.full(take, midx, dtype=np.int64).tobytes())
+            self._ev_kind.frombytes(np.full(take, kind, dtype=np.int64).tobytes())
+            self._ev_a.frombytes(np.ascontiguousarray(sel_a).tobytes())
+            self._ev_b.frombytes(np.ascontiguousarray(sel_b).tobytes())
+            self._tick = t + (stop - pos)
+            pos = stop
+            if len(self._ev_kind) >= self._event_cap:
+                self._decimate()
+
+    def replace_events(
+        self, events: "EventStream | Iterable[tuple[int, int, int, int]]"
+    ) -> None:
+        """Replace the sampled stream (replay rewriters only).
+
+        ``Probe.events`` is a read-only view; transforms that drop or
+        rewrite events — e.g. the FDO optimizer removing statically
+        hinted branches — rebuild the stream through this method.
+        """
+        if isinstance(events, EventStream):
+            self._ev_method = array("q", events._method)
+            self._ev_kind = array("q", events._kind)
+            self._ev_a = array("q", events._a)
+            self._ev_b = array("q", events._b)
+            return
+        cols = list(zip(*events)) or [(), (), (), ()]
+        self._ev_method = array("q", cols[0])
+        self._ev_kind = array("q", cols[1])
+        self._ev_a = array("q", cols[2])
+        self._ev_b = array("q", cols[3])
+
+    def replace_events_columns(
+        self,
+        method: np.ndarray,
+        kind: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+    ) -> None:
+        """Columnar variant of :meth:`replace_events` (zero tuple churn)."""
+        cols = []
+        for col in (method, kind, a, b):
+            arr = array("q")
+            arr.frombytes(np.ascontiguousarray(col, dtype=np.int64).tobytes())
+            cols.append(arr)
+        if len({len(c) for c in cols}) != 1:
+            raise ValueError("replace_events_columns: column length mismatch")
+        self._ev_method, self._ev_kind, self._ev_a, self._ev_b = cols
 
     def ops(self, n: int = 1, kind: str = "int") -> None:
         """Record ``n`` retired operations of the given kind (exact)."""
@@ -219,18 +377,28 @@ class Probe:
         self._push_event(EV_BRANCH, mc.code_base + site * 16, 1 if taken else 0)
 
     def branches(self, outcomes: Iterable[bool], site: int = 0) -> None:
-        """Record a sequence of branch outcomes at the same site."""
+        """Record a sequence of branch outcomes at the same site.
+
+        Vector fast path: the outcomes are materialized once, reduced
+        with NumPy for the exact counters, and the sampled survivors
+        are appended by stride slicing.
+        """
         mc = self.current
         pc = mc.code_base + site * 16
-        taken = 0
-        count = 0
-        for t in outcomes:
-            count += 1
-            if t:
-                taken += 1
-            self._push_event(EV_BRANCH, pc, 1 if t else 0)
-        mc.branches += count
-        mc.branches_taken += taken
+        if isinstance(outcomes, np.ndarray):
+            arr = outcomes
+        else:
+            arr = np.asarray(list(outcomes))
+        if arr.dtype.kind not in "biuf":
+            # exotic element types: preserve per-element truthiness
+            arr = np.asarray([bool(t) for t in arr.tolist()])
+        n = len(arr)
+        if n == 0:
+            return
+        flags = (arr != 0).astype(np.int64)
+        self._push_events_vector(EV_BRANCH, np.full(n, pc, dtype=np.int64), flags)
+        mc.branches += n
+        mc.branches_taken += int(flags.sum())
 
     def load(self, addr: int) -> None:
         """Record one data load at byte address ``addr``."""
@@ -245,15 +413,31 @@ class Probe:
         self._push_event(EV_DATA, addr, 1)
 
     def accesses(self, addrs: Sequence[int], store: bool = False) -> None:
-        """Record a batch of data accesses (all loads or all stores)."""
+        """Record a batch of data accesses (all loads or all stores).
+
+        Vector fast path: the address batch becomes one int64 column
+        append with the decimation stride applied by slicing.
+        """
         mc = self.current
         flag = 1 if store else 0
-        for addr in addrs:
-            self._push_event(EV_DATA, addr, flag)
+        try:
+            arr = np.asarray(addrs, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            # addresses that don't fit int64: scalar fallback
+            for addr in addrs:
+                self._push_event(EV_DATA, addr, flag)
+            if store:
+                mc.stores += len(addrs)
+            else:
+                mc.loads += len(addrs)
+            return
+        n = len(arr)
+        if n:
+            self._push_events_vector(EV_DATA, arr, np.full(n, flag, dtype=np.int64))
         if store:
-            mc.stores += len(addrs)
+            mc.stores += n
         else:
-            mc.loads += len(addrs)
+            mc.loads += n
 
     def count(self, key: str, n: int = 1) -> None:
         """Accumulate a benchmark-specific named counter (for reports)."""
@@ -263,9 +447,10 @@ class Probe:
     # ------------------------------------------------------------- inspection
 
     @property
-    def events(self) -> list[tuple[int, int, int, int]]:
-        """The sampled event stream: (method_index, kind, a, b) tuples."""
-        return self._events
+    def events(self) -> EventStream:
+        """Read-only view of the sampled stream; items are
+        ``(method_index, kind, a, b)`` tuples."""
+        return EventStream(self._ev_method, self._ev_kind, self._ev_a, self._ev_b)
 
     @property
     def sampling_stride(self) -> int:

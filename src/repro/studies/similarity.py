@@ -78,8 +78,9 @@ def collect_features(benchmark_id: str, workload=None) -> ProgramFeatures:
     calls = sum(m.calls for m in methods)
 
     # footprint: distinct 64-byte lines in the sampled address stream
-    lines = {a >> 6 for _, kind, a, _ in probe.events if kind == 1}
-    footprint = max(64, len(lines) * 64)
+    _, ev_kind, ev_a, _ = probe.events.columns()
+    n_lines = len(np.unique(ev_a[ev_kind == 1] >> 6))
+    footprint = max(64, n_lines * 64)
 
     vector = np.array(
         [

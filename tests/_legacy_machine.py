@@ -1,0 +1,377 @@
+"""Frozen pre-columnar machine model, kept verbatim as the golden reference.
+
+This module is a snapshot of ``repro.machine.telemetry.Probe`` (list-of-
+tuples event stream), the dict-backed branch predictors, and the scalar
+``CostModel.evaluate`` replay loop exactly as they existed before the
+columnar/vectorized rewrite.  ``tests/test_golden_equivalence.py`` runs
+every benchmark through both implementations and asserts bit-identical
+results; do not "improve" this code — its only job is to stay the same.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Sequence
+
+from repro.core.coverage import CoverageProfile
+from repro.core.topdown import TopDownVector
+from repro.machine.cache import CacheHierarchy
+from repro.machine.cost import MachineConfig, MachineReport, MethodCost
+from repro.machine.telemetry import EV_BRANCH, EV_CALL, EV_DATA, MethodCounters
+
+__all__ = ["LegacyProbe", "legacy_evaluate"]
+
+_CODE_REGION_BASE = 1 << 40
+_DEFAULT_EVENT_CAP = 262_144
+_MAX_FETCH_BLOCKS = 256
+
+
+class LegacyProbe:
+    """The pre-columnar probe: events are a list of 4-tuples."""
+
+    def __init__(self, event_cap: int = _DEFAULT_EVENT_CAP):
+        if event_cap < 1024:
+            raise ValueError("event_cap too small to be representative")
+        self._methods: dict[str, MethodCounters] = {}
+        self._stack: list[MethodCounters] = []
+        self._events: list[tuple[int, int, int, int]] = []
+        self._event_cap = event_cap
+        self._keep_every = 1
+        self._tick = 0
+
+    def register(self, name: str, code_bytes: int = 512) -> MethodCounters:
+        mc = self._methods.get(name)
+        if mc is None:
+            code_base = _CODE_REGION_BASE + (zlib.crc32(name.encode()) << 12)
+            mc = MethodCounters(
+                name=name,
+                index=len(self._methods),
+                code_base=code_base,
+                code_bytes=code_bytes,
+            )
+            self._methods[name] = mc
+        return mc
+
+    def method(self, name: str, code_bytes: int = 512) -> "_LegacyScope":
+        return _LegacyScope(self, self.register(name, code_bytes))
+
+    @property
+    def current(self) -> MethodCounters:
+        if not self._stack:
+            raise RuntimeError("no active method scope; wrap work in probe.method(...)")
+        return self._stack[-1]
+
+    def methods(self) -> list[MethodCounters]:
+        return list(self._methods.values())
+
+    def _push_event(self, kind: int, a: int, b: int) -> None:
+        self._tick += 1
+        if self._tick % self._keep_every:
+            return
+        events = self._events
+        events.append((self._stack[-1].index, kind, a, b))
+        if len(events) >= self._event_cap:
+            self._events = events[::2]
+            self._keep_every *= 2
+
+    def ops(self, n: int = 1, kind: str = "int") -> None:
+        mc = self.current
+        if kind == "int":
+            mc.int_ops += n
+        elif kind == "fp":
+            mc.fp_ops += n
+        elif kind == "fpdiv":
+            mc.fpdiv_ops += n
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def branch(self, taken: bool, site: int = 0) -> None:
+        mc = self.current
+        mc.branches += 1
+        if taken:
+            mc.branches_taken += 1
+        self._push_event(EV_BRANCH, mc.code_base + site * 16, 1 if taken else 0)
+
+    def branches(self, outcomes: Iterable[bool], site: int = 0) -> None:
+        mc = self.current
+        pc = mc.code_base + site * 16
+        taken = 0
+        count = 0
+        for t in outcomes:
+            count += 1
+            if t:
+                taken += 1
+            self._push_event(EV_BRANCH, pc, 1 if t else 0)
+        mc.branches += count
+        mc.branches_taken += taken
+
+    def load(self, addr: int) -> None:
+        mc = self.current
+        mc.loads += 1
+        self._push_event(EV_DATA, addr, 0)
+
+    def store(self, addr: int) -> None:
+        mc = self.current
+        mc.stores += 1
+        self._push_event(EV_DATA, addr, 1)
+
+    def accesses(self, addrs: Sequence[int], store: bool = False) -> None:
+        mc = self.current
+        flag = 1 if store else 0
+        for addr in addrs:
+            self._push_event(EV_DATA, addr, flag)
+        if store:
+            mc.stores += len(addrs)
+        else:
+            mc.loads += len(addrs)
+
+    def count(self, key: str, n: int = 1) -> None:
+        extra = self.current.extra
+        extra[key] = extra.get(key, 0) + n
+
+    @property
+    def events(self) -> list[tuple[int, int, int, int]]:
+        return self._events
+
+    @property
+    def sampling_stride(self) -> int:
+        return self._keep_every
+
+    def total_branches(self) -> int:
+        return sum(mc.branches for mc in self._methods.values())
+
+    def total_data_accesses(self) -> int:
+        return sum(mc.data_accesses for mc in self._methods.values())
+
+    def total_ops(self) -> int:
+        return sum(mc.total_ops for mc in self._methods.values())
+
+
+class _LegacyScope:
+    __slots__ = ("_probe", "_mc")
+
+    def __init__(self, probe: LegacyProbe, mc: MethodCounters):
+        self._probe = probe
+        self._mc = mc
+
+    def __enter__(self) -> MethodCounters:
+        mc = self._mc
+        mc.calls += 1
+        probe = self._probe
+        probe._stack.append(mc)
+        probe._push_event(EV_CALL, mc.index, 0)
+        return mc
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._probe._stack.pop()
+
+
+class _LegacyBimodal:
+    """Dict-backed 2-bit bimodal predictor (pre-bytearray)."""
+
+    def __init__(self, table_bits: int = 12):
+        self._mask = (1 << table_bits) - 1
+        self._counters: dict[int, int] = {}
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        idx = pc & self._mask
+        counter = self._counters.get(idx, 1)
+        prediction = counter >= 2
+        correct = prediction == taken
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[idx] = counter - 1
+        return correct
+
+
+class _LegacyGshare:
+    """Dict-backed gshare predictor (pre-bytearray)."""
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12):
+        self._mask = (1 << table_bits) - 1
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._counters: dict[int, int] = {}
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        idx = (pc ^ self._history) & self._mask
+        counter = self._counters.get(idx, 1)
+        prediction = counter >= 2
+        correct = prediction == taken
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[idx] = counter - 1
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._history_mask
+        return correct
+
+
+class _Replay:
+    __slots__ = (
+        "branches", "mispredicts",
+        "data", "d_l2", "d_llc", "d_mem", "d_tlb",
+        "calls", "c_l2", "c_llc", "c_mem",
+    )
+
+    def __init__(self) -> None:
+        self.branches = 0
+        self.mispredicts = 0
+        self.data = 0
+        self.d_l2 = 0
+        self.d_llc = 0
+        self.d_mem = 0
+        self.d_tlb = 0
+        self.calls = 0
+        self.c_l2 = 0
+        self.c_llc = 0
+        self.c_mem = 0
+
+
+def legacy_evaluate(probe, config: MachineConfig | None = None) -> MachineReport:
+    """The pre-columnar scalar replay loop, verbatim.
+
+    Accepts either a :class:`LegacyProbe` or the current columnar probe
+    (both expose iterable ``events`` yielding 4-tuples).
+    """
+    cfg = config or MachineConfig()
+    if cfg.predictor == "gshare":
+        predictor = _LegacyGshare(cfg.predictor_table_bits, cfg.predictor_history_bits)
+    else:
+        predictor = _LegacyBimodal(cfg.predictor_table_bits)
+    hierarchy = CacheHierarchy()
+
+    methods = probe.methods()
+    replays: dict[int, _Replay] = {mc.index: _Replay() for mc in methods}
+    by_index = {mc.index: mc for mc in methods}
+
+    for method_idx, kind, a, b in probe.events:
+        rep = replays[method_idx]
+        if kind == EV_BRANCH:
+            rep.branches += 1
+            if not predictor.predict_and_update(a, bool(b)):
+                rep.mispredicts += 1
+        elif kind == EV_DATA:
+            rep.data += 1
+            tlb_hit = hierarchy.dtlb.hits
+            level = hierarchy.access_data(a)
+            if hierarchy.dtlb.hits == tlb_hit:
+                rep.d_tlb += 1
+            if level == 2:
+                rep.d_l2 += 1
+            elif level == 3:
+                rep.d_llc += 1
+            elif level == 4:
+                rep.d_mem += 1
+        else:  # EV_CALL
+            target = by_index[a]
+            rep = replays[a]
+            rep.calls += 1
+            blocks = min(max(1, target.code_bytes // 64), _MAX_FETCH_BLOCKS)
+            base = target.code_base
+            for i in range(blocks):
+                level = hierarchy.access_code(base + i * 64)
+                if level == 2:
+                    rep.c_l2 += 1
+                elif level == 3:
+                    rep.c_llc += 1
+                elif level == 4:
+                    rep.c_mem += 1
+
+    per_method: dict[str, MethodCost] = {}
+    for mc in methods:
+        rep = replays[mc.index]
+        cost = MethodCost(name=mc.name)
+
+        cost.uops = (
+            mc.int_ops
+            + mc.fp_ops
+            + mc.fpdiv_ops
+            + mc.branches
+            + mc.loads
+            + mc.stores
+            + mc.calls * cfg.call_overhead_uops
+        )
+        cost.retiring_cycles = cost.uops / cfg.width
+
+        if rep.branches:
+            miss_rate = rep.mispredicts / rep.branches
+            cost.est_mispredicts = mc.branches * miss_rate
+        cost.bad_spec_cycles = cost.est_mispredicts * cfg.wrongpath_uops / cfg.width
+
+        frontend = cost.est_mispredicts * cfg.refill_cycles
+        if rep.calls:
+            scale = mc.calls / rep.calls
+            frontend += (
+                scale
+                * (
+                    rep.c_l2 * cfg.l2_latency
+                    + rep.c_llc * cfg.llc_latency
+                    + rep.c_mem * cfg.mem_latency
+                )
+                / cfg.fetch_overlap
+            )
+        cost.frontend_cycles = frontend
+
+        backend = (
+            mc.fp_ops * cfg.fp_backend_stall
+            + mc.fpdiv_ops * cfg.fpdiv_backend_stall
+        )
+        if rep.data:
+            scale = mc.data_accesses / rep.data
+            cost.est_data_misses = scale * (rep.d_l2 + rep.d_llc + rep.d_mem)
+            backend += (
+                scale
+                * (
+                    rep.d_l2 * cfg.l2_latency
+                    + rep.d_llc * cfg.llc_latency
+                    + rep.d_mem * cfg.mem_latency
+                    + rep.d_tlb * cfg.tlb_walk_cycles
+                )
+                / cfg.mlp
+            )
+        cost.backend_cycles = backend
+
+        per_method[mc.name] = cost
+
+    total_ret = sum(c.retiring_cycles for c in per_method.values())
+    total_bad = sum(c.bad_spec_cycles for c in per_method.values())
+    total_fe = sum(c.frontend_cycles for c in per_method.values())
+    total_be = sum(c.backend_cycles for c in per_method.values())
+    total = total_ret + total_bad + total_fe + total_be
+    if total <= 0:
+        raise ValueError("cost model: benchmark recorded no work")
+
+    topdown = TopDownVector.from_cycles(total_fe, total_be, total_bad, total_ret)
+    coverage = CoverageProfile.from_times(
+        {name: c.total_cycles for name, c in per_method.items() if c.total_cycles > 0}
+    )
+    seconds = total / (cfg.clock_ghz * 1e9)
+
+    total_sampled_branches = sum(r.branches for r in replays.values())
+    total_sampled_miss = sum(r.mispredicts for r in replays.values())
+    mispred_rate = (
+        total_sampled_miss / total_sampled_branches if total_sampled_branches else 0.0
+    )
+
+    return MachineReport(
+        topdown=topdown,
+        coverage=coverage,
+        cycles=total,
+        seconds=seconds,
+        per_method=per_method,
+        cache_stats=hierarchy.stats(),
+        branch_misprediction_rate=mispred_rate,
+        sampling_stride=probe.sampling_stride,
+        counters={
+            "uops": sum(c.uops for c in per_method.values()),
+            "branches": float(probe.total_branches()),
+            "data_accesses": float(probe.total_data_accesses()),
+            "est_mispredicts": sum(c.est_mispredicts for c in per_method.values()),
+            "est_data_misses": sum(c.est_data_misses for c in per_method.values()),
+        },
+    )

@@ -8,6 +8,7 @@ rates must track the unsampled ones.
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.machine.cost import CostModel
@@ -73,6 +74,124 @@ class TestDecimation:
         n_data = sum(1 for k in kinds if k == 1)
         # equal numbers were recorded; the sample must stay near 50/50
         assert abs(n_branch - n_data) < 0.2 * (n_branch + n_data)
+
+
+def _scalar_reference(probe: Probe, branches, addrs) -> None:
+    """Record the same events one at a time (the historical path)."""
+    with probe.method("m"):
+        for t in branches:
+            probe.branch(bool(t), site=1)
+        for a in addrs:
+            probe.load(int(a))
+
+
+def _streams_equal(a: Probe, b: Probe) -> bool:
+    ca, cb = a.events.columns(), b.events.columns()
+    return a.sampling_stride == b.sampling_stride and all(
+        np.array_equal(x, y) for x, y in zip(ca, cb)
+    )
+
+
+class TestVectorDecimationEdges:
+    """The vector append path must be event-for-event identical to the
+    scalar one, including when the cap trips mid-call."""
+
+    def test_cap_hit_mid_bulk_call(self):
+        # one bulk call large enough to cross the cap several times
+        rng = np.random.default_rng(0)
+        outcomes = rng.random(9000) < 0.6
+        addrs = rng.integers(0, 1 << 20, 9000)
+        vec, ref = Probe(event_cap=1024), Probe(event_cap=1024)
+        with vec.method("m"):
+            vec.branches(outcomes, site=1)
+            vec.accesses(addrs)
+        _scalar_reference(ref, outcomes.tolist(), addrs.tolist())
+        # second bulk: loads recorded after branches in the ref probe too
+        assert vec.sampling_stride > 1
+        assert _streams_equal(vec, ref)
+
+    def test_stride_doubles_during_vector_append(self):
+        probe = Probe(event_cap=1024)
+        rng = np.random.default_rng(1)
+        with probe.method("m"):
+            assert probe.sampling_stride == 1
+            probe.accesses(rng.integers(0, 1 << 16, 5000))
+            stride_after_first = probe.sampling_stride
+            assert stride_after_first >= 4  # doubled repeatedly mid-call
+            probe.accesses(rng.integers(0, 1 << 16, 5000))
+            assert probe.sampling_stride >= stride_after_first
+        assert len(probe.events) < 1024
+
+    def test_scalar_and_vector_paths_interleave_consistently(self):
+        # alternate bulk and per-event recording; the composite stream
+        # must match an all-scalar probe fed the same event sequence
+        rng = np.random.default_rng(2)
+        chunks = [rng.integers(0, 1 << 18, int(n)) for n in rng.integers(1, 700, 40)]
+        mixed, ref = Probe(event_cap=2048), Probe(event_cap=2048)
+        with mixed.method("m"), ref.method("m"):
+            for i, chunk in enumerate(chunks):
+                if i % 2:
+                    mixed.accesses(chunk)
+                else:
+                    for a in chunk.tolist():
+                        mixed.load(a)
+                for a in chunk.tolist():
+                    ref.load(a)
+        assert _streams_equal(mixed, ref)
+
+    def test_bulk_calls_match_scalar_without_decimation(self):
+        rng = np.random.default_rng(3)
+        outcomes = rng.random(500) < 0.5
+        addrs = rng.integers(0, 1 << 20, 500)
+        vec, ref = Probe(), Probe()
+        with vec.method("m"):
+            vec.branches(outcomes, site=1)
+            vec.accesses(addrs)
+        _scalar_reference(ref, outcomes.tolist(), addrs.tolist())
+        assert vec.sampling_stride == 1
+        assert _streams_equal(vec, ref)
+
+
+class TestProbeApi:
+    def test_events_view_is_read_only(self):
+        probe = Probe()
+        with probe.method("m"):
+            probe.load(64)
+        view = probe.events
+        assert not hasattr(view, "append")
+        with pytest.raises(AttributeError):
+            view.append((0, 1, 128, 0))  # type: ignore[attr-defined]
+        with pytest.raises(TypeError):
+            view[0] = (0, 1, 128, 0)  # type: ignore[index]
+
+    def test_columns_are_snapshots(self):
+        probe = Probe()
+        with probe.method("m"):
+            probe.load(64)
+            _, _, a, _ = probe.events.columns()
+            probe.load(128)  # must not raise BufferError, must not alias
+        assert a.tolist()[-1] == 64
+        assert probe.events[-1][2] == 128
+
+    def test_replace_events_is_the_mutation_path(self):
+        probe = Probe()
+        with probe.method("m"):
+            probe.load(64)
+            probe.load(128)
+        kept = [e for e in probe.events if e[2] == 64]
+        probe.replace_events(kept)
+        assert list(probe.events) == kept
+
+    def test_method_by_index(self):
+        probe = Probe()
+        names = [f"m{i}" for i in range(50)]
+        for name in names:
+            probe.register(name)
+        for i, name in enumerate(names):
+            assert probe.method_by_index(i) is probe.methods()[i]
+            assert probe.method_by_index(i).name == name
+        with pytest.raises(KeyError):
+            probe.method_by_index(len(names))
 
 
 class TestAttribution:
