@@ -238,3 +238,85 @@ def test_replay_throughput():
     # CI smoke subset deliberately includes the scalar-bound laggards,
     # so it gets a looser floor.
     assert aggregate["speedup"] >= (3.0 if full else 1.5)
+
+
+_SWEEP_MACHINES = (
+    None,
+    MachineConfig(predictor="bimodal"),
+    MachineConfig(mem_latency=400.0),
+    MachineConfig(width=2),
+)
+_SWEEP_ROUNDS = 3
+
+
+def test_sweep_capture_reuse():
+    """Capture-once/replay-N machine sweep vs N fused characterizations.
+
+    The staged pipeline's sweep guarantee in wall-clock form: sweeping
+    one 502.gcc_r refrate workload over four machine configs must
+    execute the benchmark exactly once (stage counters prove it) and
+    beat four cache-off characterizations by >=2x.  Merges a ``sweep``
+    key into ``BENCH_machine.json`` — run after ``test_replay_throughput``,
+    which rewrites that file wholesale.
+    """
+    from repro.core.run import Session
+    from repro.core.suite import alberta_workloads
+
+    bid = "502.gcc_r"
+    workloads = [_refrate_workload(list(alberta_workloads(bid)))]
+    machines = list(_SWEEP_MACHINES)
+
+    fused_best = None
+    for _ in range(_SWEEP_ROUNDS):
+        t0 = time.perf_counter()
+        fused_chars = []
+        for m in machines:
+            with Session(machine=m, cache=None) as s:
+                fused_chars.append(s.characterize(bid, workloads).characterizations[0])
+        dt = time.perf_counter() - t0
+        fused_best = dt if fused_best is None else min(fused_best, dt)
+
+    sweep_best = summary = sweep_chars = None
+    for _ in range(_SWEEP_ROUNDS):
+        t0 = time.perf_counter()
+        with Session(cache=None) as s:
+            result = s.characterize_sweep(bid, machines, workloads)
+        dt = time.perf_counter() - t0
+        if sweep_best is None or dt < sweep_best:
+            sweep_best, summary, sweep_chars = dt, s.summary, result.characterizations
+
+    # the sweep's answers match the fused path's, bit for bit
+    for fused, swept in zip(fused_chars, sweep_chars):
+        assert fused.table2_row() == swept.table2_row()
+    # stage counters: one execution, one replay per config
+    assert summary.captures == 1
+    assert summary.replays == len(machines)
+
+    speedup = fused_best / sweep_best
+    sweep_out = {
+        "benchmark": bid,
+        "workload": workloads[0].name,
+        "machines": len(machines),
+        "rounds": _SWEEP_ROUNDS,
+        "fused_seconds": round(fused_best, 6),
+        "sweep_seconds": round(sweep_best, 6),
+        "captures": summary.captures,
+        "replays": summary.replays,
+        "speedup": round(speedup, 2),
+    }
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_machine.json")
+    try:
+        with open(path) as fh:
+            out = json.load(fh)
+    except (OSError, ValueError):
+        out = {"schema": 1}
+    out["sweep"] = sweep_out
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"\nsweep: {len(machines)} configs in {sweep_best:.3f}s vs fused "
+        f"{fused_best:.3f}s (x{speedup:.2f}), "
+        f"{summary.captures} capture / {summary.replays} replays -> {path}"
+    )
+    assert speedup >= 2.0

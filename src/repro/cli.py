@@ -6,6 +6,8 @@ Commands mirror the deliverables:
 * ``table2 [IDS...]``              — characterize and print Table II rows;
 * ``suite``                        — fault-tolerant full-suite run with
   an optional ``--trace`` JSONL journal;
+* ``sweep BENCH --machines ...``   — machine-config sweep that captures
+  telemetry once and replays it per config;
 * ``trace summary|show PATH``      — inspect a run-trace journal;
 * ``fig1 BENCH`` / ``fig2 BENCH``  — render a figure panel;
 * ``report BENCH``                 — the per-benchmark Alberta report;
@@ -128,6 +130,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="abort on the first failed cell instead of completing degraded",
+    )
+
+    p = sub.add_parser(
+        "sweep",
+        help="characterize one benchmark across machine configs, "
+        "capturing telemetry once and replaying it per config",
+    )
+    p.add_argument("benchmark")
+    p.add_argument(
+        "--machines",
+        default="i7-2600,i7-6700k,atom-like",
+        metavar="PRESETS",
+        help="comma-separated machine presets, or 'default' for the "
+        "baseline config (default: i7-2600,i7-6700k,atom-like)",
+    )
+    _add_engine_options(p)
+    p.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL run-trace journal (see `repro trace`)",
     )
 
     p = sub.add_parser("trace", help="inspect a run-trace JSONL journal")
@@ -275,7 +299,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         summary = session.summary
         print(
             f"cells: {summary.cells} ({summary.ok} ok, {summary.failed} failed, "
-            f"{summary.cache_hits} cached) retries={summary.retries} "
+            f"{summary.cache_hits} cached) captures={summary.captures} "
+            f"replays={summary.replays} retries={summary.retries} "
             f"timeouts={summary.timeouts} crashes={summary.crashes} "
             f"quarantined={summary.quarantined} in {summary.duration_s:.2f}s",
             file=sys.stderr,
@@ -284,6 +309,48 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("failed cells:", file=sys.stderr)
             for failure in result.failures:
                 print(f"  {failure}", file=sys.stderr)
+        if args.trace:
+            print(f"trace journal: {args.trace}", file=sys.stderr)
+        return 1 if result.failures else 0
+
+    if args.command == "sweep":
+        from .core.errors import CellFailure
+        from .core.run import Session
+        from .machine.machine import preset
+
+        kwargs = _engine_kwargs(args)
+        names = [n.strip() for n in args.machines.split(",") if n.strip()]
+        machines = [None if n == "default" else preset(n) for n in names]
+        session = Session(
+            workers=kwargs["workers"], cache=kwargs["cache"], trace=args.trace
+        )
+        try:
+            with session:
+                result = session.characterize_sweep(args.benchmark, machines)
+        except CellFailure as failure:
+            print(f"sweep failed: {failure}", file=sys.stderr)
+            return 1
+        for name, char in zip(names, result.characterizations):
+            if char is None:
+                print(f"{name:<12} (all cells failed)")
+                continue
+            td = char.topdown
+            print(
+                f"{name:<12} f={td.mu_g('front_end') * 100:5.1f}% "
+                f"b={td.mu_g('back_end') * 100:5.1f}% "
+                f"s={td.mu_g('bad_speculation') * 100:5.1f}% "
+                f"r={td.mu_g('retiring') * 100:5.1f}% "
+                f"refrate={char.refrate_seconds if char.refrate_seconds is not None else float('nan'):.6f}s"
+            )
+        summary = session.summary
+        if summary is not None:
+            print(
+                f"stages: {summary.captures} captures "
+                f"({summary.capture_hits} reused), {summary.replays} replays "
+                f"({summary.replay_hits} cached) for {summary.cells} cells "
+                f"in {summary.duration_s:.2f}s",
+                file=sys.stderr,
+            )
         if args.trace:
             print(f"trace journal: {args.trace}", file=sys.stderr)
         return 1 if result.failures else 0
@@ -315,17 +382,23 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "cache":
-        from .core.cache import ResultCache
+        from .core.artifacts import ArtifactStore
 
-        cache = ResultCache(args.cache_dir or default_cache_dir())
+        store = ArtifactStore(args.cache_dir or default_cache_dir())
         if args.action == "wipe":
-            n = cache.wipe()
-            print(f"removed {n} cached profiles from {cache.root}")
+            n = store.wipe()
+            print(f"removed {n} cached artifacts from {store.root}")
         else:
-            print(f"cache dir : {cache.root}")
-            print(f"entries   : {len(cache)}")
-            print(f"bytes     : {cache.total_bytes()}")
-            print(f"corrupt   : {cache.quarantined_entries()} (quarantined *.corrupt)")
+            profiles, captures = store.profiles, store.captures
+            print(f"cache dir : {store.root}")
+            print("stage: replay (machine-dependent profiles)")
+            print(f"  entries : {len(profiles)}")
+            print(f"  bytes   : {profiles.total_bytes()}")
+            print(f"  corrupt : {profiles.quarantined_entries()} (quarantined *.corrupt)")
+            print("stage: capture (machine-independent telemetry)")
+            print(f"  entries : {len(captures)}")
+            print(f"  bytes   : {captures.total_bytes()}")
+            print(f"  corrupt : {captures.quarantined_entries()} (quarantined *.corrupt)")
         return 0
 
     if args.command == "generate":

@@ -1,6 +1,7 @@
 """Core methodology: workloads, statistics, top-down and coverage summaries."""
 
-from .cache import CacheStats, ResultCache, cache_key, payload_digest
+from .artifacts import ArtifactStore, CaptureStore, decode_capture, encode_capture
+from .cache import CacheStats, ResultCache, cache_key, capture_key, payload_digest
 from .characterize import (
     BenchmarkCharacterization,
     assemble_characterization,
@@ -9,9 +10,17 @@ from .characterize import (
 )
 from .coverage import CoverageProfile, CoverageSummary, summarize_coverage
 from .engine import CellOutcome, CharacterizationEngine, default_workers
-from .errors import CacheCorruption, CellFailure, ReproError, WorkloadError
+from .errors import (
+    CacheCorruption,
+    CellFailure,
+    MachineMismatch,
+    ReproError,
+    StudyError,
+    VerificationError,
+    WorkloadError,
+)
 from .reports import benchmark_report, execution_time_report
-from .run import Run, RunResult, Session
+from .run import Run, RunResult, Session, SweepResult
 from .trace import (
     CellSpan,
     RunSummary,
@@ -39,9 +48,14 @@ __all__ = [
     "assemble_characterization",
     "characterize",
     "characterize_suite",
+    "ArtifactStore",
+    "CaptureStore",
+    "encode_capture",
+    "decode_capture",
     "CacheStats",
     "ResultCache",
     "cache_key",
+    "capture_key",
     "payload_digest",
     "CellOutcome",
     "CharacterizationEngine",
@@ -50,9 +64,13 @@ __all__ = [
     "WorkloadError",
     "CellFailure",
     "CacheCorruption",
+    "VerificationError",
+    "StudyError",
+    "MachineMismatch",
     "Run",
     "RunResult",
     "Session",
+    "SweepResult",
     "CellSpan",
     "RunSummary",
     "TraceWriter",

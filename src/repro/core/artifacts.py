@@ -1,0 +1,272 @@
+"""Typed per-stage artifact stores for the staged pipeline.
+
+:mod:`repro.core.cache` stores the *end product* of a cell — a
+serialized :class:`~repro.machine.profiler.ExecutionProfile`, keyed by
+(benchmark, workload, machine, version).  The staged pipeline also
+needs to persist the *intermediate* artifact between capture and
+replay: the machine-independent :class:`~repro.machine.capture.
+TelemetryCapture`, keyed by :func:`~repro.core.cache.capture_key`
+(no machine).  This module adds:
+
+* a compact binary codec for captures (:func:`encode_capture` /
+  :func:`decode_capture`) — JSON header for the per-method counters
+  and decimation state, zlib-compressed raw int64 column bytes with a
+  CRC for the event stream.  JSON would baloon the four event columns
+  (hundreds of thousands of int64s) roughly 5x and round-trip slowly;
+  raw little-endian column bytes restore with one ``frombuffer`` each;
+* :class:`CaptureStore` — the on-disk store for encoded captures,
+  with the same atomic-write and quarantine-on-corruption discipline
+  as :class:`~repro.core.cache.ResultCache`;
+* :class:`ArtifactStore` — the pair of per-stage stores the engine
+  holds: ``profiles`` (the replay-stage artifact, one entry per
+  machine/build) and ``captures`` (the capture-stage artifact, one
+  entry per workload, shared by every machine/build that replays it).
+
+Capture traffic is mirrored under ``engine.artifacts.capture.*``
+(never ``engine.cache.*``, which remains exclusively profile-store
+traffic).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..machine import telemetry
+from ..machine.capture import TelemetryCapture
+from ..machine.telemetry import MethodCounters
+from .cache import CACHE_FORMAT, CacheStats, ResultCache
+from .errors import CacheCorruption
+
+__all__ = [
+    "CAPTURE_MAGIC",
+    "encode_capture",
+    "decode_capture",
+    "CaptureStore",
+    "ArtifactStore",
+]
+
+#: Leading bytes of every encoded capture; rev with the layout.
+CAPTURE_MAGIC = b"RTC1"
+
+_LEN_HEADER = struct.Struct("<II")  # header length, compressed payload length
+
+
+def encode_capture(capture: TelemetryCapture) -> bytes:
+    """Serialize a capture to the compact binary artifact format.
+
+    Layout: ``CAPTURE_MAGIC``, two little-endian u32 lengths (JSON
+    header, compressed payload), a u32 CRC-32 of the *uncompressed*
+    column bytes, the JSON header, then the zlib-compressed
+    concatenation of the four int64 event columns.  Everything the
+    decoder needs to reject a damaged entry is self-contained.
+    """
+    cols = [np.ascontiguousarray(c, dtype=np.int64) for c in capture.columns]
+    raw = b"".join(c.tobytes() for c in cols)
+    header = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "benchmark": capture.benchmark,
+            "workload": capture.workload,
+            "verified": capture.verified,
+            "sampling_stride": capture.sampling_stride,
+            "event_cap": capture.event_cap,
+            "tick": capture.tick,
+            "events": int(len(cols[0])),
+            "methods": [asdict(mc) for mc in capture.methods],
+        },
+        separators=(",", ":"),
+    ).encode()
+    payload = zlib.compress(raw, 6)
+    return (
+        CAPTURE_MAGIC
+        + _LEN_HEADER.pack(len(header), len(payload))
+        + struct.pack("<I", zlib.crc32(raw))
+        + header
+        + payload
+    )
+
+
+def decode_capture(blob: bytes) -> TelemetryCapture:
+    """Reconstruct a capture; raises :class:`CacheCorruption` on damage.
+
+    Every structural check — magic, declared lengths, format version,
+    CRC over the decompressed columns, column count consistency — maps
+    to the same exception so stores can quarantine uniformly.
+    """
+    if blob[: len(CAPTURE_MAGIC)] != CAPTURE_MAGIC:
+        raise CacheCorruption("capture artifact: bad magic")
+    offset = len(CAPTURE_MAGIC)
+    try:
+        header_len, payload_len = _LEN_HEADER.unpack_from(blob, offset)
+        offset += _LEN_HEADER.size
+        (crc,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        header = json.loads(blob[offset : offset + header_len])
+        payload = blob[offset + header_len : offset + header_len + payload_len]
+        if len(payload) != payload_len:
+            raise CacheCorruption("capture artifact: truncated payload")
+        raw = zlib.decompress(payload)
+    except CacheCorruption:
+        raise
+    except (struct.error, ValueError, zlib.error) as exc:
+        raise CacheCorruption(f"capture artifact: undecodable ({exc})") from exc
+    if header.get("format") != CACHE_FORMAT:
+        raise CacheCorruption(
+            f"capture artifact: unsupported format {header.get('format')!r}"
+        )
+    if zlib.crc32(raw) != crc:
+        raise CacheCorruption("capture artifact: CRC mismatch")
+    n = header["events"]
+    if len(raw) != 4 * 8 * n:
+        raise CacheCorruption(
+            f"capture artifact: expected {4 * 8 * n} column bytes, got {len(raw)}"
+        )
+    width = 8 * n
+    columns = tuple(
+        np.frombuffer(raw[i * width : (i + 1) * width], dtype=np.int64).copy()
+        for i in range(4)
+    )
+    try:
+        methods = tuple(MethodCounters(**mc) for mc in header["methods"])
+        return TelemetryCapture(
+            benchmark=header["benchmark"],
+            workload=header["workload"],
+            methods=methods,
+            columns=columns,  # type: ignore[arg-type]
+            sampling_stride=header["sampling_stride"],
+            event_cap=header["event_cap"],
+            tick=header["tick"],
+            verified=header["verified"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise CacheCorruption(f"capture artifact: bad header ({exc})") from exc
+
+
+class CaptureStore:
+    """Content-addressed on-disk store of encoded telemetry captures.
+
+    Mirrors :class:`~repro.core.cache.ResultCache` semantics — atomic
+    replace on write, quarantine (rename to ``*.bin.corrupt``) plus
+    miss on an undecodable read — for ``.bin`` entries at
+    ``<root>/<key[:2]>/<key>.bin``.  Traffic is counted per instance
+    in :attr:`stats` and process-wide under
+    ``engine.artifacts.capture.*``.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.bin"
+
+    def get(self, key: str) -> TelemetryCapture | None:
+        """Look up a capture; a miss or corrupt entry returns None."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            telemetry.record("engine.artifacts.capture.misses")
+            return None
+        try:
+            capture = decode_capture(raw)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.stats.misses += 1
+            telemetry.record("engine.artifacts.capture.misses")
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(raw)
+        telemetry.record("engine.artifacts.capture.hits")
+        telemetry.record("engine.artifacts.capture.bytes_read", len(raw))
+        return capture
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - racing unlink/permissions
+            pass
+        self.stats.quarantined += 1
+        telemetry.record("engine.artifacts.capture.quarantined")
+
+    def put(self, key: str, capture: TelemetryCapture) -> None:
+        """Store an encoded capture under ``key`` (atomic replace)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        raw = encode_capture(capture)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(raw)
+        os.replace(tmp, path)
+        self.stats.bytes_written += len(raw)
+        telemetry.record("engine.artifacts.capture.bytes_written", len(raw))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.bin"))
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*/*.bin"))
+
+    def quarantined_entries(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.bin.corrupt"))
+
+    def wipe(self) -> int:
+        """Delete every entry; returns the number of live entries removed."""
+        n = 0
+        for path in self.root.glob("*/*.bin.corrupt"):
+            path.unlink(missing_ok=True)
+        for path in self.root.glob("*/*.bin"):
+            path.unlink(missing_ok=True)
+            n += 1
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return n
+
+
+class ArtifactStore:
+    """The engine's pair of per-stage stores under one cache root.
+
+    ``profiles`` is the replay-stage store — one
+    :class:`~repro.machine.profiler.ExecutionProfile` per (workload,
+    machine, build) — and is the *same* :class:`ResultCache` object the
+    caller handed the engine, so their ``cache.stats`` keep working.
+    ``captures`` lives under ``<root>/capture/`` — one
+    :class:`~repro.machine.capture.TelemetryCapture` per workload,
+    shared across every machine/build.  The subdirectory is invisible
+    to the profile store's ``*/*.json`` globs, so profile entry counts
+    and :meth:`ResultCache.wipe` semantics are unchanged.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        profiles: ResultCache | None = None,
+    ):
+        if profiles is None:
+            if root is None:
+                raise ValueError("ArtifactStore: need a root or a ResultCache")
+            profiles = ResultCache(root)
+        self.profiles = profiles
+        self.captures = CaptureStore(Path(profiles.root) / "capture")
+
+    @property
+    def root(self) -> Path:
+        return self.profiles.root
+
+    def wipe(self) -> int:
+        """Wipe both stages; returns total live entries removed."""
+        return self.profiles.wipe() + self.captures.wipe()

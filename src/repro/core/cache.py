@@ -47,6 +47,7 @@ __all__ = [
     "payload_digest",
     "workload_fingerprint",
     "cache_key",
+    "capture_key",
     "profile_to_dict",
     "profile_from_dict",
     "CacheStats",
@@ -141,8 +142,42 @@ def cache_key(
     benchmark_id: str,
     workload: Workload,
     machine: MachineConfig | None = None,
+    *,
+    build: str | None = None,
 ) -> str:
-    """Stable key for one (benchmark, workload, machine, version) cell."""
+    """Stable key for one (benchmark, workload, machine, version) cell.
+
+    ``build`` is an optional digest of a build transformation (e.g. an
+    FDO profile — see :meth:`repro.fdo.optimizer.FdoBuild.digest`) that
+    changes the replay but not the capture.  ``None`` (the baseline
+    build) hashes exactly as before, so caches populated prior to this
+    field stay warm.
+    """
+    from .. import __version__
+
+    ident: dict[str, Any] = {
+        "format": CACHE_FORMAT,
+        "version": __version__,
+        "benchmark": benchmark_id,
+        "workload": workload_fingerprint(workload),
+        "machine": asdict(machine or MachineConfig()),
+    }
+    if build is not None:
+        ident["build"] = build
+    h = hashlib.sha256()
+    _update(h, ident)
+    return h.hexdigest()
+
+
+def capture_key(benchmark_id: str, workload: Workload) -> str:
+    """Stable key for one captured telemetry stream.
+
+    Deliberately *machine-independent*: the capture stage records what
+    the benchmark did, not how a machine would execute it, so the key
+    covers only the benchmark id, the workload content, the artifact
+    format, and the repro version.  Every machine config (and every FDO
+    build) replays the same capture.
+    """
     from .. import __version__
 
     h = hashlib.sha256()
@@ -151,9 +186,9 @@ def cache_key(
         {
             "format": CACHE_FORMAT,
             "version": __version__,
+            "stage": "capture",
             "benchmark": benchmark_id,
             "workload": workload_fingerprint(workload),
-            "machine": asdict(machine or MachineConfig()),
         },
     )
     return h.hexdigest()

@@ -10,11 +10,22 @@ deterministic.  The engine exploits both properties:
   are collected in submission order, so parallel runs feed
   ``summarize_topdown`` / ``summarize_coverage`` the exact same profile
   sequence as a serial run and the summaries are bit-identical.
-* **Caching** — each cell is looked up in a
-  :class:`~repro.core.cache.ResultCache` before being scheduled, keyed
-  by the cell's full content (see :func:`repro.core.cache.cache_key`),
-  so warm re-runs of Table II, the figures, and the studies skip the
-  profiling entirely.
+* **Staged execution** — every cell is resolved through the
+  ``generate → capture → replay → summarize`` pipeline.  The *capture*
+  stage executes the benchmark and snapshots its telemetry
+  (machine-independent; see :mod:`repro.machine.capture`); the
+  *replay* stage evaluates a capture under the cell's machine config.
+  The stages are separately cached in an
+  :class:`~repro.core.artifacts.ArtifactStore`, so a machine-config or
+  FDO-build sweep (:meth:`CharacterizationEngine.characterize_sweep_run`)
+  executes each benchmark once and replays the stored stream N times.
+* **Caching** — each cell is looked up in the profile store before
+  being scheduled, keyed by the cell's full content (see
+  :func:`repro.core.cache.cache_key`), so warm re-runs of Table II,
+  the figures, and the studies skip the profiling entirely; a profile
+  miss next consults the capture store (keyed machine-independently by
+  :func:`repro.core.cache.capture_key`) to skip at least the
+  benchmark execution.
 * **Fault tolerance** — a cell that raises, exceeds the per-cell
   ``timeout``, or takes its worker process down with it is retried up
   to ``retries`` times with a deterministic exponential backoff; a
@@ -58,9 +69,11 @@ from fnmatch import fnmatch
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..machine.capture import TelemetryCapture, capture_execution, replay_capture
 from ..machine.cost import MachineConfig
-from ..machine.profiler import ExecutionProfile, Profiler
-from .cache import ResultCache, cache_key
+from ..machine.profiler import ExecutionProfile
+from .artifacts import ArtifactStore
+from .cache import ResultCache, cache_key, capture_key
 from .errors import CellFailure, WorkloadError
 from .suite import alberta_workloads, benchmark_ids, get_benchmark
 from .trace import CellSpan, TraceWriter
@@ -78,6 +91,9 @@ __all__ = [
 
 #: Environment variable holding the fault-injection spec.
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: Sentinel distinguishing "use the engine's machine" from an explicit None.
+_ENGINE_MACHINE: Any = object()
 
 
 def default_workers() -> int:
@@ -103,15 +119,26 @@ class _Cell:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """The terminal record of one cell's execution (or cache hit)."""
+    """The terminal record of one cell's execution (or cache hit).
+
+    ``capture``/``replay`` record the stage-level story: which stage
+    actually ran (``"run"``), was served from a store (``"hit"``), or
+    never happened (``"-"``).  ``profile`` holds the finished
+    :class:`ExecutionProfile` — except for capture-stage-only outcomes
+    (:meth:`CharacterizationEngine.capture_run`), where it holds the
+    :class:`~repro.machine.capture.TelemetryCapture` instead.
+    """
 
     cell: _Cell
-    profile: ExecutionProfile | None
-    cache: str  # "hit" | "miss" | "off"
+    profile: Any  # ExecutionProfile | TelemetryCapture | None
+    cache: str  # "hit" | "miss" | "off" | "-"
     attempts: int
     duration_s: float
     outcome: str  # "ok" | "failed" | "timeout" | "crashed"
     error: str | None = None
+    capture: str = "-"  # "hit" | "run" | "-"
+    replay: str = "-"  # "hit" | "run" | "-"
+    build: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -126,6 +153,9 @@ class CellOutcome:
             duration_s=self.duration_s,
             outcome=self.outcome,
             error=self.error,
+            capture=self.capture,
+            replay=self.replay,
+            build=self.build,
         )
 
     def failure(self) -> CellFailure:
@@ -209,16 +239,33 @@ def _maybe_inject_fault(cell: _Cell, attempt: int) -> None:
             time.sleep(arg if arg is not None else 60.0)
 
 
-def _run_cell(cell: _Cell, attempt: int = 1) -> ExecutionProfile:
+def _run_cell(
+    cell: _Cell, attempt: int = 1, mode: str = "replay"
+) -> tuple[ExecutionProfile | None, TelemetryCapture | None]:
     """Execute one matrix cell (runs in a worker process or inline).
 
-    The benchmark output is stripped before the profile crosses the
-    process boundary: outputs can be large, are never summarized, and
-    dropping them keeps worker results byte-compatible with cache hits.
+    Always runs the capture stage; ``mode`` picks what crosses the
+    process boundary back to the parent:
+
+    * ``"replay"`` — replay in the worker, return only the profile
+      (store-less runs: no reason to ship the telemetry columns);
+    * ``"both"`` — replay in the worker *and* return the capture so
+      the parent can persist it for later sweeps;
+    * ``"capture"`` — skip replay, return only the capture
+      (stage-level capture runs).
+
+    The benchmark output never crosses the boundary: captures and
+    replayed profiles carry ``output=None`` by construction, keeping
+    worker results byte-compatible with cache hits.
     """
     _maybe_inject_fault(cell, attempt)
-    profile = Profiler(cell.machine).run(_worker_benchmark(cell.benchmark_id), _worker_workload(cell))
-    return replace(profile, output=None)
+    capture = capture_execution(
+        _worker_benchmark(cell.benchmark_id), _worker_workload(cell)
+    )
+    if mode == "capture":
+        return None, capture
+    profile = replay_capture(capture, machine=cell.machine)
+    return profile, (capture if mode == "both" else None)
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -241,8 +288,12 @@ class CharacterizationEngine:
         workers: process count; ``None`` means ``os.cpu_count()``.
             ``workers=1`` executes inline (no pool, no pickling) unless
             a ``timeout`` is set, which requires a pool to enforce.
-        cache: a :class:`ResultCache`, a directory path to open one at,
-            or ``None`` to disable caching.
+        cache: an :class:`~repro.core.artifacts.ArtifactStore`, a
+            :class:`ResultCache`, a directory path to open one at, or
+            ``None`` to disable caching.  A bare ``ResultCache`` (or
+            path) is wrapped in an ``ArtifactStore`` so the capture
+            stage is cached too; the wrapped cache object is exposed
+            unchanged as :attr:`cache`.
         machine: machine configuration shared by every cell.
         timeout: per-cell wall-clock budget in seconds (pool mode
             only); a cell that exceeds it is retried on a fresh pool.
@@ -262,7 +313,7 @@ class CharacterizationEngine:
         self,
         *,
         workers: int | None = None,
-        cache: ResultCache | str | Path | None = None,
+        cache: ArtifactStore | ResultCache | str | Path | None = None,
         machine: MachineConfig | None = None,
         timeout: float | None = None,
         retries: int = 1,
@@ -274,9 +325,21 @@ class CharacterizationEngine:
         self.workers = default_workers() if workers is None else int(workers)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
-        if cache is not None and not isinstance(cache, ResultCache):
-            cache = ResultCache(cache)
-        self.cache = cache
+        if cache is None:
+            self.store: ArtifactStore | None = None
+        elif isinstance(cache, ArtifactStore):
+            self.store = cache
+        else:
+            if not isinstance(cache, ResultCache):
+                cache = ResultCache(cache)
+            self.store = ArtifactStore(profiles=cache)
+        # Back-compat: the profile store under its historical name, the
+        # exact object the caller handed in (their .stats keep working).
+        self.cache = self.store.profiles if self.store is not None else None
+        #: In-process capture reuse for the stage-level APIs (capture_run,
+        #: characterize_sweep_run); run_cells stays memo-free so suite
+        #: runs don't pin every telemetry stream in memory.
+        self._capture_memo: dict[str, TelemetryCapture] = {}
         self.machine = machine
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout!r}")
@@ -294,6 +357,14 @@ class CharacterizationEngine:
     def run_cells(self, cells: list[_Cell], workloads: list[Workload]) -> list[CellOutcome]:
         """Resolve every cell to a :class:`CellOutcome`, in ``cells`` order.
 
+        The staged pipeline: a profile-cache miss next consults the
+        capture store — a stored telemetry stream is replayed in the
+        parent (``capture="hit"``, no benchmark execution) — and only
+        cells missing both artifacts execute the benchmark.  Executed
+        cells capture *and* replay in the worker (one process
+        round-trip, replay stays parallel) and ship the capture back
+        for persistence when a store is attached.
+
         Never raises for per-cell failures — inspect ``outcome.ok``.
         Cache lookups and stores happen in the parent process only;
         workers never touch the cache directory.  Spans are emitted to
@@ -303,32 +374,81 @@ class CharacterizationEngine:
             raise WorkloadError("run_cells: cells and workloads must align")
         outcomes: list[CellOutcome | None] = [None] * len(cells)
         keys: list[str | None] = [None] * len(cells)
-        pending: list[int] = []
-        quarantined_before = self.cache.stats.quarantined if self.cache is not None else 0
+        to_run: list[int] = []
+        replays: list[tuple[int, TelemetryCapture]] = []
+        quarantined_before = self._quarantined_total()
+        cache_state = "off" if self.store is None else "miss"
 
         for i, (cell, workload) in enumerate(zip(cells, workloads)):
-            if self.cache is not None:
+            if self.store is not None:
                 keys[i] = cache_key(cell.benchmark_id, workload, cell.machine)
                 cached = self.cache.get(keys[i])
                 if cached is not None:
-                    outcomes[i] = CellOutcome(cell, cached, "hit", 0, 0.0, "ok")
+                    outcomes[i] = CellOutcome(
+                        cell, cached, "hit", 0, 0.0, "ok", replay="hit"
+                    )
                     continue
-            pending.append(i)
+                capture = self.store.captures.get(
+                    capture_key(cell.benchmark_id, workload)
+                )
+                if capture is not None:
+                    replays.append((i, capture))
+                    continue
+            to_run.append(i)
 
-        if pending:
-            cache_state = "off" if self.cache is None else "miss"
-            self._execute(cells, pending, outcomes, cache_state)
-            for i in pending:
+        if to_run:
+            mode = "both" if self.store is not None else "replay"
+            self._execute(cells, to_run, outcomes, cache_state, mode)
+            for i in to_run:
                 oc = outcomes[i]
-                if oc is not None and oc.ok and keys[i] is not None:
-                    self.cache.put(keys[i], oc.profile)
+                if oc is None:
+                    continue
+                if not oc.ok:
+                    outcomes[i] = replace(oc, capture="run")
+                    continue
+                profile, capture = oc.profile
+                outcomes[i] = replace(
+                    oc, profile=profile, capture="run", replay="run"
+                )
+                if keys[i] is not None:
+                    if capture is not None:
+                        self.store.captures.put(
+                            capture_key(cells[i].benchmark_id, workloads[i]),
+                            capture,
+                        )
+                    self.cache.put(keys[i], profile)
 
-        if self.cache is not None:
-            self.trace.quarantine(self.cache.stats.quarantined - quarantined_before)
+        for i, capture in replays:
+            cell = cells[i]
+            started = time.perf_counter()
+            try:
+                profile = replay_capture(capture, machine=cell.machine)
+            except Exception as exc:
+                outcomes[i] = CellOutcome(
+                    cell, None, cache_state, 1,
+                    time.perf_counter() - started, "failed",
+                    f"{type(exc).__name__}: {exc}",
+                    capture="hit", replay="run",
+                )
+                continue
+            outcomes[i] = CellOutcome(
+                cell, profile, cache_state, 0,
+                time.perf_counter() - started, "ok",
+                capture="hit", replay="run",
+            )
+            self.cache.put(keys[i], profile)
+
+        self.trace.quarantine(self._quarantined_total() - quarantined_before)
         done = [oc for oc in outcomes if oc is not None]
         for oc in done:
             self.trace.span(oc.span())
         return done
+
+    def _quarantined_total(self) -> int:
+        """Quarantined entries across both stage stores (0 when off)."""
+        if self.store is None:
+            return 0
+        return self.cache.stats.quarantined + self.store.captures.stats.quarantined
 
     def _execute(
         self,
@@ -336,13 +456,20 @@ class CharacterizationEngine:
         pending: list[int],
         outcomes: list[CellOutcome | None],
         cache_state: str,
+        mode: str = "replay",
     ) -> None:
-        """Run the cache-missed cells, inline or pooled."""
+        """Run the cache-missed cells, inline or pooled.
+
+        ``mode`` is forwarded to :func:`_run_cell`; successful outcomes
+        carry the raw worker ``(profile, capture)`` tuple in their
+        ``profile`` slot — callers unpack and re-tag with the stage
+        states they observed.
+        """
         inline = self.timeout is None and (self.workers == 1 or len(pending) == 1)
         if inline:
-            self._execute_inline(cells, pending, outcomes, cache_state)
+            self._execute_inline(cells, pending, outcomes, cache_state, mode)
         else:
-            self._execute_pool(cells, pending, outcomes, cache_state)
+            self._execute_pool(cells, pending, outcomes, cache_state, mode)
 
     def _execute_inline(
         self,
@@ -350,6 +477,7 @@ class CharacterizationEngine:
         pending: list[int],
         outcomes: list[CellOutcome | None],
         cache_state: str,
+        mode: str,
     ) -> None:
         for i in pending:
             cell = cells[i]
@@ -358,7 +486,7 @@ class CharacterizationEngine:
             while True:
                 attempts += 1
                 try:
-                    profile = _run_cell(cell, attempts)
+                    result = _run_cell(cell, attempts, mode)
                 except Exception as exc:
                     if attempts <= self.retries:
                         self._backoff_sleep(attempts)
@@ -370,7 +498,7 @@ class CharacterizationEngine:
                     )
                 else:
                     outcomes[i] = CellOutcome(
-                        cell, profile, cache_state, attempts,
+                        cell, result, cache_state, attempts,
                         time.perf_counter() - started, "ok",
                     )
                 break
@@ -381,6 +509,7 @@ class CharacterizationEngine:
         pending: list[int],
         outcomes: list[CellOutcome | None],
         cache_state: str,
+        mode: str,
     ) -> None:
         """Pool execution with per-cell timeout, retry, and pool recovery.
 
@@ -404,9 +533,9 @@ class CharacterizationEngine:
         restarts = 0
         round_no = 0
 
-        def finalize(i: int, profile: ExecutionProfile | None, outcome: str, error: str | None) -> None:
+        def finalize(i: int, result: Any, outcome: str, error: str | None) -> None:
             outcomes[i] = CellOutcome(
-                cells[i], profile, cache_state, max(remaining[i], 1),
+                cells[i], result, cache_state, max(remaining[i], 1),
                 time.perf_counter() - first_seen[i], outcome, error,
             )
             del remaining[i]
@@ -427,7 +556,7 @@ class CharacterizationEngine:
             try:
                 for i in order:
                     remaining[i] += 1
-                    futures[i] = pool.submit(_run_cell, cells[i], remaining[i])
+                    futures[i] = pool.submit(_run_cell, cells[i], remaining[i], mode)
             except BrokenExecutor:  # pragma: no cover - instant bootstrap death
                 for i in order:
                     if i in remaining and i not in futures:
@@ -442,7 +571,7 @@ class CharacterizationEngine:
                     remaining[i] -= 1  # refund: goes back on the queue
                     continue
                 try:
-                    profile = fut.result(timeout=None if abandon else self.timeout)
+                    result = fut.result(timeout=None if abandon else self.timeout)
                 except (FuturesTimeoutError, TimeoutError) as exc:
                     if fut.done():  # the *worker* raised TimeoutError
                         fail_or_requeue(i, "failed", f"TimeoutError: {exc}")
@@ -462,7 +591,7 @@ class CharacterizationEngine:
                 except Exception as exc:
                     fail_or_requeue(i, "failed", f"{type(exc).__name__}: {exc}")
                 else:
-                    finalize(i, profile, "ok", None)
+                    finalize(i, result, "ok", None)
 
             if abandon:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -476,7 +605,7 @@ class CharacterizationEngine:
                 self._backoff_sleep(round_no)
 
         if remaining:
-            self._execute_isolated(cells, remaining, outcomes, cache_state, first_seen)
+            self._execute_isolated(cells, remaining, outcomes, cache_state, first_seen, mode)
 
     def _execute_isolated(
         self,
@@ -485,6 +614,7 @@ class CharacterizationEngine:
         outcomes: list[CellOutcome | None],
         cache_state: str,
         first_seen: dict[int, float],
+        mode: str,
     ) -> None:
         """Run each surviving cell alone in a one-worker pool.
 
@@ -501,10 +631,10 @@ class CharacterizationEngine:
                 pool = ProcessPoolExecutor(max_workers=1)
                 abandon = False
                 outcome, error = "", ""
-                profile: ExecutionProfile | None = None
+                result: Any = None
                 try:
-                    fut = pool.submit(_run_cell, cell, attempt)
-                    profile = fut.result(timeout=self.timeout)
+                    fut = pool.submit(_run_cell, cell, attempt, mode)
+                    result = fut.result(timeout=self.timeout)
                 except (FuturesTimeoutError, TimeoutError) as exc:
                     abandon = True
                     if fut.done():
@@ -525,9 +655,9 @@ class CharacterizationEngine:
                     _kill_pool(pool)
                 else:
                     pool.shutdown(wait=True)
-                if profile is not None:
+                if result is not None:
                     outcomes[i] = CellOutcome(
-                        cell, profile, cache_state, attempt,
+                        cell, result, cache_state, attempt,
                         time.perf_counter() - first_seen[i], "ok",
                     )
                     del remaining[i]
@@ -559,6 +689,299 @@ class CharacterizationEngine:
         if failed and self.strict:
             raise failed[0].failure()
         return [oc.profile for oc in outcomes if oc.ok]
+
+    # --------------------------------------------------- stage-level APIs
+
+    def _capture_batch(
+        self, cells: list[_Cell], workloads: list[Workload]
+    ) -> list[tuple[TelemetryCapture | None, str, CellOutcome | None]]:
+        """Resolve the capture stage for every cell: memo → store → run.
+
+        Returns one ``(capture, state, run_outcome)`` triple per cell:
+        ``state`` is ``"hit"`` (in-process memo or capture store) or
+        ``"run"`` (the benchmark executed — successfully or not);
+        ``run_outcome`` carries attempts/duration/error for ``"run"``
+        entries and is ``None`` for hits.  Emits no spans — callers
+        decide how capture cost is attributed (a sweep charges it to
+        the first consuming cell).
+        """
+        results: list[Any] = [None] * len(cells)
+        cap_keys = [
+            capture_key(cell.benchmark_id, w) for cell, w in zip(cells, workloads)
+        ]
+        to_run: list[int] = []
+        for i, key in enumerate(cap_keys):
+            capture = self._capture_memo.get(key)
+            if capture is None and self.store is not None:
+                capture = self.store.captures.get(key)
+                if capture is not None:
+                    self._capture_memo[key] = capture
+            if capture is not None:
+                results[i] = (capture, "hit", None)
+            else:
+                to_run.append(i)
+        if to_run:
+            scratch: list[CellOutcome | None] = [None] * len(cells)
+            self._execute(cells, to_run, scratch, "-", "capture")
+            for i in to_run:
+                oc = scratch[i]
+                if oc is None:  # pragma: no cover - _execute always fills
+                    continue
+                if oc.ok:
+                    _, capture = oc.profile
+                    results[i] = (capture, "run", replace(oc, profile=None))
+                    self._capture_memo[cap_keys[i]] = capture
+                    if self.store is not None:
+                        self.store.captures.put(cap_keys[i], capture)
+                else:
+                    results[i] = (None, "run", oc)
+        return results
+
+    def capture_run(
+        self, cells: list[_Cell], workloads: list[Workload]
+    ) -> list[CellOutcome]:
+        """Run only the capture stage; spans carry ``replay="-"``.
+
+        Successful outcomes hold the
+        :class:`~repro.machine.capture.TelemetryCapture` in their
+        ``profile`` slot.  Captures are memoized in-process and
+        persisted to the capture store when one is attached, so
+        repeated stage-level consumers (the studies) never re-execute
+        a benchmark.  Under ``strict=True`` the first failed cell
+        raises its :class:`CellFailure` after all spans are journaled.
+        """
+        if len(cells) != len(workloads):
+            raise WorkloadError("capture_run: cells and workloads must align")
+        quarantined_before = self._quarantined_total()
+        batch = self._capture_batch(cells, workloads)
+        outcomes: list[CellOutcome] = []
+        for cell, (capture, state, run_oc) in zip(cells, batch):
+            if capture is not None:
+                outcomes.append(
+                    CellOutcome(
+                        cell, capture, "-",
+                        run_oc.attempts if run_oc is not None else 0,
+                        run_oc.duration_s if run_oc is not None else 0.0,
+                        "ok", capture=state,
+                    )
+                )
+            else:
+                outcomes.append(replace(run_oc, capture="run"))
+        self.trace.quarantine(self._quarantined_total() - quarantined_before)
+        for oc in outcomes:
+            self.trace.span(oc.span())
+        failed = [oc for oc in outcomes if not oc.ok]
+        if failed and self.strict:
+            raise failed[0].failure()
+        return outcomes
+
+    def replay_run(
+        self,
+        capture: TelemetryCapture,
+        *,
+        workload: Workload | None = None,
+        build: Any = None,
+        machine: Any = _ENGINE_MACHINE,
+    ) -> CellOutcome:
+        """Replay one captured stream under a machine config and build.
+
+        ``machine`` defaults to the engine's config; pass an explicit
+        config (or ``None`` for the default machine) to override.
+        ``build`` is any object exposing ``name``, ``digest()`` and
+        ``cost_model(machine)`` — see
+        :class:`repro.fdo.optimizer.FdoBuild` — and changes the replay
+        without touching the capture.  When the originating
+        ``workload`` is provided and a store is attached, the finished
+        profile is cached under the machine+build key (the full
+        workload content cannot be reconstructed from a capture, so
+        profile-level caching requires it).  Under ``strict=True`` a
+        failed replay raises its :class:`CellFailure` after the span
+        is journaled.
+        """
+        m = self.machine if machine is _ENGINE_MACHINE else machine
+        build_name = getattr(build, "name", None)
+        cell = _Cell(capture.benchmark, capture.workload, 0, m)
+        key = None
+        if self.store is not None and workload is not None:
+            key = cache_key(
+                capture.benchmark, workload, m,
+                build=build.digest() if build is not None else None,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                oc = CellOutcome(
+                    cell, cached, "hit", 0, 0.0, "ok",
+                    replay="hit", build=build_name,
+                )
+                self.trace.span(oc.span())
+                return oc
+        cache_state = "off" if self.store is None else ("miss" if key else "-")
+        started = time.perf_counter()
+        try:
+            profile = replay_capture(
+                capture,
+                machine=m,
+                cost_model=build.cost_model(m) if build is not None else None,
+            )
+        except Exception as exc:
+            oc = CellOutcome(
+                cell, None, cache_state, 1,
+                time.perf_counter() - started, "failed",
+                f"{type(exc).__name__}: {exc}",
+                replay="run", build=build_name,
+            )
+        else:
+            oc = CellOutcome(
+                cell, profile, cache_state, 1,
+                time.perf_counter() - started, "ok",
+                replay="run", build=build_name,
+            )
+            if key is not None:
+                self.cache.put(key, profile)
+        self.trace.span(oc.span())
+        if not oc.ok and self.strict:
+            raise oc.failure()
+        return oc
+
+    def characterize_sweep_run(
+        self,
+        benchmark_id: str,
+        machines: "list[MachineConfig | None]",
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> "tuple[list[BenchmarkCharacterization | None], list[CellOutcome]]":
+        """Characterize one benchmark under N machine configs, capturing once.
+
+        The sweep-reuse guarantee: each workload's benchmark executes
+        at most once, however many machine configs are swept — every
+        config replays the same captured telemetry stream.  Capture
+        cost (attempts, duration) is charged to the first consuming
+        cell (``capture="run"``); later consumers report
+        ``capture="hit"``, so ``summary.captures`` equals the number
+        of real benchmark executions.
+
+        Returns one characterization per machine config, in ``machines``
+        order (``None`` where no cell survived), plus the flat outcome
+        list in machine-major order.  Under ``strict=True`` the first
+        failed cell raises its :class:`CellFailure` after spans are
+        journaled.
+        """
+        from .characterize import assemble_characterization
+
+        machines = list(machines)
+        if not machines:
+            raise WorkloadError("characterize_sweep: need at least one machine config")
+        alberta = workloads is None
+        if alberta:
+            workloads = alberta_workloads(benchmark_id, base_seed)
+        if len(workloads) == 0:
+            raise WorkloadError(f"characterize_sweep: empty workload set for {benchmark_id}")
+        wl = list(workloads)
+        quarantined_before = self._quarantined_total()
+        cache_state = "off" if self.store is None else "miss"
+
+        grid: list[list[CellOutcome | None]] = [[None] * len(wl) for _ in machines]
+        keys: list[list[str | None]] = [[None] * len(wl) for _ in machines]
+        need: list[tuple[int, int, _Cell]] = []
+        for mi, m in enumerate(machines):
+            for wi, w in enumerate(wl):
+                cell = _Cell(
+                    benchmark_id=benchmark_id,
+                    workload_name=w.name,
+                    base_seed=base_seed,
+                    machine=m,
+                    workload=None if alberta else w,
+                )
+                if self.store is not None:
+                    keys[mi][wi] = cache_key(benchmark_id, w, m)
+                    cached = self.cache.get(keys[mi][wi])
+                    if cached is not None:
+                        grid[mi][wi] = CellOutcome(
+                            cell, cached, "hit", 0, 0.0, "ok", replay="hit"
+                        )
+                        continue
+                need.append((mi, wi, cell))
+
+        need_w = sorted({wi for _, wi, _ in need})
+        cap_cells = [
+            _Cell(
+                benchmark_id=benchmark_id,
+                workload_name=wl[wi].name,
+                base_seed=base_seed,
+                machine=None,
+                workload=None if alberta else wl[wi],
+            )
+            for wi in need_w
+        ]
+        batch = self._capture_batch(cap_cells, [wl[wi] for wi in need_w])
+        cap_by_w = dict(zip(need_w, batch))
+
+        charged: set[int] = set()
+        for mi, wi, cell in need:
+            capture, state, run_oc = cap_by_w[wi]
+            fresh = state == "run" and wi not in charged
+            if fresh:
+                charged.add(wi)
+            cap_attempts = run_oc.attempts if (fresh and run_oc is not None) else 0
+            cap_duration = run_oc.duration_s if (fresh and run_oc is not None) else 0.0
+            if capture is None:
+                # Capture failed: every consumer of this workload fails
+                # with the capture's error; only the first is charged.
+                grid[mi][wi] = CellOutcome(
+                    cell, None, cache_state,
+                    max(1, cap_attempts), cap_duration,
+                    run_oc.outcome if run_oc is not None else "failed",
+                    run_oc.error if run_oc is not None else "capture failed",
+                    capture="run" if fresh else "-",
+                )
+                continue
+            started = time.perf_counter()
+            try:
+                profile = replay_capture(capture, machine=cell.machine)
+            except Exception as exc:
+                grid[mi][wi] = CellOutcome(
+                    cell, None, cache_state, max(1, cap_attempts),
+                    cap_duration + (time.perf_counter() - started), "failed",
+                    f"{type(exc).__name__}: {exc}",
+                    capture="run" if fresh else "hit", replay="run",
+                )
+                continue
+            grid[mi][wi] = CellOutcome(
+                cell, profile, cache_state, cap_attempts,
+                cap_duration + (time.perf_counter() - started), "ok",
+                capture="run" if fresh else "hit", replay="run",
+            )
+            if keys[mi][wi] is not None:
+                self.cache.put(keys[mi][wi], profile)
+
+        self.trace.quarantine(self._quarantined_total() - quarantined_before)
+        flat: list[CellOutcome] = []
+        for mi in range(len(machines)):
+            for wi in range(len(wl)):
+                flat.append(grid[mi][wi])
+        for oc in flat:
+            self.trace.span(oc.span())
+        failed = [oc for oc in flat if not oc.ok]
+        if failed and self.strict:
+            raise failed[0].failure()
+
+        chars: list["BenchmarkCharacterization | None"] = []
+        for mi in range(len(machines)):
+            pairs = [(w, oc.profile) for w, oc in zip(wl, grid[mi]) if oc.ok]
+            if pairs:
+                chars.append(
+                    assemble_characterization(
+                        benchmark_id,
+                        [w for w, _ in pairs],
+                        [p for _, p in pairs],
+                        keep_profiles=keep_profiles,
+                    )
+                )
+            else:
+                chars.append(None)
+        return chars, flat
 
     # --------------------------------------------------- characterization
 

@@ -12,7 +12,13 @@ is damaged".  This module gives each mode its own type:
   to execute after every configured attempt (worker exception, timeout,
   or crashed worker process);
 * :class:`CacheCorruption` — a cache entry exists but cannot be
-  decoded (truncated write, bit rot, foreign format).
+  decoded (truncated write, bit rot, foreign format);
+* :class:`VerificationError` — a benchmark executed but its output
+  failed the SPEC-style miscompare check;
+* :class:`StudyError` — a Section V/VII study or FDO request is
+  invalid (missing profiles, too few workloads, bad parameters);
+* :class:`MachineMismatch` — an FDO comparison would mix results from
+  different machine configurations.
 
 Deprecation note: every type subclasses :class:`ReproError`, which
 itself subclasses ``ValueError``, so pre-existing ``except ValueError``
@@ -23,7 +29,15 @@ a future release.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "WorkloadError", "CellFailure", "CacheCorruption"]
+__all__ = [
+    "ReproError",
+    "WorkloadError",
+    "CellFailure",
+    "CacheCorruption",
+    "VerificationError",
+    "StudyError",
+    "MachineMismatch",
+]
 
 
 class ReproError(ValueError):
@@ -98,3 +112,32 @@ class CacheCorruption(ReproError):
     def __init__(self, message: str, *, path: object = None):
         self.path = path
         super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """A benchmark ran but its output failed verification.
+
+    Mirrors SPEC's output-validation step: a miscompare means the run
+    is invalid, whatever the counters say.  Raised by the capture stage
+    (:func:`~repro.machine.capture.capture_execution`) and by
+    :meth:`~repro.machine.profiler.Profiler.run`.
+    """
+
+
+class StudyError(ReproError):
+    """A study/FDO request is invalid before anything executes.
+
+    The studies-layer counterpart of :class:`WorkloadError`: missing
+    ``keep_profiles`` data, too few workloads to cross-validate, an
+    out-of-range parameter, and so on.
+    """
+
+
+class MachineMismatch(StudyError):
+    """An FDO comparison would mix different machine configurations.
+
+    Speedups are only meaningful when the baseline and the
+    FDO-optimized replays run under the same
+    :class:`~repro.machine.cost.MachineConfig`; this error rejects the
+    apples-to-oranges comparison instead of silently computing it.
+    """

@@ -38,17 +38,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from typing import Any
+
+from ..machine.capture import TelemetryCapture
 from ..machine.cost import MachineConfig
+from ..machine.profiler import ExecutionProfile
+from .artifacts import ArtifactStore
 from .cache import ResultCache
-from .engine import CharacterizationEngine, CellOutcome
+from .engine import _ENGINE_MACHINE, CharacterizationEngine, CellOutcome, _Cell
 from .errors import CellFailure
+from .suite import alberta_workloads
 from .trace import RunSummary, TraceWriter
-from .workload import WorkloadSet
+from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .characterize import BenchmarkCharacterization
 
-__all__ = ["Run", "RunResult", "Session"]
+__all__ = ["Run", "RunResult", "Session", "SweepResult"]
 
 
 @dataclass
@@ -87,6 +93,27 @@ class RunResult:
         return completed & {f.benchmark for f in self.failures}
 
 
+@dataclass
+class SweepResult:
+    """What one machine-config sweep produced.
+
+    ``characterizations[i]`` belongs to ``machines[i]`` (``None`` where
+    no cell survived under ``strict=False``).  The sweep-reuse
+    guarantee shows up in ``summary``: ``captures`` stays at one per
+    workload no matter how many configs were swept.
+    """
+
+    machines: "list[MachineConfig | None]"
+    characterizations: "list[BenchmarkCharacterization | None]"
+    failures: list[CellFailure] = field(default_factory=list)
+    summary: RunSummary | None = None
+    trace_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
 class Session:
     """One engine + one trace journal across many characterization calls.
 
@@ -100,7 +127,7 @@ class Session:
         self,
         *,
         workers: int | None = 1,
-        cache: ResultCache | str | Path | None = None,
+        cache: ArtifactStore | ResultCache | str | Path | None = None,
         machine: MachineConfig | None = None,
         timeout: float | None = None,
         retries: int = 1,
@@ -166,6 +193,115 @@ class Session:
             suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
         )
         return self._result(chars, outcomes)
+
+    def characterize_sweep(
+        self,
+        benchmark_id: str,
+        machines: "list[MachineConfig | None]",
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> SweepResult:
+        """Characterize one benchmark under every config in ``machines``.
+
+        Each workload's benchmark executes at most once; every machine
+        config replays the captured telemetry stream (see
+        :meth:`~repro.core.engine.CharacterizationEngine.characterize_sweep_run`).
+        """
+        chars, outcomes = self.engine.characterize_sweep_run(
+            benchmark_id,
+            machines,
+            workloads,
+            base_seed=base_seed,
+            keep_profiles=keep_profiles,
+        )
+        return SweepResult(
+            machines=list(machines),
+            characterizations=chars,
+            failures=[oc.failure() for oc in outcomes if not oc.ok],
+            trace_path=self._writer.path,
+        )
+
+    # ------------------------------------------------------ stage access
+
+    def capture(
+        self,
+        benchmark_id: str,
+        workload: "Workload | str",
+        *,
+        base_seed: int = 0,
+    ) -> TelemetryCapture | None:
+        """Run (or reuse) the capture stage for one workload.
+
+        ``workload`` may be a :class:`Workload` or the name of one of
+        the benchmark's default Alberta workloads.  Returns the
+        machine-independent telemetry capture — feed it to
+        :meth:`replay` any number of times.  ``None`` only under
+        ``strict=False`` when the capture failed.
+        """
+        caps = self.capture_set(
+            benchmark_id, [self._resolve(benchmark_id, workload, base_seed)],
+            base_seed=base_seed,
+        )
+        return caps[0]
+
+    def capture_set(
+        self,
+        benchmark_id: str,
+        workloads: "WorkloadSet | list[Workload] | None" = None,
+        *,
+        base_seed: int = 0,
+    ) -> "list[TelemetryCapture | None]":
+        """Capture every workload (default: the benchmark's Alberta set).
+
+        One engine pass — parallel across cache-missed workloads — and
+        one capture per workload however many times it is re-requested
+        (in-process memo + capture store).
+        """
+        alberta = workloads is None
+        if alberta:
+            workloads = alberta_workloads(benchmark_id, base_seed)
+        wl = list(workloads)
+        cells = [
+            _Cell(
+                benchmark_id=benchmark_id,
+                workload_name=w.name,
+                base_seed=base_seed,
+                machine=None,
+                workload=None if alberta else w,
+            )
+            for w in wl
+        ]
+        outcomes = self.engine.capture_run(cells, wl)
+        return [oc.profile if oc.ok else None for oc in outcomes]
+
+    def replay(
+        self,
+        capture: TelemetryCapture,
+        *,
+        workload: Workload | None = None,
+        build: Any = None,
+        machine: Any = _ENGINE_MACHINE,
+    ) -> ExecutionProfile | None:
+        """Replay a capture under a machine config / FDO build.
+
+        ``machine`` defaults to the session's config.  Pass the
+        originating ``workload`` to enable profile-level caching of the
+        replay result.  ``None`` only under ``strict=False`` when the
+        replay failed.
+        """
+        oc = self.engine.replay_run(
+            capture, workload=workload, build=build, machine=machine
+        )
+        return oc.profile if oc.ok else None
+
+    def _resolve(
+        self, benchmark_id: str, workload: "Workload | str", base_seed: int
+    ) -> Workload:
+        if isinstance(workload, str):
+            return alberta_workloads(benchmark_id, base_seed)[workload]
+        return workload
 
     def _result(
         self, chars: "list[BenchmarkCharacterization]", outcomes: list[CellOutcome]
@@ -234,6 +370,26 @@ class Run:
         with Session(**self._config) as session:  # type: ignore[arg-type]
             result = session.characterize_suite(
                 suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
+            )
+        result.summary = session.summary
+        return result
+
+    def characterize_sweep(
+        self,
+        benchmark_id: str,
+        machines: "list[MachineConfig | None]",
+        workloads: WorkloadSet | None = None,
+        *,
+        base_seed: int = 0,
+        keep_profiles: bool = False,
+    ) -> SweepResult:
+        with Session(**self._config) as session:  # type: ignore[arg-type]
+            result = session.characterize_sweep(
+                benchmark_id,
+                machines,
+                workloads,
+                base_seed=base_seed,
+                keep_profiles=keep_profiles,
             )
         result.summary = session.summary
         return result

@@ -15,13 +15,24 @@ record so a crashed run leaves a readable prefix):
   "started_at": <unix seconds>}``
 * ``{"type": "span", "benchmark": ..., "workload": ..., "cache":
   "hit"|"miss"|"off", "attempts": int, "duration_s": float, "outcome":
-  "ok"|"failed"|"timeout"|"crashed", "error": str|null}`` — one per
-  cell, in matrix order.  ``duration_s`` is parent-observed wall time
-  (submission to completion), so concurrent cells overlap.
+  "ok"|"failed"|"timeout"|"crashed", "error": str|null, "capture":
+  "hit"|"run"|"-", "replay": "hit"|"run"|"-", "build": str|null}`` —
+  one per cell, in matrix order.  ``duration_s`` is parent-observed
+  wall time (submission to completion), so concurrent cells overlap.
+  ``capture`` and ``replay`` record the stage-level story behind the
+  cell-level ``cache`` field: ``capture="run"`` means the benchmark
+  actually executed, ``capture="hit"`` means a stored telemetry stream
+  was reused, ``"-"`` means the stage never ran (e.g. a whole-profile
+  cache hit skips both stages; ``replay="hit"`` reports it).  ``build``
+  names a non-baseline replay transformation (e.g. ``"fdo"``).
 * ``{"type": "summary", "cells": ..., "ok": ..., "failed": ...,
   "cache_hits": ..., "cache_misses": ..., "retries": ...,
   "timeouts": ..., "crashes": ..., "quarantined": ...,
-  "duration_s": ...}``
+  "captures": ..., "capture_hits": ..., "replays": ...,
+  "replay_hits": ..., "duration_s": ...}`` — ``captures`` is the
+  number of real benchmark executions in the run; a machine sweep that
+  reuses one captured stream across N configs reports ``captures=1,
+  replays=N``.
 
 Each span is also mirrored into :mod:`repro.machine.telemetry` under
 ``engine.run.*`` so operational tooling sees run traffic without
@@ -57,7 +68,13 @@ FAILURE_OUTCOMES = ("failed", "timeout", "crashed")
 
 @dataclass(frozen=True)
 class CellSpan:
-    """The trace record for one (benchmark, workload) matrix cell."""
+    """The trace record for one (benchmark, workload) matrix cell.
+
+    ``cache`` keeps its original cell-level meaning (did the finished
+    profile come from the cache); ``capture``/``replay`` break the
+    miss down by stage.  Pre-stage journals decode with both set to
+    ``"-"`` (unknown), never a fabricated value.
+    """
 
     benchmark: str
     workload: str
@@ -66,6 +83,9 @@ class CellSpan:
     duration_s: float
     outcome: str  # "ok" | "failed" | "timeout" | "crashed"
     error: str | None = None
+    capture: str = "-"  # "hit" | "run" | "-"
+    replay: str = "-"  # "hit" | "run" | "-"
+    build: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -84,6 +104,9 @@ class CellSpan:
             duration_s=float(data.get("duration_s", 0.0)),
             outcome=data.get("outcome", "ok"),
             error=data.get("error"),
+            capture=data.get("capture", "-"),
+            replay=data.get("replay", "-"),
+            build=data.get("build"),
         )
 
 
@@ -101,6 +124,14 @@ class RunSummary:
     crashes: int = 0
     quarantined: int = 0
     duration_s: float = 0.0
+    #: Benchmark executions (spans with capture="run") — the expensive part.
+    captures: int = 0
+    #: Spans served from a stored telemetry stream (capture="hit").
+    capture_hits: int = 0
+    #: Cost-model replays actually computed (replay="run").
+    replays: int = 0
+    #: Replays skipped because the finished profile was cached (replay="hit").
+    replay_hits: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "summary", **asdict(self)}
@@ -115,6 +146,7 @@ class RunSummary:
     ) -> "RunSummary":
         """Recompute a summary from spans (e.g. a truncated journal)."""
         cells = ok = failed = hits = misses = retries = timeouts = crashes = 0
+        captures = capture_hits = replays = replay_hits = 0
         busy = 0.0
         for span in spans:
             cells += 1
@@ -127,6 +159,14 @@ class RunSummary:
                 hits += 1
             elif span.cache == "miss":
                 misses += 1
+            if span.capture == "run":
+                captures += 1
+            elif span.capture == "hit":
+                capture_hits += 1
+            if span.replay == "run":
+                replays += 1
+            elif span.replay == "hit":
+                replay_hits += 1
             retries += max(0, span.attempts - 1)
             if span.outcome == "timeout":
                 timeouts += 1
@@ -143,6 +183,10 @@ class RunSummary:
             crashes=crashes,
             quarantined=quarantined,
             duration_s=busy if duration_s is None else duration_s,
+            captures=captures,
+            capture_hits=capture_hits,
+            replays=replays,
+            replay_hits=replay_hits,
         )
 
 
@@ -192,6 +236,14 @@ class TraceWriter:
                 telemetry.record("engine.run.timeouts")
             elif span.outcome == "crashed":
                 telemetry.record("engine.run.crashes")
+            if span.capture == "run":
+                telemetry.record("engine.run.captures")
+            elif span.capture == "hit":
+                telemetry.record("engine.run.capture_hits")
+            if span.replay == "run":
+                telemetry.record("engine.run.replays")
+            elif span.replay == "hit":
+                telemetry.record("engine.run.replay_hits")
 
     def quarantine(self, n: int = 1) -> None:
         """Note cache entries quarantined during this run."""
@@ -282,6 +334,8 @@ def render_trace_summary(path: str | Path) -> str:
         f"cells      : {s.cells}  ({s.ok} ok, {s.failed} failed)",
         f"cache      : {s.cache_hits} hits, {s.cache_misses} misses, "
         f"{s.quarantined} quarantined",
+        f"stages     : {s.captures} captures ({s.capture_hits} reused), "
+        f"{s.replays} replays ({s.replay_hits} cached)",
         f"resilience : {s.retries} retries, {s.timeouts} timeouts, "
         f"{s.crashes} crashes",
         f"duration   : {s.duration_s:.3f}s",
@@ -303,9 +357,10 @@ def render_trace_spans(path: str | Path) -> str:
     lines = []
     for sp in trace_spans(path):
         flag = "ok " if sp.ok else sp.outcome
+        build = f" build={sp.build}" if sp.build else ""
         lines.append(
             f"{flag:<8} {sp.benchmark:<18} {sp.workload:<28} "
-            f"cache={sp.cache:<4} attempts={sp.attempts} "
-            f"t={sp.duration_s:.4f}s"
+            f"cache={sp.cache:<4} cap={sp.capture:<3} rep={sp.replay:<3} "
+            f"attempts={sp.attempts} t={sp.duration_s:.4f}s{build}"
         )
     return "\n".join(lines) if lines else "(no spans)"

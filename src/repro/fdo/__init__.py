@@ -9,7 +9,7 @@ from .evaluation import (
     single_workload_methodology,
     train_profile,
 )
-from .optimizer import FdoCostModel, optimize_probe
+from .optimizer import FdoBuild, FdoCostModel, optimize_probe
 from .profile_data import FdoProfile, MethodProfile, collect_profile, merge_profiles
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "evaluate_pair",
     "single_workload_methodology",
     "train_profile",
+    "FdoBuild",
     "FdoCostModel",
     "optimize_probe",
     "FdoProfile",

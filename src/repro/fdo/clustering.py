@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.errors import StudyError
 from ..machine.profiler import ExecutionProfile
 
 __all__ = ["WorkloadFeatures", "feature_matrix", "kmeans", "cluster_workloads"]
@@ -34,7 +35,7 @@ def feature_matrix(profiles: list[ExecutionProfile]) -> list[WorkloadFeatures]:
     in *any* profile (zero where absent), z-normalized per column.
     """
     if not profiles:
-        raise ValueError("feature_matrix: need at least one profile")
+        raise StudyError("feature_matrix: need at least one profile")
     methods: set[str] = set()
     for p in profiles:
         methods.update(p.coverage.fractions.keys())
@@ -75,7 +76,7 @@ def kmeans(
     """Seeded k-means; returns (assignments, centroids)."""
     n = vectors.shape[0]
     if not 1 <= k <= n:
-        raise ValueError(f"kmeans: k must be in [1, {n}]")
+        raise StudyError(f"kmeans: k must be in [1, {n}]")
     rng = np.random.default_rng(seed)
     # k-means++ style seeding: first random, then farthest-point
     centroids = [vectors[rng.integers(n)]]

@@ -12,7 +12,19 @@ Two evaluation protocols are implemented side by side:
   training runs first.
 
 Speedup is baseline simulated seconds / FDO simulated seconds, both
-under the same machine configuration.
+under the same machine configuration — enforced:
+:func:`evaluate_pair` raises
+:class:`~repro.core.errors.MachineMismatch` when the training profile
+was collected under a different :class:`MachineConfig` than the
+evaluation replays.
+
+Everything here runs through the staged
+:class:`~repro.core.run.Session` pipeline: each workload's benchmark
+executes **once** (the capture stage) and every baseline/FDO
+measurement is a replay of that capture.  The historical
+cross-validation cost of ``W + 2·W·(W-1)`` executions collapses to
+``W`` executions plus cheap replays; pass a shared ``session`` to
+reuse captures (and any attached artifact store) across calls.
 """
 
 from __future__ import annotations
@@ -20,11 +32,12 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from ..core.suite import alberta_workloads, get_benchmark
+from ..core.errors import MachineMismatch, StudyError
+from ..core.run import Session
+from ..core.suite import alberta_workloads
 from ..core.workload import Workload, WorkloadSet
-from ..machine.cost import CostModel, MachineConfig
-from ..machine.telemetry import Probe
-from .optimizer import FdoCostModel
+from ..machine.cost import MachineConfig
+from .optimizer import FdoBuild
 from .profile_data import FdoProfile, collect_profile, merge_profiles
 
 __all__ = [
@@ -75,37 +88,39 @@ class CrossValidationResult:
         }
 
 
-def _run(benchmark, workload: Workload, cost_model: CostModel) -> tuple[float, Probe]:
-    probe = Probe()
-    output = benchmark.run(workload, probe)
-    if not benchmark.verify(workload, output):
-        raise ValueError(f"FDO evaluation: {workload.name} failed verification")
-    report = cost_model.evaluate(probe)
-    return report.seconds, probe
+def _effective_machine(
+    machine: MachineConfig | None, session: Session
+) -> MachineConfig | None:
+    """The config replays run under: explicit arg, else the session's."""
+    return machine if machine is not None else session.engine.machine
 
 
 def train_profile(
     benchmark_id: str,
     workload: Workload,
     machine: MachineConfig | None = None,
+    *,
+    session: Session | None = None,
 ) -> FdoProfile:
-    """Instrumented training run -> FDO profile."""
-    from ..machine.profiler import ExecutionProfile
+    """Instrumented training run -> FDO profile.
 
-    benchmark = get_benchmark(benchmark_id)
-    probe = Probe()
-    output = benchmark.run(workload, probe)
-    if not benchmark.verify(workload, output):
-        raise ValueError(f"training run failed verification on {workload.name}")
-    report = CostModel(machine).evaluate(probe)
-    execution = ExecutionProfile(
-        benchmark=benchmark_id,
-        workload=workload.name,
-        report=report,
-        output=output,
-        verified=True,
-    )
-    return collect_profile(execution, probe.methods())
+    One capture (reused if the session already holds it) plus one
+    baseline replay for the coverage weights.  The profile is stamped
+    with the (normalized) machine config it was trained under.
+    """
+    own = session is None
+    if own:
+        session = Session(machine=machine)
+    try:
+        m = _effective_machine(machine, session)
+        capture = session.capture(benchmark_id, workload)
+        execution = session.replay(capture, workload=workload, machine=m)
+        return collect_profile(
+            execution, capture.methods, machine=m or MachineConfig()
+        )
+    finally:
+        if own:
+            session.close()
 
 
 def evaluate_pair(
@@ -115,20 +130,48 @@ def evaluate_pair(
     *,
     machine: MachineConfig | None = None,
     profile: FdoProfile | None = None,
+    session: Session | None = None,
 ) -> FdoResult:
-    """Train on one workload (or use ``profile``), evaluate on another."""
-    benchmark = get_benchmark(benchmark_id)
-    if profile is None:
-        profile = train_profile(benchmark_id, train_workload, machine)
-    baseline_seconds, _ = _run(benchmark, eval_workload, CostModel(machine))
-    fdo_seconds, _ = _run(benchmark, eval_workload, FdoCostModel(profile, machine))
-    return FdoResult(
-        benchmark=benchmark_id,
-        train_workload=",".join(profile.training_workloads),
-        eval_workload=eval_workload.name,
-        baseline_seconds=baseline_seconds,
-        fdo_seconds=fdo_seconds,
-    )
+    """Train on one workload (or use ``profile``), evaluate on another.
+
+    Both measurements replay the same captured execution of
+    ``eval_workload`` — the baseline through the plain cost model, the
+    FDO run through the profile's :class:`~repro.fdo.optimizer.FdoBuild`.
+    A ``profile`` trained under a different machine configuration than
+    the evaluation raises :class:`~repro.core.errors.MachineMismatch`
+    (``None``-vs-default configs are normalized, not rejected).
+    """
+    own = session is None
+    if own:
+        session = Session(machine=machine)
+    try:
+        m = _effective_machine(machine, session)
+        if profile is not None and profile.machine is not None:
+            if profile.machine != (m or MachineConfig()):
+                raise MachineMismatch(
+                    f"evaluate_pair: profile for {profile.benchmark} was "
+                    f"trained under a different machine configuration than "
+                    f"the evaluation"
+                )
+        if profile is None:
+            profile = train_profile(
+                benchmark_id, train_workload, m, session=session
+            )
+        capture = session.capture(benchmark_id, eval_workload)
+        baseline = session.replay(capture, workload=eval_workload, machine=m)
+        fdo = session.replay(
+            capture, workload=eval_workload, build=FdoBuild(profile), machine=m
+        )
+        return FdoResult(
+            benchmark=benchmark_id,
+            train_workload=",".join(profile.training_workloads),
+            eval_workload=eval_workload.name,
+            baseline_seconds=baseline.report.seconds,
+            fdo_seconds=fdo.report.seconds,
+        )
+    finally:
+        if own:
+            session.close()
 
 
 def single_workload_methodology(
@@ -136,13 +179,14 @@ def single_workload_methodology(
     workloads: WorkloadSet | None = None,
     *,
     machine: MachineConfig | None = None,
+    session: Session | None = None,
 ) -> FdoResult:
     """The criticized protocol: train on .train, evaluate on .refrate."""
     if workloads is None:
         workloads = alberta_workloads(benchmark_id)
     train = next(w for w in workloads if w.name.endswith(".train"))
     ref = next(w for w in workloads if w.name.endswith(".refrate"))
-    return evaluate_pair(benchmark_id, train, ref, machine=machine)
+    return evaluate_pair(benchmark_id, train, ref, machine=machine, session=session)
 
 
 def cross_validate(
@@ -152,41 +196,78 @@ def cross_validate(
     machine: MachineConfig | None = None,
     combined: bool = False,
     max_workloads: int | None = None,
+    session: Session | None = None,
 ) -> CrossValidationResult:
     """Leave-one-out FDO evaluation over a workload set.
 
     With ``combined=True`` a single merged profile from all training
     workloads is evaluated on every workload instead (Berube's
     combined-profiling methodology).
+
+    Staged execution: the ``W`` workloads are captured once (one
+    engine pass, parallel under a multi-worker session), training
+    profiles and baselines come from one replay per workload, and
+    every FDO measurement replays the target's capture under the
+    train-profile build — ``W`` executions total where the old private
+    loop ran the benchmark ``W + 2·W·(W-1)`` times.
     """
-    if workloads is None:
-        workloads = alberta_workloads(benchmark_id)
-    wl = list(workloads)
-    if max_workloads is not None:
-        wl = wl[:max_workloads]
-    if len(wl) < 2:
-        raise ValueError("cross_validate: need at least two workloads")
+    own = session is None
+    if own:
+        session = Session(machine=machine)
+    try:
+        if workloads is None:
+            workloads = alberta_workloads(benchmark_id)
+        wl = list(workloads)
+        if max_workloads is not None:
+            wl = wl[:max_workloads]
+        if len(wl) < 2:
+            raise StudyError("cross_validate: need at least two workloads")
 
-    result = CrossValidationResult(benchmark=benchmark_id)
-    if combined:
-        profiles = [train_profile(benchmark_id, w, machine) for w in wl]
-        profile = merge_profiles(profiles)
-        for target in wl:
-            result.results.append(
-                evaluate_pair(
-                    benchmark_id, target, target, machine=machine, profile=profile
+        m = _effective_machine(machine, session)
+        captures = session.capture_set(benchmark_id, wl)
+        baselines = [
+            session.replay(cap, workload=w, machine=m)
+            for cap, w in zip(captures, wl)
+        ]
+        profiles = [
+            collect_profile(ex, cap.methods, machine=m or MachineConfig())
+            for ex, cap in zip(baselines, captures)
+        ]
+
+        result = CrossValidationResult(benchmark=benchmark_id)
+        if combined:
+            build = FdoBuild(merge_profiles(profiles))
+            for cap, base, target in zip(captures, baselines, wl):
+                fdo = session.replay(cap, workload=target, build=build, machine=m)
+                result.results.append(
+                    FdoResult(
+                        benchmark=benchmark_id,
+                        train_workload=",".join(build.profile.training_workloads),
+                        eval_workload=target.name,
+                        baseline_seconds=base.report.seconds,
+                        fdo_seconds=fdo.report.seconds,
+                    )
                 )
-            )
+            return result
+
+        for ti, train in enumerate(wl):
+            build = FdoBuild(profiles[ti])
+            for ei, target in enumerate(wl):
+                if ei == ti:
+                    continue
+                fdo = session.replay(
+                    captures[ei], workload=target, build=build, machine=m
+                )
+                result.results.append(
+                    FdoResult(
+                        benchmark=benchmark_id,
+                        train_workload=",".join(profiles[ti].training_workloads),
+                        eval_workload=target.name,
+                        baseline_seconds=baselines[ei].report.seconds,
+                        fdo_seconds=fdo.report.seconds,
+                    )
+                )
         return result
-
-    for train in wl:
-        profile = train_profile(benchmark_id, train, machine)
-        for target in wl:
-            if target.name == train.name:
-                continue
-            result.results.append(
-                evaluate_pair(
-                    benchmark_id, train, target, machine=machine, profile=profile
-                )
-            )
-    return result
+    finally:
+        if own:
+            session.close()

@@ -22,13 +22,15 @@ according to the profile.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..machine.cost import CostModel, MachineConfig, MachineReport
 from ..machine.telemetry import EV_BRANCH, Probe
 from .profile_data import FdoProfile
 
-__all__ = ["FdoCostModel", "optimize_probe"]
+__all__ = ["FdoBuild", "FdoCostModel", "optimize_probe"]
 
 #: Inlining/layout shrink factor for hot code.
 _HOT_CODE_SHRINK = 0.55
@@ -160,3 +162,30 @@ class FdoCostModel(CostModel):
         report.cycles = total
         report.seconds = total / (self.config.clock_ghz * 1e9)
         return report
+
+
+@dataclass(frozen=True)
+class FdoBuild:
+    """An FDO-recompiled "binary" as a replay-stage build transformation.
+
+    The engine's replay stage (:meth:`repro.core.engine.
+    CharacterizationEngine.replay_run`) is build-agnostic: it accepts
+    any object with a ``name``, a content ``digest()`` for the profile
+    cache key, and a ``cost_model(machine)`` factory.  This is that
+    object for FDO — wrapping the training profile so a build-sweep
+    replays one captured telemetry stream under baseline and
+    FDO-optimized models without re-executing the benchmark.
+    """
+
+    profile: FdoProfile
+    name: str = "fdo"
+
+    def digest(self) -> str:
+        """Content digest of the build inputs, for replay cache keys."""
+        from ..core.cache import payload_digest
+
+        return payload_digest({"build": self.name, "profile": self.profile})
+
+    def cost_model(self, machine: MachineConfig | None = None) -> FdoCostModel:
+        """The cost model this build replays captures through."""
+        return FdoCostModel(self.profile, machine)

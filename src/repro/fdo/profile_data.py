@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
+from ..core.errors import MachineMismatch, StudyError
+from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile
 
 __all__ = ["MethodProfile", "FdoProfile", "collect_profile", "merge_profiles"]
@@ -31,11 +33,19 @@ class MethodProfile:
 
 @dataclass(frozen=True)
 class FdoProfile:
-    """A complete FDO profile from one or more training runs."""
+    """A complete FDO profile from one or more training runs.
+
+    ``machine`` records the configuration the training run was
+    evaluated under (``None`` for profiles built before this field or
+    straight from raw counters): an FDO comparison is only meaningful
+    when the baseline replays under the same config, and
+    :func:`~repro.fdo.evaluation.evaluate_pair` enforces that.
+    """
 
     benchmark: str
     methods: Mapping[str, MethodProfile]
     training_workloads: tuple[str, ...] = field(default_factory=tuple)
+    machine: MachineConfig | None = None
 
     def hot_methods(self, threshold: float = 0.05) -> list[str]:
         """Methods above the inlining/layout weight threshold."""
@@ -61,12 +71,19 @@ class FdoProfile:
         return None
 
 
-def collect_profile(execution: ExecutionProfile, probe_methods) -> FdoProfile:
+def collect_profile(
+    execution: ExecutionProfile,
+    probe_methods,
+    *,
+    machine: MachineConfig | None = None,
+) -> FdoProfile:
     """Build a profile from an instrumented run.
 
     ``probe_methods`` is the list of
     :class:`~repro.machine.telemetry.MethodCounters` from the training
-    run's probe (exact per-method branch statistics).
+    run's probe (exact per-method branch statistics).  Pass ``machine``
+    to stamp the profile with the config the coverage weights were
+    computed under.
     """
     coverage = execution.coverage
     methods: dict[str, MethodProfile] = {}
@@ -82,6 +99,7 @@ def collect_profile(execution: ExecutionProfile, probe_methods) -> FdoProfile:
         benchmark=execution.benchmark,
         methods=methods,
         training_workloads=(execution.workload,),
+        machine=machine,
     )
 
 
@@ -94,10 +112,16 @@ def merge_profiles(profiles: Sequence[FdoProfile]) -> FdoProfile:
     makes combined profiles conservative but robust.
     """
     if not profiles:
-        raise ValueError("merge_profiles: need at least one profile")
+        raise StudyError("merge_profiles: need at least one profile")
     benchmark = profiles[0].benchmark
     if any(p.benchmark != benchmark for p in profiles):
-        raise ValueError("merge_profiles: profiles target different benchmarks")
+        raise StudyError("merge_profiles: profiles target different benchmarks")
+    machines = {p.machine for p in profiles if p.machine is not None}
+    if len(machines) > 1:
+        raise MachineMismatch(
+            "merge_profiles: profiles were trained under different machine "
+            "configurations"
+        )
 
     all_methods: set[str] = set()
     for p in profiles:
@@ -126,4 +150,9 @@ def merge_profiles(profiles: Sequence[FdoProfile]) -> FdoProfile:
             branches=branches,
         )
     workloads = tuple(w for p in profiles for w in p.training_workloads)
-    return FdoProfile(benchmark=benchmark, methods=merged, training_workloads=workloads)
+    return FdoProfile(
+        benchmark=benchmark,
+        methods=merged,
+        training_workloads=workloads,
+        machine=machines.pop() if machines else None,
+    )

@@ -2,12 +2,16 @@
 
 from .branch import BimodalPredictor, GsharePredictor
 from .cache import Cache, CacheConfig, CacheHierarchy, Tlb
+from .capture import TelemetryCapture, capture_execution, replay_capture
 from .cost import CostModel, MachineConfig, MachineReport, MethodCost
 from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset
 from .profiler import ExecutionProfile, Profiler, run_benchmark
 from .telemetry import MethodCounters, Probe
 
 __all__ = [
+    "TelemetryCapture",
+    "capture_execution",
+    "replay_capture",
     "BimodalPredictor",
     "GsharePredictor",
     "Cache",

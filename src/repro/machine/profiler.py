@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.coverage import CoverageProfile
+from ..core.errors import VerificationError, WorkloadError
 from ..core.topdown import TopDownVector
 from ..core.workload import Workload
 from .cost import CostModel, MachineConfig, MachineReport
@@ -60,11 +61,12 @@ class Profiler:
         ``benchmark`` must implement the
         :class:`~repro.benchmarks.base.Benchmark` protocol.  When
         ``verify`` is true the benchmark's own output check runs and a
-        failure raises ``ValueError`` — mirroring SPEC's output
-        validation step, which treats a miscompare as a failed run.
+        failure raises :class:`~repro.core.errors.VerificationError` —
+        mirroring SPEC's output validation step, which treats a
+        miscompare as a failed run.
         """
         if workload.benchmark != benchmark.name:
-            raise ValueError(
+            raise WorkloadError(
                 f"workload {workload.name!r} is for {workload.benchmark!r}, "
                 f"not {benchmark.name!r}"
             )
@@ -74,7 +76,7 @@ class Profiler:
         if verify:
             verified = bool(benchmark.verify(workload, output))
             if not verified:
-                raise ValueError(
+                raise VerificationError(
                     f"{benchmark.name}: output verification failed for "
                     f"workload {workload.name!r}"
                 )

@@ -17,6 +17,7 @@ from .kernels import (
 from .similarity import (
     ProgramFeatures,
     collect_features,
+    features_from_capture,
     most_similar_pairs,
     pca,
     similarity_matrix,
@@ -37,6 +38,7 @@ __all__ = [
     "kernel_representativeness",
     "ProgramFeatures",
     "collect_features",
+    "features_from_capture",
     "most_similar_pairs",
     "pca",
     "similarity_matrix",

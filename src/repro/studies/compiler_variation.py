@@ -13,18 +13,22 @@ level (O0 vs O2 workload variants).  This module measures, per
 workload and per build: branch-misprediction rate, L1D/L2 miss rates,
 DTLB miss rate, and simulated execution time — the same counters the
 paper's distributed study covers.
+
+The study is a pure consumer of the staged pipeline: each workload is
+captured once through :class:`~repro.core.run.Session` and both builds
+are *replays* of that capture — the benchmark never executes twice for
+the same workload, and a warm artifact store skips execution entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.suite import alberta_workloads, get_benchmark
-from ..core.workload import Workload, WorkloadSet
+from ..core.run import Session
+from ..core.workload import WorkloadSet
 from ..fdo.evaluation import train_profile
-from ..fdo.optimizer import FdoCostModel
-from ..machine.cost import CostModel, MachineConfig
-from ..machine.telemetry import Probe
+from ..fdo.optimizer import FdoBuild
+from ..machine.cost import MachineConfig, MachineReport
 
 __all__ = ["BuildObservation", "compiler_variation", "variation_table"]
 
@@ -42,18 +46,13 @@ class BuildObservation:
     seconds: float
 
 
-def _observe(benchmark, workload: Workload, cost_model: CostModel, build: str) -> BuildObservation:
-    probe = Probe()
-    output = benchmark.run(workload, probe)
-    if not benchmark.verify(workload, output):
-        raise ValueError(f"{workload.name} failed verification under build {build!r}")
-    report = cost_model.evaluate(probe)
+def _observe(workload_name: str, build: str, report: MachineReport) -> BuildObservation:
     stats = report.cache_stats
     l1d = stats.l1d_misses / stats.l1d_accesses if stats.l1d_accesses else 0.0
     l2 = stats.l2_misses / stats.l2_accesses if stats.l2_accesses else 0.0
     dtlb = stats.dtlb_misses / max(1, stats.l1d_accesses)
     return BuildObservation(
-        workload=workload.name,
+        workload=workload_name,
         build=build,
         branch_misprediction_rate=report.branch_misprediction_rate,
         l1d_miss_rate=l1d,
@@ -69,25 +68,42 @@ def compiler_variation(
     workloads: WorkloadSet | None = None,
     machine: MachineConfig | None = None,
     max_workloads: int | None = 6,
+    session: Session | None = None,
 ) -> list[BuildObservation]:
-    """Measure every workload under the baseline and FDO builds."""
-    benchmark = get_benchmark(benchmark_id)
-    if workloads is None:
-        workloads = alberta_workloads(benchmark_id)
-    wl = list(workloads)
-    if max_workloads is not None:
-        wl = wl[:max_workloads]
+    """Measure every workload under the baseline and FDO builds.
 
-    train = next((w for w in wl if w.name.endswith(".train")), wl[0])
-    profile = train_profile(benchmark_id, train, machine)
+    Stage economics: ``len(wl)`` captures (the train workload's capture
+    is shared with :func:`~repro.fdo.evaluation.train_profile`), then
+    two replays per workload — one per build.
+    """
+    own = session is None
+    if own:
+        session = Session(machine=machine)
+    try:
+        if workloads is None:
+            from ..core.suite import alberta_workloads
 
-    observations: list[BuildObservation] = []
-    for workload in wl:
-        observations.append(_observe(benchmark, workload, CostModel(machine), "baseline"))
-        observations.append(
-            _observe(benchmark, workload, FdoCostModel(profile, machine), "fdo-train")
-        )
-    return observations
+            workloads = alberta_workloads(benchmark_id)
+        wl = list(workloads)
+        if max_workloads is not None:
+            wl = wl[:max_workloads]
+
+        m = machine if machine is not None else session.engine.machine
+        train = next((w for w in wl if w.name.endswith(".train")), wl[0])
+        profile = train_profile(benchmark_id, train, m, session=session)
+        build = FdoBuild(profile, name="fdo-train")
+
+        captures = session.capture_set(benchmark_id, wl)
+        observations: list[BuildObservation] = []
+        for workload, capture in zip(wl, captures):
+            base = session.replay(capture, workload=workload, machine=m)
+            fdo = session.replay(capture, workload=workload, build=build, machine=m)
+            observations.append(_observe(workload.name, "baseline", base.report))
+            observations.append(_observe(workload.name, "fdo-train", fdo.report))
+        return observations
+    finally:
+        if own:
+            session.close()
 
 
 def variation_table(observations: list[BuildObservation]) -> str:

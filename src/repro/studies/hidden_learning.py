@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from statistics import fmean
 
+from ..core.errors import StudyError
 from ..benchmarks.xz import XzBenchmark, XzInput
 from ..core.workload import Workload, WorkloadSet
 from ..machine.cost import MachineConfig
@@ -66,7 +67,7 @@ def evaluate_objective(
     contribute comparably.  Lower is better.
     """
     if not workloads:
-        raise ValueError("need at least one workload")
+        raise StudyError("need at least one workload")
     benchmark = XzBenchmark()
     profiler = Profiler(machine)
     scores = []
@@ -144,7 +145,7 @@ def hidden_learning_gap(
     """Tune on the first ``n_tuning`` workloads, evaluate on the rest."""
     wl = list(workloads)
     if len(wl) <= n_tuning:
-        raise ValueError("need more workloads than the tuning set consumes")
+        raise StudyError("need more workloads than the tuning set consumes")
     tuning_set = wl[:n_tuning]
     holdout_set = wl[n_tuning:]
 

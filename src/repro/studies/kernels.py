@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.errors import StudyError
 from ..core.characterize import BenchmarkCharacterization
 from ..core.topdown import CATEGORIES, TopDownVector
 from ..machine.profiler import ExecutionProfile
@@ -40,7 +41,7 @@ class Kernel:
 
     def __post_init__(self) -> None:
         if not self.methods:
-            raise ValueError("Kernel: needs at least one method")
+            raise StudyError("Kernel: needs at least one method")
 
 
 def extract_kernel(
@@ -53,7 +54,7 @@ def extract_kernel(
     of methods is entirely determined by one execution.
     """
     if not 0.0 < target_coverage <= 1.0:
-        raise ValueError("target_coverage must be in (0, 1]")
+        raise StudyError("target_coverage must be in (0, 1]")
     ranked = sorted(
         profile.coverage.fractions.items(), key=lambda kv: (-kv[1], kv[0])
     )
@@ -89,7 +90,7 @@ def kernel_prediction(kernel: Kernel, profile: ExecutionProfile) -> TopDownVecto
         totals["bad_speculation"] += cost.bad_spec_cycles
         totals["retiring"] += cost.retiring_cycles
     if sum(totals.values()) <= 0:
-        raise ValueError(
+        raise StudyError(
             f"kernel {kernel.methods!r} never executes on workload {profile.workload!r}"
         )
     return TopDownVector.from_cycles(
@@ -149,7 +150,7 @@ def kernel_representativeness(
     would be.
     """
     if not char.profiles:
-        raise ValueError("characterize with keep_profiles=True first")
+        raise StudyError("characterize with keep_profiles=True first")
     reference = next(
         (p for p in char.profiles if p.workload.endswith(reference_suffix)),
         char.profiles[0],

@@ -14,12 +14,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.suite import alberta_workloads, get_benchmark
-from ..machine.telemetry import Probe
+from ..core.errors import StudyError
+from ..core.run import Session
+from ..core.suite import alberta_workloads
+from ..machine.capture import TelemetryCapture
 
 __all__ = [
     "ProgramFeatures",
     "collect_features",
+    "features_from_capture",
     "pca",
     "similarity_matrix",
     "most_similar_pairs",
@@ -52,20 +55,40 @@ class ProgramFeatures:
         return dict(zip(FEATURE_NAMES, self.vector.tolist()))
 
 
-def collect_features(benchmark_id: str, workload=None) -> ProgramFeatures:
-    """Run one workload and derive machine-independent features.
+def collect_features(
+    benchmark_id: str, workload=None, *, session: Session | None = None
+) -> ProgramFeatures:
+    """Capture one workload and derive machine-independent features.
+
+    Runs as a pure capture-stage consumer: the benchmark executes
+    through :meth:`~repro.core.run.Session.capture` (so a warm
+    artifact store or a shared session means no re-execution at all)
+    and the features are computed from the captured telemetry — the
+    replay stage never runs because nothing here needs a cost model.
+    """
+    if workload is None:
+        workloads = alberta_workloads(benchmark_id)
+        workload = next(w for w in workloads if w.name.endswith(".refrate"))
+    own = session is None
+    if own:
+        session = Session()
+    try:
+        capture = session.capture(benchmark_id, workload)
+    finally:
+        if own:
+            session.close()
+    return features_from_capture(benchmark_id, capture)
+
+
+def features_from_capture(
+    benchmark_id: str, capture: TelemetryCapture
+) -> ProgramFeatures:
+    """Derive the feature vector from already-captured telemetry.
 
     Only telemetry *counts* are used — nothing from the cost model —
     so the vector is identical under any :class:`MachineConfig`.
     """
-    benchmark = get_benchmark(benchmark_id)
-    if workload is None:
-        workloads = alberta_workloads(benchmark_id)
-        workload = next(w for w in workloads if w.name.endswith(".refrate"))
-    probe = Probe()
-    benchmark.run(workload, probe)
-
-    methods = probe.methods()
+    methods = capture.methods
     int_ops = sum(m.int_ops for m in methods)
     fp_ops = sum(m.fp_ops for m in methods)
     fpdiv = sum(m.fpdiv_ops for m in methods)
@@ -78,7 +101,7 @@ def collect_features(benchmark_id: str, workload=None) -> ProgramFeatures:
     calls = sum(m.calls for m in methods)
 
     # footprint: distinct 64-byte lines in the sampled address stream
-    _, ev_kind, ev_a, _ = probe.events.columns()
+    _, ev_kind, ev_a, _ = capture.columns
     n_lines = len(np.unique(ev_a[ev_kind == 1] >> 6))
     footprint = max(64, n_lines * 64)
 
@@ -98,7 +121,7 @@ def collect_features(benchmark_id: str, workload=None) -> ProgramFeatures:
         ]
     )
     return ProgramFeatures(
-        benchmark=benchmark_id, workload=workload.name, vector=vector
+        benchmark=benchmark_id, workload=capture.workload, vector=vector
     )
 
 
@@ -108,7 +131,7 @@ def pca(matrix: np.ndarray, n_components: int = 2) -> tuple[np.ndarray, np.ndarr
     Returns (projected points, explained-variance ratios).
     """
     if matrix.ndim != 2 or matrix.shape[0] < 2:
-        raise ValueError("pca: need a 2-D matrix with at least two rows")
+        raise StudyError("pca: need a 2-D matrix with at least two rows")
     std = matrix.std(axis=0)
     std[std == 0] = 1.0
     z = (matrix - matrix.mean(axis=0)) / std
@@ -123,7 +146,7 @@ def pca(matrix: np.ndarray, n_components: int = 2) -> tuple[np.ndarray, np.ndarr
 def similarity_matrix(features: list[ProgramFeatures]) -> np.ndarray:
     """Pairwise similarity in [0, 1] from z-space Euclidean distance."""
     if len(features) < 2:
-        raise ValueError("need at least two programs")
+        raise StudyError("need at least two programs")
     matrix = np.stack([f.vector for f in features])
     std = matrix.std(axis=0)
     std[std == 0] = 1.0
