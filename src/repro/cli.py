@@ -8,7 +8,12 @@ Commands mirror the deliverables:
   an optional ``--trace`` JSONL journal;
 * ``sweep BENCH --machines ...``   — machine-config sweep that captures
   telemetry once and replays it per config;
-* ``trace summary|show PATH``      — inspect a run-trace journal;
+* ``trace summary|show|chrome PATH`` — inspect a run-trace journal, or
+  export it as Chrome ``trace_event`` JSON (load in Perfetto);
+* ``metrics show|prom PATH``       — render a ``--metrics`` snapshot as
+  a latency table or Prometheus text;
+* ``watchdog [IDS...]``            — replay-throughput regression gate
+  against a ``BENCH_machine.json`` baseline;
 * ``fig1 BENCH`` / ``fig2 BENCH``  — render a figure panel;
 * ``report BENCH``                 — the per-benchmark Alberta report;
 * ``generate BENCH --seed N``      — mint one workload and validate it;
@@ -67,6 +72,32 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     """Translate the engine flags into characterize() keyword arguments."""
     cache = None if args.no_cache else (args.cache_dir or default_cache_dir())
     return {"workers": args.workers, "cache": cache}
+
+
+def _write_observability(session, args: argparse.Namespace) -> None:
+    """Write the ``--metrics`` / ``--prom`` / ``--chrome-trace`` outputs.
+
+    Called on failed runs too — a degraded suite's metrics are exactly
+    when you want the snapshot.
+    """
+    import json
+
+    if args.metrics:
+        args.metrics.write_text(
+            json.dumps(session.metrics.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"metrics snapshot: {args.metrics}", file=sys.stderr)
+    if args.prom:
+        args.prom.write_text(session.prometheus(), encoding="utf-8")
+        print(f"prometheus snapshot: {args.prom}", file=sys.stderr)
+    if args.chrome_trace:
+        args.chrome_trace.write_text(
+            json.dumps(session.chrome_trace()) + "\n", encoding="utf-8"
+        )
+        print(
+            f"chrome trace: {args.chrome_trace} (load at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +162,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="abort on the first failed cell instead of completing degraded",
     )
+    p.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry as a JSON snapshot "
+        "(render later with `repro metrics show`)",
+    )
+    p.add_argument(
+        "--prom",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics in Prometheus text exposition format",
+    )
+    p.add_argument(
+        "--chrome-trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's span tree as Chrome trace_event JSON "
+        "(load at https://ui.perfetto.dev)",
+    )
 
     p = sub.add_parser(
         "sweep",
@@ -155,8 +209,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("trace", help="inspect a run-trace JSONL journal")
-    p.add_argument("action", choices=("summary", "show"))
+    p.add_argument("action", choices=("summary", "show", "chrome"))
     p.add_argument("path", type=Path)
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="for `chrome`: write the trace_event JSON here instead of stdout",
+    )
+
+    p = sub.add_parser(
+        "metrics", help="render a --metrics JSON snapshot from a run"
+    )
+    p.add_argument("action", choices=("show", "prom"))
+    p.add_argument("path", type=Path, help="snapshot written by `suite --metrics`")
+
+    p = sub.add_parser(
+        "watchdog",
+        help="gate fresh replay throughput on a BENCH_machine.json baseline",
+    )
+    p.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark ids to check (default: every id in the baseline)",
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_machine.json"),
+        metavar="PATH",
+        help="baseline JSON written by benchmarks/bench_machine.py "
+        "(default: ./BENCH_machine.json)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed relative throughput drop before failing (default: 0.25)",
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="replay rounds per benchmark, best-of (default: 3)",
+    )
 
     p = sub.add_parser("cache", help="inspect or wipe the result cache")
     p.add_argument("action", choices=("info", "wipe"))
@@ -294,6 +393,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"aborted (strict): {failure}", file=sys.stderr)
             if args.trace:
                 print(f"trace journal: {args.trace}", file=sys.stderr)
+            _write_observability(session, args)
             return 1
         print(render_table2(result.characterizations))
         summary = session.summary
@@ -311,6 +411,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(f"  {failure}", file=sys.stderr)
         if args.trace:
             print(f"trace journal: {args.trace}", file=sys.stderr)
+        _write_observability(session, args)
         return 1 if result.failures else 0
 
     if args.command == "sweep":
@@ -356,14 +457,74 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 1 if result.failures else 0
 
     if args.command == "trace":
-        from .core.trace import render_trace_spans, render_trace_summary
+        import json
+
+        from .core.trace import (
+            export_chrome_trace,
+            read_trace,
+            render_trace_spans,
+            render_trace_summary,
+        )
 
         if not args.path.exists():
-            print(f"no trace journal at {args.path}", file=sys.stderr)
-            return 1
+            print(f"trace: no journal at {args.path}", file=sys.stderr)
+            return 2
+        records = read_trace(args.path)
+        if not records:
+            print(f"trace: journal {args.path} has no records", file=sys.stderr)
+            return 2
+        if args.action == "chrome":
+            text = json.dumps(export_chrome_trace(records))
+            if args.out:
+                args.out.write_text(text + "\n", encoding="utf-8")
+                print(
+                    f"chrome trace: {args.out} (load at https://ui.perfetto.dev)",
+                    file=sys.stderr,
+                )
+            else:
+                print(text)
+            return 0
         render = render_trace_summary if args.action == "summary" else render_trace_spans
         print(render(args.path))
         return 0
+
+    if args.command == "metrics":
+        from .core.metrics import (
+            load_snapshot,
+            render_metrics_table,
+            render_prometheus,
+        )
+
+        if not args.path.exists():
+            print(f"metrics: no snapshot at {args.path}", file=sys.stderr)
+            return 2
+        try:
+            reg = load_snapshot(args.path)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"metrics: {args.path}: unreadable snapshot ({exc})", file=sys.stderr)
+            return 2
+        print(
+            render_metrics_table(reg)
+            if args.action == "show"
+            else render_prometheus(reg)
+        )
+        return 0
+
+    if args.command == "watchdog":
+        from .core.watchdog import EXIT_USAGE, WatchdogError, run_watchdog
+
+        try:
+            report = run_watchdog(
+                args.baseline,
+                args.benchmarks or None,
+                tolerance=args.tolerance,
+                rounds=args.rounds,
+            )
+        except WatchdogError as exc:
+            print(f"watchdog: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(report.render())
+        return report.exit_code
 
     if args.command in ("fig1", "fig2"):
         from .analysis.figures import render_figure1, render_figure2

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import asdict
 from pathlib import Path
@@ -39,6 +40,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from . import metrics
 from ..machine import telemetry
 from ..machine.capture import TelemetryCapture
 from ..machine.telemetry import MethodCounters
@@ -172,11 +174,13 @@ class CaptureStore:
     def get(self, key: str) -> TelemetryCapture | None:
         """Look up a capture; a miss or corrupt entry returns None."""
         path = self._path(key)
+        started = time.perf_counter()
         try:
             raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             telemetry.record("engine.artifacts.capture.misses")
+            self._observe_lookup("miss", started)
             return None
         try:
             capture = decode_capture(raw)
@@ -184,12 +188,24 @@ class CaptureStore:
             self._quarantine(path)
             self.stats.misses += 1
             telemetry.record("engine.artifacts.capture.misses")
+            self._observe_lookup("miss", started)
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(raw)
         telemetry.record("engine.artifacts.capture.hits")
         telemetry.record("engine.artifacts.capture.bytes_read", len(raw))
+        self._observe_lookup("hit", started)
+        metrics.inc(metrics.CACHE_IO_BYTES_TOTAL, len(raw), store="capture", direction="read")
         return capture
+
+    def _observe_lookup(self, result: str, started: float) -> None:
+        metrics.observe(
+            metrics.CACHE_LOOKUP_SECONDS,
+            time.perf_counter() - started,
+            store="capture",
+            result=result,
+        )
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="capture", event=result)
 
     def _quarantine(self, path: Path) -> None:
         try:
@@ -198,6 +214,7 @@ class CaptureStore:
             pass
         self.stats.quarantined += 1
         telemetry.record("engine.artifacts.capture.quarantined")
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="capture", event="quarantined")
 
     def put(self, key: str, capture: TelemetryCapture) -> None:
         """Store an encoded capture under ``key`` (atomic replace)."""
@@ -209,6 +226,8 @@ class CaptureStore:
         os.replace(tmp, path)
         self.stats.bytes_written += len(raw)
         telemetry.record("engine.artifacts.capture.bytes_written", len(raw))
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="capture", event="write")
+        metrics.inc(metrics.CACHE_IO_BYTES_TOTAL, len(raw), store="capture", direction="write")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.bin"))

@@ -28,11 +28,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from collections.abc import Mapping, Set
 from dataclasses import asdict, fields, is_dataclass
 from pathlib import Path
 from typing import Any
 
+from . import metrics
 from ..machine import telemetry
 from ..machine.cache import HierarchyStats
 from ..machine.cost import MachineConfig, MachineReport, MethodCost
@@ -327,11 +329,13 @@ class ResultCache:
         of crashing the run.
         """
         path = self._path(key)
+        started = time.perf_counter()
         try:
             raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             telemetry.record("engine.cache.misses")
+            self._observe_lookup("miss", started)
             return None
         try:
             profile = profile_from_dict(json.loads(raw))
@@ -340,12 +344,24 @@ class ResultCache:
             self._quarantine(path)
             self.stats.misses += 1
             telemetry.record("engine.cache.misses")
+            self._observe_lookup("miss", started)
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(raw)
         telemetry.record("engine.cache.hits")
         telemetry.record("engine.cache.bytes_read", len(raw))
+        self._observe_lookup("hit", started)
+        metrics.inc(metrics.CACHE_IO_BYTES_TOTAL, len(raw), store="profile", direction="read")
         return profile
+
+    def _observe_lookup(self, result: str, started: float) -> None:
+        metrics.observe(
+            metrics.CACHE_LOOKUP_SECONDS,
+            time.perf_counter() - started,
+            store="profile",
+            result=result,
+        )
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="profile", event=result)
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside (best effort) and count it."""
@@ -355,6 +371,7 @@ class ResultCache:
             pass
         self.stats.quarantined += 1
         telemetry.record("engine.cache.quarantined")
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="profile", event="quarantined")
 
     def put(self, key: str, profile: ExecutionProfile) -> None:
         """Store a profile under ``key`` (atomic replace)."""
@@ -366,6 +383,8 @@ class ResultCache:
         os.replace(tmp, path)
         self.stats.bytes_written += len(raw)
         telemetry.record("engine.cache.bytes_written", len(raw))
+        metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="profile", event="write")
+        metrics.inc(metrics.CACHE_IO_BYTES_TOTAL, len(raw), store="profile", direction="write")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -72,11 +72,12 @@ from typing import TYPE_CHECKING, Any
 from ..machine.capture import TelemetryCapture, capture_execution, replay_capture
 from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile
+from . import metrics
 from .artifacts import ArtifactStore
 from .cache import ResultCache, cache_key, capture_key
 from .errors import CellFailure, WorkloadError
 from .suite import alberta_workloads, benchmark_ids, get_benchmark
-from .trace import CellSpan, TraceWriter
+from .trace import CellSpan, StageSpan, TraceWriter
 from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -139,12 +140,19 @@ class CellOutcome:
     capture: str = "-"  # "hit" | "run" | "-"
     replay: str = "-"  # "hit" | "run" | "-"
     build: str | None = None
+    #: Run-timeline start (seconds since the trace writer started); -1
+    #: means "unknown" and is backfilled at span-emission time.
+    start_s: float = -1.0
+    #: ``(stage_name, start offset within the cell, duration)`` triples.
+    stages: tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.outcome == "ok"
 
-    def span(self) -> CellSpan:
+    def span(
+        self, *, span_id: str = "", parent_id: str = "", start_s: float = 0.0
+    ) -> CellSpan:
         return CellSpan(
             benchmark=self.cell.benchmark_id,
             workload=self.cell.workload_name,
@@ -156,6 +164,9 @@ class CellOutcome:
             capture=self.capture,
             replay=self.replay,
             build=self.build,
+            span_id=span_id,
+            parent_id=parent_id,
+            start_s=start_s,
         )
 
     def failure(self) -> CellFailure:
@@ -241,7 +252,7 @@ def _maybe_inject_fault(cell: _Cell, attempt: int) -> None:
 
 def _run_cell(
     cell: _Cell, attempt: int = 1, mode: str = "replay"
-) -> tuple[ExecutionProfile | None, TelemetryCapture | None]:
+) -> tuple[ExecutionProfile | None, TelemetryCapture | None, dict[str, Any]]:
     """Execute one matrix cell (runs in a worker process or inline).
 
     Always runs the capture stage; ``mode`` picks what crosses the
@@ -254,18 +265,39 @@ def _run_cell(
     * ``"capture"`` — skip replay, return only the capture
       (stage-level capture runs).
 
+    The third element is the cell's observability meta: ``"stages"`` is
+    ``(name, start offset, duration)`` wall-clock triples for the
+    generate/capture/replay stages, and ``"metrics"`` is the worker's
+    :class:`~repro.core.metrics.MetricsRegistry` snapshot — the events
+    emitted, replay throughput, and per-worker tallies recorded while
+    the cell ran, serialized JSON-safe so they survive the pool
+    boundary and merge exactly into the parent's registries.
+
     The benchmark output never crosses the boundary: captures and
     replayed profiles carry ``output=None`` by construction, keeping
     worker results byte-compatible with cache hits.
     """
     _maybe_inject_fault(cell, attempt)
-    capture = capture_execution(
-        _worker_benchmark(cell.benchmark_id), _worker_workload(cell)
-    )
+    reg = metrics.MetricsRegistry()
+    stages: list[tuple[str, float, float]] = []
+    t0 = time.perf_counter()
+    with metrics.collector(reg):
+        metrics.inc(metrics.WORKER_CELLS_TOTAL, worker=str(os.getpid()))
+        workload = _worker_workload(cell)
+        t1 = time.perf_counter()
+        stages.append(("generate", 0.0, t1 - t0))
+        capture = capture_execution(_worker_benchmark(cell.benchmark_id), workload)
+        t2 = time.perf_counter()
+        stages.append(("capture", t1 - t0, t2 - t1))
+        if mode == "capture":
+            profile = None
+        else:
+            profile = replay_capture(capture, machine=cell.machine)
+            stages.append(("replay", t2 - t0, time.perf_counter() - t2))
+    meta = {"stages": stages, "metrics": reg.to_dict()}
     if mode == "capture":
-        return None, capture
-    profile = replay_capture(capture, machine=cell.machine)
-    return profile, (capture if mode == "both" else None)
+        return None, capture, meta
+    return profile, (capture if mode == "both" else None), meta
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -381,11 +413,13 @@ class CharacterizationEngine:
 
         for i, (cell, workload) in enumerate(zip(cells, workloads)):
             if self.store is not None:
+                looked_up = self.trace.now()
                 keys[i] = cache_key(cell.benchmark_id, workload, cell.machine)
                 cached = self.cache.get(keys[i])
                 if cached is not None:
                     outcomes[i] = CellOutcome(
-                        cell, cached, "hit", 0, 0.0, "ok", replay="hit"
+                        cell, cached, "hit", 0, 0.0, "ok", replay="hit",
+                        start_s=looked_up,
                     )
                     continue
                 capture = self.store.captures.get(
@@ -406,9 +440,10 @@ class CharacterizationEngine:
                 if not oc.ok:
                     outcomes[i] = replace(oc, capture="run")
                     continue
-                profile, capture = oc.profile
+                profile, capture, meta = oc.profile
                 outcomes[i] = replace(
-                    oc, profile=profile, capture="run", replay="run"
+                    oc, profile=profile, capture="run", replay="run",
+                    stages=tuple(tuple(s) for s in meta["stages"]),
                 )
                 if keys[i] is not None:
                     if capture is not None:
@@ -429,19 +464,21 @@ class CharacterizationEngine:
                     time.perf_counter() - started, "failed",
                     f"{type(exc).__name__}: {exc}",
                     capture="hit", replay="run",
+                    start_s=self.trace.rel(started),
                 )
                 continue
+            duration = time.perf_counter() - started
             outcomes[i] = CellOutcome(
-                cell, profile, cache_state, 0,
-                time.perf_counter() - started, "ok",
+                cell, profile, cache_state, 0, duration, "ok",
                 capture="hit", replay="run",
+                start_s=self.trace.rel(started),
+                stages=(("replay", 0.0, duration),),
             )
             self.cache.put(keys[i], profile)
 
         self.trace.quarantine(self._quarantined_total() - quarantined_before)
         done = [oc for oc in outcomes if oc is not None]
-        for oc in done:
-            self.trace.span(oc.span())
+        self._emit_spans(done)
         return done
 
     def _quarantined_total(self) -> int:
@@ -449,6 +486,74 @@ class CharacterizationEngine:
         if self.store is None:
             return 0
         return self.cache.stats.quarantined + self.store.captures.stats.quarantined
+
+    # ----------------------------------------------------- span emission
+
+    def _emit_spans(self, outcomes: "list[CellOutcome]") -> None:
+        """Journal cell spans + their stage children; record cell metrics.
+
+        Each cell gets a fresh span id parented to the run root, and
+        its worker-observed stage triples become child ``stage``
+        records placed on the run timeline (cell start + in-cell
+        offset).  Stage latency histograms are observed here — the one
+        place both pooled and inline results funnel through — so stage
+        timings are counted exactly once per cell.
+        """
+        for oc in outcomes:
+            start = oc.start_s
+            if start < 0:
+                start = max(0.0, self.trace.now() - oc.duration_s)
+            span_id = self.trace.next_span_id()
+            self.trace.span(
+                oc.span(
+                    span_id=span_id,
+                    parent_id=self.trace.run_span_id,
+                    start_s=start,
+                )
+            )
+            bench = oc.cell.benchmark_id
+            for name, offset, duration in oc.stages:
+                self._emit_stage(
+                    name, bench, oc.cell.workload_name,
+                    start + offset, duration, parent_id=span_id,
+                )
+            metrics.inc(
+                metrics.CELLS_TOTAL, benchmark=bench,
+                outcome=oc.outcome, cache=oc.cache,
+            )
+            metrics.observe(
+                metrics.CELL_SECONDS, oc.duration_s,
+                benchmark=bench, outcome=oc.outcome,
+            )
+            retries = max(0, oc.attempts - 1)
+            if retries:
+                metrics.inc(metrics.RETRIES_TOTAL, retries, benchmark=bench)
+
+    def _emit_stage(
+        self,
+        name: str,
+        benchmark: str,
+        workload: str,
+        start_s: float,
+        duration_s: float,
+        *,
+        parent_id: str | None = None,
+    ) -> None:
+        """Journal one stage span and observe its latency histogram."""
+        self.trace.stage(
+            StageSpan(
+                name=name,
+                benchmark=benchmark,
+                workload=workload,
+                start_s=max(0.0, start_s),
+                duration_s=duration_s,
+                span_id=self.trace.next_span_id(),
+                parent_id=self.trace.run_span_id if parent_id is None else parent_id,
+            )
+        )
+        metrics.observe(
+            metrics.STAGE_SECONDS, duration_s, benchmark=benchmark, stage=name
+        )
 
     def _execute(
         self,
@@ -495,11 +600,15 @@ class CharacterizationEngine:
                         cell, None, cache_state, attempts,
                         time.perf_counter() - started, "failed",
                         f"{type(exc).__name__}: {exc}",
+                        start_s=self.trace.rel(started),
                     )
                 else:
+                    # Inline cells recorded through this process's own
+                    # collector stack already; no snapshot merge needed.
                     outcomes[i] = CellOutcome(
                         cell, result, cache_state, attempts,
                         time.perf_counter() - started, "ok",
+                        start_s=self.trace.rel(started),
                     )
                 break
 
@@ -534,9 +643,14 @@ class CharacterizationEngine:
         round_no = 0
 
         def finalize(i: int, result: Any, outcome: str, error: str | None) -> None:
+            if result is not None:
+                # Pooled cell: its observations lived in the worker
+                # process — merge the shipped snapshot here.
+                metrics.merge_snapshot(result[2]["metrics"])
             outcomes[i] = CellOutcome(
                 cells[i], result, cache_state, max(remaining[i], 1),
                 time.perf_counter() - first_seen[i], outcome, error,
+                start_s=self.trace.rel(first_seen[i]),
             )
             del remaining[i]
 
@@ -656,15 +770,18 @@ class CharacterizationEngine:
                 else:
                     pool.shutdown(wait=True)
                 if result is not None:
+                    metrics.merge_snapshot(result[2]["metrics"])
                     outcomes[i] = CellOutcome(
                         cell, result, cache_state, attempt,
                         time.perf_counter() - first_seen[i], "ok",
+                        start_s=self.trace.rel(first_seen[i]),
                     )
                     del remaining[i]
                 elif attempt > self.retries:
                     outcomes[i] = CellOutcome(
                         cell, None, cache_state, attempt,
                         time.perf_counter() - first_seen[i], outcome, error,
+                        start_s=self.trace.rel(first_seen[i]),
                     )
                     del remaining[i]
                 else:
@@ -728,8 +845,16 @@ class CharacterizationEngine:
                 if oc is None:  # pragma: no cover - _execute always fills
                     continue
                 if oc.ok:
-                    _, capture = oc.profile
-                    results[i] = (capture, "run", replace(oc, profile=None))
+                    _, capture, meta = oc.profile
+                    results[i] = (
+                        capture,
+                        "run",
+                        replace(
+                            oc,
+                            profile=None,
+                            stages=tuple(tuple(s) for s in meta["stages"]),
+                        ),
+                    )
                     self._capture_memo[cap_keys[i]] = capture
                     if self.store is not None:
                         self.store.captures.put(cap_keys[i], capture)
@@ -763,13 +888,14 @@ class CharacterizationEngine:
                         run_oc.attempts if run_oc is not None else 0,
                         run_oc.duration_s if run_oc is not None else 0.0,
                         "ok", capture=state,
+                        start_s=run_oc.start_s if run_oc is not None else -1.0,
+                        stages=run_oc.stages if run_oc is not None else (),
                     )
                 )
             else:
                 outcomes.append(replace(run_oc, capture="run"))
         self.trace.quarantine(self._quarantined_total() - quarantined_before)
-        for oc in outcomes:
-            self.trace.span(oc.span())
+        self._emit_spans(outcomes)
         failed = [oc for oc in outcomes if not oc.ok]
         if failed and self.strict:
             raise failed[0].failure()
@@ -812,8 +938,9 @@ class CharacterizationEngine:
                 oc = CellOutcome(
                     cell, cached, "hit", 0, 0.0, "ok",
                     replay="hit", build=build_name,
+                    start_s=self.trace.now(),
                 )
-                self.trace.span(oc.span())
+                self._emit_spans([oc])
                 return oc
         cache_state = "off" if self.store is None else ("miss" if key else "-")
         started = time.perf_counter()
@@ -829,16 +956,19 @@ class CharacterizationEngine:
                 time.perf_counter() - started, "failed",
                 f"{type(exc).__name__}: {exc}",
                 replay="run", build=build_name,
+                start_s=self.trace.rel(started),
             )
         else:
+            duration = time.perf_counter() - started
             oc = CellOutcome(
-                cell, profile, cache_state, 1,
-                time.perf_counter() - started, "ok",
+                cell, profile, cache_state, 1, duration, "ok",
                 replay="run", build=build_name,
+                start_s=self.trace.rel(started),
+                stages=(("replay", 0.0, duration),),
             )
             if key is not None:
                 self.cache.put(key, profile)
-        self.trace.span(oc.span())
+        self._emit_spans([oc])
         if not oc.ok and self.strict:
             raise oc.failure()
         return oc
@@ -895,11 +1025,13 @@ class CharacterizationEngine:
                     workload=None if alberta else w,
                 )
                 if self.store is not None:
+                    looked_up = self.trace.now()
                     keys[mi][wi] = cache_key(benchmark_id, w, m)
                     cached = self.cache.get(keys[mi][wi])
                     if cached is not None:
                         grid[mi][wi] = CellOutcome(
-                            cell, cached, "hit", 0, 0.0, "ok", replay="hit"
+                            cell, cached, "hit", 0, 0.0, "ok", replay="hit",
+                            start_s=looked_up,
                         )
                         continue
                 need.append((mi, wi, cell))
@@ -926,6 +1058,9 @@ class CharacterizationEngine:
                 charged.add(wi)
             cap_attempts = run_oc.attempts if (fresh and run_oc is not None) else 0
             cap_duration = run_oc.duration_s if (fresh and run_oc is not None) else 0.0
+            cap_stages = (
+                run_oc.stages if (fresh and run_oc is not None) else ()
+            )
             if capture is None:
                 # Capture failed: every consumer of this workload fails
                 # with the capture's error; only the first is charged.
@@ -935,9 +1070,14 @@ class CharacterizationEngine:
                     run_oc.outcome if run_oc is not None else "failed",
                     run_oc.error if run_oc is not None else "capture failed",
                     capture="run" if fresh else "-",
+                    start_s=run_oc.start_s if run_oc is not None else -1.0,
                 )
                 continue
             started = time.perf_counter()
+            if fresh and run_oc is not None and run_oc.start_s >= 0:
+                cell_start = run_oc.start_s
+            else:
+                cell_start = self.trace.rel(started)
             try:
                 profile = replay_capture(capture, machine=cell.machine)
             except Exception as exc:
@@ -946,12 +1086,17 @@ class CharacterizationEngine:
                     cap_duration + (time.perf_counter() - started), "failed",
                     f"{type(exc).__name__}: {exc}",
                     capture="run" if fresh else "hit", replay="run",
+                    start_s=cell_start, stages=cap_stages,
                 )
                 continue
+            replay_dur = time.perf_counter() - started
             grid[mi][wi] = CellOutcome(
                 cell, profile, cache_state, cap_attempts,
-                cap_duration + (time.perf_counter() - started), "ok",
+                cap_duration + replay_dur, "ok",
                 capture="run" if fresh else "hit", replay="run",
+                start_s=cell_start,
+                stages=cap_stages
+                + (("replay", self.trace.rel(started) - cell_start, replay_dur),),
             )
             if keys[mi][wi] is not None:
                 self.cache.put(keys[mi][wi], profile)
@@ -961,12 +1106,12 @@ class CharacterizationEngine:
         for mi in range(len(machines)):
             for wi in range(len(wl)):
                 flat.append(grid[mi][wi])
-        for oc in flat:
-            self.trace.span(oc.span())
+        self._emit_spans(flat)
         failed = [oc for oc in flat if not oc.ok]
         if failed and self.strict:
             raise failed[0].failure()
 
+        sum_start = self.trace.now()
         chars: list["BenchmarkCharacterization | None"] = []
         for mi in range(len(machines)):
             pairs = [(w, oc.profile) for w, oc in zip(wl, grid[mi]) if oc.ok]
@@ -981,6 +1126,9 @@ class CharacterizationEngine:
                 )
             else:
                 chars.append(None)
+        self._emit_stage(
+            "summarize", benchmark_id, "-", sum_start, self.trace.now() - sum_start
+        )
         return chars, flat
 
     # --------------------------------------------------- characterization
@@ -1026,11 +1174,16 @@ class CharacterizationEngine:
         pairs = [(w, oc.profile) for w, oc in zip(wl, outcomes) if oc.ok]
         char = None
         if pairs:
+            sum_start = self.trace.now()
             char = assemble_characterization(
                 benchmark_id,
                 [w for w, _ in pairs],
                 [p for _, p in pairs],
                 keep_profiles=keep_profiles,
+            )
+            self._emit_stage(
+                "summarize", benchmark_id, "-",
+                sum_start, self.trace.now() - sum_start,
             )
         return char, outcomes
 
@@ -1103,6 +1256,7 @@ class CharacterizationEngine:
             cursor += len(wl)
             pairs = [(w, oc.profile) for w, oc in zip(wl, chunk) if oc.ok]
             if pairs:
+                sum_start = self.trace.now()
                 out.append(
                     assemble_characterization(
                         bid,
@@ -1110,6 +1264,9 @@ class CharacterizationEngine:
                         [p for _, p in pairs],
                         keep_profiles=False,
                     )
+                )
+                self._emit_stage(
+                    "summarize", bid, "-", sum_start, self.trace.now() - sum_start
                 )
         return out, outcomes
 

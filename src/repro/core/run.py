@@ -34,21 +34,25 @@ cells are reported in ``result.failures`` and the journal.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from typing import Any
 
+from ..machine import telemetry
 from ..machine.capture import TelemetryCapture
 from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile
+from . import metrics as metrics_mod
 from .artifacts import ArtifactStore
 from .cache import ResultCache
 from .engine import _ENGINE_MACHINE, CharacterizationEngine, CellOutcome, _Cell
 from .errors import CellFailure
+from .metrics import MetricsRegistry
 from .suite import alberta_workloads
-from .trace import RunSummary, TraceWriter
+from .trace import RunSummary, TraceWriter, export_chrome_trace
 from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -71,6 +75,9 @@ class RunResult:
     failures: list[CellFailure] = field(default_factory=list)
     summary: RunSummary | None = None
     trace_path: Path | None = None
+    #: This call's own metric observations (a write-through child of the
+    #: session registry), including worker-side merges.
+    metrics: MetricsRegistry | None = None
 
     @property
     def ok(self) -> bool:
@@ -108,6 +115,7 @@ class SweepResult:
     failures: list[CellFailure] = field(default_factory=list)
     summary: RunSummary | None = None
     trace_path: Path | None = None
+    metrics: MetricsRegistry | None = None
 
     @property
     def ok(self) -> bool:
@@ -162,7 +170,27 @@ class Session:
                 "retries": retries,
             }
         )
+        #: The session-wide metrics aggregate; every call records into a
+        #: write-through child of this registry.
+        self.metrics = MetricsRegistry()
+        #: Per-session window onto the process-global telemetry counters
+        #: (``session.telemetry.counters("engine.run")`` is this
+        #: session's traffic only; ``telemetry.totals()`` keeps the
+        #: cross-run process view).
+        self.telemetry = telemetry.Scope()
         self._closed = False
+
+    @contextmanager
+    def _collect(self) -> "Iterator[MetricsRegistry]":
+        """A per-call child registry, active as a module-level collector.
+
+        Engine instrumentation (and worker-snapshot merges) recorded
+        while the context is open land in the child and, via its
+        write-through link, in :attr:`metrics`.
+        """
+        reg = self.metrics.child()
+        with metrics_mod.collector(reg):
+            yield reg
 
     # ------------------------------------------------------------- runs
 
@@ -175,10 +203,11 @@ class Session:
         keep_profiles: bool = False,
     ) -> RunResult:
         """Characterize one benchmark; failures per the session's ``strict``."""
-        char, outcomes = self.engine.characterize_run(
-            benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
-        )
-        return self._result([char] if char is not None else [], outcomes)
+        with self._collect() as reg:
+            char, outcomes = self.engine.characterize_run(
+                benchmark_id, workloads, base_seed=base_seed, keep_profiles=keep_profiles
+            )
+        return self._result([char] if char is not None else [], outcomes, reg)
 
     def characterize_suite(
         self,
@@ -189,10 +218,11 @@ class Session:
         ids: list[str] | None = None,
     ) -> RunResult:
         """Characterize the whole suite (or an ``ids`` subset) as one flat matrix."""
-        chars, outcomes = self.engine.characterize_suite_run(
-            suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
-        )
-        return self._result(chars, outcomes)
+        with self._collect() as reg:
+            chars, outcomes = self.engine.characterize_suite_run(
+                suite=suite, table2_only=table2_only, base_seed=base_seed, ids=ids
+            )
+        return self._result(chars, outcomes, reg)
 
     def characterize_sweep(
         self,
@@ -209,18 +239,20 @@ class Session:
         config replays the captured telemetry stream (see
         :meth:`~repro.core.engine.CharacterizationEngine.characterize_sweep_run`).
         """
-        chars, outcomes = self.engine.characterize_sweep_run(
-            benchmark_id,
-            machines,
-            workloads,
-            base_seed=base_seed,
-            keep_profiles=keep_profiles,
-        )
+        with self._collect() as reg:
+            chars, outcomes = self.engine.characterize_sweep_run(
+                benchmark_id,
+                machines,
+                workloads,
+                base_seed=base_seed,
+                keep_profiles=keep_profiles,
+            )
         return SweepResult(
             machines=list(machines),
             characterizations=chars,
             failures=[oc.failure() for oc in outcomes if not oc.ok],
             trace_path=self._writer.path,
+            metrics=reg,
         )
 
     # ------------------------------------------------------ stage access
@@ -273,7 +305,8 @@ class Session:
             )
             for w in wl
         ]
-        outcomes = self.engine.capture_run(cells, wl)
+        with self._collect():
+            outcomes = self.engine.capture_run(cells, wl)
         return [oc.profile if oc.ok else None for oc in outcomes]
 
     def replay(
@@ -291,9 +324,10 @@ class Session:
         replay result.  ``None`` only under ``strict=False`` when the
         replay failed.
         """
-        oc = self.engine.replay_run(
-            capture, workload=workload, build=build, machine=machine
-        )
+        with self._collect():
+            oc = self.engine.replay_run(
+                capture, workload=workload, build=build, machine=machine
+            )
         return oc.profile if oc.ok else None
 
     def _resolve(
@@ -304,13 +338,35 @@ class Session:
         return workload
 
     def _result(
-        self, chars: "list[BenchmarkCharacterization]", outcomes: list[CellOutcome]
+        self,
+        chars: "list[BenchmarkCharacterization]",
+        outcomes: list[CellOutcome],
+        reg: MetricsRegistry | None = None,
     ) -> RunResult:
         return RunResult(
             characterizations=chars,
             failures=[oc.failure() for oc in outcomes if not oc.ok],
             trace_path=self._writer.path,
+            metrics=reg,
         )
+
+    # ---------------------------------------------------------- exports
+
+    def prometheus(self) -> str:
+        """The session registry in Prometheus text exposition format."""
+        return metrics_mod.render_prometheus(self.metrics)
+
+    def metrics_table(self) -> str:
+        """The session registry as the ``repro metrics show`` table."""
+        return metrics_mod.render_metrics_table(self.metrics)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The session's span tree as Chrome ``trace_event`` JSON.
+
+        Built from the writer's in-memory record buffer, so it works
+        whether or not a journal path was configured.
+        """
+        return export_chrome_trace(self._writer.records)
 
     # -------------------------------------------------------- lifecycle
 
@@ -321,7 +377,8 @@ class Session:
 
     def close(self) -> RunSummary:
         """Finalize the journal (idempotent) and return the summary."""
-        summary = self._writer.finish()
+        with self._collect():
+            summary = self._writer.finish()
         self._writer.close()
         self._closed = True
         return summary

@@ -16,7 +16,8 @@ record so a crashed run leaves a readable prefix):
 * ``{"type": "span", "benchmark": ..., "workload": ..., "cache":
   "hit"|"miss"|"off", "attempts": int, "duration_s": float, "outcome":
   "ok"|"failed"|"timeout"|"crashed", "error": str|null, "capture":
-  "hit"|"run"|"-", "replay": "hit"|"run"|"-", "build": str|null}`` —
+  "hit"|"run"|"-", "replay": "hit"|"run"|"-", "build": str|null,
+  "span_id": ..., "parent_id": ..., "start_s": float}`` —
   one per cell, in matrix order.  ``duration_s`` is parent-observed
   wall time (submission to completion), so concurrent cells overlap.
   ``capture`` and ``replay`` record the stage-level story behind the
@@ -25,6 +26,15 @@ record so a crashed run leaves a readable prefix):
   was reused, ``"-"`` means the stage never ran (e.g. a whole-profile
   cache hit skips both stages; ``replay="hit"`` reports it).  ``build``
   names a non-baseline replay transformation (e.g. ``"fdo"``).
+* ``{"type": "stage", "name": "generate"|"capture"|"replay"|
+  "summarize", "benchmark": ..., "workload": ..., "start_s": ...,
+  "duration_s": ..., "span_id": ..., "parent_id": ...}`` — the
+  stage-level children of a cell span (or of the run root, for
+  ``summarize``).  ``span_id``/``parent_id`` link the records into a
+  tree — run (``parent_id=""``, id :data:`RUN_SPAN_ID`) → cell →
+  stage — and ``start_s`` is seconds since the run started, so the
+  tree renders on a timeline: see :func:`export_chrome_trace`, whose
+  output loads in Perfetto / ``chrome://tracing``.
 * ``{"type": "summary", "cells": ..., "ok": ..., "failed": ...,
   "cache_hits": ..., "cache_misses": ..., "retries": ...,
   "timeouts": ..., "crashes": ..., "quarantined": ...,
@@ -50,20 +60,32 @@ from pathlib import Path
 from typing import IO, Any, Iterable
 
 from ..machine import telemetry
+from . import metrics
 
 __all__ = [
     "CellSpan",
+    "StageSpan",
     "RunSummary",
     "TraceWriter",
     "read_trace",
     "trace_spans",
+    "trace_stages",
     "summarize_trace",
     "render_trace_summary",
     "render_trace_spans",
+    "export_chrome_trace",
+    "RUN_SPAN_ID",
+    "STAGE_NAMES",
 ]
 
 #: Span outcomes that count as failures in summaries.
 FAILURE_OUTCOMES = ("failed", "timeout", "crashed")
+
+#: The id of the run-root span; every cell span's ``parent_id``.
+RUN_SPAN_ID = "run"
+
+#: Stage names in pipeline order (``summarize`` parents to the run root).
+STAGE_NAMES = ("generate", "capture", "replay", "summarize")
 
 
 @dataclass(frozen=True)
@@ -86,6 +108,9 @@ class CellSpan:
     capture: str = "-"  # "hit" | "run" | "-"
     replay: str = "-"  # "hit" | "run" | "-"
     build: str | None = None
+    span_id: str = ""
+    parent_id: str = ""
+    start_s: float = 0.0  # seconds since run start (0.0 in pre-tree journals)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +132,42 @@ class CellSpan:
             capture=data.get("capture", "-"),
             replay=data.get("replay", "-"),
             build=data.get("build"),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id", ""),
+            start_s=float(data.get("start_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """A pipeline-stage child of a cell span (or of the run root).
+
+    ``name`` is one of :data:`STAGE_NAMES`; ``start_s`` is seconds since
+    the run started, so stages nest on the same timeline as their
+    parent :class:`CellSpan`.
+    """
+
+    name: str  # "generate" | "capture" | "replay" | "summarize"
+    benchmark: str
+    workload: str
+    start_s: float
+    duration_s: float
+    span_id: str = ""
+    parent_id: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "stage", **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StageSpan":
+        return cls(
+            name=data["name"],
+            benchmark=data.get("benchmark", "-"),
+            workload=data.get("workload", "-"),
+            start_s=float(data.get("start_s", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            span_id=data.get("span_id", ""),
+            parent_id=data.get("parent_id", ""),
         )
 
 
@@ -205,9 +266,29 @@ class TraceWriter:
         self.mirror_telemetry = mirror_telemetry
         self._fh: IO[str] | None = None
         self._spans: list[CellSpan] = []
+        self._stages: list[StageSpan] = []
+        self._records: list[dict[str, Any]] = []
         self._quarantined = 0
         self._started = time.perf_counter()
+        self._next_id = 0
+        #: Id of this run's root span; cell spans parent to it.
+        self.run_span_id = RUN_SPAN_ID
         self.summary: RunSummary | None = None
+
+    # ------------------------------------------------------------ span tree
+
+    def next_span_id(self) -> str:
+        """Allocate a journal-unique span id (``"s1"``, ``"s2"``, ...)."""
+        self._next_id += 1
+        return f"s{self._next_id}"
+
+    def now(self) -> float:
+        """Seconds since the run started (the journal's timeline)."""
+        return time.perf_counter() - self._started
+
+    def rel(self, t_perf: float) -> float:
+        """Map a ``time.perf_counter()`` stamp onto the run timeline."""
+        return t_perf - self._started
 
     # ------------------------------------------------------------ lifecycle
 
@@ -245,6 +326,11 @@ class TraceWriter:
             elif span.replay == "hit":
                 telemetry.record("engine.run.replay_hits")
 
+    def stage(self, span: StageSpan) -> None:
+        """Record one pipeline-stage child span."""
+        self._stages.append(span)
+        self._write(span.to_dict())
+
     def quarantine(self, n: int = 1) -> None:
         """Note cache entries quarantined during this run."""
         self._quarantined += n
@@ -260,6 +346,7 @@ class TraceWriter:
             self._write(self.summary.to_dict())
             if self.mirror_telemetry:
                 telemetry.record("engine.run.runs")
+                metrics.inc(metrics.RUNS_TOTAL)
         return self.summary
 
     def close(self) -> None:
@@ -280,7 +367,17 @@ class TraceWriter:
     def spans(self) -> list[CellSpan]:
         return list(self._spans)
 
+    @property
+    def stages(self) -> list[StageSpan]:
+        return list(self._stages)
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        """Every record written so far (kept even when ``path=None``)."""
+        return list(self._records)
+
     def _write(self, record: dict[str, Any]) -> None:
+        self._records.append(record)
         if self.path is None:
             return
         if self._fh is None:
@@ -312,6 +409,13 @@ def trace_spans(path: str | Path) -> list[CellSpan]:
     """The journal's spans, in matrix order."""
     return [
         CellSpan.from_dict(r) for r in read_trace(path) if r.get("type") == "span"
+    ]
+
+
+def trace_stages(path: str | Path) -> list[StageSpan]:
+    """The journal's stage spans, in emission order."""
+    return [
+        StageSpan.from_dict(r) for r in read_trace(path) if r.get("type") == "stage"
     ]
 
 
@@ -355,6 +459,9 @@ def render_trace_summary(path: str | Path) -> str:
 def render_trace_spans(path: str | Path) -> str:
     """Per-cell listing of a journal, for ``repro trace show``."""
     lines = []
+    stages_by_parent: dict[str, list[StageSpan]] = {}
+    for st in trace_stages(path):
+        stages_by_parent.setdefault(st.parent_id, []).append(st)
     for sp in trace_spans(path):
         flag = "ok " if sp.ok else sp.outcome
         build = f" build={sp.build}" if sp.build else ""
@@ -363,4 +470,136 @@ def render_trace_spans(path: str | Path) -> str:
             f"cache={sp.cache:<4} cap={sp.capture:<3} rep={sp.replay:<3} "
             f"attempts={sp.attempts} t={sp.duration_s:.4f}s{build}"
         )
+        for st in stages_by_parent.get(sp.span_id, []) if sp.span_id else []:
+            lines.append(
+                f"         └─ {st.name:<9} t={st.duration_s:.4f}s "
+                f"@{st.start_s:.4f}s"
+            )
+    for st in stages_by_parent.get(RUN_SPAN_ID, []):
+        lines.append(
+            f"run      └─ {st.name:<9} t={st.duration_s:.4f}s @{st.start_s:.4f}s"
+        )
     return "\n".join(lines) if lines else "(no spans)"
+
+
+# ------------------------------------------------------------ chrome export
+
+
+def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert a journal into Chrome ``trace_event`` JSON.
+
+    ``source`` is a journal path or an in-memory record list (e.g.
+    :attr:`TraceWriter.records`).  The output dict serializes to a file
+    that loads in Perfetto / ``chrome://tracing``: the run root on
+    track 0, each cell span greedily packed onto the first free track
+    (concurrent cells land on separate tracks), and stage spans nested
+    on their parent cell's track.  All timestamps are µs on the run's
+    ``start_s`` timeline.
+    """
+    records = read_trace(source) if isinstance(source, (str, Path)) else source
+    spans = [CellSpan.from_dict(r) for r in records if r.get("type") == "span"]
+    stages = [StageSpan.from_dict(r) for r in records if r.get("type") == "stage"]
+    run_meta = next((r for r in records if r.get("type") == "run_start"), {})
+    summary = next(
+        (r for r in reversed(records) if r.get("type") == "summary"), None
+    )
+
+    pid = 1
+    events: list[dict[str, Any]] = []
+
+    def _us(seconds: float) -> int:
+        return max(0, round(seconds * 1e6))
+
+    # Greedy track packing: each cell goes on the lowest track whose
+    # previous occupant has already finished.
+    lane_free_at: list[float] = []  # per-lane end time, lanes are tid-1
+    tid_by_span_id: dict[str, int] = {RUN_SPAN_ID: 0}
+    ordered = sorted(spans, key=lambda sp: sp.start_s)
+    for sp in ordered:
+        lane = next(
+            (i for i, free in enumerate(lane_free_at) if free <= sp.start_s + 1e-9),
+            None,
+        )
+        if lane is None:
+            lane = len(lane_free_at)
+            lane_free_at.append(0.0)
+        lane_free_at[lane] = sp.start_s + sp.duration_s
+        tid = lane + 1
+        if sp.span_id:
+            tid_by_span_id[sp.span_id] = tid
+        events.append(
+            {
+                "name": f"{sp.benchmark}/{sp.workload}",
+                "cat": "cell",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": _us(sp.start_s),
+                "dur": max(1, _us(sp.duration_s)),
+                "args": {
+                    "outcome": sp.outcome,
+                    "cache": sp.cache,
+                    "capture": sp.capture,
+                    "replay": sp.replay,
+                    "attempts": sp.attempts,
+                    **({"build": sp.build} if sp.build else {}),
+                    **({"error": sp.error} if sp.error else {}),
+                },
+            }
+        )
+
+    for st in stages:
+        events.append(
+            {
+                "name": st.name,
+                "cat": "stage",
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_by_span_id.get(st.parent_id, 0),
+                "ts": _us(st.start_s),
+                "dur": max(1, _us(st.duration_s)),
+                "args": {"benchmark": st.benchmark, "workload": st.workload},
+            }
+        )
+
+    run_dur = (
+        float(summary["duration_s"])
+        if summary and summary.get("duration_s")
+        else max(
+            (sp.start_s + sp.duration_s for sp in spans),
+            default=max((st.start_s + st.duration_s for st in stages), default=0.0),
+        )
+    )
+    events.insert(
+        0,
+        {
+            "name": f"run {run_meta.get('run_id', '?')}",
+            "cat": "run",
+            "ph": "X",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "dur": max(1, _us(run_dur)),
+            "args": {
+                k: v
+                for k, v in run_meta.items()
+                if k not in ("type",) and not isinstance(v, (dict, list))
+            },
+        },
+    )
+
+    names = [(0, "run")] + [
+        (lane + 1, f"cells {lane + 1}") for lane in range(len(lane_free_at))
+    ]
+    for tid, label in names:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

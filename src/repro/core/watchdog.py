@@ -1,0 +1,281 @@
+"""Perf-regression watchdog: gate fresh replay numbers on a baseline.
+
+``BENCH_machine.json`` (written by ``benchmarks/bench_machine.py``)
+records per-benchmark replay throughput and stage seconds for one
+machine.  The watchdog re-measures a subset of those benchmarks with
+the same best-of-N discipline, compares against the stored numbers
+with a configurable relative tolerance, and renders a human-readable
+diff.  ``repro watchdog`` exposes it on the command line; CI runs it
+warn-only right after the bench smoke writes a fresh baseline.
+
+Exit semantics (mirrored by the CLI):
+
+* ``EXIT_OK`` (0)         — every checked benchmark is within tolerance;
+* ``EXIT_REGRESSION`` (1) — at least one benchmark regressed;
+* ``EXIT_USAGE`` (2)      — missing/invalid baseline or bad arguments.
+
+Throughput is measured through the metrics registry itself — each
+replay round runs under a fresh :func:`~repro.core.metrics.collector`
+and reads back ``repro_replay_ns_total`` / ``repro_replay_events_total``
+— so the gate exercises exactly the numbers the exporters publish.
+
+``REPRO_WATCHDOG_INJECT_SLOWDOWN=<factor>`` divides every measured
+throughput by ``<factor>`` before comparison.  It exists so tests and
+CI can validate the *gate* (a deterministic 2x regression must exit
+nonzero) without needing a genuinely slow machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from . import metrics
+from .errors import ReproError
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_REGRESSION",
+    "EXIT_USAGE",
+    "WatchdogError",
+    "BenchmarkCheck",
+    "WatchdogReport",
+    "load_baseline",
+    "measure_replay",
+    "run_watchdog",
+]
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+
+#: Test/CI hook: divide measured throughput by this factor (>1 slows).
+_INJECT_ENV = "REPRO_WATCHDOG_INJECT_SLOWDOWN"
+
+
+class WatchdogError(ReproError):
+    """Unusable baseline or arguments (maps to ``EXIT_USAGE``)."""
+
+
+@dataclass(frozen=True)
+class BenchmarkCheck:
+    """One benchmark's fresh-vs-baseline comparison."""
+
+    benchmark: str
+    workload: str
+    baseline_eps: float
+    measured_eps: float
+    baseline_replay_s: float
+    measured_replay_s: float
+
+    @property
+    def eps_ratio(self) -> float:
+        """measured / baseline throughput; <1 means slower than baseline."""
+        return self.measured_eps / self.baseline_eps if self.baseline_eps else 0.0
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.eps_ratio < 1.0 - tolerance
+
+
+@dataclass
+class WatchdogReport:
+    """Everything one watchdog invocation decided, renderable as a diff."""
+
+    baseline_path: Path
+    tolerance: float
+    rounds: int
+    checks: list[BenchmarkCheck] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    injected_slowdown: float = 1.0
+
+    @property
+    def regressions(self) -> list[BenchmarkCheck]:
+        return [c for c in self.checks if c.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_OK if self.ok else EXIT_REGRESSION
+
+    def render(self) -> str:
+        """The human-readable diff the CLI prints."""
+        lines = [
+            f"watchdog: baseline {self.baseline_path} "
+            f"(tolerance {self.tolerance:.0%}, best of {self.rounds})"
+        ]
+        if self.injected_slowdown != 1.0:
+            lines.append(
+                f"watchdog: injected slowdown x{self.injected_slowdown:g} "
+                f"({_INJECT_ENV})"
+            )
+        header = (
+            f"  {'benchmark':<16} {'baseline ev/s':>14} {'measured ev/s':>14} "
+            f"{'ratio':>7} {'replay s (base/now)':>21}  verdict"
+        )
+        lines.append(header)
+        for c in self.checks:
+            verdict = "REGRESSED" if c.regressed(self.tolerance) else "ok"
+            lines.append(
+                f"  {c.benchmark:<16} {c.baseline_eps:>14,.0f} "
+                f"{c.measured_eps:>14,.0f} {c.eps_ratio:>6.2f}x "
+                f"{c.baseline_replay_s:>10.4f}/{c.measured_replay_s:<10.4f} {verdict}"
+            )
+        for name in self.skipped:
+            lines.append(f"  {name:<16} (not in baseline; skipped)")
+        n_reg = len(self.regressions)
+        if n_reg:
+            worst = min(self.checks, key=lambda c: c.eps_ratio)
+            lines.append(
+                f"watchdog: {n_reg}/{len(self.checks)} benchmark(s) below "
+                f"{1.0 - self.tolerance:.2f}x of baseline "
+                f"(worst: {worst.benchmark} at {worst.eps_ratio:.2f}x)"
+            )
+        else:
+            lines.append(
+                f"watchdog: all {len(self.checks)} benchmark(s) within tolerance"
+            )
+        return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Parse a ``BENCH_machine.json`` baseline; raises :class:`WatchdogError`.
+
+    Any way the file can be unusable — missing, unreadable, not JSON,
+    wrong schema, or empty of per-benchmark rows — maps to the same
+    exception so the CLI can report one line and exit ``EXIT_USAGE``.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise WatchdogError(f"baseline {path}: {exc.strerror or exc}") from exc
+    try:
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise WatchdogError(f"baseline {path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("schema") != 1:
+        raise WatchdogError(
+            f"baseline {path}: unsupported schema {data.get('schema')!r}"
+            if isinstance(data, dict)
+            else f"baseline {path}: expected a JSON object"
+        )
+    benches = data.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        raise WatchdogError(f"baseline {path}: no per-benchmark rows")
+    for bid, row in benches.items():
+        if "events_per_sec" not in row:
+            raise WatchdogError(f"baseline {path}: {bid} has no events_per_sec")
+    return data
+
+
+def measure_replay(
+    benchmark_id: str,
+    workload_name: str | None = None,
+    *,
+    rounds: int = 3,
+) -> tuple[str, int, int, float]:
+    """Capture once, replay best-of-``rounds``.
+
+    Returns ``(workload_name, events, best_replay_ns, events_per_sec)``.
+    Each round replays under a fresh registry collector and reads the
+    ``repro_replay_*`` counters back out of it, so the watchdog measures
+    the same numbers the Prometheus exporter publishes.
+    """
+    from ..machine.capture import capture_execution, replay_capture
+    from .suite import alberta_workloads, get_benchmark
+
+    workloads = alberta_workloads(benchmark_id)
+    if workload_name is None:
+        workload = next(
+            (w for w in workloads if w.name.endswith(".refrate")), workloads[0]
+        )
+    else:
+        match = [w for w in workloads if w.name == workload_name]
+        if not match:
+            raise WatchdogError(
+                f"{benchmark_id}: no workload named {workload_name!r}"
+            )
+        workload = match[0]
+
+    capture = capture_execution(get_benchmark(benchmark_id), workload)
+    best_ns: int | None = None
+    for _ in range(max(1, rounds)):
+        reg = metrics.MetricsRegistry()
+        with metrics.collector(reg):
+            replay_capture(capture)
+        ns = reg.value(metrics.REPLAY_NS_TOTAL, benchmark=benchmark_id)
+        assert isinstance(ns, int)
+        best_ns = ns if best_ns is None else min(best_ns, ns)
+    assert best_ns is not None
+    eps = capture.n_events / (best_ns / 1e9)
+    return workload.name, capture.n_events, best_ns, eps
+
+
+def _injected_slowdown() -> float:
+    raw = os.environ.get(_INJECT_ENV, "").strip()
+    if not raw:
+        return 1.0
+    try:
+        factor = float(raw)
+    except ValueError as exc:
+        raise WatchdogError(f"{_INJECT_ENV}={raw!r}: not a number") from exc
+    if factor <= 0:
+        raise WatchdogError(f"{_INJECT_ENV}={raw!r}: must be > 0")
+    return factor
+
+
+def run_watchdog(
+    baseline_path: str | Path,
+    benchmarks: "list[str] | None" = None,
+    *,
+    tolerance: float = 0.25,
+    rounds: int = 3,
+) -> WatchdogReport:
+    """Measure and compare; raises :class:`WatchdogError` on usage problems.
+
+    ``benchmarks=None`` checks every benchmark in the baseline.  Named
+    benchmarks missing from the baseline are listed as skipped rather
+    than failing the gate — a new benchmark has no number to regress
+    against.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise WatchdogError(f"tolerance {tolerance} must be in [0, 1)")
+    baseline = load_baseline(baseline_path)
+    rows: Mapping[str, Any] = baseline["benchmarks"]
+    ids = list(rows) if benchmarks is None else list(benchmarks)
+    slowdown = _injected_slowdown()
+    report = WatchdogReport(
+        baseline_path=Path(baseline_path),
+        tolerance=tolerance,
+        rounds=rounds,
+        injected_slowdown=slowdown,
+    )
+    for bid in ids:
+        row = rows.get(bid)
+        if row is None:
+            report.skipped.append(bid)
+            continue
+        workload, _events, best_ns, eps = measure_replay(
+            bid, row.get("workload"), rounds=rounds
+        )
+        report.checks.append(
+            BenchmarkCheck(
+                benchmark=bid,
+                workload=workload,
+                baseline_eps=float(row["events_per_sec"]),
+                measured_eps=eps / slowdown,
+                baseline_replay_s=float(row.get("replay_seconds", 0.0)),
+                measured_replay_s=best_ns / 1e9 * slowdown,
+            )
+        )
+    if not report.checks:
+        raise WatchdogError(
+            f"baseline {baseline_path}: none of {ids} present in baseline"
+        )
+    return report

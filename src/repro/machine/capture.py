@@ -28,11 +28,13 @@ the event stream), so replays must never share one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..core import metrics
 from ..core.errors import VerificationError, WorkloadError
 from .cost import CostModel, MachineConfig
 from .profiler import ExecutionProfile
@@ -148,9 +150,18 @@ def capture_execution(
                 f"{benchmark.name}: output verification failed for "
                 f"workload {workload.name!r}"
             )
-    return TelemetryCapture.from_probe(
+    capture = TelemetryCapture.from_probe(
         benchmark.name, workload.name, probe, verified=verified
     )
+    metrics.inc(
+        metrics.EVENTS_EMITTED_TOTAL, capture.n_events, benchmark=capture.benchmark
+    )
+    metrics.gauge_set(
+        metrics.SAMPLING_STRIDE_MAX,
+        capture.sampling_stride,
+        benchmark=capture.benchmark,
+    )
+    return capture
 
 
 def replay_capture(
@@ -170,7 +181,18 @@ def replay_capture(
     if cost_model is None:
         cost_model = CostModel(machine)
     probe = capture.materialize()
+    t0 = time.perf_counter_ns()
     report = cost_model.evaluate(probe)
+    elapsed_ns = max(1, time.perf_counter_ns() - t0)
+    metrics.inc(
+        metrics.REPLAY_EVENTS_TOTAL, capture.n_events, benchmark=capture.benchmark
+    )
+    metrics.inc(metrics.REPLAY_NS_TOTAL, elapsed_ns, benchmark=capture.benchmark)
+    metrics.observe(
+        metrics.REPLAY_EPS,
+        capture.n_events / (elapsed_ns / 1e9),
+        benchmark=capture.benchmark,
+    )
     return ExecutionProfile(
         benchmark=capture.benchmark,
         workload=capture.workload,

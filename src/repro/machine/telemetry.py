@@ -57,6 +57,10 @@ __all__ = [
     "record_max",
     "counters",
     "reset_counters",
+    "snapshot",
+    "since",
+    "totals",
+    "Scope",
 ]
 
 EV_BRANCH = 0
@@ -121,6 +125,66 @@ def reset_counters(prefix: str | None = None) -> None:
         return
     for key in list(counters(prefix)):
         del _COUNTERS[key]
+
+
+def snapshot(prefix: str | None = None) -> dict[str, int]:
+    """Alias of :func:`counters`: a point-in-time copy for later diffing."""
+    return counters(prefix)
+
+
+def since(baseline: "dict[str, int]", prefix: str | None = None) -> dict[str, int]:
+    """Counter deltas accumulated after ``baseline`` was snapshotted.
+
+    The scoped-view primitive: the process-global counters are never
+    reset (other concurrent consumers keep their view), callers instead
+    subtract their starting snapshot.  Counters absent from the
+    baseline report their full value; zero deltas are dropped.
+    """
+    out: dict[str, int] = {}
+    for name, value in counters(prefix).items():
+        delta = value - baseline.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out
+
+
+def totals(prefix: str | None = None) -> dict[str, int]:
+    """The process-global, cross-run counter view (explicitly named).
+
+    Scoped consumers (:class:`Scope`, ``Run``/``Session``) report
+    per-run deltas; ``totals()`` is the deliberate way to ask for the
+    whole process history instead.
+    """
+    return counters(prefix)
+
+
+class Scope:
+    """A per-run window onto the process-global counters.
+
+    Counters accumulate for the life of the process, so two ``Run``s in
+    one process would otherwise bleed into each other's ``trace
+    summary``.  A ``Scope`` snapshots the counters at construction and
+    reports only what happened after that point — without resetting
+    anything, so concurrent scopes and :func:`totals` stay correct.
+    """
+
+    def __init__(self, prefix: str | None = None):
+        self.prefix = prefix
+        self._baseline = counters(prefix)
+
+    def counters(self, prefix: str | None = None) -> dict[str, int]:
+        """Deltas since this scope began (optionally sub-filtered)."""
+        out = since(self._baseline, self.prefix)
+        if prefix is None:
+            return out
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {
+            k: v for k, v in out.items() if k == prefix or k.startswith(dotted)
+        }
+
+    def reset(self) -> None:
+        """Restart the window at the current counter values."""
+        self._baseline = counters(self.prefix)
 
 
 @dataclass

@@ -19,6 +19,61 @@ class TestParser:
         assert args.seed == 9
 
 
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs")
+        paths = {
+            "metrics": root / "metrics.json",
+            "prom": root / "metrics.prom",
+            "chrome": root / "trace.chrome.json",
+        }
+        rc = main(
+            ["suite", "505.mcf_r", "--no-cache",
+             "--metrics", str(paths["metrics"]),
+             "--prom", str(paths["prom"]),
+             "--chrome-trace", str(paths["chrome"])]
+        )
+        assert rc == 0
+        return paths
+
+    def test_suite_writes_all_three_artifacts(self, artifacts):
+        for path in artifacts.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_prom_snapshot_is_text_exposition(self, artifacts):
+        text = artifacts["prom"].read_text()
+        assert "# TYPE repro_stage_seconds histogram" in text
+        assert "repro_cells_total" in text
+
+    def test_chrome_trace_loads_as_trace_event_json(self, artifacts):
+        import json
+
+        doc = json.loads(artifacts["chrome"].read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert cats == {"run", "cell", "stage"}
+
+    def test_metrics_show_renders_stage_percentiles(self, artifacts, capsys):
+        assert main(["metrics", "show", str(artifacts["metrics"])]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "repro_stage_seconds" in out
+
+    def test_metrics_prom_matches_suite_export(self, artifacts, capsys):
+        assert main(["metrics", "prom", str(artifacts["metrics"])]) == 0
+        assert capsys.readouterr().out.strip() == artifacts["prom"].read_text().strip()
+
+    def test_metrics_missing_snapshot_exits_2(self, tmp_path, capsys):
+        assert main(["metrics", "show", str(tmp_path / "nope.json")]) == 2
+        assert "no snapshot" in capsys.readouterr().err
+
+    def test_metrics_garbage_snapshot_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        assert main(["metrics", "show", str(path)]) == 2
+        assert "unreadable snapshot" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -120,6 +120,150 @@ class TestTelemetryMirror:
         assert "engine.run.crashes" not in stats
 
 
+class TestTelemetryScope:
+    """Per-run windows stop cross-run counter bleed; totals stay global."""
+
+    def test_scope_sees_only_its_own_window(self):
+        telemetry.record("engine.run.cells", 5)
+        scope = telemetry.Scope("engine.run")
+        telemetry.record("engine.run.cells", 2)
+        assert scope.counters() == {"engine.run.cells": 2}
+        # The process-wide view keeps accumulating across scopes.
+        assert telemetry.totals("engine.run")["engine.run.cells"] >= 7
+
+    def test_two_scopes_do_not_bleed(self):
+        first = telemetry.Scope("engine.run")
+        telemetry.record("engine.run.cells", 3)
+        second = telemetry.Scope("engine.run")
+        telemetry.record("engine.run.cells", 4)
+        assert first.counters()["engine.run.cells"] == 7
+        assert second.counters()["engine.run.cells"] == 4
+
+    def test_reset_restarts_the_window(self):
+        scope = telemetry.Scope("engine.run")
+        telemetry.record("engine.run.cells", 1)
+        scope.reset()
+        assert scope.counters() == {}
+
+    def test_session_scope_is_per_session(self, tmp_path):
+        from repro.core.run import Session
+
+        with Session(workers=1, cache=None) as first:
+            first.characterize("505.mcf_r")
+        with Session(workers=1, cache=None) as second:
+            second.characterize("505.mcf_r")
+        # The second session's window starts at its construction, so it
+        # reports exactly its own 7 cells; the first session's window is
+        # older and also spans the second run.  Process totals cover both.
+        assert first.telemetry.counters()["engine.run.cells"] >= 14
+        assert second.telemetry.counters()["engine.run.cells"] == 7
+        assert (
+            telemetry.totals("engine.run")["engine.run.cells"]
+            >= second.telemetry.counters()["engine.run.cells"] + 7
+        )
+
+
+class TestConcurrentAppend:
+    """Readers must tolerate a journal that is still being appended."""
+
+    def test_reader_mid_torn_write_sees_a_clean_prefix(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_journal(path, spans=SPANS[:2], finish=False)
+        # Simulate a writer caught mid-line: no trailing newline yet.
+        with path.open("a", encoding="utf-8") as fh:
+            line = json.dumps(SPANS[2].to_dict())
+            fh.write(line[: len(line) // 2])
+            fh.flush()
+            assert trace_spans(path) == SPANS[:2]  # torn tail skipped
+            fh.write(line[len(line) // 2 :] + "\n")
+        assert trace_spans(path) == SPANS[:3]  # completed line now visible
+
+    def test_reader_races_a_writer_thread(self, tmp_path):
+        import threading
+        import time as _time
+
+        path = tmp_path / "run.jsonl"
+        path.touch()
+        n = 50
+        done = threading.Event()
+
+        def append_spans():
+            with path.open("a", encoding="utf-8") as fh:
+                for i in range(n):
+                    span = CellSpan("505.mcf_r", f"w{i}", "off", 1, 0.01, "ok")
+                    fh.write(json.dumps(span.to_dict()) + "\n")
+                    fh.flush()
+                    _time.sleep(0.001)
+            done.set()
+
+        writer = threading.Thread(target=append_spans)
+        writer.start()
+        counts = []
+        try:
+            while not done.is_set():
+                counts.append(len(trace_spans(path)))  # must never raise
+        finally:
+            writer.join()
+        counts.append(len(trace_spans(path)))
+        assert counts[-1] == n
+        assert counts == sorted(counts)  # reads only ever grow
+
+
+class TestSpanTree:
+    """Engine runs journal a run -> cell -> stage tree."""
+
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        from repro.core.run import Session
+
+        path = tmp_path_factory.mktemp("tree") / "run.jsonl"
+        with Session(workers=1, cache=None, trace=path) as session:
+            session.characterize("505.mcf_r")
+        return path
+
+    def test_cells_parent_on_the_run_root(self, journal):
+        from repro.core.trace import RUN_SPAN_ID
+
+        spans = trace_spans(journal)
+        assert spans and all(s.parent_id == RUN_SPAN_ID for s in spans)
+        assert len({s.span_id for s in spans}) == len(spans)  # unique ids
+
+    def test_stages_parent_on_their_cell(self, journal):
+        from repro.core.trace import STAGE_NAMES, trace_stages
+
+        spans = trace_spans(journal)
+        stages = trace_stages(journal)
+        cell_ids = {s.span_id for s in spans}
+        assert stages
+        for stage in stages:
+            assert stage.name in STAGE_NAMES
+            assert stage.parent_id in cell_ids or stage.parent_id == "run"
+        # Every fresh cell ran generate/capture/replay.
+        by_parent = {}
+        for stage in stages:
+            by_parent.setdefault(stage.parent_id, set()).add(stage.name)
+        for span in spans:
+            if span.cache != "hit":
+                assert {"generate", "capture", "replay"} <= by_parent[span.span_id]
+
+    def test_chrome_export_nests_stages_inside_cells(self, journal):
+        from repro.core.trace import export_chrome_trace
+
+        doc = export_chrome_trace(journal)
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        cells = [e for e in events if e["cat"] == "cell"]
+        stages = [e for e in events if e["cat"] == "stage"]
+        assert cells and stages
+        tids = {e["tid"] for e in cells}
+        for stage in stages:
+            # Cell stages render on their cell's lane; run-level stages
+            # (summarize) render on the run root's track 0.
+            assert stage["tid"] in tids or (
+                stage["name"] == "summarize" and stage["tid"] == 0
+            )
+        assert doc["displayTimeUnit"] == "ms"
+
+
 class TestCli:
     @pytest.fixture(scope="class")
     def journal(self, tmp_path_factory):
@@ -152,9 +296,27 @@ class TestCli:
         assert "failed cells:" in out
         assert "505.mcf_r/mcf.test: failed after 3 attempt(s) — boom" in out
 
-    def test_missing_journal_is_an_error(self, tmp_path, capsys):
-        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 1
-        assert "no trace journal" in capsys.readouterr().err
+    def test_missing_journal_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic
+        assert "no journal" in err
+
+    def test_empty_journal_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        for action in ("summary", "show", "chrome"):
+            assert main(["trace", action, str(path)]) == 2
+            assert "has no records" in capsys.readouterr().err
+
+    def test_trace_chrome_writes_perfetto_json(self, journal, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "chrome", str(journal), "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "M"}
+        cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert cats == {"run", "cell", "stage"}
 
     def test_suite_strict_flag_aborts_on_failure(self, tmp_path, monkeypatch, capsys):
         from repro.core.engine import FAULT_INJECT_ENV
