@@ -1,0 +1,96 @@
+"""Phase-sampled replay accuracy/speedup benchmark.
+
+Records the golden sampling numbers into ``BENCH_sampling.json``: for
+each refrate stream, one exact replay and one phase-sampled replay
+under the default :class:`~repro.machine.sampling.SamplingPlan`, with
+the max absolute top-down-fraction error and the exact-to-replayed
+event ratio.  The JSON is the baseline ``repro watchdog
+--sampling-baseline`` diffs against (warn-only) and the per-benchmark
+error report CI uploads as an artifact.
+
+Set ``REPRO_BENCH_FULL=1`` to sweep every registered benchmark (the
+committed baseline's configuration); the default smoke subset matches
+the tier-1 golden tests.  ``REPRO_BENCH_JSON_SAMPLING`` overrides the
+output path.
+"""
+
+import json
+import os
+import time
+
+from repro.core.suite import alberta_workloads, get_benchmark, registry
+from repro.core.topdown import CATEGORIES
+from repro.machine.capture import capture_execution, replay_capture
+from repro.machine.sampling import SamplingPlan
+
+#: Same acceptance bounds the golden tests assert.
+_MAX_ERROR = 0.02
+_MIN_RATIO = 10.0
+
+#: Smoke subset, aligned with tests/test_sampling.py's tier-1 trio.
+_SAMPLING_SMOKE_IDS = ("505.mcf_r", "519.lbm_r", "557.xz_r")
+
+
+def _refrate_workload(workloads):
+    return next((w for w in workloads if w.name.endswith(".refrate")), workloads[0])
+
+
+def test_sampling_accuracy_speedup():
+    """Sampled vs exact replay on refrate streams -> BENCH_sampling.json.
+
+    The speedup asserted is the deterministic *event* ratio (total
+    events over replayed events) — wall-clock per replay is recorded
+    for the report but not gated, since the sampled path's fixed
+    clustering overhead dominates on the smallest streams.
+    """
+    full = bool(os.environ.get("REPRO_BENCH_FULL"))
+    ids = sorted(registry()) if full else list(_SAMPLING_SMOKE_IDS)
+    plan = SamplingPlan()
+
+    cells = {}
+    worst_err, worst_ratio = 0.0, float("inf")
+    for bid in ids:
+        workload = _refrate_workload(alberta_workloads(bid))
+        capture = capture_execution(get_benchmark(bid), workload)
+
+        t0 = time.perf_counter()
+        exact = replay_capture(capture)
+        wall_exact = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sampled = replay_capture(capture, sampling=plan)
+        wall_sampled = time.perf_counter() - t0
+
+        err = max(
+            abs(getattr(sampled.report.topdown, c) - getattr(exact.report.topdown, c))
+            for c in CATEGORIES
+        )
+        ratio = sampled.sampling.event_ratio
+        worst_err = max(worst_err, err)
+        worst_ratio = min(worst_ratio, ratio)
+        cells[bid] = {
+            "workload": workload.name,
+            "n_events": capture.n_events,
+            "events_replayed": sampled.sampling.events_replayed,
+            "event_ratio": round(ratio, 2),
+            "max_topdown_error": round(err, 6),
+            "wall_exact_s": round(wall_exact, 6),
+            "wall_sampled_s": round(wall_sampled, 6),
+        }
+
+    out = {
+        "schema": 1,
+        "mode": "full" if full else "smoke",
+        "plan": plan.to_dict(),
+        "benchmarks": cells,
+    }
+    path = os.environ.get("REPRO_BENCH_JSON_SAMPLING", "BENCH_sampling.json")
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"\nsampling: {len(cells)} benchmark(s), worst error "
+        f"{worst_err:.4f}, min event ratio {worst_ratio:.1f}x -> {path}"
+    )
+    assert worst_err < _MAX_ERROR
+    assert worst_ratio >= _MIN_RATIO

@@ -207,6 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a JSONL run-trace journal (see `repro trace`)",
     )
+    p.add_argument(
+        "--sample-intervals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable phase-sampled replay: slice each capture into N "
+        "fixed-size intervals and replay only phase representatives",
+    )
+    p.add_argument(
+        "--sample-phases",
+        type=int,
+        default=None,
+        metavar="K",
+        help="phase (cluster) count for --sample-intervals "
+        "(default: the SamplingPlan default)",
+    )
 
     p = sub.add_parser("trace", help="inspect a run-trace JSONL journal")
     p.add_argument("action", choices=("summary", "show", "chrome"))
@@ -255,6 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="replay rounds per benchmark, best-of (default: 3)",
+    )
+    p.add_argument(
+        "--sampling-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also check sampled-replay accuracy/ratio against a "
+        "BENCH_sampling.json baseline (warn-only, never fails the run)",
     )
 
     p = sub.add_parser("cache", help="inspect or wipe the result cache")
@@ -422,12 +446,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         kwargs = _engine_kwargs(args)
         names = [n.strip() for n in args.machines.split(",") if n.strip()]
         machines = [None if n == "default" else preset(n) for n in names]
+        sampling = None
+        if args.sample_intervals is not None:
+            from .machine.sampling import SamplingPlan
+
+            plan_kwargs = {"intervals": args.sample_intervals}
+            if args.sample_phases is not None:
+                plan_kwargs["phases"] = args.sample_phases
+            sampling = SamplingPlan(**plan_kwargs)
+        elif args.sample_phases is not None:
+            print(
+                "sweep: --sample-phases requires --sample-intervals",
+                file=sys.stderr,
+            )
+            return 2
         session = Session(
             workers=kwargs["workers"], cache=kwargs["cache"], trace=args.trace
         )
         try:
             with session:
-                result = session.characterize_sweep(args.benchmark, machines)
+                result = session.characterize_sweep(
+                    args.benchmark, machines, sampling=sampling
+                )
         except CellFailure as failure:
             print(f"sweep failed: {failure}", file=sys.stderr)
             return 1
@@ -448,7 +488,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(
                 f"stages: {summary.captures} captures "
                 f"({summary.capture_hits} reused), {summary.replays} replays "
-                f"({summary.replay_hits} cached) for {summary.cells} cells "
+                f"({summary.replay_hits} cached, "
+                f"{summary.replays_sampled} sampled) for {summary.cells} cells "
                 f"in {summary.duration_s:.2f}s",
                 file=sys.stderr,
             )
@@ -519,6 +560,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 args.benchmarks or None,
                 tolerance=args.tolerance,
                 rounds=args.rounds,
+                sampling_baseline=args.sampling_baseline,
             )
         except WatchdogError as exc:
             print(f"watchdog: {exc}", file=sys.stderr)

@@ -81,6 +81,7 @@ from .trace import CellSpan, StageSpan, TraceWriter
 from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..machine.sampling import SamplingPlan
     from .characterize import BenchmarkCharacterization
 
 __all__ = [
@@ -145,6 +146,8 @@ class CellOutcome:
     start_s: float = -1.0
     #: ``(stage_name, start offset within the cell, duration)`` triples.
     stages: tuple = ()
+    #: ``replay="run"`` took the phase-sampled path rather than exact.
+    sampled: bool = False
 
     @property
     def ok(self) -> bool:
@@ -167,6 +170,7 @@ class CellOutcome:
             span_id=span_id,
             parent_id=parent_id,
             start_s=start_s,
+            sampled=self.sampled,
         )
 
     def failure(self) -> CellFailure:
@@ -908,6 +912,7 @@ class CharacterizationEngine:
         workload: Workload | None = None,
         build: Any = None,
         machine: Any = _ENGINE_MACHINE,
+        sampling: "SamplingPlan | None" = None,
     ) -> CellOutcome:
         """Replay one captured stream under a machine config and build.
 
@@ -916,9 +921,14 @@ class CharacterizationEngine:
         ``build`` is any object exposing ``name``, ``digest()`` and
         ``cost_model(machine)`` — see
         :class:`repro.fdo.optimizer.FdoBuild` — and changes the replay
-        without touching the capture.  When the originating
-        ``workload`` is provided and a store is attached, the finished
-        profile is cached under the machine+build key (the full
+        without touching the capture.  ``sampling`` selects
+        phase-sampled replay (:mod:`repro.machine.sampling`); the
+        plan's :meth:`~repro.machine.sampling.SamplingPlan.cache_token`
+        joins the cache key, so sampled and exact profiles never
+        collide (an ``exact=True`` plan tokenizes to ``None`` and
+        shares the exact entry).  When the originating ``workload`` is
+        provided and a store is attached, the finished profile is
+        cached under the machine+build(+sampling) key (the full
         workload content cannot be reconstructed from a capture, so
         profile-level caching requires it).  Under ``strict=True`` a
         failed replay raises its :class:`CellFailure` after the span
@@ -926,12 +936,14 @@ class CharacterizationEngine:
         """
         m = self.machine if machine is _ENGINE_MACHINE else machine
         build_name = getattr(build, "name", None)
+        token = sampling.cache_token() if sampling is not None else None
         cell = _Cell(capture.benchmark, capture.workload, 0, m)
         key = None
         if self.store is not None and workload is not None:
             key = cache_key(
                 capture.benchmark, workload, m,
                 build=build.digest() if build is not None else None,
+                sampling=token,
             )
             cached = self.cache.get(key)
             if cached is not None:
@@ -943,12 +955,14 @@ class CharacterizationEngine:
                 self._emit_spans([oc])
                 return oc
         cache_state = "off" if self.store is None else ("miss" if key else "-")
+        stage_name = "sample" if token is not None else "replay"
         started = time.perf_counter()
         try:
             profile = replay_capture(
                 capture,
                 machine=m,
                 cost_model=build.cost_model(m) if build is not None else None,
+                sampling=sampling,
             )
         except Exception as exc:
             oc = CellOutcome(
@@ -957,6 +971,7 @@ class CharacterizationEngine:
                 f"{type(exc).__name__}: {exc}",
                 replay="run", build=build_name,
                 start_s=self.trace.rel(started),
+                sampled=token is not None,
             )
         else:
             duration = time.perf_counter() - started
@@ -964,7 +979,8 @@ class CharacterizationEngine:
                 cell, profile, cache_state, 1, duration, "ok",
                 replay="run", build=build_name,
                 start_s=self.trace.rel(started),
-                stages=(("replay", 0.0, duration),),
+                stages=((stage_name, 0.0, duration),),
+                sampled=token is not None,
             )
             if key is not None:
                 self.cache.put(key, profile)
@@ -981,6 +997,7 @@ class CharacterizationEngine:
         *,
         base_seed: int = 0,
         keep_profiles: bool = False,
+        sampling: "SamplingPlan | None" = None,
     ) -> "tuple[list[BenchmarkCharacterization | None], list[CellOutcome]]":
         """Characterize one benchmark under N machine configs, capturing once.
 
@@ -991,6 +1008,12 @@ class CharacterizationEngine:
         cell (``capture="run"``); later consumers report
         ``capture="hit"``, so ``summary.captures`` equals the number
         of real benchmark executions.
+
+        ``sampling`` applies phase-sampled replay
+        (:mod:`repro.machine.sampling`) to every cell: spans carry
+        ``sampled=True``, the stage span is named ``sample``, and the
+        plan's cache token joins each cell's profile key so sampled
+        sweeps never collide with exact ones.
 
         Returns one characterization per machine config, in ``machines``
         order (``None`` where no cell survived), plus the flat outcome
@@ -1011,6 +1034,8 @@ class CharacterizationEngine:
         wl = list(workloads)
         quarantined_before = self._quarantined_total()
         cache_state = "off" if self.store is None else "miss"
+        token = sampling.cache_token() if sampling is not None else None
+        stage_name = "sample" if token is not None else "replay"
 
         grid: list[list[CellOutcome | None]] = [[None] * len(wl) for _ in machines]
         keys: list[list[str | None]] = [[None] * len(wl) for _ in machines]
@@ -1026,7 +1051,7 @@ class CharacterizationEngine:
                 )
                 if self.store is not None:
                     looked_up = self.trace.now()
-                    keys[mi][wi] = cache_key(benchmark_id, w, m)
+                    keys[mi][wi] = cache_key(benchmark_id, w, m, sampling=token)
                     cached = self.cache.get(keys[mi][wi])
                     if cached is not None:
                         grid[mi][wi] = CellOutcome(
@@ -1079,7 +1104,9 @@ class CharacterizationEngine:
             else:
                 cell_start = self.trace.rel(started)
             try:
-                profile = replay_capture(capture, machine=cell.machine)
+                profile = replay_capture(
+                    capture, machine=cell.machine, sampling=sampling
+                )
             except Exception as exc:
                 grid[mi][wi] = CellOutcome(
                     cell, None, cache_state, max(1, cap_attempts),
@@ -1087,6 +1114,7 @@ class CharacterizationEngine:
                     f"{type(exc).__name__}: {exc}",
                     capture="run" if fresh else "hit", replay="run",
                     start_s=cell_start, stages=cap_stages,
+                    sampled=token is not None,
                 )
                 continue
             replay_dur = time.perf_counter() - started
@@ -1096,7 +1124,8 @@ class CharacterizationEngine:
                 capture="run" if fresh else "hit", replay="run",
                 start_s=cell_start,
                 stages=cap_stages
-                + (("replay", self.trace.rel(started) - cell_start, replay_dur),),
+                + ((stage_name, self.trace.rel(started) - cell_start, replay_dur),),
+                sampled=token is not None,
             )
             if keys[mi][wi] is not None:
                 self.cache.put(keys[mi][wi], profile)

@@ -56,6 +56,7 @@ from .trace import RunSummary, TraceWriter, export_chrome_trace
 from .workload import Workload, WorkloadSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..machine.sampling import SamplingPlan
     from .characterize import BenchmarkCharacterization
 
 __all__ = ["Run", "RunResult", "Session", "SweepResult"]
@@ -232,12 +233,15 @@ class Session:
         *,
         base_seed: int = 0,
         keep_profiles: bool = False,
+        sampling: "SamplingPlan | None" = None,
     ) -> SweepResult:
         """Characterize one benchmark under every config in ``machines``.
 
         Each workload's benchmark executes at most once; every machine
         config replays the captured telemetry stream (see
         :meth:`~repro.core.engine.CharacterizationEngine.characterize_sweep_run`).
+        ``sampling`` switches every replay to the phase-sampled path
+        (``summary.replays_sampled`` counts them).
         """
         with self._collect() as reg:
             chars, outcomes = self.engine.characterize_sweep_run(
@@ -246,6 +250,7 @@ class Session:
                 workloads,
                 base_seed=base_seed,
                 keep_profiles=keep_profiles,
+                sampling=sampling,
             )
         return SweepResult(
             machines=list(machines),
@@ -316,17 +321,21 @@ class Session:
         workload: Workload | None = None,
         build: Any = None,
         machine: Any = _ENGINE_MACHINE,
+        sampling: "SamplingPlan | None" = None,
     ) -> ExecutionProfile | None:
         """Replay a capture under a machine config / FDO build.
 
         ``machine`` defaults to the session's config.  Pass the
         originating ``workload`` to enable profile-level caching of the
-        replay result.  ``None`` only under ``strict=False`` when the
-        replay failed.
+        replay result.  ``sampling`` selects phase-sampled replay (a
+        :class:`~repro.machine.sampling.SamplingPlan`; ``exact=True``
+        plans take the exact path, bit-identical to ``sampling=None``).
+        ``None`` only under ``strict=False`` when the replay failed.
         """
         with self._collect():
             oc = self.engine.replay_run(
-                capture, workload=workload, build=build, machine=machine
+                capture, workload=workload, build=build, machine=machine,
+                sampling=sampling,
             )
         return oc.profile if oc.ok else None
 

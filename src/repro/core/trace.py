@@ -85,7 +85,9 @@ FAILURE_OUTCOMES = ("failed", "timeout", "crashed")
 RUN_SPAN_ID = "run"
 
 #: Stage names in pipeline order (``summarize`` parents to the run root).
-STAGE_NAMES = ("generate", "capture", "replay", "summarize")
+#: ``sample`` is the phase-sampled variant of ``replay`` — a cell emits
+#: one or the other, never both.
+STAGE_NAMES = ("generate", "capture", "sample", "replay", "summarize")
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,7 @@ class CellSpan:
     span_id: str = ""
     parent_id: str = ""
     start_s: float = 0.0  # seconds since run start (0.0 in pre-tree journals)
+    sampled: bool = False  # replay="run" was phase-sampled, not exact
 
     @property
     def ok(self) -> bool:
@@ -135,6 +138,7 @@ class CellSpan:
             span_id=data.get("span_id", ""),
             parent_id=data.get("parent_id", ""),
             start_s=float(data.get("start_s", 0.0)),
+            sampled=bool(data.get("sampled", False)),
         )
 
 
@@ -193,6 +197,8 @@ class RunSummary:
     replays: int = 0
     #: Replays skipped because the finished profile was cached (replay="hit").
     replay_hits: int = 0
+    #: Computed replays that took the phase-sampled path (subset of replays).
+    replays_sampled: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "summary", **asdict(self)}
@@ -207,7 +213,7 @@ class RunSummary:
     ) -> "RunSummary":
         """Recompute a summary from spans (e.g. a truncated journal)."""
         cells = ok = failed = hits = misses = retries = timeouts = crashes = 0
-        captures = capture_hits = replays = replay_hits = 0
+        captures = capture_hits = replays = replay_hits = replays_sampled = 0
         busy = 0.0
         for span in spans:
             cells += 1
@@ -226,6 +232,8 @@ class RunSummary:
                 capture_hits += 1
             if span.replay == "run":
                 replays += 1
+                if span.sampled:
+                    replays_sampled += 1
             elif span.replay == "hit":
                 replay_hits += 1
             retries += max(0, span.attempts - 1)
@@ -248,6 +256,7 @@ class RunSummary:
             capture_hits=capture_hits,
             replays=replays,
             replay_hits=replay_hits,
+            replays_sampled=replays_sampled,
         )
 
 
@@ -323,6 +332,8 @@ class TraceWriter:
                 telemetry.record("engine.run.capture_hits")
             if span.replay == "run":
                 telemetry.record("engine.run.replays")
+                if span.sampled:
+                    telemetry.record("engine.run.replays_sampled")
             elif span.replay == "hit":
                 telemetry.record("engine.run.replay_hits")
 
@@ -439,7 +450,8 @@ def render_trace_summary(path: str | Path) -> str:
         f"cache      : {s.cache_hits} hits, {s.cache_misses} misses, "
         f"{s.quarantined} quarantined",
         f"stages     : {s.captures} captures ({s.capture_hits} reused), "
-        f"{s.replays} replays ({s.replay_hits} cached)",
+        f"{s.replays} replays ({s.replay_hits} cached, "
+        f"{s.replays_sampled} sampled)",
         f"resilience : {s.retries} retries, {s.timeouts} timeouts, "
         f"{s.crashes} crashes",
         f"duration   : {s.duration_s:.3f}s",

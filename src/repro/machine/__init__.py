@@ -6,6 +6,7 @@ from .capture import TelemetryCapture, capture_execution, replay_capture
 from .cost import CostModel, MachineConfig, MachineReport, MethodCost
 from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset
 from .profiler import ExecutionProfile, Profiler, run_benchmark
+from .sampling import SampledProfile, SamplingInfo, SamplingPlan, sampled_replay
 from .telemetry import MethodCounters, Probe
 
 __all__ = [
@@ -32,4 +33,8 @@ __all__ = [
     "run_benchmark",
     "MethodCounters",
     "Probe",
+    "SampledProfile",
+    "SamplingInfo",
+    "SamplingPlan",
+    "sampled_replay",
 ]

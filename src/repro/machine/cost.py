@@ -47,9 +47,9 @@ from . import telemetry
 from .branch import BimodalPredictor, GsharePredictor
 from .cache import CacheHierarchy, HierarchyStats
 from .kernel import lru_filter
-from .telemetry import EV_BRANCH, EV_DATA, Probe
+from .telemetry import EV_BRANCH, EV_DATA, MethodCounters, Probe
 
-__all__ = ["MachineConfig", "MethodCost", "CostModel", "MachineReport"]
+__all__ = ["MachineConfig", "MethodCost", "CostModel", "MachineReport", "REPLAY_FIELDS"]
 
 # Cap on synthesized instruction-fetch blocks per sampled call, so one
 # giant method cannot dominate replay cost.
@@ -669,6 +669,132 @@ def _replay_mem_vector(
     tallies.c_mem = np.bincount(llc_attr[~hit3 & ~llc_from_data], minlength=n_methods)
 
 
+#: Replay-tally fields, in the order the accounting step consumes them.
+#: Exact replay fills them with int64 bincounts; sampled replay
+#: (:mod:`repro.machine.sampling`) fills them with float64 estimates —
+#: both flow through the identical :func:`_account` arithmetic.
+REPLAY_FIELDS = (
+    "branches",
+    "mispredicts",
+    "data",
+    "d_l2",
+    "d_llc",
+    "d_mem",
+    "d_tlb",
+    "calls",
+    "c_l2",
+    "c_llc",
+    "c_mem",
+)
+
+
+def _account(
+    cfg: MachineConfig,
+    methods: tuple[MethodCounters, ...],
+    rep: "dict[str, np.ndarray]",
+) -> tuple[dict[str, MethodCost], TopDownVector, CoverageProfile, float, float, float]:
+    """Turn per-method replay tallies into the cycle accounting.
+
+    ``rep`` maps every name in :data:`REPLAY_FIELDS` to a per-method
+    array.  Vectorized over methods; every elementwise expression
+    mirrors the historical scalar accounting operation-for-operation so
+    exact-replay results stay bit-identical (int64 inputs convert to
+    float64 at the same points the historical path converted them, and
+    float64 arrays holding exact integers take the same values).
+
+    Returns ``(per_method, topdown, coverage, total_cycles, seconds,
+    branch_misprediction_rate)``.
+    """
+    nm = len(methods)
+    mc_int = np.array([mc.int_ops for mc in methods], dtype=np.int64)
+    mc_fp = np.array([mc.fp_ops for mc in methods], dtype=np.int64)
+    mc_fpdiv = np.array([mc.fpdiv_ops for mc in methods], dtype=np.int64)
+    mc_br = np.array([mc.branches for mc in methods], dtype=np.int64)
+    mc_ld = np.array([mc.loads for mc in methods], dtype=np.int64)
+    mc_st = np.array([mc.stores for mc in methods], dtype=np.int64)
+    mc_calls = np.array([mc.calls for mc in methods], dtype=np.int64)
+
+    rep_br = rep["branches"]
+    rep_mis = rep["mispredicts"]
+    rep_data = rep["data"]
+    d_l2 = rep["d_l2"]
+    d_llc = rep["d_llc"]
+    d_mem = rep["d_mem"]
+    d_tlb = rep["d_tlb"]
+    rep_calls = rep["calls"]
+    c_l2 = rep["c_l2"]
+    c_llc = rep["c_llc"]
+    c_mem = rep["c_mem"]
+
+    zeros = np.zeros(nm, dtype=np.float64)
+    uops = (
+        mc_int + mc_fp + mc_fpdiv + mc_br + mc_ld + mc_st
+    ) + mc_calls * cfg.call_overhead_uops
+    retiring = uops / cfg.width
+
+    miss_rate = np.divide(rep_mis, rep_br, out=zeros.copy(), where=rep_br > 0)
+    est_mispredicts = mc_br * miss_rate
+    bad_spec = est_mispredicts * cfg.wrongpath_uops / cfg.width
+
+    call_scale = np.divide(mc_calls, rep_calls, out=zeros.copy(), where=rep_calls > 0)
+    frontend = est_mispredicts * cfg.refill_cycles + (
+        call_scale
+        * (c_l2 * cfg.l2_latency + c_llc * cfg.llc_latency + c_mem * cfg.mem_latency)
+        / cfg.fetch_overlap
+    )
+
+    data_scale = np.divide(
+        mc_ld + mc_st, rep_data, out=zeros.copy(), where=rep_data > 0
+    )
+    est_data_misses = data_scale * (d_l2 + d_llc + d_mem)
+    backend = (
+        mc_fp * cfg.fp_backend_stall + mc_fpdiv * cfg.fpdiv_backend_stall
+    ) + (
+        data_scale
+        * (
+            d_l2 * cfg.l2_latency
+            + d_llc * cfg.llc_latency
+            + d_mem * cfg.mem_latency
+            + d_tlb * cfg.tlb_walk_cycles
+        )
+        / cfg.mlp
+    )
+
+    per_method: dict[str, MethodCost] = {}
+    for i, mc in enumerate(methods):
+        per_method[mc.name] = MethodCost(
+            name=mc.name,
+            uops=float(uops[i]),
+            retiring_cycles=float(retiring[i]),
+            bad_spec_cycles=float(bad_spec[i]),
+            frontend_cycles=float(frontend[i]),
+            backend_cycles=float(backend[i]),
+            est_mispredicts=float(est_mispredicts[i]),
+            est_data_misses=float(est_data_misses[i]),
+        )
+
+    total_ret = sum(c.retiring_cycles for c in per_method.values())
+    total_bad = sum(c.bad_spec_cycles for c in per_method.values())
+    total_fe = sum(c.frontend_cycles for c in per_method.values())
+    total_be = sum(c.backend_cycles for c in per_method.values())
+    total = total_ret + total_bad + total_fe + total_be
+    if total <= 0:
+        raise ValueError("cost model: benchmark recorded no work")
+
+    topdown = TopDownVector.from_cycles(total_fe, total_be, total_bad, total_ret)
+    coverage = CoverageProfile.from_times(
+        {name: c.total_cycles for name, c in per_method.items() if c.total_cycles > 0}
+    )
+    seconds = total / (cfg.clock_ghz * 1e9)
+
+    total_sampled_branches = float(rep_br.sum())
+    total_sampled_miss = float(rep_mis.sum())
+    mispred_rate = (
+        total_sampled_miss / total_sampled_branches if total_sampled_branches else 0.0
+    )
+    return per_method, topdown, coverage, total, seconds, mispred_rate
+
+
 class CostModel:
     """Evaluates a :class:`~repro.machine.telemetry.Probe` into a report."""
 
@@ -696,94 +822,21 @@ class CostModel:
         )
 
         # --- extrapolate sampled rates to exact counts and account cycles --
-        # Vectorized over methods; every elementwise expression mirrors the
-        # historical scalar accounting operation-for-operation so results
-        # stay bit-identical.
-        mc_int = np.array([mc.int_ops for mc in methods], dtype=np.int64)
-        mc_fp = np.array([mc.fp_ops for mc in methods], dtype=np.int64)
-        mc_fpdiv = np.array([mc.fpdiv_ops for mc in methods], dtype=np.int64)
-        mc_br = np.array([mc.branches for mc in methods], dtype=np.int64)
-        mc_ld = np.array([mc.loads for mc in methods], dtype=np.int64)
-        mc_st = np.array([mc.stores for mc in methods], dtype=np.int64)
-        mc_calls = np.array([mc.calls for mc in methods], dtype=np.int64)
-
-        rep_br = rep.branches
-        rep_mis = rep.mispredicts
-        rep_data = np.array(rep.data, dtype=np.int64)
-        d_l2 = np.array(rep.d_l2, dtype=np.int64)
-        d_llc = np.array(rep.d_llc, dtype=np.int64)
-        d_mem = np.array(rep.d_mem, dtype=np.int64)
-        d_tlb = np.array(rep.d_tlb, dtype=np.int64)
-        rep_calls = np.array(rep.calls, dtype=np.int64)
-        c_l2 = np.array(rep.c_l2, dtype=np.int64)
-        c_llc = np.array(rep.c_llc, dtype=np.int64)
-        c_mem = np.array(rep.c_mem, dtype=np.int64)
-
-        zeros = np.zeros(nm, dtype=np.float64)
-        uops = (
-            mc_int + mc_fp + mc_fpdiv + mc_br + mc_ld + mc_st
-        ) + mc_calls * cfg.call_overhead_uops
-        retiring = uops / cfg.width
-
-        miss_rate = np.divide(rep_mis, rep_br, out=zeros.copy(), where=rep_br > 0)
-        est_mispredicts = mc_br * miss_rate
-        bad_spec = est_mispredicts * cfg.wrongpath_uops / cfg.width
-
-        call_scale = np.divide(mc_calls, rep_calls, out=zeros.copy(), where=rep_calls > 0)
-        frontend = est_mispredicts * cfg.refill_cycles + (
-            call_scale
-            * (c_l2 * cfg.l2_latency + c_llc * cfg.llc_latency + c_mem * cfg.mem_latency)
-            / cfg.fetch_overlap
-        )
-
-        data_scale = np.divide(
-            mc_ld + mc_st, rep_data, out=zeros.copy(), where=rep_data > 0
-        )
-        est_data_misses = data_scale * (d_l2 + d_llc + d_mem)
-        backend = (
-            mc_fp * cfg.fp_backend_stall + mc_fpdiv * cfg.fpdiv_backend_stall
-        ) + (
-            data_scale
-            * (
-                d_l2 * cfg.l2_latency
-                + d_llc * cfg.llc_latency
-                + d_mem * cfg.mem_latency
-                + d_tlb * cfg.tlb_walk_cycles
-            )
-            / cfg.mlp
-        )
-
-        per_method: dict[str, MethodCost] = {}
-        for i, mc in enumerate(methods):
-            per_method[mc.name] = MethodCost(
-                name=mc.name,
-                uops=float(uops[i]),
-                retiring_cycles=float(retiring[i]),
-                bad_spec_cycles=float(bad_spec[i]),
-                frontend_cycles=float(frontend[i]),
-                backend_cycles=float(backend[i]),
-                est_mispredicts=float(est_mispredicts[i]),
-                est_data_misses=float(est_data_misses[i]),
-            )
-
-        total_ret = sum(c.retiring_cycles for c in per_method.values())
-        total_bad = sum(c.bad_spec_cycles for c in per_method.values())
-        total_fe = sum(c.frontend_cycles for c in per_method.values())
-        total_be = sum(c.backend_cycles for c in per_method.values())
-        total = total_ret + total_bad + total_fe + total_be
-        if total <= 0:
-            raise ValueError("cost model: benchmark recorded no work")
-
-        topdown = TopDownVector.from_cycles(total_fe, total_be, total_bad, total_ret)
-        coverage = CoverageProfile.from_times(
-            {name: c.total_cycles for name, c in per_method.items() if c.total_cycles > 0}
-        )
-        seconds = total / (cfg.clock_ghz * 1e9)
-
-        total_sampled_branches = int(rep_br.sum())
-        total_sampled_miss = int(rep_mis.sum())
-        mispred_rate = (
-            total_sampled_miss / total_sampled_branches if total_sampled_branches else 0.0
+        rep_arrays = {
+            "branches": rep.branches,
+            "mispredicts": rep.mispredicts,
+            "data": np.array(rep.data, dtype=np.int64),
+            "d_l2": np.array(rep.d_l2, dtype=np.int64),
+            "d_llc": np.array(rep.d_llc, dtype=np.int64),
+            "d_mem": np.array(rep.d_mem, dtype=np.int64),
+            "d_tlb": np.array(rep.d_tlb, dtype=np.int64),
+            "calls": np.array(rep.calls, dtype=np.int64),
+            "c_l2": np.array(rep.c_l2, dtype=np.int64),
+            "c_llc": np.array(rep.c_llc, dtype=np.int64),
+            "c_mem": np.array(rep.c_mem, dtype=np.int64),
+        }
+        per_method, topdown, coverage, total, seconds, mispred_rate = _account(
+            cfg, methods, rep_arrays
         )
 
         return MachineReport(

@@ -1,0 +1,777 @@
+"""Phase-sampled replay: cluster intervals, replay representatives.
+
+Replay cost is linear in captured events, which makes the paper's
+many-workload methodology expensive exactly where it pays off —
+sweeps, FDO cross-validation, the watchdog all replay the same streams
+over and over.  This module ports the SimPoint/PinPoints idea onto the
+columnar :class:`~repro.machine.capture.TelemetryCapture`: slice the
+event columns into fixed-size intervals, describe each interval with a
+feature vector (method mix, event-kind mix, branch-taken rate,
+access-locality profile), cluster the vectors with the k-means
+machinery in :mod:`repro.fdo.clustering`, replay only stratified
+representative intervals of each phase through the vectorized kernels,
+and scale the measured tallies by cluster weights.
+
+Accuracy comes from three exactness guarantees layered under the
+sampling (the golden suite in ``tests/test_sampling.py`` asserts <2%
+max top-down-fraction error at >=10x event-replay reduction on all 16
+benchmarks):
+
+* **exact knowns** — per-method branch/data/call counts are cheap
+  column bincounts and are never estimated;
+* **exact compulsory decomposition** — first touches of data lines,
+  data pages, and callee code footprints are found with global
+  sort/unique passes; the memory-level tallies they imply (``d_mem``,
+  ``c_mem``, the compulsory part of ``d_tlb``) are computed exactly,
+  because first-touch misses concentrate in intervals sampling may
+  skip;
+* **per-method ratio correction** — sampled tallies are rescaled so
+  each method's sampled base count (branches / deduplicated accesses /
+  calls) matches its exact base count, cancelling method-mix noise.
+
+Replayed intervals are **functionally warmed**: predictor state is
+advanced in stream order through every skipped gap (state depends only
+on the prefix, so one pass over sorted representatives equals
+full-prefix warming), and each cache level is primed by prepending its
+per-set resident tags — the last ``associativity`` distinct lines per
+set of the prefix stream, in LRU order — to the measured interval, so
+the measured hit/miss flags match an exact replay's flags for the same
+interval.
+
+Sampled results flow through :func:`repro.machine.cost._account`, the
+same accounting arithmetic the exact path uses; an
+``exact=True`` plan (or ``sampling=None``) bypasses this module
+entirely and is bit-identical to the pre-sampling replay path.
+See DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from .cache import CacheHierarchy, HierarchyStats
+from .cost import (
+    _MAX_FETCH_BLOCKS,
+    _ORDER_STRIDE,
+    REPLAY_FIELDS,
+    CostModel,
+    MachineReport,
+    _account,
+)
+from .kernel import lru_filter
+from .profiler import ExecutionProfile
+from .telemetry import EV_BRANCH, EV_DATA
+
+__all__ = [
+    "SAMPLED_FIELDS",
+    "SamplingPlan",
+    "SamplingInfo",
+    "SampledProfile",
+    "slice_intervals",
+    "interval_features",
+    "sampled_replay",
+]
+
+#: Fields whose per-method tallies are estimated from sampled intervals
+#: (everything else in :data:`~repro.machine.cost.REPLAY_FIELDS` is
+#: exact: branches/data/calls from column bincounts, d_mem/c_mem from
+#: the compulsory decomposition, d_tlb's compulsory part likewise).
+SAMPLED_FIELDS = ("mispredicts", "d_l2", "d_llc", "c_l2", "c_llc")
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Parameters of one phase-sampled replay.
+
+    The defaults (1280 intervals, 12 phases, 1-in-14 stratified picks
+    per phase) are the validated operating point: worst-case 0.97% max
+    top-down-fraction error at >=10.9x event reduction across all 16
+    benchmarks' refrate streams.  Coarser intervals alias with stream
+    periodicity (mcf's ~316-event pattern breaks 160-interval slicing).
+
+    ``exact=True`` is the escape hatch: the plan degenerates to the
+    exact replay path (bit-identical to ``sampling=None``) while
+    keeping call sites uniform.
+    """
+
+    intervals: int = 1280
+    phases: int = 12
+    rate: int = 14
+    seed: int = 0
+    min_interval_events: int = 32
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("intervals", "phases", "rate", "min_interval_events"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"SamplingPlan.{name} must be a positive int, got {value!r}")
+        if not isinstance(self.seed, int):
+            raise ValueError(f"SamplingPlan.seed must be an int, got {self.seed!r}")
+
+    def cache_token(self) -> str | None:
+        """Stable identity folded into replay cache keys.
+
+        ``None`` for exact plans, so ``SamplingPlan(exact=True)`` and
+        ``sampling=None`` hash to the same (pre-sampling) key and
+        sampled results can never collide with exact ones.
+        """
+        if self.exact:
+            return None
+        return (
+            f"iv{self.intervals}.k{self.phases}.r{self.rate}"
+            f".s{self.seed}.m{self.min_interval_events}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "intervals": self.intervals,
+            "phases": self.phases,
+            "rate": self.rate,
+            "seed": self.seed,
+            "min_interval_events": self.min_interval_events,
+            "exact": self.exact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamplingPlan":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class SamplingInfo:
+    """What one sampled replay actually did, and how sure it is.
+
+    ``estimated_error`` maps each sampled replay field to the relative
+    stratified standard error of its total: per phase, the dispersion
+    of per-representative totals estimates the within-phase variance,
+    phase variances add (scaled by the phase weight), and the square
+    root is reported relative to the estimated total.  Exactly-known
+    fields carry 0.0.  This is an *estimate* from the sample itself;
+    the golden suite asserts the realized error against exact replay.
+    """
+
+    plan: SamplingPlan
+    events_total: int
+    events_replayed: int
+    n_intervals: int
+    interval_events: int
+    phases: int
+    representatives: tuple[int, ...]
+    estimated_error: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def event_ratio(self) -> float:
+        """Exact-to-replayed event ratio (the deterministic speedup)."""
+        if not self.events_replayed:
+            return 0.0
+        return self.events_total / self.events_replayed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "events_total": self.events_total,
+            "events_replayed": self.events_replayed,
+            "n_intervals": self.n_intervals,
+            "interval_events": self.interval_events,
+            "phases": self.phases,
+            "representatives": list(self.representatives),
+            "estimated_error": dict(self.estimated_error),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamplingInfo":
+        return cls(
+            plan=SamplingPlan.from_dict(data["plan"]),
+            events_total=data["events_total"],
+            events_replayed=data["events_replayed"],
+            n_intervals=data["n_intervals"],
+            interval_events=data["interval_events"],
+            phases=data["phases"],
+            representatives=tuple(data["representatives"]),
+            estimated_error=dict(data["estimated_error"]),
+        )
+
+
+@dataclass(frozen=True)
+class SampledProfile(ExecutionProfile):
+    """An :class:`ExecutionProfile` whose report came from sampling."""
+
+    sampling: SamplingInfo
+
+
+def slice_intervals(
+    n_events: int, intervals: int, min_interval_events: int = 1
+) -> tuple[tuple[int, int], ...]:
+    """Partition ``[0, n_events)`` into fixed-size interval bounds.
+
+    Every interval is ``max(min_interval_events, n_events // intervals)``
+    events except a possibly shorter final one; concatenating the
+    half-open bounds reconstructs the full range exactly (the partition
+    property ``tests/test_sampling.py`` asserts by hypothesis).
+    """
+    if n_events < 0:
+        raise ValueError(f"n_events must be >= 0, got {n_events}")
+    if intervals < 1 or min_interval_events < 1:
+        raise ValueError("intervals and min_interval_events must be >= 1")
+    size = max(min_interval_events, n_events // intervals)
+    return tuple((s, min(s + size, n_events)) for s in range(0, n_events, size))
+
+
+def interval_features(
+    columns: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    bounds: tuple[tuple[int, int], ...],
+    n_methods: int,
+    *,
+    line_shift: int = 6,
+    page_shift: int = 12,
+) -> np.ndarray:
+    """Per-interval feature vectors, z-scored over intervals.
+
+    Each row concatenates the method mix, the event-kind mix, the
+    branch-taken rate, and an access-locality profile (consecutive
+    same-line and same-page fractions, unique-line ratio) — the
+    behaviors that drive predictor and cache outcomes, which is what
+    clustering must keep together.
+    """
+    midx, kind, a, b = columns
+    if not bounds:
+        return np.zeros((0, n_methods + 7), dtype=np.float64)
+    feats = []
+    for s, e in bounds:
+        m, k, av, bv = midx[s:e], kind[s:e], a[s:e], b[s:e]
+        n = max(1, e - s)
+        mix = np.bincount(m, minlength=n_methods) / n
+        kmix = np.bincount(k, minlength=3)[:3] / n
+        br = k == EV_BRANCH
+        taken = float((bv[br] != 0).mean()) if br.any() else 0.0
+        d = k == EV_DATA
+        da = av[d]
+        if da.size > 1:
+            lines = da >> line_shift
+            same_line = float((lines[1:] == lines[:-1]).mean())
+            pages = da >> page_shift
+            same_page = float((pages[1:] == pages[:-1]).mean())
+            unique = np.unique(lines).size / da.size
+        else:
+            same_line = same_page = 0.0
+            unique = 1.0 if da.size else 0.0
+        feats.append(np.concatenate([mix, kmix, [taken, same_line, same_page, unique]]))
+    x = np.array(feats)
+    mu, sd = x.mean(axis=0), x.std(axis=0)
+    sd[sd == 0] = 1.0
+    return (x - mu) / sd
+
+
+# ------------------------------------------------------- exact knowns
+
+
+def _exact_knowns(columns, nm: int, line_shift: int):
+    """Per-method exact counts plus position/attribution streams.
+
+    ``dedup`` drops consecutive same-line data accesses — the MRU
+    repeats the exact replay resolves as free hits — leaving the
+    access stream whose counts anchor the d_* ratio corrections.
+    """
+    midx, kind, a, b = columns
+    bsel = kind == EV_BRANCH
+    dsel = kind == EV_DATA
+    csel = ~bsel & ~dsel
+    pos = np.arange(midx.size, dtype=np.int64)
+    d_pos, d_midx, d_addr = pos[dsel], midx[dsel], a[dsel]
+    d_lines = d_addr >> line_shift
+    keep = np.ones(d_pos.size, dtype=bool)
+    keep[1:] = d_lines[1:] != d_lines[:-1]
+    return {
+        "branches": np.bincount(midx[bsel], minlength=nm).astype(np.float64),
+        "data": np.bincount(midx[dsel], minlength=nm).astype(np.float64),
+        "calls": np.bincount(a[csel], minlength=nm).astype(np.float64),
+        "dedup": (d_pos[keep], d_midx[keep]),
+        "bpos": (pos[bsel], midx[bsel]),
+        "cpos": (pos[csel], a[csel]),
+    }
+
+
+def _first_touches(columns, code_blocks: np.ndarray, line_shift: int, page_shift: int):
+    """Global first-touch streams: data lines, data pages, callees.
+
+    Returns three ``(positions, method_index[, weights])`` tuples
+    sorted by position.  A first touch of a data line is a compulsory
+    miss all the way to memory; a first touch of a page is a
+    compulsory TLB walk; the first call of a method streams its whole
+    code footprint (``code_blocks`` lines) in from memory.
+    """
+    midx, kind, a, b = columns
+    pos = np.arange(midx.size, dtype=np.int64)
+    dsel = kind == EV_DATA
+    d_pos, d_midx, d_addr = pos[dsel], midx[dsel], a[dsel]
+    d_lines = d_addr >> line_shift
+    keep = np.ones(d_pos.size, dtype=bool)
+    keep[1:] = d_lines[1:] != d_lines[:-1]
+    r_pos, r_midx, r_lines, r_addr = d_pos[keep], d_midx[keep], d_lines[keep], d_addr[keep]
+    _, fidx = np.unique(r_lines, return_index=True)
+    order = np.argsort(r_pos[fidx])
+    ftm = (r_pos[fidx][order], r_midx[fidx][order])
+    pages = r_addr >> page_shift
+    pkeep = np.ones(pages.size, dtype=bool)
+    pkeep[1:] = pages[1:] != pages[:-1]
+    p_pos, p_midx, p_pages = r_pos[pkeep], r_midx[pkeep], pages[pkeep]
+    _, pidx = np.unique(p_pages, return_index=True)
+    order = np.argsort(p_pos[pidx])
+    ftp = (p_pos[pidx][order], p_midx[pidx][order])
+    csel = ~dsel & (kind != EV_BRANCH)
+    c_pos, c_callee = pos[csel], a[csel]
+    _, cidx = np.unique(c_callee, return_index=True)
+    order = np.argsort(c_pos[cidx])
+    callees = c_callee[cidx][order]
+    ftc = (c_pos[cidx][order], callees, code_blocks[callees].astype(np.float64))
+    return ftm, ftp, ftc
+
+
+def _comp_in(ft, s: int, e: int, nm: int) -> np.ndarray:
+    """Per-method compulsory-miss totals with position in ``[s, e)``."""
+    lo, hi = np.searchsorted(ft[0], s), np.searchsorted(ft[0], e)
+    if len(ft) == 3:
+        return np.bincount(ft[1][lo:hi], weights=ft[2][lo:hi], minlength=nm)
+    return np.bincount(ft[1][lo:hi], minlength=nm).astype(np.float64)
+
+
+def _count_in(posmidx, s: int, e: int, nm: int) -> np.ndarray:
+    """Per-method event counts with position in ``[s, e)``."""
+    lo, hi = np.searchsorted(posmidx[0], s), np.searchsorted(posmidx[0], e)
+    return np.bincount(posmidx[1][lo:hi], minlength=nm).astype(np.float64)
+
+
+def _safe_scale(est: np.ndarray, est_base: np.ndarray, known_base: np.ndarray) -> np.ndarray:
+    """Rescale ``est`` so each method's sampled base matches its exact
+    base; methods the sample never saw keep their raw estimate."""
+    out = est.copy()
+    m = est_base > 0
+    out[m] = est[m] * known_base[m] / est_base[m]
+    return out
+
+
+# ------------------------------------------------- functional warming
+
+
+class _PrimedStream:
+    """Prefix-residency queries over one presorted line stream.
+
+    One global ``lexsort((positions, tags))`` up front turns every
+    per-representative "which lines does the prefix leave resident?"
+    query into a boolean mask plus group-tail selection — no per-query
+    sort of the prefix.
+    """
+
+    __slots__ = ("tags", "pos")
+
+    def __init__(self, tags: np.ndarray, pos: np.ndarray):
+        order = np.lexsort((pos, tags))
+        self.tags = tags[order]
+        self.pos = pos[order]
+
+    def resident(self, upto: int, set_mask: int, assoc: int) -> np.ndarray:
+        """Per-set last-``assoc`` distinct tags of the prefix with
+        position < ``upto``, in LRU->MRU order per set.
+
+        Prepending this to a measured stream and dropping the first
+        ``len(result)`` hit flags reproduces the hit/miss flags an
+        exact full-prefix replay would produce for the interval.
+        """
+        keep = self.pos < upto
+        st, sp = self.tags[keep], self.pos[keep]
+        if st.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        last = np.empty(st.size, dtype=bool)
+        last[:-1] = st[1:] != st[:-1]
+        last[-1] = True
+        utags, upos = st[last], sp[last]
+        sets = utags & set_mask
+        order = np.lexsort((upos, sets))
+        su, tu = sets[order], utags[order]
+        gb = np.empty(tu.size, dtype=bool)
+        gb[0] = True
+        gb[1:] = su[1:] != su[:-1]
+        gid = np.cumsum(gb) - 1
+        starts = np.flatnonzero(gb)
+        idx_in_g = np.arange(tu.size) - starts[gid]
+        gsize = np.bincount(gid)
+        return tu[idx_in_g >= (gsize[gid] - assoc)]
+
+
+class _StreamIndex:
+    """Presorted global views of one capture's event stream.
+
+    Everything a representative-interval replay needs — split event
+    kinds, the expanded instruction-fetch line stream, and the primed
+    per-level residency indexes — computed once per capture and sliced
+    per interval with ``searchsorted``.
+    """
+
+    def __init__(self, columns, nm: int, code_base: np.ndarray, code_blocks: np.ndarray,
+                 hierarchy: CacheHierarchy):
+        midx, kind, a, b = columns
+        n = midx.size
+        pos = np.arange(n, dtype=np.int64)
+        bsel = kind == EV_BRANCH
+        dsel = kind == EV_DATA
+        csel = ~bsel & ~dsel
+        self.b_pos, self.b_pc, self.b_tk = pos[bsel], a[bsel], b[bsel]
+        self.b_midx = midx[bsel]
+        self.d_pos, self.d_addr, self.d_midx = pos[dsel], a[dsel], midx[dsel]
+        self.c_pos, self.c_callee = pos[csel], a[csel]
+
+        self.line_shift = hierarchy.l1d._line_shift
+        self.page_shift = hierarchy.dtlb._page_shift
+
+        # Expanded instruction-fetch line stream (what calls stream
+        # through L1I), computed once; merge keys use global event
+        # positions so data/code interleaving matches the exact path.
+        if self.c_callee.size:
+            blocks = code_blocks[self.c_callee]
+            starts = np.zeros(self.c_callee.size, dtype=np.int64)
+            np.cumsum(blocks[:-1], out=starts[1:])
+            within = np.arange(int(blocks.sum()), dtype=np.int64) - np.repeat(starts, blocks)
+            self.i_addr = np.repeat(code_base[self.c_callee], blocks) + within * 64
+            self.i_attr = np.repeat(self.c_callee, blocks)
+            self.i_key = np.repeat(self.c_pos, blocks) * _ORDER_STRIDE + 1 + within
+            self.i_evt = np.repeat(self.c_pos, blocks)
+        else:
+            self.i_addr = np.zeros(0, dtype=np.int64)
+            self.i_attr = np.zeros(0, dtype=np.int64)
+            self.i_key = np.zeros(0, dtype=np.int64)
+            self.i_evt = np.zeros(0, dtype=np.int64)
+
+        # Per-level residency indexes over the warming streams.
+        self.prime_tlb = _PrimedStream(self.d_addr >> self.page_shift, self.d_pos)
+        self.prime_l1d = _PrimedStream(self.d_addr >> self.line_shift, self.d_pos)
+        self.prime_l1i = _PrimedStream(self.i_addr >> self.line_shift, self.i_key)
+        unified_tags = np.concatenate(
+            [self.d_addr >> self.line_shift, self.i_addr >> self.line_shift]
+        )
+        unified_pos = np.concatenate([self.d_pos * _ORDER_STRIDE, self.i_key])
+        self.prime_unified = _PrimedStream(unified_tags, unified_pos)
+
+
+def _measured(prime: _PrimedStream, tags: np.ndarray, upto: int,
+              set_mask: int, assoc: int) -> np.ndarray:
+    """Hit flags of ``tags`` under a cache warmed by the prefix."""
+    resident = prime.resident(upto, set_mask, assoc)
+    flags = lru_filter(np.concatenate([resident, tags]), set_mask, assoc)
+    return flags[resident.size:]
+
+
+def _interval_mem_tallies(idx: _StreamIndex, hierarchy: CacheHierarchy,
+                          nm: int, s: int, e: int) -> dict[str, np.ndarray]:
+    """Per-method memory-side tallies of ``[s, e)`` under functional
+    warming from ``[0, s)`` — the sampled analogue of one exact-replay
+    interval, minus branch events (handled in the predictor pass)."""
+    l1d, l1i, l2, llc, dtlb = (
+        hierarchy.l1d, hierarchy.l1i, hierarchy.l2, hierarchy.llc, hierarchy.dtlb
+    )
+    out = {f: np.zeros(nm, dtype=np.float64) for f in REPLAY_FIELDS}
+
+    d0, d1 = np.searchsorted(idx.d_pos, (s, e))
+    d_addr, d_midx, d_pos = idx.d_addr[d0:d1], idx.d_midx[d0:d1], idx.d_pos[d0:d1]
+    c0, c1 = np.searchsorted(idx.c_pos, (s, e))
+    i0, i1 = np.searchsorted(idx.i_evt, (s, e))
+    out["data"] = np.bincount(d_midx, minlength=nm).astype(np.float64)
+    out["calls"] = np.bincount(idx.c_callee[c0:c1], minlength=nm).astype(np.float64)
+
+    if d_addr.size:
+        tlb_hit = _measured(idx.prime_tlb, d_addr >> idx.page_shift, s, 0, dtlb.entries)
+        out["d_tlb"] = np.bincount(d_midx[~tlb_hit], minlength=nm).astype(np.float64)
+        d_hit1 = _measured(
+            idx.prime_l1d, d_addr >> idx.line_shift, s,
+            l1d._set_mask, l1d.config.associativity,
+        )
+    else:
+        d_hit1 = np.zeros(0, dtype=bool)
+
+    i_addr, i_attr, i_key = idx.i_addr[i0:i1], idx.i_attr[i0:i1], idx.i_key[i0:i1]
+    if i_addr.size:
+        i_hit1 = _measured(
+            idx.prime_l1i, i_addr >> idx.line_shift, s * _ORDER_STRIDE,
+            l1i._set_mask, l1i.config.associativity,
+        )
+        i_miss = ~i_hit1
+        i_miss_addr, i_miss_attr, i_miss_key = i_addr[i_miss], i_attr[i_miss], i_key[i_miss]
+    else:
+        i_miss_addr = i_miss_attr = i_miss_key = np.zeros(0, dtype=np.int64)
+
+    d_miss = ~d_hit1
+    l2_addr = np.concatenate([d_addr[d_miss], i_miss_addr])
+    if not l2_addr.size:
+        return out
+    l2_attr = np.concatenate([d_midx[d_miss], i_miss_attr])
+    l2_from_data = np.zeros(l2_addr.size, dtype=bool)
+    l2_from_data[: int(d_miss.sum())] = True
+    l2_keys = np.concatenate([d_pos[d_miss] * _ORDER_STRIDE, i_miss_key])
+    order = np.argsort(l2_keys)
+    l2_addr, l2_attr, l2_from_data = l2_addr[order], l2_attr[order], l2_from_data[order]
+
+    hit2 = _measured(
+        idx.prime_unified, l2_addr >> idx.line_shift, s * _ORDER_STRIDE,
+        l2._set_mask, l2.config.associativity,
+    )
+    out["d_l2"] = np.bincount(l2_attr[hit2 & l2_from_data], minlength=nm).astype(np.float64)
+    out["c_l2"] = np.bincount(l2_attr[hit2 & ~l2_from_data], minlength=nm).astype(np.float64)
+
+    miss2 = ~hit2
+    llc_addr = l2_addr[miss2]
+    if not llc_addr.size:
+        return out
+    llc_attr, llc_from_data = l2_attr[miss2], l2_from_data[miss2]
+    hit3 = _measured(
+        idx.prime_unified, llc_addr >> idx.line_shift, s * _ORDER_STRIDE,
+        llc._set_mask, llc.config.associativity,
+    )
+    out["d_llc"] = np.bincount(llc_attr[hit3 & llc_from_data], minlength=nm).astype(np.float64)
+    out["c_llc"] = np.bincount(llc_attr[hit3 & ~llc_from_data], minlength=nm).astype(np.float64)
+    out["d_mem"] = np.bincount(llc_attr[~hit3 & llc_from_data], minlength=nm).astype(np.float64)
+    out["c_mem"] = np.bincount(llc_attr[~hit3 & ~llc_from_data], minlength=nm).astype(np.float64)
+    return out
+
+
+def _branch_pass(idx: _StreamIndex, cfg, nm: int,
+                 picks: list[tuple[int, int, int]]) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Advance one predictor in stream order through every pick.
+
+    Predictor state depends only on the branch-event prefix, so
+    replaying the gaps with discarded output and keeping flags inside
+    each representative equals full-prefix warming per representative —
+    at O(total branches) total work instead of O(picks x prefix).
+    """
+    predictor = cfg.make_predictor()
+    tallies: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    cursor = 0
+    for ri, s, e in picks:
+        b_gap0, b_s, b_e = np.searchsorted(idx.b_pos, (cursor, s, e))
+        if b_s > b_gap0:
+            predictor.replay(idx.b_pc[b_gap0:b_s], idx.b_tk[b_gap0:b_s])
+        br = np.zeros(nm, dtype=np.float64)
+        mis = np.zeros(nm, dtype=np.float64)
+        if b_e > b_s:
+            miss = np.frombuffer(
+                predictor.replay(idx.b_pc[b_s:b_e], idx.b_tk[b_s:b_e]), dtype=np.uint8
+            )
+            bm = idx.b_midx[b_s:b_e]
+            br = np.bincount(bm, minlength=nm).astype(np.float64)
+            mis = np.bincount(bm, weights=miss, minlength=nm)
+        tallies[ri] = (br, mis)
+        cursor = e
+    return tallies
+
+
+# ------------------------------------------------------ the estimator
+
+
+def _representatives(assignments: np.ndarray, bounds, rate: int):
+    """Stratified representatives per phase: evenly spaced 1-in-``rate``
+    members (at least one) of each cluster, weighted so picked events
+    stand in for the whole phase's events."""
+    k = int(assignments.max()) + 1 if assignments.size else 0
+    plan = []
+    for j in range(k):
+        members = np.flatnonzero(assignments == j)
+        if not members.size:
+            continue
+        m = max(1, round(members.size / rate))
+        picks = members[((np.arange(m) + 0.5) * members.size / m).astype(int)]
+        cluster_events = sum(bounds[i][1] - bounds[i][0] for i in members)
+        picked_events = sum(bounds[i][1] - bounds[i][0] for i in picks)
+        plan.append((j, picks, cluster_events / picked_events, cluster_events))
+    return plan
+
+
+def sampled_replay(
+    capture,
+    plan: SamplingPlan,
+    *,
+    cost_model: CostModel | None = None,
+) -> tuple[MachineReport, SamplingInfo]:
+    """Estimate a capture's :class:`MachineReport` from sampled phases.
+
+    ``cost_model`` must be the baseline :class:`CostModel` (or None);
+    build-transformed models (FDO) rewrite the event stream and need
+    the exact path — pass ``SamplingPlan(exact=True)`` there.
+    """
+    if plan.exact:
+        raise ValueError("sampled_replay called with an exact plan; use replay_capture")
+    if cost_model is not None and type(cost_model) is not CostModel:
+        raise ValueError(
+            "phase-sampled replay supports the baseline cost model only; "
+            "use SamplingPlan(exact=True) for build-transformed replays"
+        )
+    cm = cost_model or CostModel()
+    cfg = cm.config
+    hierarchy = CacheHierarchy()
+    columns = capture.columns
+    methods = capture.methods
+    nm = len(methods)
+    n = capture.n_events
+
+    code_base = np.zeros(nm, dtype=np.int64)
+    code_blocks = np.zeros(nm, dtype=np.int64)
+    for mc in methods:
+        code_base[mc.index] = mc.code_base
+        code_blocks[mc.index] = min(max(1, mc.code_bytes // 64), _MAX_FETCH_BLOCKS)
+
+    bounds = slice_intervals(n, plan.intervals, plan.min_interval_events)
+    if not bounds:
+        raise ValueError("sampled replay: capture recorded no events")
+    feats = interval_features(
+        columns, bounds, nm,
+        line_shift=hierarchy.l1d._line_shift, page_shift=hierarchy.dtlb._page_shift,
+    )
+    k = min(plan.phases, len(bounds))
+    from ..fdo.clustering import kmeans  # late: repro.fdo's package init imports the engine
+
+    assignments, _centers = kmeans(feats, k, seed=plan.seed)
+
+    idx = _StreamIndex(columns, nm, code_base, code_blocks, hierarchy)
+    knowns = _exact_knowns(columns, nm, idx.line_shift)
+    ftm, ftp, ftc = _first_touches(columns, code_blocks, idx.line_shift, idx.page_shift)
+
+    phase_plan = _representatives(assignments, bounds, plan.rate)
+    ordered_picks = sorted(
+        (int(ri), *bounds[int(ri)]) for _, picks, _, _ in phase_plan for ri in picks
+    )
+    branch_tallies = _branch_pass(idx, cfg, nm, ordered_picks)
+
+    sampled = {f: np.zeros(nm, dtype=np.float64) for f in SAMPLED_FIELDS + ("tlb_cap",)}
+    bases = {f: np.zeros(nm, dtype=np.float64) for f in ("br", "dedup", "calls")}
+    # Per-pick scalar totals per sampled field, grouped by phase, for
+    # the stratified standard-error estimate.
+    dispersion: dict[str, list[tuple[float, float, list[float]]]] = {
+        f: [] for f in SAMPLED_FIELDS + ("tlb_cap",)
+    }
+    events_replayed = 0
+    representatives: list[int] = []
+    for _j, picks, weight, _cluster_events in phase_plan:
+        per_pick: dict[str, list[float]] = {f: [] for f in dispersion}
+        for ri in picks:
+            ri = int(ri)
+            s, e = bounds[ri]
+            arrs = _interval_mem_tallies(idx, hierarchy, nm, s, e)
+            br, mis = branch_tallies[ri]
+            arrs["branches"], arrs["mispredicts"] = br, mis
+            tlb_cap = np.maximum(arrs["d_tlb"] - _comp_in(ftp, s, e, nm), 0.0)
+            for f in SAMPLED_FIELDS:
+                sampled[f] += weight * arrs[f]
+                per_pick[f].append(float(arrs[f].sum()))
+            sampled["tlb_cap"] += weight * tlb_cap
+            per_pick["tlb_cap"].append(float(tlb_cap.sum()))
+            bases["br"] += weight * _count_in(knowns["bpos"], s, e, nm)
+            bases["dedup"] += weight * _count_in(knowns["dedup"], s, e, nm)
+            bases["calls"] += weight * _count_in(knowns["cpos"], s, e, nm)
+            events_replayed += e - s
+            representatives.append(ri)
+        for f, values in per_pick.items():
+            dispersion[f].append((weight, len(picks), values))
+
+    dedup_exact = np.bincount(knowns["dedup"][1], minlength=nm).astype(np.float64)
+    est = {
+        "branches": knowns["branches"],
+        "data": knowns["data"],
+        "calls": knowns["calls"],
+        "d_mem": _comp_in(ftm, 0, n, nm),
+        "c_mem": _comp_in(ftc, 0, n, nm),
+        "mispredicts": _safe_scale(sampled["mispredicts"], bases["br"], knowns["branches"]),
+        "d_l2": _safe_scale(sampled["d_l2"], bases["dedup"], dedup_exact),
+        "d_llc": _safe_scale(sampled["d_llc"], bases["dedup"], dedup_exact),
+        "c_l2": _safe_scale(sampled["c_l2"], bases["calls"], knowns["calls"]),
+        "c_llc": _safe_scale(sampled["c_llc"], bases["calls"], knowns["calls"]),
+        "d_tlb": _comp_in(ftp, 0, n, nm)
+        + _safe_scale(sampled["tlb_cap"], bases["dedup"], dedup_exact),
+    }
+
+    errors = _error_estimates(est, sampled, dispersion)
+    per_method, topdown, coverage, total, seconds, mispred_rate = _account(
+        cfg, methods, est
+    )
+    cache_stats = _estimated_hierarchy_stats(est, knowns, idx)
+
+    report = MachineReport(
+        topdown=topdown,
+        coverage=coverage,
+        cycles=total,
+        seconds=seconds,
+        per_method=per_method,
+        cache_stats=cache_stats,
+        branch_misprediction_rate=mispred_rate,
+        sampling_stride=capture.sampling_stride,
+        counters={
+            "uops": sum(c.uops for c in per_method.values()),
+            "branches": float(sum(mc.branches for mc in methods)),
+            "data_accesses": float(sum(mc.data_accesses for mc in methods)),
+            "est_mispredicts": sum(c.est_mispredicts for c in per_method.values()),
+            "est_data_misses": sum(c.est_data_misses for c in per_method.values()),
+        },
+    )
+    info = SamplingInfo(
+        plan=plan,
+        events_total=n,
+        events_replayed=events_replayed,
+        n_intervals=len(bounds),
+        interval_events=(bounds[0][1] - bounds[0][0]) if bounds else 0,
+        phases=len(phase_plan),
+        representatives=tuple(representatives),
+        estimated_error=errors,
+    )
+    return report, info
+
+
+def _error_estimates(est, sampled, dispersion) -> dict[str, float]:
+    """Relative stratified standard errors per replay field.
+
+    For each sampled field, phase ``j`` contributes
+    ``weight_j**2 * m_j * var(per-pick totals)`` to the variance of the
+    estimated total (with-replacement approximation; single-pick phases
+    contribute nothing observable).  Exactly-known fields report 0.0.
+    """
+    variances: dict[str, float] = {}
+    for f, groups in dispersion.items():
+        var = 0.0
+        for weight, m, values in groups:
+            if m > 1:
+                var += (weight**2) * m * float(np.var(np.asarray(values), ddof=1))
+        variances[f] = var
+
+    errors: dict[str, float] = {f: 0.0 for f in REPLAY_FIELDS}
+    for f in SAMPLED_FIELDS:
+        total = float(est[f].sum())
+        errors[f] = math.sqrt(variances[f]) / total if total > 0 else 0.0
+    tlb_total = float(est["d_tlb"].sum())
+    errors["d_tlb"] = math.sqrt(variances["tlb_cap"]) / tlb_total if tlb_total > 0 else 0.0
+    return errors
+
+
+def _estimated_hierarchy_stats(est, knowns, idx: _StreamIndex) -> HierarchyStats:
+    """Hierarchy totals consistent with the estimated tallies.
+
+    Access counts at each level are exact (they only depend on the
+    stream and the level above's misses); miss counts are the rounded
+    estimated tallies summed over methods.
+    """
+    l1d_misses = int(round(float((est["d_l2"] + est["d_llc"] + est["d_mem"]).sum())))
+    l1i_misses = int(round(float((est["c_l2"] + est["c_llc"] + est["c_mem"]).sum())))
+    l2_misses = int(round(float(
+        (est["d_llc"] + est["d_mem"] + est["c_llc"] + est["c_mem"]).sum()
+    )))
+    llc_misses = int(round(float((est["d_mem"] + est["c_mem"]).sum())))
+    return HierarchyStats(
+        l1d_accesses=int(knowns["data"].sum()),
+        l1d_misses=l1d_misses,
+        l1i_accesses=int(idx.i_addr.size),
+        l1i_misses=l1i_misses,
+        l2_accesses=l1d_misses + l1i_misses,
+        l2_misses=l2_misses,
+        llc_accesses=l2_misses,
+        llc_misses=llc_misses,
+        dtlb_misses=int(round(float(est["d_tlb"].sum()))),
+    )
