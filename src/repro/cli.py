@@ -199,6 +199,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated machine presets, or 'default' for the "
         "baseline config (default: i7-2600,i7-6700k,atom-like)",
     )
+    p.add_argument(
+        "--config",
+        action="append",
+        dest="configs",
+        default=None,
+        metavar="NAME",
+        help="add one named preset to the grid (repeatable; 'default' "
+        "for the baseline config; overrides --machines)",
+    )
+    p.add_argument(
+        "--grid",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON MachineGrid file ({\"configs\": [{\"name\": ..., "
+        "<MachineConfig fields>}, ...]}); overrides --machines/--config",
+    )
+    p.add_argument(
+        "--per-config",
+        action="store_true",
+        help="force per-config replay instead of the one-pass batched "
+        "kernel (results are bit-identical; for troubleshooting)",
+    )
     _add_engine_options(p)
     p.add_argument(
         "--trace",
@@ -279,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also check sampled-replay accuracy/ratio against a "
         "BENCH_sampling.json baseline (warn-only, never fails the run)",
+    )
+    p.add_argument(
+        "--sweep-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also check batched-sweep speedup against the sweep_batched "
+        "entry of a BENCH_machine.json baseline (warn-only, never fails "
+        "the run)",
     )
 
     p = sub.add_parser("cache", help="inspect or wipe the result cache")
@@ -439,13 +471,36 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 1 if result.failures else 0
 
     if args.command == "sweep":
+        import json
+
         from .core.errors import CellFailure
         from .core.run import Session
-        from .machine.machine import preset
+        from .core.sweep import MachineGrid, SweepRequest
 
         kwargs = _engine_kwargs(args)
-        names = [n.strip() for n in args.machines.split(",") if n.strip()]
-        machines = [None if n == "default" else preset(n) for n in names]
+        if args.grid is not None and args.configs:
+            print("sweep: pass --grid or --config, not both", file=sys.stderr)
+            return 2
+        if args.grid is not None:
+            if not args.grid.exists():
+                print(f"sweep: no grid file at {args.grid}", file=sys.stderr)
+                return 2
+            try:
+                grid = MachineGrid.from_dict(
+                    json.loads(args.grid.read_text(encoding="utf-8"))
+                )
+            except (ValueError, TypeError, KeyError) as exc:
+                print(f"sweep: {args.grid}: bad grid ({exc})", file=sys.stderr)
+                return 2
+        else:
+            names = args.configs or [
+                n.strip() for n in args.machines.split(",") if n.strip()
+            ]
+            try:
+                grid = MachineGrid.from_presets(*names)
+            except (ValueError, KeyError) as exc:
+                print(f"sweep: {exc}", file=sys.stderr)
+                return 2
         sampling = None
         if args.sample_intervals is not None:
             from .machine.sampling import SamplingPlan
@@ -463,15 +518,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         session = Session(
             workers=kwargs["workers"], cache=kwargs["cache"], trace=args.trace
         )
+        request = SweepRequest(
+            benchmark=args.benchmark,
+            grid=grid,
+            sampling=sampling,
+            batched=False if args.per_config else None,
+        )
         try:
             with session:
-                result = session.characterize_sweep(
-                    args.benchmark, machines, sampling=sampling
-                )
+                result = session.characterize_sweep(request)
         except CellFailure as failure:
             print(f"sweep failed: {failure}", file=sys.stderr)
             return 1
-        for name, char in zip(names, result.characterizations):
+        for name, char in zip(result.config_names, result.characterizations):
             if char is None:
                 print(f"{name:<12} (all cells failed)")
                 continue
@@ -489,7 +548,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"stages: {summary.captures} captures "
                 f"({summary.capture_hits} reused), {summary.replays} replays "
                 f"({summary.replay_hits} cached, "
-                f"{summary.replays_sampled} sampled) for {summary.cells} cells "
+                f"{summary.replays_sampled} sampled, "
+                f"{summary.replays_batched} batched) for {summary.cells} cells "
                 f"in {summary.duration_s:.2f}s",
                 file=sys.stderr,
             )
@@ -561,6 +621,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 tolerance=args.tolerance,
                 rounds=args.rounds,
                 sampling_baseline=args.sampling_baseline,
+                sweep_baseline=args.sweep_baseline,
             )
         except WatchdogError as exc:
             print(f"watchdog: {exc}", file=sys.stderr)
@@ -593,11 +654,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"removed {n} cached artifacts from {store.root}")
         else:
             profiles, captures = store.profiles, store.captures
+            modes = profiles.replay_modes()
             print(f"cache dir : {store.root}")
             print("stage: replay (machine-dependent profiles)")
             print(f"  entries : {len(profiles)}")
             print(f"  bytes   : {profiles.total_bytes()}")
             print(f"  corrupt : {profiles.quarantined_entries()} (quarantined *.corrupt)")
+            print(
+                f"  source  : {modes['batched']} batched, "
+                f"{modes['per-config']} per-config, "
+                f"{modes['unlabeled']} unlabeled replays"
+            )
             print("stage: capture (machine-independent telemetry)")
             print(f"  entries : {len(captures)}")
             print(f"  bytes   : {captures.total_bytes()}")

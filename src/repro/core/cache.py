@@ -403,11 +403,27 @@ class ResultCache:
         telemetry.record("engine.cache.quarantined")
         metrics.inc(metrics.CACHE_EVENTS_TOTAL, store="profile", event="quarantined")
 
-    def put(self, key: str, profile: ExecutionProfile) -> None:
-        """Store a profile under ``key`` (atomic replace)."""
+    def put(
+        self,
+        key: str,
+        profile: ExecutionProfile,
+        *,
+        replay_mode: str | None = None,
+    ) -> None:
+        """Store a profile under ``key`` (atomic replace).
+
+        ``replay_mode`` records provenance in the envelope — whether the
+        profile came from a ``"batched"`` multi-config replay or a
+        ``"per-config"`` one.  The two are bit-identical, so the key is
+        purely informational (``repro cache info`` reports the counts)
+        and readers ignore it.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        raw = json.dumps(profile_to_dict(profile), separators=(",", ":")).encode()
+        payload = profile_to_dict(profile)
+        if replay_mode is not None:
+            payload["replay_mode"] = replay_mode
+        raw = json.dumps(payload, separators=(",", ":")).encode()
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(raw)
         os.replace(tmp, path)
@@ -418,6 +434,22 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def replay_modes(self) -> dict[str, int]:
+        """Provenance counts over stored entries: how many profiles were
+        written by a ``"batched"`` multi-config replay, a ``"per-config"``
+        replay, or predate the envelope key (``"unlabeled"``)."""
+        counts = {"batched": 0, "per-config": 0, "unlabeled": 0}
+        for path in self.root.glob("*/*.json"):
+            try:
+                mode = json.loads(path.read_bytes()).get("replay_mode")
+            except (OSError, ValueError):
+                continue
+            if mode in ("batched", "per-config"):
+                counts[mode] += 1
+            else:
+                counts["unlabeled"] += 1
+        return counts
 
     def total_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.root.glob("*/*.json"))

@@ -69,6 +69,7 @@ from fnmatch import fnmatch
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..machine.batch import replay_capture_batched
 from ..machine.capture import TelemetryCapture, capture_execution, replay_capture
 from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile
@@ -148,6 +149,8 @@ class CellOutcome:
     stages: tuple = ()
     #: ``replay="run"`` took the phase-sampled path rather than exact.
     sampled: bool = False
+    #: ``replay="run"`` was served by a one-pass multi-config kernel.
+    batched: bool = False
 
     @property
     def ok(self) -> bool:
@@ -171,6 +174,7 @@ class CellOutcome:
             parent_id=parent_id,
             start_s=start_s,
             sampled=self.sampled,
+            batched=self.batched,
         )
 
     def failure(self) -> CellFailure:
@@ -983,7 +987,7 @@ class CharacterizationEngine:
                 sampled=token is not None,
             )
             if key is not None:
-                self.cache.put(key, profile)
+                self.cache.put(key, profile, replay_mode="per-config")
         self._emit_spans([oc])
         if not oc.ok and self.strict:
             raise oc.failure()
@@ -998,6 +1002,7 @@ class CharacterizationEngine:
         base_seed: int = 0,
         keep_profiles: bool = False,
         sampling: "SamplingPlan | None" = None,
+        batched: bool | None = None,
     ) -> "tuple[list[BenchmarkCharacterization | None], list[CellOutcome]]":
         """Characterize one benchmark under N machine configs, capturing once.
 
@@ -1008,6 +1013,16 @@ class CharacterizationEngine:
         cell (``capture="run"``); later consumers report
         ``capture="hit"``, so ``summary.captures`` equals the number
         of real benchmark executions.
+
+        Exact (unsampled) replays additionally share *one pass* over the
+        capture columns: all pending configs for a workload go through
+        :func:`~repro.machine.batch.replay_capture_batched`, which
+        carries the config set as an extra kernel dimension and is
+        bit-identical to per-config replay.  ``batched=False`` forces
+        the per-config loop; ``batched=None``/``True`` batch whenever
+        possible (two or more pending configs, no sampling plan).
+        Batched spans carry ``batched=True`` and cached profiles record
+        ``replay_mode="batched"`` provenance.
 
         ``sampling`` applies phase-sampled replay
         (:mod:`repro.machine.sampling`) to every cell: spans carry
@@ -1075,60 +1090,126 @@ class CharacterizationEngine:
         batch = self._capture_batch(cap_cells, [wl[wi] for wi in need_w])
         cap_by_w = dict(zip(need_w, batch))
 
-        charged: set[int] = set()
+        # Group pending cells by workload: within one workload every
+        # config replays the same capture, so exact replays can share a
+        # single batched pass.  Member order is machine-major (``need``
+        # order), so the first member of each group is the cell the
+        # capture cost is charged to — same charging as the old
+        # per-cell loop.
+        by_w: dict[int, list[tuple[int, _Cell]]] = {}
         for mi, wi, cell in need:
+            by_w.setdefault(wi, []).append((mi, cell))
+
+        for wi, members in by_w.items():
             capture, state, run_oc = cap_by_w[wi]
-            fresh = state == "run" and wi not in charged
-            if fresh:
-                charged.add(wi)
-            cap_attempts = run_oc.attempts if (fresh and run_oc is not None) else 0
-            cap_duration = run_oc.duration_s if (fresh and run_oc is not None) else 0.0
-            cap_stages = (
-                run_oc.stages if (fresh and run_oc is not None) else ()
-            )
+
+            def _charge(j: int) -> tuple[bool, int, float, tuple]:
+                fresh = state == "run" and j == 0
+                if fresh and run_oc is not None:
+                    return fresh, run_oc.attempts, run_oc.duration_s, run_oc.stages
+                return fresh, 0, 0.0, ()
+
             if capture is None:
                 # Capture failed: every consumer of this workload fails
                 # with the capture's error; only the first is charged.
-                grid[mi][wi] = CellOutcome(
-                    cell, None, cache_state,
-                    max(1, cap_attempts), cap_duration,
-                    run_oc.outcome if run_oc is not None else "failed",
-                    run_oc.error if run_oc is not None else "capture failed",
-                    capture="run" if fresh else "-",
-                    start_s=run_oc.start_s if run_oc is not None else -1.0,
-                )
+                for j, (mi, cell) in enumerate(members):
+                    fresh, cap_attempts, cap_duration, _ = _charge(j)
+                    grid[mi][wi] = CellOutcome(
+                        cell, None, cache_state,
+                        max(1, cap_attempts), cap_duration,
+                        run_oc.outcome if run_oc is not None else "failed",
+                        run_oc.error if run_oc is not None else "capture failed",
+                        capture="run" if fresh else "-",
+                        start_s=run_oc.start_s if run_oc is not None else -1.0,
+                    )
                 continue
-            started = time.perf_counter()
-            if fresh and run_oc is not None and run_oc.start_s >= 0:
-                cell_start = run_oc.start_s
-            else:
-                cell_start = self.trace.rel(started)
-            try:
-                profile = replay_capture(
-                    capture, machine=cell.machine, sampling=sampling
-                )
-            except Exception as exc:
+
+            use_batched = (
+                sampling is None and len(members) > 1 and batched is not False
+            )
+            if use_batched:
+                started = time.perf_counter()
+                try:
+                    profiles = replay_capture_batched(
+                        capture, [cell.machine for _, cell in members]
+                    )
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    batch_dur = time.perf_counter() - started
+                    for j, (mi, cell) in enumerate(members):
+                        fresh, cap_attempts, cap_duration, cap_stages = _charge(j)
+                        cell_start = (
+                            run_oc.start_s
+                            if fresh and run_oc is not None and run_oc.start_s >= 0
+                            else self.trace.rel(started)
+                        )
+                        grid[mi][wi] = CellOutcome(
+                            cell, None, cache_state, max(1, cap_attempts),
+                            cap_duration + batch_dur, "failed", error,
+                            capture="run" if fresh else "hit", replay="run",
+                            start_s=cell_start, stages=cap_stages,
+                            batched=True,
+                        )
+                    continue
+                batch_dur = time.perf_counter() - started
+                per_dur = batch_dur / len(members)
+                for j, (mi, cell) in enumerate(members):
+                    fresh, cap_attempts, cap_duration, cap_stages = _charge(j)
+                    cell_start = (
+                        run_oc.start_s
+                        if fresh and run_oc is not None and run_oc.start_s >= 0
+                        else self.trace.rel(started)
+                    )
+                    grid[mi][wi] = CellOutcome(
+                        cell, profiles[j], cache_state, cap_attempts,
+                        cap_duration + per_dur, "ok",
+                        capture="run" if fresh else "hit", replay="run",
+                        start_s=cell_start,
+                        stages=cap_stages
+                        + ((stage_name, self.trace.rel(started) - cell_start, per_dur),),
+                        batched=True,
+                    )
+                    if keys[mi][wi] is not None:
+                        self.cache.put(
+                            keys[mi][wi], profiles[j], replay_mode="batched"
+                        )
+                continue
+
+            for j, (mi, cell) in enumerate(members):
+                fresh, cap_attempts, cap_duration, cap_stages = _charge(j)
+                started = time.perf_counter()
+                if fresh and run_oc is not None and run_oc.start_s >= 0:
+                    cell_start = run_oc.start_s
+                else:
+                    cell_start = self.trace.rel(started)
+                try:
+                    profile = replay_capture(
+                        capture, machine=cell.machine, sampling=sampling
+                    )
+                except Exception as exc:
+                    grid[mi][wi] = CellOutcome(
+                        cell, None, cache_state, max(1, cap_attempts),
+                        cap_duration + (time.perf_counter() - started), "failed",
+                        f"{type(exc).__name__}: {exc}",
+                        capture="run" if fresh else "hit", replay="run",
+                        start_s=cell_start, stages=cap_stages,
+                        sampled=token is not None,
+                    )
+                    continue
+                replay_dur = time.perf_counter() - started
                 grid[mi][wi] = CellOutcome(
-                    cell, None, cache_state, max(1, cap_attempts),
-                    cap_duration + (time.perf_counter() - started), "failed",
-                    f"{type(exc).__name__}: {exc}",
+                    cell, profile, cache_state, cap_attempts,
+                    cap_duration + replay_dur, "ok",
                     capture="run" if fresh else "hit", replay="run",
-                    start_s=cell_start, stages=cap_stages,
+                    start_s=cell_start,
+                    stages=cap_stages
+                    + ((stage_name, self.trace.rel(started) - cell_start, replay_dur),),
                     sampled=token is not None,
                 )
-                continue
-            replay_dur = time.perf_counter() - started
-            grid[mi][wi] = CellOutcome(
-                cell, profile, cache_state, cap_attempts,
-                cap_duration + replay_dur, "ok",
-                capture="run" if fresh else "hit", replay="run",
-                start_s=cell_start,
-                stages=cap_stages
-                + ((stage_name, self.trace.rel(started) - cell_start, replay_dur),),
-                sampled=token is not None,
-            )
-            if keys[mi][wi] is not None:
-                self.cache.put(keys[mi][wi], profile)
+                if keys[mi][wi] is not None:
+                    self.cache.put(
+                        keys[mi][wi], profile, replay_mode="per-config"
+                    )
 
         self.trace.quarantine(self._quarantined_total() - quarantined_before)
         flat: list[CellOutcome] = []

@@ -34,6 +34,7 @@ cells are reported in ``result.failures`` and the journal.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,6 +53,7 @@ from .engine import _ENGINE_MACHINE, CharacterizationEngine, CellOutcome, _Cell
 from .errors import CellFailure
 from .metrics import MetricsRegistry
 from .suite import alberta_workloads
+from .sweep import ENGINE_MACHINE, MachineGrid, ReplayRequest, SweepRequest
 from .trace import RunSummary, TraceWriter, export_chrome_trace
 from .workload import Workload, WorkloadSet
 
@@ -59,7 +61,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..machine.sampling import SamplingPlan
     from .characterize import BenchmarkCharacterization
 
-__all__ = ["Run", "RunResult", "Session", "SweepResult"]
+__all__ = [
+    "Run",
+    "RunResult",
+    "Session",
+    "SweepResult",
+    # Re-exported request types (defined in repro.core.sweep).
+    "MachineGrid",
+    "ReplayRequest",
+    "SweepRequest",
+]
 
 
 @dataclass
@@ -105,10 +116,14 @@ class RunResult:
 class SweepResult:
     """What one machine-config sweep produced.
 
-    ``characterizations[i]`` belongs to ``machines[i]`` (``None`` where
-    no cell survived under ``strict=False``).  The sweep-reuse
+    ``characterizations[i]`` belongs to ``machines[i]`` — the grid's
+    stable config ordering, with ``config_names[i]`` naming each slot
+    (auto ``cfg0..cfgN-1`` for legacy bare-list calls) — and is ``None``
+    where no cell survived under ``strict=False``.  The sweep-reuse
     guarantee shows up in ``summary``: ``captures`` stays at one per
-    workload no matter how many configs were swept.
+    workload no matter how many configs were swept, and
+    ``replays_batched`` counts the cells served by the one-pass
+    multi-config kernel.
     """
 
     machines: "list[MachineConfig | None]"
@@ -117,10 +132,26 @@ class SweepResult:
     summary: RunSummary | None = None
     trace_path: Path | None = None
     metrics: MetricsRegistry | None = None
+    config_names: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def profile_for(self, config_name: str) -> "BenchmarkCharacterization | None":
+        """The characterization for one named grid config.
+
+        Raises :class:`KeyError` for a name outside the grid; returns
+        ``None`` for a config whose cells all failed (``strict=False``).
+        """
+        try:
+            i = self.config_names.index(config_name)
+        except ValueError:
+            raise KeyError(
+                f"sweep has no config named {config_name!r}; "
+                f"have {self.config_names}"
+            ) from None
+        return self.characterizations[i]
 
 
 class Session:
@@ -227,37 +258,86 @@ class Session:
 
     def characterize_sweep(
         self,
-        benchmark_id: str,
-        machines: "list[MachineConfig | None]",
+        request: "SweepRequest | str",
+        machines: "list[MachineConfig | None] | None" = None,
         workloads: WorkloadSet | None = None,
         *,
         base_seed: int = 0,
         keep_profiles: bool = False,
         sampling: "SamplingPlan | None" = None,
+        batched: bool | None = None,
     ) -> SweepResult:
-        """Characterize one benchmark under every config in ``machines``.
+        """Characterize one benchmark under every config in a grid.
+
+        The declarative form takes a
+        :class:`~repro.core.sweep.SweepRequest`::
+
+            grid = MachineGrid.from_presets("default", "i7-6700k")
+            result = session.characterize_sweep(SweepRequest("505.mcf_r", grid))
+            result.profile_for("i7-6700k")
+
+        The legacy form — positional benchmark id plus a bare machine
+        list — still works through a thin adapter (configs are
+        auto-named ``cfg0..cfgN-1``) but emits a
+        :class:`DeprecationWarning`; build a :class:`SweepRequest`
+        instead.
 
         Each workload's benchmark executes at most once; every machine
-        config replays the captured telemetry stream (see
+        config replays the captured telemetry stream, and exact replays
+        share one batched kernel pass per workload (see
         :meth:`~repro.core.engine.CharacterizationEngine.characterize_sweep_run`).
         ``sampling`` switches every replay to the phase-sampled path
         (``summary.replays_sampled`` counts them).
         """
-        with self._collect() as reg:
-            chars, outcomes = self.engine.characterize_sweep_run(
-                benchmark_id,
-                machines,
-                workloads,
+        if isinstance(request, SweepRequest):
+            if machines is not None:
+                raise TypeError(
+                    "characterize_sweep: pass either a SweepRequest or a "
+                    "machine list, not both"
+                )
+            if base_seed != 0 or keep_profiles or sampling is not None or batched is not None:
+                raise TypeError(
+                    "characterize_sweep: with a SweepRequest, set base_seed/"
+                    "keep_profiles/sampling/batched on the request itself"
+                )
+            req = request
+        else:
+            if machines is None:
+                raise TypeError(
+                    "characterize_sweep: a benchmark-id call needs a machine list "
+                    "(or pass a SweepRequest)"
+                )
+            warnings.warn(
+                "characterize_sweep(benchmark_id, machines, ...) is deprecated; "
+                "pass a SweepRequest (see repro.core.sweep)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            req = SweepRequest(
+                benchmark=request,
+                grid=MachineGrid.from_machines(machines),
                 base_seed=base_seed,
                 keep_profiles=keep_profiles,
                 sampling=sampling,
+                batched=batched,
+            )
+        with self._collect() as reg:
+            chars, outcomes = self.engine.characterize_sweep_run(
+                req.benchmark,
+                list(req.grid.machines),
+                workloads,
+                base_seed=req.base_seed,
+                keep_profiles=req.keep_profiles,
+                sampling=req.sampling,
+                batched=req.batched,
             )
         return SweepResult(
-            machines=list(machines),
+            machines=list(req.grid.machines),
             characterizations=chars,
             failures=[oc.failure() for oc in outcomes if not oc.ok],
             trace_path=self._writer.path,
             metrics=reg,
+            config_names=list(req.grid.names),
         )
 
     # ------------------------------------------------------ stage access
@@ -317,6 +397,7 @@ class Session:
     def replay(
         self,
         capture: TelemetryCapture,
+        request: ReplayRequest | None = None,
         *,
         workload: Workload | None = None,
         build: Any = None,
@@ -325,13 +406,49 @@ class Session:
     ) -> ExecutionProfile | None:
         """Replay a capture under a machine config / FDO build.
 
-        ``machine`` defaults to the session's config.  Pass the
+        The declarative form takes a
+        :class:`~repro.core.sweep.ReplayRequest`::
+
+            session.replay(capture, ReplayRequest(machine=cfg, sampling=plan))
+
+        whose ``machine`` defaults to the session's config.  Pass the
         originating ``workload`` to enable profile-level caching of the
         replay result.  ``sampling`` selects phase-sampled replay (a
         :class:`~repro.machine.sampling.SamplingPlan`; ``exact=True``
         plans take the exact path, bit-identical to ``sampling=None``).
         ``None`` only under ``strict=False`` when the replay failed.
+
+        The legacy keyword form (``workload=``/``build=``/``machine=``/
+        ``sampling=`` directly on this call) still works but emits a
+        :class:`DeprecationWarning`; a bare ``replay(capture)`` stays
+        silent — it is already the default request.
         """
+        legacy = (
+            workload is not None
+            or build is not None
+            or machine is not _ENGINE_MACHINE
+            or sampling is not None
+        )
+        if request is not None:
+            if legacy:
+                raise TypeError(
+                    "replay: with a ReplayRequest, set workload/build/"
+                    "machine/sampling on the request itself"
+                )
+            workload = request.workload
+            build = request.build
+            sampling = request.sampling
+            machine = (
+                _ENGINE_MACHINE if request.machine is ENGINE_MACHINE else request.machine
+            )
+        elif legacy:
+            warnings.warn(
+                "replay(capture, workload=..., build=..., machine=..., "
+                "sampling=...) keyword form is deprecated; pass a "
+                "ReplayRequest (see repro.core.sweep)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         with self._collect():
             oc = self.engine.replay_run(
                 capture, workload=workload, build=build, machine=machine,
@@ -442,20 +559,24 @@ class Run:
 
     def characterize_sweep(
         self,
-        benchmark_id: str,
-        machines: "list[MachineConfig | None]",
+        request: "SweepRequest | str",
+        machines: "list[MachineConfig | None] | None" = None,
         workloads: WorkloadSet | None = None,
         *,
         base_seed: int = 0,
         keep_profiles: bool = False,
+        sampling: "SamplingPlan | None" = None,
+        batched: bool | None = None,
     ) -> SweepResult:
         with Session(**self._config) as session:  # type: ignore[arg-type]
             result = session.characterize_sweep(
-                benchmark_id,
+                request,
                 machines,
                 workloads,
                 base_seed=base_seed,
                 keep_profiles=keep_profiles,
+                sampling=sampling,
+                batched=batched,
             )
         result.summary = session.summary
         return result

@@ -1,0 +1,299 @@
+"""Declarative sweep requests: :class:`MachineGrid` and :class:`SweepRequest`.
+
+``Session.characterize_sweep`` grew by keyword accretion — a benchmark
+id, a bare list of machine configs, then ``base_seed``, ``sampling``,
+``keep_profiles`` — with the config *names* living only in whatever
+parallel list the caller kept.  These dataclasses make the request a
+value:
+
+* :class:`MachineGrid` — an ordered, named set of
+  :class:`~repro.machine.cost.MachineConfig` values.  Validated on
+  construction (non-empty, names unique and aligned), serializable
+  (``to_dict``/``from_dict`` — the CLI's ``--grid FILE`` is exactly
+  this JSON), and identified by a stable :meth:`MachineGrid.cache_token`.
+* :class:`SweepRequest` — the whole sweep as one validated value:
+  benchmark, grid, seed, sampling plan, and the ``batched`` override
+  for the one-pass multi-config replay
+  (:func:`~repro.machine.batch.replay_capture_batched`).
+* :class:`ReplayRequest` — the single-replay counterpart for
+  ``Session.replay`` (machine/build/sampling/workload).  Not
+  serializable: ``build`` and ``workload`` are live objects.
+
+Cache identity: each swept *cell* is keyed by its full machine config
+(:func:`~repro.core.cache.cache_key` hashes ``asdict(machine)``,
+geometry included), so grids that contain the same config share cache
+entries — batching never fragments the cache.  The request-level
+:meth:`SweepRequest.cache_token` composes the grid token with the
+sampling plan's :meth:`~repro.machine.sampling.SamplingPlan.cache_token`
+(the part that *does* join every cell key); use it to name artifacts of
+a whole sweep.  ``batched`` is deliberately excluded — batched and
+per-config replay are bit-identical, so they share one identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from ..machine.cache import CacheGeometry
+from ..machine.cost import MachineConfig
+from ..machine.machine import PRESETS, preset
+from .cache import payload_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.sampling import SamplingPlan
+    from .workload import Workload
+
+__all__ = ["MachineGrid", "SweepRequest", "ReplayRequest", "default_sweep_grid"]
+
+#: ``ReplayRequest.machine`` default: "use the session engine's config"
+#: (distinct from an explicit ``None``, which means the default config).
+ENGINE_MACHINE: Any = object()
+
+
+def _config_from_dict(data: Mapping[str, Any]) -> MachineConfig:
+    kwargs = dict(data)
+    geometry = kwargs.pop("geometry", None)
+    if geometry is not None:
+        kwargs["geometry"] = CacheGeometry.from_dict(geometry)
+    return MachineConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class MachineGrid:
+    """An ordered, named set of machine configurations.
+
+    ``names[i]`` labels ``machines[i]``; both orders are preserved
+    everywhere downstream (``SweepResult.config_names``,
+    ``profile_for``), so a grid defines the sweep's stable config
+    ordering.  ``None`` machines normalize to the default config.
+    """
+
+    names: tuple[str, ...]
+    machines: tuple[MachineConfig, ...]
+
+    def __post_init__(self) -> None:
+        names = tuple(self.names)
+        machines = tuple(
+            m if m is not None else MachineConfig() for m in self.machines
+        )
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "machines", machines)
+        if not names:
+            raise ValueError("MachineGrid: need at least one config")
+        if len(names) != len(machines):
+            raise ValueError(
+                f"MachineGrid: {len(names)} names for {len(machines)} machines"
+            )
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"MachineGrid: duplicate config names {dupes}")
+        for name, m in zip(names, machines):
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"MachineGrid: config name {name!r} must be a non-empty string")
+            if not isinstance(m, MachineConfig):
+                raise ValueError(
+                    f"MachineGrid: {name}: expected a MachineConfig, got {type(m).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __getitem__(self, name: str) -> MachineConfig:
+        try:
+            return self.machines[self.names.index(name)]
+        except ValueError:
+            raise KeyError(
+                f"MachineGrid: no config named {name!r}; have {list(self.names)}"
+            ) from None
+
+    @classmethod
+    def from_presets(cls, *names: str) -> "MachineGrid":
+        """A grid of named presets; ``"default"`` means the baseline config."""
+        if not names:
+            names = tuple(sorted(PRESETS))
+        machines = tuple(
+            MachineConfig() if n == "default" else preset(n) for n in names
+        )
+        return cls(names=tuple(names), machines=machines)
+
+    @classmethod
+    def from_machines(
+        cls,
+        machines: "Sequence[MachineConfig | None]",
+        names: "Sequence[str] | None" = None,
+    ) -> "MachineGrid":
+        """Wrap a bare config list, auto-naming ``cfg0..cfgN-1`` if unnamed."""
+        if names is None:
+            names = tuple(f"cfg{i}" for i in range(len(machines)))
+        return cls(names=tuple(names), machines=tuple(machines))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "configs": [
+                {"name": n, **asdict(m)} for n, m in zip(self.names, self.machines)
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MachineGrid":
+        rows = data.get("configs")
+        if not isinstance(rows, list) or not rows:
+            raise ValueError("MachineGrid.from_dict: need a non-empty 'configs' list")
+        names, machines = [], []
+        for row in rows:
+            row = dict(row)
+            name = row.pop("name", None)
+            if not name:
+                raise ValueError("MachineGrid.from_dict: every config needs a 'name'")
+            names.append(name)
+            machines.append(_config_from_dict(row))
+        return cls(names=tuple(names), machines=tuple(machines))
+
+    def cache_token(self) -> str:
+        """Stable identity of this grid (names + full config contents)."""
+        digest = payload_digest(
+            [(n, asdict(m)) for n, m in zip(self.names, self.machines)]
+        )
+        return f"grid.{len(self)}.{digest[:12]}"
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One machine-config sweep as a validated, serializable value.
+
+    ``batched=None`` (the default) lets the engine choose: workloads
+    with two or more pending exact replays take the one-pass batched
+    kernel, everything else replays per config.  ``False`` forces the
+    per-config path; ``True`` documents intent but still falls back
+    where batching is impossible (sampled replay, a single config) —
+    results are bit-identical either way.
+    """
+
+    benchmark: str
+    grid: MachineGrid
+    base_seed: int = 0
+    keep_profiles: bool = False
+    sampling: "SamplingPlan | None" = None
+    batched: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.benchmark, str) or not self.benchmark:
+            raise ValueError("SweepRequest: benchmark must be a non-empty id")
+        if not isinstance(self.grid, MachineGrid):
+            raise ValueError(
+                "SweepRequest: grid must be a MachineGrid "
+                f"(got {type(self.grid).__name__})"
+            )
+        if not isinstance(self.base_seed, int) or isinstance(self.base_seed, bool):
+            raise ValueError("SweepRequest: base_seed must be an int")
+        if self.batched not in (None, True, False):
+            raise ValueError("SweepRequest: batched must be True, False, or None")
+        if self.sampling is not None and not hasattr(self.sampling, "cache_token"):
+            raise ValueError("SweepRequest: sampling must be a SamplingPlan or None")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "grid": self.grid.to_dict(),
+            "base_seed": self.base_seed,
+            "keep_profiles": self.keep_profiles,
+            "sampling": self.sampling.to_dict() if self.sampling is not None else None,
+            "batched": self.batched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRequest":
+        sampling = data.get("sampling")
+        if sampling is not None:
+            from ..machine.sampling import SamplingPlan
+
+            sampling = SamplingPlan.from_dict(sampling)
+        return cls(
+            benchmark=data["benchmark"],
+            grid=MachineGrid.from_dict(data["grid"]),
+            base_seed=int(data.get("base_seed", 0)),
+            keep_profiles=bool(data.get("keep_profiles", False)),
+            sampling=sampling,
+            batched=data.get("batched"),
+        )
+
+    def cache_token(self) -> str:
+        """Stable request identity: benchmark + grid + seed + sampling.
+
+        ``batched`` is excluded on purpose — batched and per-config
+        replay produce bit-identical profiles, so the two execution
+        strategies share one cache identity (the per-cell keys they
+        actually read and write are likewise strategy-blind).
+        """
+        token = f"sweep.{self.benchmark}.s{self.base_seed}.{self.grid.cache_token()}"
+        sampling = self.sampling.cache_token() if self.sampling is not None else None
+        return token if sampling is None else f"{token}.{sampling}"
+
+
+@dataclass(frozen=True)
+class ReplayRequest:
+    """One ``Session.replay`` call as a value.
+
+    Not serializable by design: ``build`` (an FDO build) and
+    ``workload`` are live objects; a replay request describes an
+    in-process call, not an artifact.
+    """
+
+    machine: Any = ENGINE_MACHINE
+    workload: "Workload | None" = None
+    build: Any = None
+    sampling: "SamplingPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.machine is not ENGINE_MACHINE
+            and self.machine is not None
+            and not isinstance(self.machine, MachineConfig)
+        ):
+            raise ValueError(
+                "ReplayRequest: machine must be a MachineConfig, None, or omitted"
+            )
+        if self.sampling is not None and not hasattr(self.sampling, "cache_token"):
+            raise ValueError("ReplayRequest: sampling must be a SamplingPlan or None")
+
+
+def default_sweep_grid() -> MachineGrid:
+    """The 8-config benchmark grid shared by the sweep bench and watchdog.
+
+    A predictor-sensitivity axis (both predictor kinds, three table
+    sizes, three history depths) crossed with memory-sizing points
+    (L1D capacity, LLC capacity up and down, dTLB reach) — the shape
+    of sweep the characterization studies actually run.  The sizing
+    points vary distinct levels of the hierarchy, so the batched path
+    exercises per-level memo reuse as well as predictor-signature and
+    whole-geometry grouping; line-size variation (which shares
+    nothing) is covered by the sweep test grids instead.
+    """
+    return MachineGrid(
+        names=(
+            "default",
+            "skylake-ish",
+            "bimodal",
+            "short-history",
+            "small-l1",
+            "big-llc",
+            "small-llc",
+            "small-tlb",
+        ),
+        machines=(
+            MachineConfig(),
+            MachineConfig(
+                clock_ghz=4.2,
+                predictor_table_bits=16,
+                predictor_history_bits=14,
+                mlp=6.0,
+            ),
+            MachineConfig(predictor="bimodal", predictor_table_bits=12),
+            MachineConfig(predictor_table_bits=12, predictor_history_bits=8),
+            MachineConfig(geometry=CacheGeometry(l1d_kib=16, l1d_assoc=4)),
+            MachineConfig(geometry=CacheGeometry(llc_kib=16384)),
+            MachineConfig(geometry=CacheGeometry(llc_kib=2048)),
+            MachineConfig(geometry=CacheGeometry(dtlb_entries=32)),
+        ),
+    )

@@ -114,6 +114,7 @@ class CellSpan:
     parent_id: str = ""
     start_s: float = 0.0  # seconds since run start (0.0 in pre-tree journals)
     sampled: bool = False  # replay="run" was phase-sampled, not exact
+    batched: bool = False  # replay="run" shared a one-pass multi-config kernel
 
     @property
     def ok(self) -> bool:
@@ -139,6 +140,7 @@ class CellSpan:
             parent_id=data.get("parent_id", ""),
             start_s=float(data.get("start_s", 0.0)),
             sampled=bool(data.get("sampled", False)),
+            batched=bool(data.get("batched", False)),
         )
 
 
@@ -199,6 +201,8 @@ class RunSummary:
     replay_hits: int = 0
     #: Computed replays that took the phase-sampled path (subset of replays).
     replays_sampled: int = 0
+    #: Computed replays served by a one-pass multi-config kernel (subset).
+    replays_batched: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "summary", **asdict(self)}
@@ -214,6 +218,7 @@ class RunSummary:
         """Recompute a summary from spans (e.g. a truncated journal)."""
         cells = ok = failed = hits = misses = retries = timeouts = crashes = 0
         captures = capture_hits = replays = replay_hits = replays_sampled = 0
+        replays_batched = 0
         busy = 0.0
         for span in spans:
             cells += 1
@@ -234,6 +239,8 @@ class RunSummary:
                 replays += 1
                 if span.sampled:
                     replays_sampled += 1
+                if span.batched:
+                    replays_batched += 1
             elif span.replay == "hit":
                 replay_hits += 1
             retries += max(0, span.attempts - 1)
@@ -257,6 +264,7 @@ class RunSummary:
             replays=replays,
             replay_hits=replay_hits,
             replays_sampled=replays_sampled,
+            replays_batched=replays_batched,
         )
 
 
@@ -334,6 +342,8 @@ class TraceWriter:
                 telemetry.record("engine.run.replays")
                 if span.sampled:
                     telemetry.record("engine.run.replays_sampled")
+                if span.batched:
+                    telemetry.record("engine.run.replays_batched")
             elif span.replay == "hit":
                 telemetry.record("engine.run.replay_hits")
 
@@ -451,7 +461,7 @@ def render_trace_summary(path: str | Path) -> str:
         f"{s.quarantined} quarantined",
         f"stages     : {s.captures} captures ({s.capture_hits} reused), "
         f"{s.replays} replays ({s.replay_hits} cached, "
-        f"{s.replays_sampled} sampled)",
+        f"{s.replays_sampled} sampled, {s.replays_batched} batched)",
         f"resilience : {s.retries} retries, {s.timeouts} timeouts, "
         f"{s.crashes} crashes",
         f"duration   : {s.duration_s:.3f}s",

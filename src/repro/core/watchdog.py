@@ -43,11 +43,14 @@ __all__ = [
     "WatchdogError",
     "BenchmarkCheck",
     "SamplingCheck",
+    "SweepCheck",
     "WatchdogReport",
     "load_baseline",
     "load_sampling_baseline",
+    "load_sweep_baseline",
     "measure_replay",
     "measure_sampling",
+    "measure_sweep",
     "run_watchdog",
 ]
 
@@ -123,6 +126,42 @@ class SamplingCheck:
         return out
 
 
+@dataclass(frozen=True)
+class SweepCheck:
+    """Batched-sweep speedup vs the ``sweep_batched`` baseline entry.
+
+    Warn-only, same policy as :class:`SamplingCheck`: the batched and
+    per-config paths are bit-identical, so this only watches whether
+    the one-pass kernel keeps paying for itself — a slowdown is worth a
+    look, never worth failing a throughput gate over.
+    """
+
+    benchmark: str
+    workload: str
+    configs: int
+    baseline_speedup: float
+    measured_speedup: float
+
+    #: Acceptance bound: an N-config sweep must beat per-config replay
+    #: by at least this factor on the standard 8-config grid.
+    MIN_SPEEDUP = 3.0
+
+    @property
+    def warnings(self) -> list[str]:
+        out = []
+        if self.measured_speedup < self.MIN_SPEEDUP:
+            out.append(
+                f"speedup {self.measured_speedup:.2f}x < bound "
+                f"{self.MIN_SPEEDUP:.0f}x"
+            )
+        elif self.measured_speedup < self.baseline_speedup * 0.8:
+            out.append(
+                f"speedup drifted {self.baseline_speedup:.2f}x -> "
+                f"{self.measured_speedup:.2f}x"
+            )
+        return out
+
+
 @dataclass
 class WatchdogReport:
     """Everything one watchdog invocation decided, renderable as a diff."""
@@ -135,6 +174,8 @@ class WatchdogReport:
     injected_slowdown: float = 1.0
     sampling_path: Path | None = None
     sampling_checks: list[SamplingCheck] = field(default_factory=list)
+    sweep_path: Path | None = None
+    sweep_checks: list[SweepCheck] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[BenchmarkCheck]:
@@ -210,6 +251,27 @@ class WatchdogReport:
                 if warned
                 else f"sampling: all {len(self.sampling_checks)} benchmark(s) stable"
             )
+        if self.sweep_checks:
+            lines.append(f"sweep: baseline {self.sweep_path} (warn-only)")
+            lines.append(
+                f"  {'benchmark':<16} {'configs':>7} "
+                f"{'speedup (base/now)':>19}  verdict"
+            )
+            warned = 0
+            for wc in self.sweep_checks:
+                warns = wc.warnings
+                warned += bool(warns)
+                verdict = "; ".join(warns) if warns else "ok"
+                speeds = f"{wc.baseline_speedup:.2f}x/{wc.measured_speedup:.2f}x"
+                lines.append(
+                    f"  {wc.benchmark:<16} {wc.configs:>7} {speeds:>19}  {verdict}"
+                )
+            lines.append(
+                f"sweep: {warned}/{len(self.sweep_checks)} sweep(s) "
+                f"drifted (warn-only, does not gate)"
+                if warned
+                else f"sweep: all {len(self.sweep_checks)} sweep(s) stable"
+            )
         return "\n".join(lines)
 
 
@@ -280,6 +342,79 @@ def load_sampling_baseline(path: str | Path) -> dict[str, Any]:
             if key not in row:
                 raise WatchdogError(f"sampling baseline {path}: {bid} has no {key}")
     return data
+
+
+def load_sweep_baseline(path: str | Path) -> dict[str, Any]:
+    """Parse the ``sweep_batched`` entry of a ``BENCH_machine.json``.
+
+    Same failure policy as :func:`load_baseline`; additionally requires
+    the top-level ``sweep_batched`` object written by
+    ``benchmarks/bench_machine.py::test_sweep_batched_throughput``.
+    """
+    data = load_baseline(path)
+    sweep = data.get("sweep_batched")
+    if not isinstance(sweep, dict):
+        raise WatchdogError(
+            f"baseline {path}: no sweep_batched entry (re-run "
+            f"benchmarks/bench_machine.py to record one)"
+        )
+    for key in ("benchmark", "configs", "speedup"):
+        if key not in sweep:
+            raise WatchdogError(f"baseline {path}: sweep_batched has no {key}")
+    return sweep
+
+
+def measure_sweep(
+    benchmark_id: str,
+    workload_name: str | None = None,
+    *,
+    grid: "Any | None" = None,
+    rounds: int = 3,
+) -> tuple[str, int, float]:
+    """Capture once, time batched vs per-config replay over a grid.
+
+    Returns ``(workload_name, n_configs, speedup)`` where ``speedup``
+    is best-of-``rounds`` per-config wall time divided by
+    best-of-``rounds`` batched wall time for the same config set
+    (:func:`~repro.core.sweep.default_sweep_grid` unless ``grid`` is
+    given).  Both paths produce bit-identical profiles; only the clock
+    differs.
+    """
+    import time
+
+    from ..machine.batch import replay_capture_batched
+    from ..machine.capture import capture_execution, replay_capture
+    from .suite import alberta_workloads, get_benchmark
+    from .sweep import default_sweep_grid
+
+    workloads = alberta_workloads(benchmark_id)
+    if workload_name is None:
+        workload = next(
+            (w for w in workloads if w.name.endswith(".refrate")), workloads[0]
+        )
+    else:
+        match = [w for w in workloads if w.name == workload_name]
+        if not match:
+            raise WatchdogError(
+                f"{benchmark_id}: no workload named {workload_name!r}"
+            )
+        workload = match[0]
+
+    machines = list((grid or default_sweep_grid()).machines)
+    capture = capture_execution(get_benchmark(benchmark_id), workload)
+    best_single = best_batched = None
+    for _ in range(max(1, rounds)):
+        t0 = time.perf_counter()
+        for m in machines:
+            replay_capture(capture, machine=m)
+        single_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        replay_capture_batched(capture, machines)
+        batched_s = time.perf_counter() - t0
+        best_single = single_s if best_single is None else min(best_single, single_s)
+        best_batched = batched_s if best_batched is None else min(best_batched, batched_s)
+    assert best_single is not None and best_batched is not None
+    return workload.name, len(machines), best_single / best_batched
 
 
 def measure_sampling(
@@ -385,6 +520,7 @@ def run_watchdog(
     tolerance: float = 0.25,
     rounds: int = 3,
     sampling_baseline: "str | Path | None" = None,
+    sweep_baseline: "str | Path | None" = None,
 ) -> WatchdogReport:
     """Measure and compare; raises :class:`WatchdogError` on usage problems.
 
@@ -394,7 +530,10 @@ def run_watchdog(
     against.  ``sampling_baseline`` adds warn-only sampled-replay
     accuracy checks against a ``BENCH_sampling.json``; sampling drift
     never flips the exit code (an unusable sampling baseline still
-    raises, mirroring ``--baseline``).
+    raises, mirroring ``--baseline``).  ``sweep_baseline`` adds a
+    warn-only batched-sweep speedup check against the ``sweep_batched``
+    entry of a ``BENCH_machine.json`` (typically the same file as
+    ``--baseline``), same policy.
     """
     if not 0.0 <= tolerance < 1.0:
         raise WatchdogError(f"tolerance {tolerance} must be in [0, 1)")
@@ -408,6 +547,7 @@ def run_watchdog(
         rounds=rounds,
         injected_slowdown=slowdown,
         sampling_path=Path(sampling_baseline) if sampling_baseline else None,
+        sweep_path=Path(sweep_baseline) if sweep_baseline else None,
     )
     for bid in ids:
         row = rows.get(bid)
@@ -453,4 +593,18 @@ def run_watchdog(
                     measured_ratio=ratio,
                 )
             )
+    if sweep_baseline is not None:
+        sweep = load_sweep_baseline(sweep_baseline)
+        workload, n_configs, speedup = measure_sweep(
+            sweep["benchmark"], sweep.get("workload"), rounds=rounds
+        )
+        report.sweep_checks.append(
+            SweepCheck(
+                benchmark=sweep["benchmark"],
+                workload=workload,
+                configs=n_configs,
+                baseline_speedup=float(sweep["speedup"]),
+                measured_speedup=speedup,
+            )
+        )
     return report

@@ -33,7 +33,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from ..core.errors import MachineMismatch, StudyError
-from ..core.run import Session
+from ..core.run import ReplayRequest, Session
 from ..core.suite import alberta_workloads
 from ..core.workload import Workload, WorkloadSet
 from ..machine.cost import MachineConfig
@@ -114,7 +114,7 @@ def train_profile(
     try:
         m = _effective_machine(machine, session)
         capture = session.capture(benchmark_id, workload)
-        execution = session.replay(capture, workload=workload, machine=m)
+        execution = session.replay(capture, ReplayRequest(workload=workload, machine=m))
         return collect_profile(
             execution, capture.methods, machine=m or MachineConfig()
         )
@@ -158,9 +158,12 @@ def evaluate_pair(
                 benchmark_id, train_workload, m, session=session
             )
         capture = session.capture(benchmark_id, eval_workload)
-        baseline = session.replay(capture, workload=eval_workload, machine=m)
+        baseline = session.replay(
+            capture, ReplayRequest(workload=eval_workload, machine=m)
+        )
         fdo = session.replay(
-            capture, workload=eval_workload, build=FdoBuild(profile), machine=m
+            capture,
+            ReplayRequest(workload=eval_workload, build=FdoBuild(profile), machine=m),
         )
         return FdoResult(
             benchmark=benchmark_id,
@@ -226,7 +229,7 @@ def cross_validate(
         m = _effective_machine(machine, session)
         captures = session.capture_set(benchmark_id, wl)
         baselines = [
-            session.replay(cap, workload=w, machine=m)
+            session.replay(cap, ReplayRequest(workload=w, machine=m))
             for cap, w in zip(captures, wl)
         ]
         profiles = [
@@ -238,7 +241,9 @@ def cross_validate(
         if combined:
             build = FdoBuild(merge_profiles(profiles))
             for cap, base, target in zip(captures, baselines, wl):
-                fdo = session.replay(cap, workload=target, build=build, machine=m)
+                fdo = session.replay(
+                    cap, ReplayRequest(workload=target, build=build, machine=m)
+                )
                 result.results.append(
                     FdoResult(
                         benchmark=benchmark_id,
@@ -256,7 +261,8 @@ def cross_validate(
                 if ei == ti:
                     continue
                 fdo = session.replay(
-                    captures[ei], workload=target, build=build, machine=m
+                    captures[ei],
+                    ReplayRequest(workload=target, build=build, machine=m),
                 )
                 result.results.append(
                     FdoResult(

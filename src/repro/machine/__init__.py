@@ -1,7 +1,8 @@
 """Machine model: caches, branch predictors, telemetry, cost accounting."""
 
+from .batch import replay_capture_batched
 from .branch import BimodalPredictor, GsharePredictor
-from .cache import Cache, CacheConfig, CacheHierarchy, Tlb
+from .cache import Cache, CacheConfig, CacheGeometry, CacheHierarchy, Tlb
 from .capture import TelemetryCapture, capture_execution, replay_capture
 from .cost import CostModel, MachineConfig, MachineReport, MethodCost
 from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset
@@ -13,10 +14,12 @@ __all__ = [
     "TelemetryCapture",
     "capture_execution",
     "replay_capture",
+    "replay_capture_batched",
     "BimodalPredictor",
     "GsharePredictor",
     "Cache",
     "CacheConfig",
+    "CacheGeometry",
     "CacheHierarchy",
     "Tlb",
     "ATOM_LIKE",

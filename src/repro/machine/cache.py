@@ -15,8 +15,16 @@ locality relative to line/page granularity matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
-__all__ = ["CacheConfig", "Cache", "Tlb", "CacheHierarchy", "HierarchyStats"]
+__all__ = [
+    "CacheConfig",
+    "CacheGeometry",
+    "Cache",
+    "Tlb",
+    "CacheHierarchy",
+    "HierarchyStats",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +50,72 @@ class CacheConfig:
         return (self.size_bytes // self.line_bytes) // self.associativity
 
 
+@dataclass(frozen=True)
+class CacheGeometry:
+    """The swept half of a machine's memory system, as plain parameters.
+
+    :class:`~repro.machine.cost.MachineConfig` carries one of these so
+    cache geometry participates in config sweeps (and in cache keys —
+    ``dataclasses.asdict`` recurses into it).  Defaults match the
+    historical hard-coded i7-2600 hierarchy, so a default config is
+    bit-identical to every profile produced before geometry became
+    sweepable.
+    """
+
+    l1d_kib: int = 32
+    l1d_assoc: int = 8
+    l1i_kib: int = 32
+    l1i_assoc: int = 8
+    l2_kib: int = 256
+    l2_assoc: int = 8
+    llc_kib: int = 8192
+    llc_assoc: int = 16
+    line_bytes: int = 64
+    dtlb_entries: int = 64
+
+    def __post_init__(self) -> None:
+        # CacheConfig/Cache validate sizes, multiples, and powers of two;
+        # building the configs eagerly surfaces bad geometry at
+        # construction instead of first replay.
+        for cache in self._configs():
+            Cache(cache)
+        if self.dtlb_entries < 1:
+            raise ValueError("CacheGeometry: dtlb_entries must be >= 1")
+
+    def _configs(self) -> "tuple[CacheConfig, CacheConfig, CacheConfig, CacheConfig]":
+        return (
+            CacheConfig(self.l1d_kib * 1024, self.line_bytes, self.l1d_assoc, name="L1D"),
+            CacheConfig(self.l1i_kib * 1024, self.line_bytes, self.l1i_assoc, name="L1I"),
+            CacheConfig(self.l2_kib * 1024, self.line_bytes, self.l2_assoc, name="L2"),
+            CacheConfig(self.llc_kib * 1024, self.line_bytes, self.llc_assoc, name="LLC"),
+        )
+
+    def hierarchy(self) -> "CacheHierarchy":
+        """A fresh, empty :class:`CacheHierarchy` with this geometry."""
+        l1d, l1i, l2, llc = self._configs()
+        return CacheHierarchy(
+            l1d=l1d, l1i=l1i, l2=l2, llc=llc, dtlb_entries=self.dtlb_entries
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "l1d_kib": self.l1d_kib,
+            "l1d_assoc": self.l1d_assoc,
+            "l1i_kib": self.l1i_kib,
+            "l1i_assoc": self.l1i_assoc,
+            "l2_kib": self.l2_kib,
+            "l2_assoc": self.l2_assoc,
+            "llc_kib": self.llc_kib,
+            "llc_assoc": self.llc_assoc,
+            "line_bytes": self.line_bytes,
+            "dtlb_entries": self.dtlb_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "CacheGeometry":
+        return cls(**dict(data))
+
+
 class Cache:
     """One set-associative LRU cache level.
 
@@ -51,7 +125,14 @@ class Cache:
     harness replays.
     """
 
-    __slots__ = ("config", "_sets", "_set_mask", "_line_shift", "hits", "misses")
+    __slots__ = (
+        "config",
+        "_sets_store",
+        "_set_mask",
+        "_line_shift",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -61,11 +142,21 @@ class Cache:
         line = config.line_bytes
         if line & (line - 1):
             raise ValueError(f"{config.name}: line size must be a power of two")
-        self._sets: list[dict[int, None]] = [dict() for _ in range(n_sets)]
+        # The per-set dicts only serve the scalar walk; vectorized
+        # replay never touches them, so they materialize on first use
+        # (an LLC alone is thousands of dict allocations per level).
+        self._sets_store: "list[dict[int, None]] | None" = None
         self._set_mask = n_sets - 1
         self._line_shift = line.bit_length() - 1
         self.hits = 0
         self.misses = 0
+
+    @property
+    def _sets(self) -> "list[dict[int, None]]":
+        s = self._sets_store
+        if s is None:
+            s = self._sets_store = [dict() for _ in range(self.config.n_sets)]
+        return s
 
     def access(self, addr: int) -> bool:
         """Access one byte address; returns True on hit, False on miss.

@@ -45,7 +45,7 @@ from ..core.coverage import CoverageProfile
 from ..core.topdown import TopDownVector
 from . import telemetry
 from .branch import BimodalPredictor, GsharePredictor
-from .cache import CacheHierarchy, HierarchyStats
+from .cache import CacheGeometry, CacheHierarchy, HierarchyStats
 from .kernel import lru_filter
 from .telemetry import EV_BRANCH, EV_DATA, MethodCounters, Probe
 
@@ -85,6 +85,9 @@ class MachineConfig:
     fp_backend_stall: float = 0.10
     fpdiv_backend_stall: float = 12.0
     call_overhead_uops: float = 4.0
+    #: Cache/TLB geometry; the default matches the historical
+    #: hard-coded i7-2600 hierarchy bit-for-bit.
+    geometry: CacheGeometry = CacheGeometry()
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -415,10 +418,16 @@ def _replay_code_bursts(
     (low bits zero), which every lower level reduces by the same
     64-byte line shift.
     """
+    if l1i.config.line_bytes != 64:
+        # burst lines are ``(base >> shift) + within``, i.e. one line
+        # per 64-byte fetch block — with wider lines adjacent blocks
+        # share a line (MRU hits the scalar walk models), so fall back
+        # to the per-line filter, which is exact for any line size
+        return None
     uniq = np.unique(c_midx)
     if uniq.size > 64:
         return None
-    n_sets = len(l1i._sets)
+    n_sets = l1i.config.n_sets
     set_mask = l1i._set_mask
     shift = l1i._line_shift
     assoc = l1i.config.associativity
@@ -494,23 +503,29 @@ def _replay_code_bursts(
     # per unique pair, the missing lines are a fixed index list into the
     # grouped line table, shared by every burst of that pair
     q_miss = (q_touch > 0) & ~q_hit
-    pair_src = []
+    # Expand every missing (pair, set) cell's line-index range in one
+    # flat gather: np.nonzero walks row-major, so segments stay grouped
+    # by pair, and one keyed sort puts each pair's lines in fetch order
+    # — miss_key then comes out globally sorted and the L2 merge below
+    # needs no sort of its own.
+    qi_idx, s_idx = np.nonzero(q_miss)
+    seg_lo = offs[q_m[qi_idx], s_idx]
+    seg_len = offs[q_m[qi_idx], s_idx + 1] - seg_lo
+    seg_cum = np.zeros(seg_len.size + 1, dtype=np.int64)
+    np.cumsum(seg_len, out=seg_cum[1:])
+    ramp = np.arange(seg_cum[-1], dtype=np.int64) - np.repeat(seg_cum[:-1], seg_len)
+    flat_all = np.repeat(seg_lo, seg_len) + ramp
+    rep_qi = np.repeat(qi_idx, seg_len)
+    flat_src = flat_all[np.argsort(rep_qi * _ORDER_STRIDE + all_within[flat_all])]
+    pair_lens = np.zeros(uq.size, dtype=np.int64)
+    np.add.at(pair_lens, qi_idx, seg_len)
     pair_offs = np.zeros(uq.size + 1, dtype=np.int64)
-    for qi in range(uq.size):
-        m = q_m[qi]
-        parts = [
-            np.arange(offs[m, s], offs[m, s + 1], dtype=np.int64)
-            for s in np.flatnonzero(q_miss[qi]).tolist()
-        ]
-        src_q = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
-        pair_src.append(src_q)
-        pair_offs[qi + 1] = pair_offs[qi] + src_q.size
-    lens_b = (pair_offs[1:] - pair_offs[:-1])[qinv]
+    np.cumsum(pair_lens, out=pair_offs[1:])
+    lens_b = pair_lens[qinv]
     n_lines = int(lens_b.sum())
     if not n_lines:
         empty = np.zeros(0, dtype=np.int64)
         return n_hits, n_misses, empty, empty, empty
-    flat_src = np.concatenate(pair_src)
     starts_b = np.zeros(k, dtype=np.int64)
     np.cumsum(lens_b[:-1], out=starts_b[1:])
     runs = np.arange(n_lines, dtype=np.int64) - np.repeat(starts_b, lens_b)
@@ -630,20 +645,28 @@ def _replay_mem_vector(
             i_miss_attr = np.repeat(c_midx, blocks)[i_miss]
             i_miss_key = (np.repeat(c_key, blocks) + 1 + within)[i_miss]
 
-    # merge L1D and L1I misses back into original order for the L2
+    # Merge L1D and L1I misses back into original order for the L2.
+    # Both halves arrive key-sorted (data keys follow event position;
+    # fetch-block keys are emitted in fetch order within each burst and
+    # bursts in position order), and merge keys are distinct, so two
+    # searchsorted calls place every element — no sort needed.
     d_miss = ~d_hit1
-    l2_addr = np.concatenate([r_addr[d_miss], i_miss_addr])
-    if not l2_addr.size:
+    a_addr = r_addr[d_miss]
+    na = a_addr.size
+    nb = i_miss_addr.size
+    if not na + nb:
         return
-    l2_attr = np.concatenate([r_midx[d_miss], i_miss_attr])
-    l2_from_data = np.zeros(l2_addr.size, dtype=bool)
-    l2_from_data[: int(d_miss.sum())] = True
-    # merge keys are distinct, so the default sort is deterministic
-    l2_keys = np.concatenate([r_pos[d_miss] * _ORDER_STRIDE, i_miss_key])
-    order = np.argsort(l2_keys)
-    l2_addr = l2_addr[order]
-    l2_attr = l2_attr[order]
-    l2_from_data = l2_from_data[order]
+    a_keys = r_pos[d_miss] * _ORDER_STRIDE
+    pos_a = np.arange(na, dtype=np.int64) + np.searchsorted(i_miss_key, a_keys)
+    pos_b = np.arange(nb, dtype=np.int64) + np.searchsorted(a_keys, i_miss_key)
+    l2_addr = np.empty(na + nb, dtype=np.int64)
+    l2_addr[pos_a] = a_addr
+    l2_addr[pos_b] = i_miss_addr
+    l2_attr = np.empty(na + nb, dtype=np.int64)
+    l2_attr[pos_a] = r_midx[d_miss]
+    l2_attr[pos_b] = i_miss_attr
+    l2_from_data = np.zeros(na + nb, dtype=bool)
+    l2_from_data[pos_a] = True
 
     hit2 = lru_filter(l2_addr >> l2._line_shift, l2._set_mask, l2.config.associativity)
     n_hit = int(hit2.sum())
@@ -804,7 +827,7 @@ class CostModel:
     def evaluate(self, probe: Probe) -> MachineReport:
         cfg = self.config
         predictor = cfg.make_predictor()
-        hierarchy = CacheHierarchy()
+        hierarchy = cfg.geometry.hierarchy()
 
         methods = probe.methods()
         nm = len(methods)

@@ -609,7 +609,7 @@ def sampled_replay(
         )
     cm = cost_model or CostModel()
     cfg = cm.config
-    hierarchy = CacheHierarchy()
+    hierarchy = cfg.geometry.hierarchy()
     columns = capture.columns
     methods = capture.methods
     nm = len(methods)

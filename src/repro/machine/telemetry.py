@@ -224,13 +224,21 @@ class EventStream(Sequence):
     hint filter) must go through :meth:`Probe.replace_events`.
     """
 
-    __slots__ = ("_method", "_kind", "_a", "_b")
+    __slots__ = ("_method", "_kind", "_a", "_b", "_owner")
 
-    def __init__(self, method: array, kind: array, a: array, b: array):
+    def __init__(
+        self,
+        method: array,
+        kind: array,
+        a: array,
+        b: array,
+        owner: "Probe | None" = None,
+    ):
         self._method = method
         self._kind = kind
         self._a = a
         self._b = b
+        self._owner = owner
 
     def __len__(self) -> int:
         return len(self._kind)
@@ -251,14 +259,36 @@ class EventStream(Sequence):
 
         Copies (via ``tobytes``) rather than buffer views so the probe
         can keep appending afterwards — a live buffer export would make
-        ``array`` resizes raise ``BufferError``.
+        ``array`` resizes raise ``BufferError``.  The snapshot is
+        read-only and cached on the owning probe, keyed on the column
+        objects and length, so replaying one capture against many
+        machine configs pays the copy once; appends grow the length and
+        rewrites swap the ``array`` objects, either of which misses.
         """
-        return (
+        owner = self._owner
+        n = len(self._kind)
+        if owner is not None:
+            c = owner._columns_cache
+            if (
+                c is not None
+                and c[0] is self._method
+                and c[1] is self._kind
+                and c[2] is self._a
+                and c[3] is self._b
+                and c[4] == n
+            ):
+                return c[5]
+        cols = (
             np.frombuffer(self._method.tobytes(), dtype=np.int64),
             np.frombuffer(self._kind.tobytes(), dtype=np.int64),
             np.frombuffer(self._a.tobytes(), dtype=np.int64),
             np.frombuffer(self._b.tobytes(), dtype=np.int64),
         )
+        if owner is not None:
+            owner._columns_cache = (
+                self._method, self._kind, self._a, self._b, n, cols
+            )
+        return cols
 
 
 class Probe:
@@ -282,6 +312,7 @@ class Probe:
         self._event_cap = event_cap
         self._keep_every = 1
         self._tick = 0
+        self._columns_cache: "tuple | None" = None
 
     # ---------------------------------------------------------------- methods
 
@@ -514,7 +545,9 @@ class Probe:
     def events(self) -> EventStream:
         """Read-only view of the sampled stream; items are
         ``(method_index, kind, a, b)`` tuples."""
-        return EventStream(self._ev_method, self._ev_kind, self._ev_a, self._ev_b)
+        return EventStream(
+            self._ev_method, self._ev_kind, self._ev_a, self._ev_b, self
+        )
 
     @property
     def sampling_stride(self) -> int:

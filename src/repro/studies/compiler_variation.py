@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.run import Session
+from ..core.run import ReplayRequest, Session
 from ..core.workload import WorkloadSet
 from ..fdo.evaluation import train_profile
 from ..fdo.optimizer import FdoBuild
@@ -96,8 +96,10 @@ def compiler_variation(
         captures = session.capture_set(benchmark_id, wl)
         observations: list[BuildObservation] = []
         for workload, capture in zip(wl, captures):
-            base = session.replay(capture, workload=workload, machine=m)
-            fdo = session.replay(capture, workload=workload, build=build, machine=m)
+            base = session.replay(capture, ReplayRequest(workload=workload, machine=m))
+            fdo = session.replay(
+                capture, ReplayRequest(workload=workload, build=build, machine=m)
+            )
             observations.append(_observe(workload.name, "baseline", base.report))
             observations.append(_observe(workload.name, "fdo-train", fdo.report))
         return observations
