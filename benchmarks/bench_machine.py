@@ -261,10 +261,12 @@ def test_sweep_capture_reuse():
     """
     from repro.core.run import Session
     from repro.core.suite import alberta_workloads
+    from repro.core.sweep import MachineGrid, SweepRequest
 
     bid = "502.gcc_r"
     workloads = [_refrate_workload(list(alberta_workloads(bid)))]
     machines = list(_SWEEP_MACHINES)
+    request = SweepRequest(benchmark=bid, grid=MachineGrid.from_machines(machines))
 
     fused_best = None
     for _ in range(_SWEEP_ROUNDS):
@@ -280,7 +282,7 @@ def test_sweep_capture_reuse():
     for _ in range(_SWEEP_ROUNDS):
         t0 = time.perf_counter()
         with Session(cache=None) as s:
-            result = s.characterize_sweep(bid, machines, workloads)
+            result = s.characterize_sweep(request, workloads=workloads)
         dt = time.perf_counter() - t0
         if sweep_best is None or dt < sweep_best:
             sweep_best, summary, sweep_chars = dt, s.summary, result.characterizations

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Mirrors the main repo's shim: environments without ``wheel`` can
+install via ``pip install --no-use-pep517`` (classic ``setup.py``
+path).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -26,7 +26,7 @@ from ..core.characterize import BenchmarkCharacterization, characterize
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.cache import ResultCache
-from ..core.suite import benchmark_ids
+from ..core.registry import benchmark_ids
 from .figures import render_figure1, render_figure2
 from .paper_baseline import compare_to_paper
 from .sensitivity import sensitivity_report

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -274,6 +275,7 @@ def _flush_raster(probe: Probe, cull, zb, reads) -> None:
         probe.ops(len(cull), kind="fpdiv")
 
 
+@register_benchmark
 class BlenderBenchmark:
     """The ``526.blender_r`` substrate."""
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -155,6 +156,7 @@ def run_wave(config: CactusInput, probe: Probe | None = None) -> dict:
     }
 
 
+@register_benchmark
 class CactuBssnBenchmark:
     """The ``507.cactuBSSN_r`` substrate."""
 

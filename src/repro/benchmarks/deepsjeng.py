@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -470,6 +471,7 @@ class _Searcher:
         return best
 
 
+@register_benchmark
 class DeepsjengBenchmark:
     """The ``531.deepsjeng_r`` substrate."""
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -216,6 +217,7 @@ def _transform_solution(solution: list[int], rng: random.Random) -> list[int]:
     return [v for row in grid for v in row]
 
 
+@register_benchmark
 class Exchange2Benchmark:
     """The ``548.exchange2_r`` substrate."""
 

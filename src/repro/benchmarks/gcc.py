@@ -32,6 +32,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -851,6 +852,7 @@ def interpret(funcs: dict[str, tuple], entry: str, args: list[int], max_steps: i
     return _callf(entry, args)
 
 
+@register_benchmark
 class GccBenchmark:
     """The ``502.gcc_r`` substrate."""
 

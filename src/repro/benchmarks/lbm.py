@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -175,6 +176,7 @@ def run_lbm(config: LbmInput, probe: Probe | None = None) -> dict:
     }
 
 
+@register_benchmark
 class LbmBenchmark:
     """The ``519.lbm_r`` substrate."""
 

@@ -26,6 +26,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -406,6 +407,7 @@ def _playout(
     return board.score()
 
 
+@register_benchmark
 class LeelaBenchmark:
     """The ``541.leela_r`` substrate."""
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -378,6 +379,7 @@ class NetworkSimplex:
         )
 
 
+@register_benchmark
 class McfBenchmark:
     """The ``505.mcf_r`` substrate."""
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -151,6 +152,7 @@ def compute_forces(
     return forces, energies
 
 
+@register_benchmark
 class NabBenchmark:
     """The ``544.nab_r`` substrate."""
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -352,6 +353,7 @@ def to_ned(config: OmnetInput, name: str = "net") -> str:
     return "\n".join(lines)
 
 
+@register_benchmark
 class OmnetppBenchmark:
     """The ``520.omnetpp_r`` substrate.
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -217,6 +218,7 @@ def conjugate_gradient(
     return x, iterations
 
 
+@register_benchmark
 class ParestBenchmark:
     """The ``510.parest_r`` substrate."""
 

@@ -28,6 +28,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -321,6 +322,7 @@ def _flush(tracer: _Tracer, probe: Probe, scene: SceneInput) -> None:
     tracer.obj_reads = []
 
 
+@register_benchmark
 class PovrayBenchmark:
     """The ``511.povray_r`` substrate."""
 

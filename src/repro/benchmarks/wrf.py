@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -171,6 +172,7 @@ def run_forecast(config: WrfInput, probe: Probe | None = None) -> dict:
     }
 
 
+@register_benchmark
 class WrfBenchmark:
     """The ``521.wrf_r`` substrate."""
 

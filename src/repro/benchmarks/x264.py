@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -262,6 +263,7 @@ def encode_video(
     return recon, stats
 
 
+@register_benchmark(in_table2=False)
 class X264Benchmark:
     """The ``525.x264_r`` substrate (decode -> encode -> validate)."""
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -290,6 +291,7 @@ def _field_text(node: XmlNode, key: str) -> str:
 # ------------------------------------------------------------ transformation
 
 
+@register_benchmark
 class XalancbmkBenchmark:
     """The ``523.xalancbmk_r`` substrate."""
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_benchmark
 from ..core.workload import Workload
 from ..machine.telemetry import Probe
 from .base import BenchmarkError
@@ -364,6 +365,7 @@ def decompress(blob: bytes, expected_size: int, probe: Probe | None = None) -> b
     return bytes(out)
 
 
+@register_benchmark
 class XzBenchmark:
     """The ``557.xz_r`` substrate: decompress -> compress -> decompress."""
 

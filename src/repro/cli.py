@@ -339,7 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmarks", nargs="*", help="benchmark ids (default: all Table II rows)")
     _add_engine_options(p)
 
-    sub.add_parser("list", help="list registered benchmarks")
+    p = sub.add_parser("list", help="list registered benchmarks")
+    p.add_argument(
+        "--plugins",
+        action="store_true",
+        help="list loaded plugins and the descriptors they registered",
+    )
     return parser
 
 
@@ -382,12 +387,20 @@ def _print_replay_summary(args: argparse.Namespace, before: dict) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "verbose", False):
-        before = _replay_counters()
-        status = _dispatch(args)
-        _print_replay_summary(args, before)
-        return status
-    return _dispatch(args)
+    from .core.errors import UnknownScenarioError
+
+    try:
+        if getattr(args, "verbose", False):
+            before = _replay_counters()
+            status = _dispatch(args)
+            _print_replay_summary(args, before)
+            return status
+        return _dispatch(args)
+    except UnknownScenarioError as exc:
+        # Usage error, not a pipeline failure: unknown benchmark /
+        # workload / machine id anywhere in the command.
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -401,7 +414,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .analysis.sensitivity import sensitivity_report
         from .analysis.tables import render_table2
         from .core.characterize import characterize
-        from .core.suite import benchmark_ids
+        from .core.registry import benchmark_ids
         from .machine import telemetry
 
         kwargs = _engine_kwargs(args)
@@ -672,7 +685,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "generate":
-        from .core.suite import get_benchmark, get_generator
+        from .core.registry import get_benchmark, get_generator
         from .machine.profiler import run_benchmark
 
         generator = get_generator(args.benchmark)
@@ -690,7 +703,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "validate":
-        from .core.suite import alberta_workloads
+        from .core.registry import alberta_workloads
         from .core.validation import validate_workload_set
 
         report = validate_workload_set(alberta_workloads(args.benchmark))
@@ -720,11 +733,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "list":
-        from .core.suite import registry
+        from .core.registry import CAP_IN_TABLE2, REGISTRY
 
-        for bid, entry in sorted(registry().items()):
-            table2 = "" if entry.in_table2 else "  (no Table II row)"
-            print(f"{bid:<18} {entry.suite}{table2}")
+        if args.plugins:
+            infos = REGISTRY.plugins()
+            if not infos:
+                print("no plugins loaded")
+                return 0
+            for info in infos:
+                print(f"plugin {info.name} ({info.source})")
+                for ref in info.descriptors:
+                    print(f"  {ref}")
+            return 0
+        for d in REGISTRY.descriptors("benchmark"):
+            table2 = "" if CAP_IN_TABLE2 in d.capabilities else "  (no Table II row)"
+            origin = "" if d.origin == "builtin" else f"  [{d.origin}]"
+            print(f"{d.id:<18} {d.suite or '?'}{table2}{origin}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

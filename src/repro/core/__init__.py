@@ -14,8 +14,10 @@ from .errors import (
     CacheCorruption,
     CellFailure,
     MachineMismatch,
+    RegistrationError,
     ReproError,
     StudyError,
+    UnknownScenarioError,
     VerificationError,
     WorkloadError,
 )
@@ -29,7 +31,16 @@ from .trace import (
     summarize_trace,
     trace_spans,
 )
-from .suite import alberta_workloads, benchmark_ids, get_benchmark, get_generator
+from .registry import (
+    REGISTRY,
+    Descriptor,
+    Registry,
+    alberta_workloads,
+    benchmark_ids,
+    get_benchmark,
+    get_generator,
+    load_plugin,
+)
 from .validation import ValidationReport, validate_workload_set
 from .stats import (
     RatioSummary,
@@ -67,6 +78,12 @@ __all__ = [
     "VerificationError",
     "StudyError",
     "MachineMismatch",
+    "UnknownScenarioError",
+    "RegistrationError",
+    "REGISTRY",
+    "Descriptor",
+    "Registry",
+    "load_plugin",
     "Run",
     "RunResult",
     "Session",

@@ -140,6 +140,21 @@ def workload_fingerprint(workload: Workload) -> dict[str, Any]:
     }
 
 
+def _descriptor_tokens(benchmark_id: str) -> dict[str, str]:
+    """Registry descriptor tokens that join this benchmark's cache keys.
+
+    Empty for descriptors at ``version=1`` (and for benchmark ids the
+    registry has never heard of — keys must stay computable for
+    synthetic test benchmarks), so pre-registry cache entries keep
+    their exact keys.  A descriptor version bump makes its token
+    non-``None``, which shows up here and invalidates exactly that
+    scenario's artifacts.
+    """
+    from .registry import REGISTRY
+
+    return REGISTRY.cache_tokens(benchmark_id)
+
+
 def cache_key(
     benchmark_id: str,
     workload: Workload,
@@ -161,6 +176,11 @@ def cache_key(
     an ``exact=True`` plan, whose token *is* ``None``) hashes exactly
     as before, so sampled estimates and exact results can never share
     a key.
+
+    Registry descriptor versions join the key the same way: only
+    non-``None`` :meth:`~repro.core.registry.Descriptor.cache_token`
+    values (version > 1) are folded in, so unchanged descriptors keep
+    every pre-existing key byte-identical.
     """
     from .. import __version__
 
@@ -171,6 +191,9 @@ def cache_key(
         "workload": workload_fingerprint(workload),
         "machine": asdict(machine or MachineConfig()),
     }
+    tokens = _descriptor_tokens(benchmark_id)
+    if tokens:
+        ident["descriptors"] = tokens
     if build is not None:
         ident["build"] = build
     if sampling is not None:
@@ -186,22 +209,24 @@ def capture_key(benchmark_id: str, workload: Workload) -> str:
     Deliberately *machine-independent*: the capture stage records what
     the benchmark did, not how a machine would execute it, so the key
     covers only the benchmark id, the workload content, the artifact
-    format, and the repro version.  Every machine config (and every FDO
-    build) replays the same capture.
+    format, and the repro version — plus, like :func:`cache_key`, any
+    non-baseline registry descriptor tokens.  Every machine config (and
+    every FDO build) replays the same capture.
     """
     from .. import __version__
 
+    ident: dict[str, Any] = {
+        "format": CACHE_FORMAT,
+        "version": __version__,
+        "stage": "capture",
+        "benchmark": benchmark_id,
+        "workload": workload_fingerprint(workload),
+    }
+    tokens = _descriptor_tokens(benchmark_id)
+    if tokens:
+        ident["descriptors"] = tokens
     h = hashlib.sha256()
-    _update(
-        h,
-        {
-            "format": CACHE_FORMAT,
-            "version": __version__,
-            "stage": "capture",
-            "benchmark": benchmark_id,
-            "workload": workload_fingerprint(workload),
-        },
-    )
+    _update(h, ident)
     return h.hexdigest()
 
 

@@ -77,7 +77,14 @@ from . import metrics
 from .artifacts import ArtifactStore
 from .cache import ResultCache, cache_key, capture_key
 from .errors import CellFailure, WorkloadError
-from .suite import alberta_workloads, benchmark_ids, get_benchmark
+from .registry import (
+    CAP_CAPTURE_ONLY,
+    CAP_SWEEPABLE,
+    REGISTRY,
+    alberta_workloads,
+    benchmark_ids,
+    get_benchmark,
+)
 from .trace import CellSpan, StageSpan, TraceWriter
 from .workload import Workload, WorkloadSet
 
@@ -102,6 +109,28 @@ _ENGINE_MACHINE: Any = object()
 def default_workers() -> int:
     """The engine's default worker count: every available CPU."""
     return os.cpu_count() or 1
+
+
+def _require_capability(benchmark_id: str, capability: str, *, stage: str) -> None:
+    """Reject a registered benchmark whose descriptor forbids ``stage``.
+
+    Unregistered benchmarks (ad-hoc substrates built in tests) pass
+    through untouched — capability flags only constrain descriptors
+    that actually declared them.
+    """
+    d = REGISTRY.find("benchmark", benchmark_id)
+    if d is None:
+        return
+    if CAP_CAPTURE_ONLY in d.capabilities:
+        raise WorkloadError(
+            f"{stage}: benchmark {benchmark_id!r} is registered "
+            f"{CAP_CAPTURE_ONLY!r} and cannot be replayed or swept"
+        )
+    if capability not in d.capabilities:
+        raise WorkloadError(
+            f"{stage}: benchmark {benchmark_id!r} lacks the "
+            f"{capability!r} capability"
+        )
 
 
 @dataclass(frozen=True)
@@ -1041,6 +1070,7 @@ class CharacterizationEngine:
         machines = list(machines)
         if not machines:
             raise WorkloadError("characterize_sweep: need at least one machine config")
+        _require_capability(benchmark_id, CAP_SWEEPABLE, stage="characterize_sweep")
         alberta = workloads is None
         if alberta:
             workloads = alberta_workloads(benchmark_id, base_seed)

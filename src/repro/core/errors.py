@@ -18,7 +18,12 @@ is damaged".  This module gives each mode its own type:
 * :class:`StudyError` — a Section V/VII study or FDO request is
   invalid (missing profiles, too few workloads, bad parameters);
 * :class:`MachineMismatch` — an FDO comparison would mix results from
-  different machine configurations.
+  different machine configurations;
+* :class:`UnknownScenarioError` — a benchmark / workload / machine /
+  build id does not resolve in the scenario registry (carries
+  near-miss suggestions; the CLI maps it to exit code 2);
+* :class:`RegistrationError` — a scenario descriptor is malformed or
+  collides with an already-registered id at registry load time.
 
 Deprecation note: every type subclasses :class:`ReproError`, which
 itself subclasses ``ValueError``, so pre-existing ``except ValueError``
@@ -29,6 +34,9 @@ a future release.
 
 from __future__ import annotations
 
+import difflib
+from collections.abc import Iterable
+
 __all__ = [
     "ReproError",
     "WorkloadError",
@@ -37,6 +45,8 @@ __all__ = [
     "VerificationError",
     "StudyError",
     "MachineMismatch",
+    "UnknownScenarioError",
+    "RegistrationError",
 ]
 
 
@@ -140,4 +150,62 @@ class MachineMismatch(StudyError):
     FDO-optimized replays run under the same
     :class:`~repro.machine.cost.MachineConfig`; this error rejects the
     apples-to-oranges comparison instead of silently computing it.
+    """
+
+
+class UnknownScenarioError(ReproError, KeyError):
+    """A scenario id (benchmark, workload, machine preset, build) does
+    not resolve in the registry.
+
+    Also subclasses ``KeyError`` because the pre-registry lookups
+    (``core.suite.get_benchmark``, ``machine.machine.preset``,
+    ``WorkloadSet[name]``) raised bare ``KeyError``; existing
+    ``except KeyError`` call sites keep working.
+
+    Attributes:
+        kind: human noun for the id space (``"benchmark"``,
+            ``"machine preset"``, ``"workload"``, ...).
+        scenario_id: the id that failed to resolve.
+        known: the ids that *are* registered, for error rendering.
+        suggestions: near-miss candidates from the known ids.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        scenario_id: object,
+        known: Iterable[str] = (),
+        *,
+        message: str | None = None,
+    ):
+        self.kind = kind
+        self.scenario_id = scenario_id
+        self.known = tuple(sorted(str(k) for k in known))
+        self.suggestions = tuple(
+            difflib.get_close_matches(str(scenario_id), self.known, n=3, cutoff=0.4)
+        )
+        if message is None:
+            message = f"unknown {kind} {scenario_id!r}"
+            if self.suggestions:
+                hint = " or ".join(repr(s) for s in self.suggestions)
+                message += f"; did you mean {hint}?"
+            elif self.known:
+                shown = ", ".join(self.known[:8])
+                more = f", ... ({len(self.known)} total)" if len(self.known) > 8 else ""
+                message += f"; known: {shown}{more}"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message (quoting it); render
+        # the plain text instead.
+        return str(self.args[0]) if self.args else ""
+
+
+class RegistrationError(ReproError):
+    """A scenario descriptor is invalid at registration time.
+
+    Raised by :mod:`repro.core.registry` for malformed descriptors
+    (bad kind, empty id, non-positive version), id collisions between
+    two different descriptors, and plugin entry points that fail to
+    load — always *before* any characterization runs.
     """

@@ -52,7 +52,7 @@ from .cache import ResultCache
 from .engine import _ENGINE_MACHINE, CharacterizationEngine, CellOutcome, _Cell
 from .errors import CellFailure
 from .metrics import MetricsRegistry
-from .suite import alberta_workloads
+from .registry import alberta_workloads
 from .sweep import ENGINE_MACHINE, MachineGrid, ReplayRequest, SweepRequest
 from .trace import RunSummary, TraceWriter, export_chrome_trace
 from .workload import Workload, WorkloadSet
@@ -309,7 +309,9 @@ class Session:
                 )
             warnings.warn(
                 "characterize_sweep(benchmark_id, machines, ...) is deprecated; "
-                "pass a SweepRequest (see repro.core.sweep)",
+                "pass a SweepRequest whose MachineGrid names each config — "
+                "registry presets resolve via MachineGrid.from_presets() "
+                "(see repro.core.sweep and repro.core.registry)",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -445,7 +447,9 @@ class Session:
             warnings.warn(
                 "replay(capture, workload=..., build=..., machine=..., "
                 "sampling=...) keyword form is deprecated; pass a "
-                "ReplayRequest (see repro.core.sweep)",
+                "ReplayRequest — machine configs resolve by registered "
+                "preset name via repro.core.registry.machine_preset() "
+                "(see repro.core.sweep)",
                 DeprecationWarning,
                 stacklevel=2,
             )

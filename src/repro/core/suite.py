@@ -1,9 +1,22 @@
-"""Benchmark suite registry.
+"""Benchmark suite view — a compatibility shim over the registry.
 
-Maps SPEC CPU 2017 benchmark ids to their substrate implementations
-and Alberta-workload generators, and provides suite-level iteration
-(INT / FP / all) mirroring how the paper organizes Sections IV-A and
-IV-B.
+Historically this module *was* the registry: sixteen hardcoded
+import pairs mapping SPEC CPU 2017 benchmark ids to substrates and
+Alberta-workload generators.  The declarative scenario registry
+(:mod:`repro.core.registry`) now owns that wiring — the benchmark and
+generator modules self-register via decorators — and this module keeps
+the old call surface alive by delegating:
+
+* :func:`registry` still returns ``{benchmark_id: SuiteEntry}``;
+* :func:`benchmark_ids` / :func:`get_benchmark` / :func:`get_generator`
+  / :func:`alberta_workloads` are re-exported from the registry
+  unchanged (same signatures, same semantics; unknown ids now raise
+  :class:`~repro.core.errors.UnknownScenarioError`, which still *is a*
+  ``KeyError``).
+
+New code should query :data:`repro.core.registry.REGISTRY` directly —
+registry descriptors carry capability flags and cache fingerprints that
+this legacy view flattens away.
 """
 
 from __future__ import annotations
@@ -11,7 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .workload import WorkloadSet
+from .registry import (  # noqa: F401 - re-exported compatibility surface
+    CAP_IN_TABLE2,
+    REGISTRY,
+    alberta_workloads,
+    benchmark_ids,
+    get_benchmark,
+    get_generator,
+)
 
 __all__ = ["SuiteEntry", "registry", "get_benchmark", "get_generator", "benchmark_ids"]
 
@@ -27,105 +47,25 @@ class SuiteEntry:
     in_table2: bool = True
 
 
-def _entries() -> list[SuiteEntry]:
-    # imports are local so that `import repro.core` stays light
-    from ..benchmarks.blender import BlenderBenchmark
-    from ..benchmarks.cactubssn import CactuBssnBenchmark
-    from ..benchmarks.deepsjeng import DeepsjengBenchmark
-    from ..benchmarks.exchange2 import Exchange2Benchmark
-    from ..benchmarks.gcc import GccBenchmark
-    from ..benchmarks.lbm import LbmBenchmark
-    from ..benchmarks.leela import LeelaBenchmark
-    from ..benchmarks.mcf import McfBenchmark
-    from ..benchmarks.nab import NabBenchmark
-    from ..benchmarks.omnetpp import OmnetppBenchmark
-    from ..benchmarks.parest import ParestBenchmark
-    from ..benchmarks.povray import PovrayBenchmark
-    from ..benchmarks.wrf import WrfBenchmark
-    from ..benchmarks.x264 import X264Benchmark
-    from ..benchmarks.xalancbmk import XalancbmkBenchmark
-    from ..benchmarks.xz import XzBenchmark
-    from ..workloads.blender_gen import BlenderWorkloadGenerator
-    from ..workloads.cactubssn_gen import CactuBssnWorkloadGenerator
-    from ..workloads.deepsjeng_gen import DeepsjengWorkloadGenerator
-    from ..workloads.exchange2_gen import Exchange2WorkloadGenerator
-    from ..workloads.gcc_gen import GccWorkloadGenerator
-    from ..workloads.lbm_gen import LbmWorkloadGenerator
-    from ..workloads.leela_gen import LeelaWorkloadGenerator
-    from ..workloads.mcf_gen import McfWorkloadGenerator
-    from ..workloads.nab_gen import NabWorkloadGenerator
-    from ..workloads.omnetpp_gen import OmnetppWorkloadGenerator
-    from ..workloads.parest_gen import ParestWorkloadGenerator
-    from ..workloads.povray_gen import PovrayWorkloadGenerator
-    from ..workloads.wrf_gen import WrfWorkloadGenerator
-    from ..workloads.x264_gen import X264WorkloadGenerator
-    from ..workloads.xalancbmk_gen import XalancbmkWorkloadGenerator
-    from ..workloads.xz_gen import XzWorkloadGenerator
-
-    return [
-        SuiteEntry("502.gcc_r", "int", GccBenchmark, GccWorkloadGenerator),
-        SuiteEntry("505.mcf_r", "int", McfBenchmark, McfWorkloadGenerator),
-        SuiteEntry("507.cactuBSSN_r", "fp", CactuBssnBenchmark, CactuBssnWorkloadGenerator),
-        SuiteEntry("510.parest_r", "fp", ParestBenchmark, ParestWorkloadGenerator),
-        SuiteEntry("511.povray_r", "fp", PovrayBenchmark, PovrayWorkloadGenerator),
-        SuiteEntry("519.lbm_r", "fp", LbmBenchmark, LbmWorkloadGenerator),
-        SuiteEntry("520.omnetpp_r", "int", OmnetppBenchmark, OmnetppWorkloadGenerator),
-        SuiteEntry("521.wrf_r", "fp", WrfBenchmark, WrfWorkloadGenerator),
-        SuiteEntry("523.xalancbmk_r", "int", XalancbmkBenchmark, XalancbmkWorkloadGenerator),
-        # 525.x264_r has Alberta workloads (Section IV-A) but no Table II row
-        SuiteEntry("525.x264_r", "int", X264Benchmark, X264WorkloadGenerator, in_table2=False),
-        SuiteEntry("526.blender_r", "fp", BlenderBenchmark, BlenderWorkloadGenerator),
-        SuiteEntry("531.deepsjeng_r", "int", DeepsjengBenchmark, DeepsjengWorkloadGenerator),
-        SuiteEntry("541.leela_r", "int", LeelaBenchmark, LeelaWorkloadGenerator),
-        SuiteEntry("544.nab_r", "fp", NabBenchmark, NabWorkloadGenerator),
-        SuiteEntry("548.exchange2_r", "int", Exchange2Benchmark, Exchange2WorkloadGenerator),
-        SuiteEntry("557.xz_r", "int", XzBenchmark, XzWorkloadGenerator),
-    ]
-
-
-_REGISTRY: dict[str, SuiteEntry] | None = None
-
-
 def registry() -> dict[str, SuiteEntry]:
-    """The suite registry, keyed by benchmark id (built lazily)."""
-    global _REGISTRY
-    if _REGISTRY is None:
-        _REGISTRY = {e.benchmark_id: e for e in _entries()}
-    return _REGISTRY
+    """The legacy suite view, keyed by benchmark id.
 
-
-def benchmark_ids(
-    suite: str | None = None,
-    *,
-    table2_only: bool = False,
-) -> list[str]:
-    """Benchmark ids, optionally filtered to one suite or Table II rows."""
-    out = []
-    for bid, entry in registry().items():
-        if suite is not None and entry.suite != suite:
+    Built fresh from registry descriptors on every call (cheap), so
+    plugin-registered benchmarks appear here too once loaded.  Only
+    benchmarks with both a substrate and a generator descriptor (each
+    carrying a live factory) are listed — exactly the pairs the old
+    hardcoded table could express.
+    """
+    out: dict[str, SuiteEntry] = {}
+    for d in REGISTRY.descriptors("benchmark"):
+        gen = REGISTRY.find("generator", d.id)
+        if d.factory is None or gen is None or gen.factory is None:
             continue
-        if table2_only and not entry.in_table2:
-            continue
-        out.append(bid)
+        out[d.id] = SuiteEntry(
+            benchmark_id=d.id,
+            suite=d.suite or "",
+            make_benchmark=d.factory,
+            make_generator=gen.factory,
+            in_table2=CAP_IN_TABLE2 in d.capabilities,
+        )
     return out
-
-
-def get_benchmark(benchmark_id: str) -> Any:
-    """Instantiate the substrate for a benchmark id."""
-    entry = registry().get(benchmark_id)
-    if entry is None:
-        raise KeyError(f"unknown benchmark {benchmark_id!r}")
-    return entry.make_benchmark()
-
-
-def get_generator(benchmark_id: str) -> Any:
-    """Instantiate the workload generator for a benchmark id."""
-    entry = registry().get(benchmark_id)
-    if entry is None:
-        raise KeyError(f"unknown benchmark {benchmark_id!r}")
-    return entry.make_generator()
-
-
-def alberta_workloads(benchmark_id: str, base_seed: int = 0) -> WorkloadSet:
-    """The default Alberta workload set for a benchmark."""
-    return get_generator(benchmark_id).alberta_set(base_seed)

@@ -37,8 +37,8 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..machine.cache import CacheGeometry
 from ..machine.cost import MachineConfig
-from ..machine.machine import PRESETS, preset
 from .cache import payload_digest
+from .registry import machine_preset, machine_preset_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..machine.sampling import SamplingPlan
@@ -109,11 +109,17 @@ class MachineGrid:
 
     @classmethod
     def from_presets(cls, *names: str) -> "MachineGrid":
-        """A grid of named presets; ``"default"`` means the baseline config."""
+        """A grid of registered presets; ``"default"`` means the baseline.
+
+        Names resolve through the scenario registry, so plugin-provided
+        machine configs work here too; with no arguments the grid spans
+        every registered preset.  Unknown names raise
+        :class:`~repro.core.errors.UnknownScenarioError`.
+        """
         if not names:
-            names = tuple(sorted(PRESETS))
+            names = tuple(machine_preset_names())
         machines = tuple(
-            MachineConfig() if n == "default" else preset(n) for n in names
+            MachineConfig() if n == "default" else machine_preset(n) for n in names
         )
         return cls(names=tuple(names), machines=machines)
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..machine.cost import MachineConfig
 from ..machine.profiler import Profiler
-from .suite import get_benchmark
+from .registry import get_benchmark
 from .workload import WorkloadSet
 
 __all__ = ["ValidationReport", "validate_workload_set"]

@@ -384,7 +384,7 @@ def measure_sweep(
 
     from ..machine.batch import replay_capture_batched
     from ..machine.capture import capture_execution, replay_capture
-    from .suite import alberta_workloads, get_benchmark
+    from .registry import alberta_workloads, get_benchmark
     from .sweep import default_sweep_grid
 
     workloads = alberta_workloads(benchmark_id)
@@ -431,7 +431,7 @@ def measure_sampling(
     """
     from ..machine.capture import capture_execution, replay_capture
     from ..machine.sampling import SamplingPlan
-    from .suite import alberta_workloads, get_benchmark
+    from .registry import alberta_workloads, get_benchmark
     from .topdown import CATEGORIES
 
     workloads = alberta_workloads(benchmark_id)
@@ -471,7 +471,7 @@ def measure_replay(
     the same numbers the Prometheus exporter publishes.
     """
     from ..machine.capture import capture_execution, replay_capture
-    from .suite import alberta_workloads, get_benchmark
+    from .registry import alberta_workloads, get_benchmark
 
     workloads = alberta_workloads(benchmark_id)
     if workload_name is None:

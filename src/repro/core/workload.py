@@ -102,7 +102,14 @@ class WorkloadSet:
 
     def __getitem__(self, key: int | str) -> Workload:
         if isinstance(key, str):
-            return self._by_name[key]
+            try:
+                return self._by_name[key]
+            except KeyError:
+                from .errors import UnknownScenarioError
+
+                raise UnknownScenarioError(
+                    f"{self.benchmark} workload", key, self._by_name
+                ) from None
         return self._workloads[key]
 
     def __contains__(self, name: object) -> bool:

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 from ..core.errors import MachineMismatch, StudyError
 from ..core.run import ReplayRequest, Session
-from ..core.suite import alberta_workloads
+from ..core.registry import alberta_workloads
 from ..core.workload import Workload, WorkloadSet
 from ..machine.cost import MachineConfig
 from .optimizer import FdoBuild

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.registry import register_fdo_build
 from ..machine.cost import CostModel, MachineConfig, MachineReport
 from ..machine.telemetry import EV_BRANCH, Probe
 from .profile_data import FdoProfile
@@ -181,11 +182,26 @@ class FdoBuild:
     name: str = "fdo"
 
     def digest(self) -> str:
-        """Content digest of the build inputs, for replay cache keys."""
-        from ..core.cache import payload_digest
+        """Content digest of the build inputs, for replay cache keys.
 
-        return payload_digest({"build": self.name, "profile": self.profile})
+        Folds in the registered ``fdo_build`` descriptor's cache token
+        when (and only when) that descriptor's version has been bumped —
+        ``None`` tokens hash to nothing, keeping baseline FDO keys
+        byte-identical to the pre-registry era.
+        """
+        from ..core.cache import payload_digest
+        from ..core.registry import REGISTRY
+
+        ident: dict = {"build": self.name, "profile": self.profile}
+        descriptor = REGISTRY.find("fdo_build", self.name)
+        token = descriptor.cache_token() if descriptor is not None else None
+        if token is not None:
+            ident["descriptor"] = token
+        return payload_digest(ident)
 
     def cost_model(self, machine: MachineConfig | None = None) -> FdoCostModel:
         """The cost model this build replays captures through."""
         return FdoCostModel(self.profile, machine)
+
+
+register_fdo_build("fdo", FdoBuild)

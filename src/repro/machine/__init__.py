@@ -5,7 +5,7 @@ from .branch import BimodalPredictor, GsharePredictor
 from .cache import Cache, CacheConfig, CacheGeometry, CacheHierarchy, Tlb
 from .capture import TelemetryCapture, capture_execution, replay_capture
 from .cost import CostModel, MachineConfig, MachineReport, MethodCost
-from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset
+from .machine import ATOM_LIKE, I7_2600, I7_6700K, PRESETS, preset, preset_names
 from .profiler import ExecutionProfile, Profiler, run_benchmark
 from .sampling import SampledProfile, SamplingInfo, SamplingPlan, sampled_replay
 from .telemetry import MethodCounters, Probe
@@ -27,6 +27,7 @@ __all__ = [
     "I7_6700K",
     "PRESETS",
     "preset",
+    "preset_names",
     "CostModel",
     "MachineConfig",
     "MachineReport",

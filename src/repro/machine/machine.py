@@ -9,9 +9,14 @@ stays deterministic.
 
 from __future__ import annotations
 
+from ..core.registry import (
+    machine_preset,
+    machine_preset_names,
+    register_machine_config,
+)
 from .cost import MachineConfig
 
-__all__ = ["I7_2600", "I7_6700K", "ATOM_LIKE", "PRESETS", "preset"]
+__all__ = ["I7_2600", "I7_6700K", "ATOM_LIKE", "PRESETS", "preset", "preset_names"]
 
 #: The paper's measurement machine (Section V): 3.4 GHz Sandy Bridge.
 I7_2600 = MachineConfig()
@@ -41,16 +46,28 @@ ATOM_LIKE = MachineConfig(
     wrongpath_uops=8.0,
 )
 
+#: Legacy view of the built-in presets.  Kept for compatibility; the
+#: authoritative name space is the registry's ``machine`` kind, which
+#: plugins extend — use :func:`preset` / :func:`preset_names`.
 PRESETS: dict[str, MachineConfig] = {
     "i7-2600": I7_2600,
     "i7-6700k": I7_6700K,
     "atom-like": ATOM_LIKE,
 }
 
+for _name, _config in PRESETS.items():
+    register_machine_config(_name, _config)
+
 
 def preset(name: str) -> MachineConfig:
-    """Look up a preset by name (case-insensitive)."""
-    key = name.lower()
-    if key not in PRESETS:
-        raise KeyError(f"unknown machine preset {name!r}; have {sorted(PRESETS)}")
-    return PRESETS[key]
+    """Look up a preset by registered name (case-insensitive).
+
+    Unknown names raise :class:`~repro.core.errors.UnknownScenarioError`
+    (a ``KeyError`` subclass) with near-miss suggestions.
+    """
+    return machine_preset(name)
+
+
+def preset_names() -> list[str]:
+    """Every registered preset name — builtin and plugin-provided."""
+    return machine_preset_names()

@@ -81,7 +81,7 @@ def compiler_variation(
         session = Session(machine=machine)
     try:
         if workloads is None:
-            from ..core.suite import alberta_workloads
+            from ..core.registry import alberta_workloads
 
             workloads = alberta_workloads(benchmark_id)
         wl = list(workloads)

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..core.errors import StudyError
 from ..core.run import Session
-from ..core.suite import alberta_workloads
+from ..core.registry import alberta_workloads
 from ..machine.capture import TelemetryCapture
 
 __all__ = [

@@ -14,6 +14,7 @@ containing both renderable scenes and resource-only files,
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.blender import BlendScene, MeshObject
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -62,6 +63,7 @@ def make_scene_library(seed: int = 5, n_scenes: int = 24) -> list[BlendScene]:
     return library
 
 
+@register_generator
 class BlenderWorkloadGenerator:
     """Scene-library selection, as the paper's two scripts."""
 

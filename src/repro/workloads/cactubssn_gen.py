@@ -12,6 +12,7 @@ evolved field components.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.cactubssn import CactusInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import workload
@@ -19,6 +20,7 @@ from .base import workload
 __all__ = ["CactuBssnWorkloadGenerator"]
 
 
+@register_generator
 class CactuBssnWorkloadGenerator:
     """Parameter-file variations (the paper's MANUAL provenance class)."""
 

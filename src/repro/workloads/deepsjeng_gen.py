@@ -16,6 +16,7 @@ interpreted Python, not C.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.deepsjeng import START_FEN, ChessInput, Position
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -53,6 +54,7 @@ def synthesize_corpus(n_positions: int = 64, seed: int = 946) -> list[str]:
     return corpus
 
 
+@register_generator
 class DeepsjengWorkloadGenerator:
     """Samples positions and depths, mirroring the Alberta script."""
 

@@ -13,6 +13,7 @@ per-seed generation count.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.exchange2 import SudokuInput, _canonical_solution, _transform_solution, solve
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -45,6 +46,7 @@ def make_seed_collection(n_seeds: int = 27, base_seed: int = 27) -> tuple[str, .
 SPEC_SEEDS: tuple[str, ...] = make_seed_collection()
 
 
+@register_generator
 class Exchange2WorkloadGenerator:
     """Selects seeds and sets the puzzle count, as the Alberta script."""
 

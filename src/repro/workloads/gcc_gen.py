@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import re
 
+from ..core.registry import register_generator
 from ..benchmarks.gcc import CSource
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -445,6 +446,7 @@ def generate_program(
     return "\n".join(lines)
 
 
+@register_generator
 class GccWorkloadGenerator:
     """Corpus + OneFile-merged projects + procedural programs."""
 

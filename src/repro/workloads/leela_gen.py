@@ -10,6 +10,7 @@ SGF, and then culled exactly as the Alberta script does.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.leela import BLACK, WHITE, GoBoard, _legal_moves
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -55,6 +56,7 @@ def cull_sgf(sgf: str, n_cull: int) -> str:
     return header + (";" + ";".join(kept) if kept else "") + ")"
 
 
+@register_generator
 class LeelaWorkloadGenerator:
     """Synthesized games, end-culled, over three board sizes."""
 

@@ -17,7 +17,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from ..core.suite import get_generator
+from ..core.registry import get_generator
 from ..core.workload import Workload, WorkloadSet
 
 __all__ = ["save_manifest", "load_manifest", "rebuild_workload", "rebuild_set"]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from ..core.registry import register_generator
 from ..benchmarks.mcf import McfInstance
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -241,6 +242,7 @@ def timetable_to_mcf(
     )
 
 
+@register_generator
 class McfWorkloadGenerator:
     """Fully procedural mcf workloads (the paper's PROCEDURAL class)."""
 

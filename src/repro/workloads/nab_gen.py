@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.registry import register_generator
 from ..benchmarks.nab import NabInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -62,6 +63,7 @@ def synthesize_protein(
     return arr, charges, tuple(bonds)
 
 
+@register_generator
 class NabWorkloadGenerator:
     """Synthetic protein structures (pdb/prm stand-ins)."""
 

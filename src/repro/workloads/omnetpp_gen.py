@@ -10,6 +10,7 @@ parameters), and the SPEC-like trio that varies only simulation time.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.omnetpp import OmnetInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -62,6 +63,7 @@ def topology_edges(
     raise ValueError(f"unknown topology {kind!r}")
 
 
+@register_generator
 class OmnetppWorkloadGenerator:
     """The paper's seven topology workloads + SPEC-like time variants."""
 

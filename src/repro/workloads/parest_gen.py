@@ -9,6 +9,7 @@ field; this generator provides all three.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.parest import ParestInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import workload
@@ -16,6 +17,7 @@ from .base import workload
 __all__ = ["ParestWorkloadGenerator"]
 
 
+@register_generator
 class ParestWorkloadGenerator:
     """Mesh / tolerance / coefficient-field variations."""
 

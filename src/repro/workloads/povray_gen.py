@@ -15,6 +15,7 @@ The paper's seven povray workloads fall into three families:
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.povray import Light, PlaneFloor, SceneInput, Sphere
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -89,6 +90,7 @@ def _primitive_scene(rng, aperture_samples: int) -> SceneInput:
     )
 
 
+@register_generator
 class PovrayWorkloadGenerator:
     """Collection / lumpy / primitive scenes, as in the paper."""
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.registry import register_generator
 from ..benchmarks.x264 import VideoInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -79,6 +80,7 @@ def synthesize_video(
     return frames
 
 
+@register_generator
 class X264WorkloadGenerator:
     """Synthetic videos + encode parameters, mirroring the paper script."""
 

@@ -19,6 +19,7 @@ workloads of Table II.
 
 from __future__ import annotations
 
+from ..core.registry import register_generator
 from ..benchmarks.xalancbmk import TransformOp, XalanInput
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -141,6 +142,7 @@ _RECORD_STYLESHEETS: dict[str, tuple[TransformOp, ...]] = {
 }
 
 
+@register_generator
 class XalancbmkWorkloadGenerator:
     """Record-format documents + query-set combination, per the paper."""
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..core.registry import register_generator
 from ..benchmarks.xz import XzInput, compress
 from ..core.workload import Workload, WorkloadKind, WorkloadSet
 from .base import make_rng, workload
@@ -98,6 +99,7 @@ _MAKERS = {
 }
 
 
+@register_generator
 class XzWorkloadGenerator:
     """Procedural xz workloads spanning compressibility x dictionary size."""
 

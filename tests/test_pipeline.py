@@ -25,6 +25,7 @@ from repro.core.cache import capture_key, profile_to_dict
 from repro.core.errors import CacheCorruption, MachineMismatch, StudyError
 from repro.core.run import Session
 from repro.core.suite import alberta_workloads, get_benchmark
+from repro.core.sweep import MachineGrid, SweepRequest
 from repro.core.trace import summarize_trace
 from repro.fdo.evaluation import cross_validate, evaluate_pair, train_profile
 from repro.machine.capture import TelemetryCapture, capture_execution, replay_capture
@@ -215,9 +216,15 @@ class TestMachineMismatch:
 class TestSweepReuse:
     MACHINES = [None, MachineConfig(predictor="bimodal")]
 
+    @classmethod
+    def _request(cls) -> SweepRequest:
+        return SweepRequest(
+            benchmark="505.mcf_r", grid=MachineGrid.from_machines(cls.MACHINES)
+        )
+
     def test_sweep_executes_each_workload_once(self, tmp_path):
         with Session(cache=tmp_path / "store", trace=tmp_path / "cold.jsonl") as s:
-            result = s.characterize_sweep("505.mcf_r", self.MACHINES)
+            result = s.characterize_sweep(self._request())
         assert result.ok
         summary = summarize_trace(tmp_path / "cold.jsonl")
         n_workloads = len(alberta_workloads("505.mcf_r"))
@@ -227,9 +234,9 @@ class TestSweepReuse:
 
     def test_warm_sweep_executes_nothing(self, tmp_path):
         with Session(cache=tmp_path / "store") as s:
-            cold = s.characterize_sweep("505.mcf_r", self.MACHINES)
+            cold = s.characterize_sweep(self._request())
         with Session(cache=tmp_path / "store", trace=tmp_path / "warm.jsonl") as s:
-            warm = s.characterize_sweep("505.mcf_r", self.MACHINES)
+            warm = s.characterize_sweep(self._request())
         summary = summarize_trace(tmp_path / "warm.jsonl")
         assert summary.captures == 0  # zero benchmark re-executions
         assert summary.replays == 0  # every cell is a profile-cache hit

@@ -37,6 +37,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.run import Session
+from repro.core.sweep import MachineGrid, ReplayRequest, SweepRequest
 from repro.core.suite import alberta_workloads, get_benchmark, registry
 from repro.core.topdown import CATEGORIES
 from repro.machine.capture import capture_execution, replay_capture
@@ -267,12 +268,12 @@ class TestCacheSeparation:
         wl = _refrate(bid)
         with Session(cache=tmp_path / "store") as s:
             cap = s.capture(bid, wl)
-            first_sampled = s.replay(cap, workload=wl, sampling=plan)
-            first_exact = s.replay(cap, workload=wl)
+            first_sampled = s.replay(cap, ReplayRequest(workload=wl, sampling=plan))
+            first_exact = s.replay(cap, ReplayRequest(workload=wl))
         with Session(cache=tmp_path / "store") as s:
             cap = s.capture(bid, wl)
-            warm_sampled = s.replay(cap, workload=wl, sampling=plan)
-            warm_exact = s.replay(cap, workload=wl)
+            warm_sampled = s.replay(cap, ReplayRequest(workload=wl, sampling=plan))
+            warm_exact = s.replay(cap, ReplayRequest(workload=wl))
         assert isinstance(first_sampled, SampledProfile)
         assert isinstance(warm_sampled, SampledProfile)
         assert not isinstance(warm_exact, SampledProfile)
@@ -289,10 +290,12 @@ class TestPipelineVisibility:
     def test_sweep_counts_sampled_replays(self, tmp_path):
         with Session(trace=tmp_path / "t.jsonl") as s:
             result = s.characterize_sweep(
-                "519.lbm_r",
-                [None],
-                [_refrate("519.lbm_r")],
-                sampling=SamplingPlan(),
+                SweepRequest(
+                    benchmark="519.lbm_r",
+                    grid=MachineGrid.from_machines([None]),
+                    sampling=SamplingPlan(),
+                ),
+                workloads=[_refrate("519.lbm_r")],
             )
         assert result.ok
         assert s.summary.replays == 1
@@ -300,7 +303,12 @@ class TestPipelineVisibility:
 
     def test_exact_sweep_reports_zero_sampled(self):
         with Session() as s:
-            s.characterize_sweep("519.lbm_r", [None], [_refrate("519.lbm_r")])
+            s.characterize_sweep(
+                SweepRequest(
+                    benchmark="519.lbm_r", grid=MachineGrid.from_machines([None])
+                ),
+                workloads=[_refrate("519.lbm_r")],
+            )
         assert s.summary.replays == 1
         assert s.summary.replays_sampled == 0
 
@@ -310,8 +318,12 @@ class TestPipelineVisibility:
         path = tmp_path / "t.jsonl"
         with Session(trace=path) as s:
             s.characterize_sweep(
-                "505.mcf_r", [None], [_refrate("505.mcf_r")],
-                sampling=SamplingPlan(),
+                SweepRequest(
+                    benchmark="505.mcf_r",
+                    grid=MachineGrid.from_machines([None]),
+                    sampling=SamplingPlan(),
+                ),
+                workloads=[_refrate("505.mcf_r")],
             )
         spans = trace_spans(path)
         assert [sp.sampled for sp in spans] == [True]
@@ -337,7 +349,7 @@ class TestPipelineVisibility:
         )
         with Session() as s:
             cap = s.capture("505.mcf_r", "mcf.refrate")
-            s.replay(cap, sampling=SamplingPlan())
+            s.replay(cap, ReplayRequest(sampling=SamplingPlan()))
         after = telemetry.counters("engine.run")["engine.run.replays_sampled"]
         assert after == before + 1
 
