@@ -11,7 +11,11 @@ Demonstrates the full plugin contract of
   capture -> replay -> summarize pipeline (Table II row, refrate
   seconds, coverage) runs end-to-end;
 * a plugin machine preset (``demo-tiny``) resolvable by name in
-  ``MachineGrid.from_presets`` / ``repro sweep --machines``.
+  ``MachineGrid.from_presets`` / ``repro sweep --machines``;
+* a plugin FDO build (``demo-boost``) resolvable by name in
+  ``repro.fdo.evaluation.evaluate_pair(..., build="demo-boost")`` —
+  its content digest joins replay cache keys and the run ledger's
+  ``builds`` map.
 
 Loaded either via the ``repro.plugins`` entry point declared in this
 package's ``pyproject.toml`` (importing this module runs the
@@ -27,19 +31,25 @@ plugin's artifacts land under their own keys.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
+from repro.core.cache import payload_digest
 from repro.core.registry import (
+    REGISTRY,
     register_benchmark,
+    register_fdo_build,
     register_generator,
     register_machine_config,
 )
 from repro.core.workload import Workload, WorkloadKind, WorkloadSet
+from repro.fdo.optimizer import FdoCostModel
+from repro.fdo.profile_data import FdoProfile
 from repro.machine.cost import MachineConfig
 from repro.machine.telemetry import Probe
 from repro.workloads.base import make_rng, workload
 
-__all__ = ["CollatzBenchmark", "CollatzWorkloadGenerator"]
+__all__ = ["CollatzBenchmark", "CollatzFdoBuild", "CollatzWorkloadGenerator"]
 
 _MEMO_SLOTS = 4096
 
@@ -159,6 +169,37 @@ register_machine_config(
     "demo-tiny",
     MachineConfig(width=1, clock_ghz=1.0, predictor="bimodal", mlp=1.5),
 )
+
+
+@dataclass(frozen=True)
+class CollatzFdoBuild:
+    """A plugin-provided replay build transformation (``demo-boost``).
+
+    Demonstrates the fourth descriptor kind: any object with a ``name``,
+    a content ``digest()``, and a ``cost_model(machine)`` factory plugs
+    into the replay stage — ``evaluate_pair(..., build="demo-boost")``
+    resolves it by name exactly like the built-in ``"fdo"`` build.  The
+    digest joins the replay cache key and the run ledger's ``builds``
+    map, so profiles replayed under this build never collide with
+    baseline or stock-FDO entries.
+    """
+
+    profile: FdoProfile
+    name: str = "demo-boost"
+
+    def digest(self) -> str:
+        ident: dict[str, Any] = {"build": self.name, "profile": self.profile}
+        descriptor = REGISTRY.find("fdo_build", self.name)
+        token = descriptor.cache_token() if descriptor is not None else None
+        if token is not None:
+            ident["descriptor"] = token
+        return payload_digest(ident)
+
+    def cost_model(self, machine: MachineConfig | None = None) -> FdoCostModel:
+        return FdoCostModel(self.profile, machine)
+
+
+register_fdo_build("demo-boost", CollatzFdoBuild)
 
 
 def register(registry: Any) -> None:

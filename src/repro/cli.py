@@ -13,7 +13,14 @@ Commands mirror the deliverables:
 * ``metrics show|prom PATH``       — render a ``--metrics`` snapshot as
   a latency table or Prometheus text;
 * ``watchdog [IDS...]``            — replay-throughput regression gate
-  against a ``BENCH_machine.json`` baseline;
+  against a ``BENCH_machine.json`` baseline or, with
+  ``--ledger-baseline DIR``, a rolling median of recent recorded runs;
+* ``runs list|show|diff|gc|pin``   — query the persistent run ledger
+  (``suite/sweep --ledger DIR`` or ``REPRO_LEDGER_DIR`` record runs);
+* ``flame BENCH``                  — stack-sample one capture+replay and
+  write collapsed stacks (flamegraph.pl / speedscope format);
+* ``top PATH``                     — live tail of an in-flight trace
+  journal (per-cell stage states, replay eps, cache-hit rates);
 * ``fig1 BENCH`` / ``fig2 BENCH``  — render a figure panel;
 * ``report BENCH``                 — the per-benchmark Alberta report;
 * ``generate BENCH --seed N``      — mint one workload and validate it;
@@ -98,6 +105,11 @@ def _write_observability(session, args: argparse.Namespace) -> None:
             f"chrome trace: {args.chrome_trace} (load at https://ui.perfetto.dev)",
             file=sys.stderr,
         )
+    if getattr(args, "flame", None):
+        session.write_flamegraph(args.flame)
+        n = sum(session.stack_counts.values())
+        hint = "" if n else " (empty; set REPRO_STACK_SAMPLE=1 to profile)"
+        print(f"flamegraph: {args.flame} ({n} samples){hint}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +197,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's span tree as Chrome trace_event JSON "
         "(load at https://ui.perfetto.dev)",
     )
+    p.add_argument(
+        "--flame",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's collapsed profiler stacks "
+        "(needs REPRO_STACK_SAMPLE=1; see `repro flame`)",
+    )
+    p.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record the run in a persistent ledger directory "
+        "(default: $REPRO_LEDGER_DIR when set; see `repro runs`)",
+    )
 
     p = sub.add_parser(
         "sweep",
@@ -246,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="phase (cluster) count for --sample-intervals "
         "(default: the SamplingPlan default)",
     )
+    p.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record the run in a persistent ledger directory "
+        "(default: $REPRO_LEDGER_DIR when set; see `repro runs`)",
+    )
 
     p = sub.add_parser("trace", help="inspect a run-trace JSONL journal")
     p.add_argument("action", choices=("summary", "show", "chrome"))
@@ -257,12 +293,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="for `chrome`: write the trace_event JSON here instead of stdout",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="for `summary`: print machine-readable JSON instead of the table",
+    )
 
     p = sub.add_parser(
         "metrics", help="render a --metrics JSON snapshot from a run"
     )
     p.add_argument("action", choices=("show", "prom"))
     p.add_argument("path", type=Path, help="snapshot written by `suite --metrics`")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="for `show`: print machine-readable JSON instead of the table",
+    )
 
     p = sub.add_parser(
         "watchdog",
@@ -276,10 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--baseline",
         type=Path,
-        default=Path("BENCH_machine.json"),
+        default=None,
         metavar="PATH",
         help="baseline JSON written by benchmarks/bench_machine.py "
-        "(default: ./BENCH_machine.json)",
+        "(default: ./BENCH_machine.json unless --ledger-baseline is given)",
     )
     p.add_argument(
         "--tolerance",
@@ -311,6 +357,132 @@ def build_parser() -> argparse.ArgumentParser:
         help="also check batched-sweep speedup against the sweep_batched "
         "entry of a BENCH_machine.json baseline (warn-only, never fails "
         "the run)",
+    )
+    p.add_argument(
+        "--ledger-baseline",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="compare against a rolling median of recent runs recorded "
+        "in this ledger directory instead of a baseline file",
+    )
+    p.add_argument(
+        "--ledger-window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many recent ledger runs the rolling median covers "
+        "(default: 5)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of the table",
+    )
+
+    p = sub.add_parser(
+        "runs", help="query the persistent run ledger (see suite --ledger)"
+    )
+    p.add_argument(
+        "action", choices=("list", "show", "diff", "gc", "pin", "unpin")
+    )
+    p.add_argument(
+        "refs",
+        nargs="*",
+        help="run references: an id, a unique id prefix, 'latest', or "
+        "'prev' (`diff` takes two; `show`/`pin`/`unpin` take one, "
+        "default latest)",
+    )
+    p.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR)",
+    )
+    p.add_argument(
+        "--benchmark", default=None, help="for `list`: filter by benchmark id"
+    )
+    p.add_argument(
+        "--outcome",
+        choices=("ok", "degraded", "failed"),
+        default=None,
+        help="for `list`: filter by run outcome",
+    )
+    p.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="for `list`: show the newest N runs (default: 20)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="for `diff`: relative tolerance for timing-class metrics "
+        "(default: 0.25)",
+    )
+    p.add_argument(
+        "--all",
+        action="store_true",
+        help="for `diff`: list every compared series, not just findings",
+    )
+    p.add_argument(
+        "--keep", type=int, default=10, metavar="N",
+        help="for `gc`: never delete the N most recent runs (default: 10)",
+    )
+    p.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="for `gc`: only delete runs older than this many days",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    p = sub.add_parser(
+        "flame",
+        help="stack-sample one capture+replay, write collapsed stacks",
+    )
+    p.add_argument("benchmark")
+    p.add_argument(
+        "--workload", default=None, help="workload name (default: the refrate one)"
+    )
+    p.add_argument(
+        "--hz", type=float, default=1000.0, metavar="N",
+        help="sampling rate (default: 1000)",
+    )
+    p.add_argument(
+        "--seconds", type=float, default=1.0, metavar="S",
+        help="keep replaying until this much wall time is profiled "
+        "(default: 1.0)",
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="collapsed-stack output (default: BENCH.folded); feed to "
+        "flamegraph.pl or speedscope",
+    )
+
+    p = sub.add_parser(
+        "top", help="live tail of an in-flight run-trace journal"
+    )
+    p.add_argument("path", type=Path, help="journal written by suite/sweep --trace")
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds (default: 1.0)",
+    )
+    p.add_argument(
+        "--tail", type=int, default=12, metavar="N",
+        help="how many recent cells to show (default: 12)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
     )
 
     p = sub.add_parser("cache", help="inspect or wipe the result cache")
@@ -450,6 +622,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             retries=args.retries,
             strict=args.strict,
             trace=args.trace,
+            ledger=args.ledger,
         )
         try:
             with session:
@@ -529,7 +702,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
             return 2
         session = Session(
-            workers=kwargs["workers"], cache=kwargs["cache"], trace=args.trace
+            workers=kwargs["workers"], cache=kwargs["cache"], trace=args.trace,
+            ledger=args.ledger,
         )
         request = SweepRequest(
             benchmark=args.benchmark,
@@ -598,13 +772,36 @@ def _dispatch(args: argparse.Namespace) -> int:
             else:
                 print(text)
             return 0
+        if args.action == "summary" and args.json:
+            import json
+            from dataclasses import asdict
+
+            from .core.trace import summarize_trace, trace_spans
+
+            data = asdict(summarize_trace(args.path))
+            data["failed_cells"] = [
+                {
+                    "benchmark": sp.benchmark,
+                    "workload": sp.workload,
+                    "outcome": sp.outcome,
+                    "attempts": sp.attempts,
+                    "error": sp.error,
+                }
+                for sp in trace_spans(args.path)
+                if not sp.ok
+            ]
+            print(json.dumps(data, indent=2))
+            return 0
         render = render_trace_summary if args.action == "summary" else render_trace_spans
         print(render(args.path))
         return 0
 
     if args.command == "metrics":
+        import json
+
         from .core.metrics import (
             load_snapshot,
+            metrics_table_data,
             render_metrics_table,
             render_prometheus,
         )
@@ -617,6 +814,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         except (ValueError, KeyError, TypeError) as exc:
             print(f"metrics: {args.path}: unreadable snapshot ({exc})", file=sys.stderr)
             return 2
+        if args.action == "show" and args.json:
+            print(json.dumps(metrics_table_data(reg), indent=2))
+            return 0
         print(
             render_metrics_table(reg)
             if args.action == "show"
@@ -625,22 +825,207 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "watchdog":
+        import json
+
         from .core.watchdog import EXIT_USAGE, WatchdogError, run_watchdog
 
+        if args.baseline is not None and args.ledger_baseline is not None:
+            print(
+                "watchdog: needs exactly one of --baseline and --ledger-baseline",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        baseline = args.baseline
+        if baseline is None and args.ledger_baseline is None:
+            baseline = Path("BENCH_machine.json")
         try:
             report = run_watchdog(
-                args.baseline,
+                baseline,
                 args.benchmarks or None,
                 tolerance=args.tolerance,
                 rounds=args.rounds,
                 sampling_baseline=args.sampling_baseline,
                 sweep_baseline=args.sweep_baseline,
+                ledger=args.ledger_baseline,
+                ledger_window=args.ledger_window,
             )
         except WatchdogError as exc:
             print(f"watchdog: {exc}", file=sys.stderr)
             return EXIT_USAGE
-        print(report.render())
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
         return report.exit_code
+
+    if args.command == "runs":
+        import json
+
+        from .core.ledger import (
+            LEDGER_ENV,
+            LedgerError,
+            RunLedger,
+            diff_records,
+            render_record,
+            render_runs_table,
+        )
+
+        root = args.ledger or os.environ.get(LEDGER_ENV, "").strip() or None
+        if root is None:
+            print(
+                f"runs: no ledger directory (pass --ledger or set {LEDGER_ENV})",
+                file=sys.stderr,
+            )
+            return 2
+        ledger = RunLedger(root)
+        try:
+            if args.action == "list":
+                records = ledger.query(
+                    benchmark=args.benchmark,
+                    outcome=args.outcome,
+                    limit=args.limit,
+                )
+                if args.json:
+                    print(
+                        json.dumps(
+                            [
+                                {k: v for k, v in r.items() if k != "metrics"}
+                                for r in records
+                            ],
+                            indent=2,
+                        )
+                    )
+                else:
+                    print(render_runs_table(records))
+                return 0
+            if args.action == "show":
+                record = ledger.resolve(args.refs[0] if args.refs else "latest")
+                print(
+                    json.dumps(record, indent=2)
+                    if args.json
+                    else render_record(record)
+                )
+                return 0
+            if args.action == "diff":
+                if len(args.refs) != 2:
+                    print(
+                        "runs diff: needs exactly two run references "
+                        "(e.g. `repro runs diff prev latest`)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                report = diff_records(
+                    ledger.resolve(args.refs[0]),
+                    ledger.resolve(args.refs[1]),
+                    tolerance=args.tolerance,
+                )
+                if args.json:
+                    print(json.dumps(report.to_dict(), indent=2))
+                else:
+                    print(report.render(verbose=args.all))
+                return report.exit_code
+            if args.action == "gc":
+                removed = ledger.gc(
+                    keep=args.keep,
+                    max_age_s=(
+                        args.max_age_days * 86400.0
+                        if args.max_age_days is not None
+                        else None
+                    ),
+                )
+                if args.json:
+                    print(json.dumps({"removed": removed}))
+                else:
+                    print(
+                        f"runs gc: removed {len(removed)} run(s)"
+                        + (": " + ", ".join(removed) if removed else "")
+                    )
+                return 0
+            # pin / unpin
+            ref = args.refs[0] if args.refs else "latest"
+            run_id = (
+                ledger.pin(ref) if args.action == "pin" else ledger.unpin(ref)
+            )
+            print(f"runs: {args.action}ned {run_id}")
+            return 0
+        except LedgerError as exc:
+            print(f"runs: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "flame":
+        import time as time_mod
+
+        from .core.registry import (
+            UnknownScenarioError,
+            alberta_workloads,
+            get_benchmark,
+        )
+        from .core.resources import StackSampler, render_collapsed, top_frames
+        from .machine.capture import capture_execution, replay_capture
+
+        try:
+            workloads = alberta_workloads(args.benchmark)
+        except UnknownScenarioError as exc:
+            print(f"flame: {exc}", file=sys.stderr)
+            return 2
+        if args.workload is None:
+            workload = next(
+                (w for w in workloads if w.name.endswith(".refrate")), workloads[0]
+            )
+        else:
+            match = [w for w in workloads if w.name == args.workload]
+            if not match:
+                print(
+                    f"flame: {args.benchmark} has no workload "
+                    f"named {args.workload!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            workload = match[0]
+        benchmark = get_benchmark(args.benchmark)
+        replays = 0
+        started = time_mod.perf_counter()
+        with StackSampler(hz=args.hz) as sampler:
+            capture = capture_execution(benchmark, workload)
+            while (
+                replays == 0
+                or time_mod.perf_counter() - started < args.seconds
+            ):
+                replay_capture(capture)
+                replays += 1
+        out = args.out or Path(f"{args.benchmark}.folded")
+        out.write_text(render_collapsed(sampler.stacks), encoding="utf-8")
+        print(
+            f"flame: {args.benchmark}/{workload.name}: {sampler.total_samples} "
+            f"samples over 1 capture + {replays} replays -> {out}",
+            file=sys.stderr,
+        )
+        for frame, n in top_frames(sampler.stacks, limit=10):
+            share = n / sampler.total_samples * 100.0 if sampler.total_samples else 0.0
+            print(f"  {share:5.1f}%  {frame}")
+        return 0
+
+    if args.command == "top":
+        import time as time_mod
+
+        from .core.trace import read_trace, render_top
+
+        while True:
+            records = read_trace(args.path) if args.path.exists() else []
+            if not records:
+                if args.once:
+                    print(f"top: no records at {args.path}", file=sys.stderr)
+                    return 2
+            else:
+                frame = render_top(records, tail=args.tail)
+                if args.once:
+                    print(frame)
+                    return 0
+                # Clear + home, like watch(1); journal re-read each frame.
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+                if any(r.get("type") == "summary" for r in records):
+                    return 0
+            time_mod.sleep(args.interval)
 
     if args.command in ("fig1", "fig2"):
         from .analysis.figures import render_figure1, render_figure2

@@ -85,6 +85,7 @@ from .registry import (
     benchmark_ids,
     get_benchmark,
 )
+from .resources import StageResourceTracker, merge_stacks, sampler_from_env
 from .trace import CellSpan, StageSpan, TraceWriter
 from .workload import Workload, WorkloadSet
 
@@ -174,7 +175,9 @@ class CellOutcome:
     #: Run-timeline start (seconds since the trace writer started); -1
     #: means "unknown" and is backfilled at span-emission time.
     start_s: float = -1.0
-    #: ``(stage_name, start offset within the cell, duration)`` triples.
+    #: ``(stage_name, start offset within the cell, duration)`` triples,
+    #: optionally extended with a fourth resource-attribution dict (see
+    #: :mod:`repro.core.resources`).
     stages: tuple = ()
     #: ``replay="run"`` took the phase-sampled path rather than exact.
     sampled: bool = False
@@ -303,8 +306,11 @@ def _run_cell(
       (stage-level capture runs).
 
     The third element is the cell's observability meta: ``"stages"`` is
-    ``(name, start offset, duration)`` wall-clock triples for the
-    generate/capture/replay stages, and ``"metrics"`` is the worker's
+    ``(name, start offset, duration, resources)`` entries for the
+    generate/capture/replay stages — ``resources`` carries the stage's
+    ``getrusage`` deltas (and sample counts / replay event totals where
+    they apply, see :mod:`repro.core.resources`) — and ``"metrics"`` is
+    the worker's
     :class:`~repro.core.metrics.MetricsRegistry` snapshot — the events
     emitted, replay throughput, and per-worker tallies recorded while
     the cell ran, serialized JSON-safe so they survive the pool
@@ -316,22 +322,46 @@ def _run_cell(
     """
     _maybe_inject_fault(cell, attempt)
     reg = metrics.MetricsRegistry()
-    stages: list[tuple[str, float, float]] = []
+    stages: list[list[Any]] = []
+    tracker = StageResourceTracker()
+    sampler = sampler_from_env()
+    if sampler is not None:
+        sampler.start()
     t0 = time.perf_counter()
-    with metrics.collector(reg):
-        metrics.inc(metrics.WORKER_CELLS_TOTAL, worker=str(os.getpid()))
-        workload = _worker_workload(cell)
-        t1 = time.perf_counter()
-        stages.append(("generate", 0.0, t1 - t0))
-        capture = capture_execution(_worker_benchmark(cell.benchmark_id), workload)
-        t2 = time.perf_counter()
-        stages.append(("capture", t1 - t0, t2 - t1))
-        if mode == "capture":
-            profile = None
-        else:
-            profile = replay_capture(capture, machine=cell.machine)
-            stages.append(("replay", t2 - t0, time.perf_counter() - t2))
+    try:
+        with metrics.collector(reg):
+            metrics.inc(metrics.WORKER_CELLS_TOTAL, worker=str(os.getpid()))
+            workload = _worker_workload(cell)
+            t1 = time.perf_counter()
+            stages.append(["generate", 0.0, t1 - t0, tracker.lap()])
+            capture = capture_execution(_worker_benchmark(cell.benchmark_id), workload)
+            t2 = time.perf_counter()
+            stages.append(["capture", t1 - t0, t2 - t1, tracker.lap()])
+            if mode == "capture":
+                profile = None
+            else:
+                profile = replay_capture(capture, machine=cell.machine)
+                t3 = time.perf_counter()
+                res = tracker.lap()
+                res["replay_events"] = int(
+                    reg.value(metrics.REPLAY_EVENTS_TOTAL, benchmark=cell.benchmark_id)
+                    or 0
+                )
+                res["replay_ns"] = int(
+                    reg.value(metrics.REPLAY_NS_TOTAL, benchmark=cell.benchmark_id)
+                    or 0
+                )
+                stages.append(["replay", t2 - t0, t3 - t2, res])
+    finally:
+        if sampler is not None:
+            sampler.stop()
     meta = {"stages": stages, "metrics": reg.to_dict()}
+    if sampler is not None:
+        for st in stages:
+            n = sampler.samples_between(t0 + st[1], t0 + st[1] + st[2])
+            if n:
+                st[3]["samples"] = n
+        meta["stacks"] = sampler.stacks
     if mode == "capture":
         return None, capture, meta
     return profile, (capture if mode == "both" else None), meta
@@ -409,6 +439,12 @@ class CharacterizationEngine:
         #: characterize_sweep_run); run_cells stays memo-free so suite
         #: runs don't pin every telemetry stream in memory.
         self._capture_memo: dict[str, TelemetryCapture] = {}
+        #: FDO build digests replayed through this engine (name → digest);
+        #: the run ledger records them so a build sweep is diffable.
+        self.builds_used: dict[str, str] = {}
+        #: Collapsed-stack sample counts folded across every sampled cell
+        #: (opt-in via ``REPRO_STACK_SAMPLE``), feeding ``repro flame``.
+        self.stack_counts: dict[str, int] = {}
         self.machine = machine
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout!r}")
@@ -478,6 +514,8 @@ class CharacterizationEngine:
                     outcomes[i] = replace(oc, capture="run")
                     continue
                 profile, capture, meta = oc.profile
+                if meta.get("stacks"):
+                    merge_stacks(self.stack_counts, meta["stacks"])
                 outcomes[i] = replace(
                     oc, profile=profile, capture="run", replay="run",
                     stages=tuple(tuple(s) for s in meta["stages"]),
@@ -492,9 +530,12 @@ class CharacterizationEngine:
 
         for i, capture in replays:
             cell = cells[i]
+            tracker = StageResourceTracker()
+            reg = metrics.MetricsRegistry()
             started = time.perf_counter()
             try:
-                profile = replay_capture(capture, machine=cell.machine)
+                with metrics.collector(reg):
+                    profile = replay_capture(capture, machine=cell.machine)
             except Exception as exc:
                 outcomes[i] = CellOutcome(
                     cell, None, cache_state, 1,
@@ -505,11 +546,19 @@ class CharacterizationEngine:
                 )
                 continue
             duration = time.perf_counter() - started
+            res = tracker.lap()
+            res["replay_events"] = int(
+                reg.value(metrics.REPLAY_EVENTS_TOTAL, benchmark=cell.benchmark_id)
+                or 0
+            )
+            res["replay_ns"] = int(
+                reg.value(metrics.REPLAY_NS_TOTAL, benchmark=cell.benchmark_id) or 0
+            )
             outcomes[i] = CellOutcome(
                 cell, profile, cache_state, 0, duration, "ok",
                 capture="hit", replay="run",
                 start_s=self.trace.rel(started),
-                stages=(("replay", 0.0, duration),),
+                stages=(("replay", 0.0, duration, res),),
             )
             self.cache.put(keys[i], profile)
 
@@ -549,10 +598,12 @@ class CharacterizationEngine:
                 )
             )
             bench = oc.cell.benchmark_id
-            for name, offset, duration in oc.stages:
+            for st in oc.stages:
+                name, offset, duration = st[0], st[1], st[2]
                 self._emit_stage(
                     name, bench, oc.cell.workload_name,
                     start + offset, duration, parent_id=span_id,
+                    resources=st[3] if len(st) > 3 else None,
                 )
             metrics.inc(
                 metrics.CELLS_TOTAL, benchmark=bench,
@@ -575,8 +626,9 @@ class CharacterizationEngine:
         duration_s: float,
         *,
         parent_id: str | None = None,
+        resources: "dict[str, Any] | None" = None,
     ) -> None:
-        """Journal one stage span and observe its latency histogram."""
+        """Journal one stage span; observe latency + resource metrics."""
         self.trace.stage(
             StageSpan(
                 name=name,
@@ -586,11 +638,30 @@ class CharacterizationEngine:
                 duration_s=duration_s,
                 span_id=self.trace.next_span_id(),
                 parent_id=self.trace.run_span_id if parent_id is None else parent_id,
+                resources=resources,
             )
         )
         metrics.observe(
             metrics.STAGE_SECONDS, duration_s, benchmark=benchmark, stage=name
         )
+        if resources:
+            metrics.observe(
+                metrics.STAGE_CPU_SECONDS, resources.get("cpu_user_s", 0.0),
+                benchmark=benchmark, stage=name, cpu="user",
+            )
+            metrics.observe(
+                metrics.STAGE_CPU_SECONDS, resources.get("cpu_sys_s", 0.0),
+                benchmark=benchmark, stage=name, cpu="sys",
+            )
+            rss = resources.get("max_rss_kb")
+            if rss:
+                metrics.gauge_set(metrics.PEAK_RSS_KB, rss, benchmark=benchmark)
+            samples = resources.get("samples")
+            if samples:
+                metrics.inc(
+                    metrics.STACK_SAMPLES_TOTAL, samples,
+                    benchmark=benchmark, stage=name,
+                )
 
     def _execute(
         self,
@@ -883,6 +954,8 @@ class CharacterizationEngine:
                     continue
                 if oc.ok:
                     _, capture, meta = oc.profile
+                    if meta.get("stacks"):
+                        merge_stacks(self.stack_counts, meta["stacks"])
                     results[i] = (
                         capture,
                         "run",
@@ -969,13 +1042,16 @@ class CharacterizationEngine:
         """
         m = self.machine if machine is _ENGINE_MACHINE else machine
         build_name = getattr(build, "name", None)
+        build_digest = build.digest() if build is not None else None
+        if build_name is not None and build_digest is not None:
+            self.builds_used[str(build_name)] = str(build_digest)
         token = sampling.cache_token() if sampling is not None else None
         cell = _Cell(capture.benchmark, capture.workload, 0, m)
         key = None
         if self.store is not None and workload is not None:
             key = cache_key(
                 capture.benchmark, workload, m,
-                build=build.digest() if build is not None else None,
+                build=build_digest,
                 sampling=token,
             )
             cached = self.cache.get(key)
@@ -989,14 +1065,17 @@ class CharacterizationEngine:
                 return oc
         cache_state = "off" if self.store is None else ("miss" if key else "-")
         stage_name = "sample" if token is not None else "replay"
+        tracker = StageResourceTracker()
+        reg = metrics.MetricsRegistry()
         started = time.perf_counter()
         try:
-            profile = replay_capture(
-                capture,
-                machine=m,
-                cost_model=build.cost_model(m) if build is not None else None,
-                sampling=sampling,
-            )
+            with metrics.collector(reg):
+                profile = replay_capture(
+                    capture,
+                    machine=m,
+                    cost_model=build.cost_model(m) if build is not None else None,
+                    sampling=sampling,
+                )
         except Exception as exc:
             oc = CellOutcome(
                 cell, None, cache_state, 1,
@@ -1008,11 +1087,19 @@ class CharacterizationEngine:
             )
         else:
             duration = time.perf_counter() - started
+            res = tracker.lap()
+            res["replay_events"] = int(
+                reg.value(metrics.REPLAY_EVENTS_TOTAL, benchmark=capture.benchmark)
+                or 0
+            )
+            res["replay_ns"] = int(
+                reg.value(metrics.REPLAY_NS_TOTAL, benchmark=capture.benchmark) or 0
+            )
             oc = CellOutcome(
                 cell, profile, cache_state, 1, duration, "ok",
                 replay="run", build=build_name,
                 start_s=self.trace.rel(started),
-                stages=((stage_name, 0.0, duration),),
+                stages=((stage_name, 0.0, duration, res),),
                 sampled=token is not None,
             )
             if key is not None:
@@ -1207,15 +1294,18 @@ class CharacterizationEngine:
 
             for j, (mi, cell) in enumerate(members):
                 fresh, cap_attempts, cap_duration, cap_stages = _charge(j)
+                tracker = StageResourceTracker()
+                reg = metrics.MetricsRegistry()
                 started = time.perf_counter()
                 if fresh and run_oc is not None and run_oc.start_s >= 0:
                     cell_start = run_oc.start_s
                 else:
                     cell_start = self.trace.rel(started)
                 try:
-                    profile = replay_capture(
-                        capture, machine=cell.machine, sampling=sampling
-                    )
+                    with metrics.collector(reg):
+                        profile = replay_capture(
+                            capture, machine=cell.machine, sampling=sampling
+                        )
                 except Exception as exc:
                     grid[mi][wi] = CellOutcome(
                         cell, None, cache_state, max(1, cap_attempts),
@@ -1227,13 +1317,28 @@ class CharacterizationEngine:
                     )
                     continue
                 replay_dur = time.perf_counter() - started
+                res = tracker.lap()
+                res["replay_events"] = int(
+                    reg.value(metrics.REPLAY_EVENTS_TOTAL, benchmark=benchmark_id)
+                    or 0
+                )
+                res["replay_ns"] = int(
+                    reg.value(metrics.REPLAY_NS_TOTAL, benchmark=benchmark_id) or 0
+                )
                 grid[mi][wi] = CellOutcome(
                     cell, profile, cache_state, cap_attempts,
                     cap_duration + replay_dur, "ok",
                     capture="run" if fresh else "hit", replay="run",
                     start_s=cell_start,
                     stages=cap_stages
-                    + ((stage_name, self.trace.rel(started) - cell_start, replay_dur),),
+                    + (
+                        (
+                            stage_name,
+                            self.trace.rel(started) - cell_start,
+                            replay_dur,
+                            res,
+                        ),
+                    ),
                     sampled=token is not None,
                 )
                 if keys[mi][wi] is not None:

@@ -82,6 +82,7 @@ __all__ = [
     "merge_snapshot",
     "render_prometheus",
     "render_metrics_table",
+    "metrics_table_data",
     "load_snapshot",
     # catalog constants
     "STAGE_SECONDS",
@@ -100,6 +101,9 @@ __all__ = [
     "CACHE_LOOKUP_SECONDS",
     "CACHE_EVENTS_TOTAL",
     "CACHE_IO_BYTES_TOTAL",
+    "STAGE_CPU_SECONDS",
+    "PEAK_RSS_KB",
+    "STACK_SAMPLES_TOTAL",
 ]
 
 #: Snapshot schema version (bump with the to_dict layout).
@@ -267,6 +271,25 @@ CACHE_IO_BYTES_TOTAL = _spec(
     "counter",
     "Artifact-store bytes moved, by direction",
     ("store", "direction"),
+)
+STAGE_CPU_SECONDS = _spec(
+    "repro_stage_cpu_seconds",
+    "histogram",
+    "CPU seconds attributed per pipeline stage via getrusage deltas",
+    ("benchmark", "stage", "cpu"),  # cpu = "user" | "sys"
+    SECONDS_BUCKETS,
+)
+PEAK_RSS_KB = _spec(
+    "repro_peak_rss_kb",
+    "gauge",
+    "Peak resident set size (KB) observed while a benchmark's cells ran",
+    ("benchmark",),
+)
+STACK_SAMPLES_TOTAL = _spec(
+    "repro_stack_samples_total",
+    "counter",
+    "Profiler stack samples attributed to a pipeline stage (opt-in)",
+    ("benchmark", "stage"),
 )
 
 
@@ -669,13 +692,17 @@ def _group_key(spec: MetricSpec, key: tuple[str, ...]) -> tuple[str, ...]:
     )
 
 
-def render_metrics_table(registry: MetricsRegistry) -> str:
-    """Terminal table for ``repro metrics show``.
+def _aggregate_table(
+    registry: MetricsRegistry,
+) -> tuple[
+    dict[tuple[str, tuple[str, ...]], Histogram],
+    dict[tuple[str, tuple[str, ...]], float],
+    dict[str, str],
+]:
+    """Re-aggregate a registry over the high-cardinality labels.
 
-    Histograms are re-aggregated (exactly — shared fixed buckets) over
-    the high-cardinality labels, so ``repro_stage_seconds`` prints one
-    p50/p95/p99 row per *stage*; counters and gauges sum/max the same
-    way.
+    Exact for histograms (shared fixed buckets); counters sum, gauges
+    take the max.  Shared by the table and JSON renderers.
     """
     hists: dict[tuple[str, tuple[str, ...]], Histogram] = {}
     scalars: dict[tuple[str, tuple[str, ...]], float] = {}
@@ -692,6 +719,51 @@ def render_metrics_table(registry: MetricsRegistry) -> str:
             scalars[group] = max(scalars.get(group, 0), inst.value)
         else:
             scalars[group] = scalars.get(group, 0) + inst.value
+    return hists, scalars, kinds
+
+
+def metrics_table_data(registry: MetricsRegistry) -> dict[str, Any]:
+    """The ``repro metrics show`` aggregation as JSON-ready rows.
+
+    The machine-consumable twin of :func:`render_metrics_table` —
+    identical grouping and quantiles, emitted as a dict for
+    ``repro metrics show --json`` and service clients.
+    """
+    hists, scalars, kinds = _aggregate_table(registry)
+    return {
+        "histograms": [
+            {
+                "metric": name,
+                "labels": list(group),
+                "count": h.count,
+                "p50": h.percentile(0.50),
+                "p95": h.percentile(0.95),
+                "p99": h.percentile(0.99),
+                "total": h.sum,
+            }
+            for (name, group), h in sorted(hists.items())
+        ],
+        "scalars": [
+            {
+                "metric": name,
+                "labels": list(group),
+                "value": v,
+                "kind": kinds.get(name, "counter"),
+            }
+            for (name, group), v in sorted(scalars.items())
+        ],
+    }
+
+
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Terminal table for ``repro metrics show``.
+
+    Histograms are re-aggregated (exactly — shared fixed buckets) over
+    the high-cardinality labels, so ``repro_stage_seconds`` prints one
+    p50/p95/p99 row per *stage*; counters and gauges sum/max the same
+    way.
+    """
+    hists, scalars, kinds = _aggregate_table(registry)
 
     lines = []
     if hists:

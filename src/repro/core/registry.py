@@ -42,6 +42,7 @@ suggestions.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from types import ModuleType
@@ -256,6 +257,12 @@ class Registry:
         self._plugins: list[PluginInfo] = []
         self._bootstrapped = False
         self._origin_stack: list[str] = []
+        # Re-entrant: the bootstrap imports run registration decorators
+        # that call back into this registry on the same thread, while a
+        # second thread (e.g. concurrent Sessions) must block until the
+        # built-ins are fully populated rather than see a half-loaded
+        # registry through the eagerly-set flag.
+        self._bootstrap_lock = threading.RLock()
 
     # --------------------------------------------------------- registration
 
@@ -359,17 +366,18 @@ class Registry:
         The flag is set *before* importing so the benchmark modules'
         decorators (which call back into this registry) cannot recurse.
         """
-        if self._bootstrapped:
-            return
-        self._bootstrapped = True
-        import importlib
+        with self._bootstrap_lock:
+            if self._bootstrapped:
+                return
+            self._bootstrapped = True
+            import importlib
 
-        # Package imports run every module's registration decorators.
-        importlib.import_module("repro.benchmarks")
-        importlib.import_module("repro.workloads")
-        importlib.import_module("repro.machine.machine")
-        importlib.import_module("repro.fdo.optimizer")
-        self._load_entry_points()
+            # Package imports run every module's registration decorators.
+            importlib.import_module("repro.benchmarks")
+            importlib.import_module("repro.workloads")
+            importlib.import_module("repro.machine.machine")
+            importlib.import_module("repro.fdo.optimizer")
+            self._load_entry_points()
 
     def _load_entry_points(self) -> None:
         if os.environ.get(DISABLE_PLUGINS_ENV):

@@ -1,0 +1,238 @@
+"""Per-stage resource attribution and an opt-in stack-sampling profiler.
+
+Two complementary answers to "where did the run's cost go":
+
+* **Resource attribution** — :class:`StageResourceTracker` wraps
+  :func:`resource.getrusage` so each pipeline stage reports the user/sys
+  CPU seconds it consumed and the process peak RSS observed while it
+  ran.  The engine folds the deltas into
+  :class:`~repro.core.trace.StageSpan` records (the ``resources`` field)
+  and the ``repro_stage_cpu_seconds`` / ``repro_peak_rss_kb`` metric
+  families, so CPU time is attributed per (benchmark, stage) with the
+  same labels wall-clock already has.
+
+* **Stack sampling** — :class:`StackSampler` is a timer-thread profiler:
+  a daemon thread wakes at a fixed interval, grabs the target thread's
+  frame via :func:`sys._current_frames`, and folds it into
+  collapsed-stack counts (``mod:func;mod:func ... N`` — the
+  flamegraph.pl / speedscope input format, written by
+  :func:`render_collapsed`).  Sampling is **opt-in** via the
+  ``REPRO_STACK_SAMPLE`` environment variable (truthy enables the
+  default rate; a number sets the rate in Hz) and is read by workers and
+  the inline path alike, so ``REPRO_STACK_SAMPLE=1 repro suite ...``
+  profiles every cell.  At the default 100 Hz the wake-walk-fold loop
+  costs well under the 5% overhead bound asserted in
+  ``benchmarks/bench_resources.py``.
+
+Every structure here is JSON-safe: resource dicts ride inside stage
+records across the worker pool boundary, into trace journals, and into
+the run ledger unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Mapping
+
+__all__ = [
+    "SAMPLE_ENV",
+    "DEFAULT_HZ",
+    "StageResourceTracker",
+    "StackSampler",
+    "sampler_from_env",
+    "merge_stacks",
+    "render_collapsed",
+    "top_frames",
+]
+
+#: Opt-in switch for the stack sampler: unset/falsy = off, truthy = on
+#: at :data:`DEFAULT_HZ`, a number = sampling rate in Hz.
+SAMPLE_ENV = "REPRO_STACK_SAMPLE"
+
+#: Default sampling rate when :data:`SAMPLE_ENV` is a bare truthy value.
+DEFAULT_HZ = 100.0
+
+#: Values of :data:`SAMPLE_ENV` that mean "off".
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def _rusage() -> tuple[float, float, int]:
+    """(user CPU s, system CPU s, peak RSS KB) for this process.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to KB so records compare across platforms.
+    """
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    maxrss = ru.ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        maxrss //= 1024
+    return ru.ru_utime, ru.ru_stime, int(maxrss)
+
+
+class StageResourceTracker:
+    """Per-stage ``getrusage`` deltas for one cell execution.
+
+    Call :meth:`lap` at each stage boundary: it returns the resource
+    dict for the stage that just finished and re-arms for the next one.
+    Peak RSS is a process high-water mark (monotone), so each lap
+    reports the current peak — the per-stage value is "the peak observed
+    by the time this stage finished", which is what a leak hunt wants.
+    """
+
+    def __init__(self) -> None:
+        self._user, self._sys, self._rss = _rusage()
+
+    def lap(self, *, samples: int = 0) -> dict[str, Any]:
+        user, sys_s, rss = _rusage()
+        out: dict[str, Any] = {
+            "cpu_user_s": max(0.0, user - self._user),
+            "cpu_sys_s": max(0.0, sys_s - self._sys),
+            "max_rss_kb": rss,
+        }
+        if samples:
+            out["samples"] = samples
+        self._user, self._sys, self._rss = user, sys_s, rss
+        return out
+
+
+class StackSampler:
+    """Timer-thread stack sampler for one target thread.
+
+    A daemon thread wakes every ``1/hz`` seconds, reads the target
+    thread's current frame out of :func:`sys._current_frames`, and
+    folds the walk into collapsed-stack counts.  Timestamps (on the
+    ``time.perf_counter`` timeline) are kept per sample so callers can
+    attribute samples to stage windows after the fact via
+    :meth:`samples_between`.
+
+    Use as a context manager around the region to profile::
+
+        with StackSampler(hz=100) as sampler:
+            ...work...
+        print(render_collapsed(sampler.stacks))
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, *, max_depth: int = 64):
+        if hz <= 0:
+            raise ValueError(f"StackSampler: hz must be > 0, got {hz}")
+        self.interval = 1.0 / hz
+        self.max_depth = max_depth
+        self.stacks: dict[str, int] = {}
+        self._times: list[float] = []
+        self._target_id = threading.get_ident()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ control
+
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            return self
+        self._target_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ results
+
+    @property
+    def total_samples(self) -> int:
+        return len(self._times)
+
+    def samples_between(self, t0: float, t1: float) -> int:
+        """Samples taken in the ``perf_counter`` window ``[t0, t1)``."""
+        return bisect_left(self._times, t1) - bisect_left(self._times, t0)
+
+    # ------------------------------------------------------------ worker
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target_id)
+            if frame is None:
+                continue
+            parts: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                mod = code.co_filename.rsplit("/", 1)[-1]
+                parts.append(f"{mod}:{code.co_name}")
+                frame = frame.f_back
+                depth += 1
+            parts.reverse()  # root first, flamegraph order
+            key = ";".join(parts)
+            self.stacks[key] = self.stacks.get(key, 0) + 1
+            self._times.append(time.perf_counter())
+
+
+def sampler_from_env(env: Mapping[str, str] | None = None) -> StackSampler | None:
+    """A :class:`StackSampler` per :data:`SAMPLE_ENV`, or ``None`` (off).
+
+    ``1`` (and ``true``/``yes``/``on``) is the documented enable switch
+    and means "default rate", not 1 Hz; any other number is the rate in
+    Hz.
+    """
+    raw = (env if env is not None else os.environ).get(SAMPLE_ENV, "").strip().lower()
+    if raw in _FALSY:
+        return None
+    if raw in ("1", "true", "yes", "on"):
+        return StackSampler(hz=DEFAULT_HZ)
+    try:
+        hz = float(raw)
+    except ValueError:
+        hz = DEFAULT_HZ
+    if hz <= 0:
+        return None
+    return StackSampler(hz=hz)
+
+
+def merge_stacks(into: dict[str, int], stacks: Mapping[str, int]) -> dict[str, int]:
+    """Fold one collapsed-stack count dict into an accumulator."""
+    for key, n in stacks.items():
+        into[key] = into.get(key, 0) + int(n)
+    return into
+
+
+def render_collapsed(stacks: Mapping[str, int]) -> str:
+    """Collapsed-stack text: one ``frame;frame;... count`` line per stack.
+
+    The exact input format of Brendan Gregg's ``flamegraph.pl`` and of
+    speedscope's "folded stacks" importer — the profiler counterpart to
+    :func:`~repro.core.trace.export_chrome_trace`'s Perfetto output.
+    """
+    lines = [f"{key} {n}" for key, n in sorted(stacks.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def top_frames(stacks: Mapping[str, int], limit: int = 10) -> list[tuple[str, int]]:
+    """The hottest leaf frames: (frame, inclusive sample count), sorted.
+
+    Counts samples whose *leaf* is the frame — the "self time" view a
+    flat profiler prints — so the terminal summary next to the full
+    flamegraph file answers "what was actually on-CPU".
+    """
+    leaves: dict[str, int] = {}
+    for key, n in stacks.items():
+        leaf = key.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + n
+    return sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]

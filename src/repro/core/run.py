@@ -34,9 +34,11 @@ cells are reported in ``result.failures`` and the journal.
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -48,11 +50,13 @@ from ..machine.cost import MachineConfig
 from ..machine.profiler import ExecutionProfile
 from . import metrics as metrics_mod
 from .artifacts import ArtifactStore
-from .cache import ResultCache
+from .cache import ResultCache, payload_digest
 from .engine import _ENGINE_MACHINE, CharacterizationEngine, CellOutcome, _Cell
 from .errors import CellFailure
+from .ledger import LEDGER_ENV, RunLedger, build_record
 from .metrics import MetricsRegistry
-from .registry import alberta_workloads
+from .registry import REGISTRY, alberta_workloads
+from .resources import render_collapsed
 from .sweep import ENGINE_MACHINE, MachineGrid, ReplayRequest, SweepRequest
 from .trace import RunSummary, TraceWriter, export_chrome_trace
 from .workload import Workload, WorkloadSet
@@ -175,6 +179,7 @@ class Session:
         strict: bool = True,
         trace: TraceWriter | str | Path | None = None,
         max_pool_restarts: int = 3,
+        ledger: "RunLedger | str | Path | None" = None,
     ):
         if not isinstance(trace, TraceWriter):
             trace = TraceWriter(trace)
@@ -210,6 +215,15 @@ class Session:
         #: session's traffic only; ``telemetry.totals()`` keeps the
         #: cross-run process view).
         self.telemetry = telemetry.Scope()
+        if ledger is None:
+            env_dir = os.environ.get(LEDGER_ENV, "").strip()
+            ledger = env_dir or None
+        if ledger is not None and not isinstance(ledger, RunLedger):
+            ledger = RunLedger(ledger)
+        #: Run-history store this session appends to on close (opt-in via
+        #: the ``ledger`` argument or ``REPRO_LEDGER_DIR``).
+        self.ledger = ledger
+        self._grids: set[str] = set()
         self._closed = False
 
     @contextmanager
@@ -323,6 +337,7 @@ class Session:
                 sampling=sampling,
                 batched=batched,
             )
+        self._grids.update(req.grid.names)
         with self._collect() as reg:
             chars, outcomes = self.engine.characterize_sweep_run(
                 req.benchmark,
@@ -498,6 +513,25 @@ class Session:
         """
         return export_chrome_trace(self._writer.records)
 
+    @property
+    def stack_counts(self) -> dict[str, int]:
+        """Collapsed-stack sample counts folded across every sampled cell.
+
+        Empty unless profiling was opted into via ``REPRO_STACK_SAMPLE``
+        (see :mod:`repro.core.resources`).
+        """
+        return dict(self.engine.stack_counts)
+
+    def write_flamegraph(self, path: str | Path) -> Path:
+        """Write the session's collapsed stacks (flamegraph.pl format)."""
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            render_collapsed(self.engine.stack_counts), encoding="utf-8"
+        )
+        return path
+
     # -------------------------------------------------------- lifecycle
 
     @property
@@ -506,12 +540,46 @@ class Session:
         return self._writer.summary
 
     def close(self) -> RunSummary:
-        """Finalize the journal (idempotent) and return the summary."""
+        """Finalize the journal (idempotent) and return the summary.
+
+        When a ledger is attached, the run's record is appended here —
+        once, on the first close.
+        """
+        record_ledger = self.ledger is not None and not self._closed
         with self._collect():
             summary = self._writer.finish()
         self._writer.close()
         self._closed = True
+        if record_ledger:
+            self.ledger.append(self._ledger_record(summary))
         return summary
+
+    def _ledger_record(self, summary: RunSummary) -> dict[str, Any]:
+        """One schema-1 ledger record for everything this session ran."""
+        benchmarks = sorted({s.benchmark for s in self._writer.spans})
+        scenarios: dict[str, str] = {}
+        for bid in benchmarks:
+            desc = REGISTRY.find("benchmark", bid)
+            if desc is not None:
+                scenarios[bid] = desc.fingerprint()
+        for name in sorted(self._grids):
+            desc = REGISTRY.find("machine", name)
+            if desc is not None:
+                scenarios[f"machine:{name}"] = desc.fingerprint()
+        machine = self.engine.machine
+        return build_record(
+            run_id=self._writer.run_id or "unknown",
+            started_at=self._writer.started_at or time.time(),
+            finished_at=time.time(),
+            summary=summary.to_dict(),
+            metrics_snapshot=self.metrics.to_dict(),
+            benchmarks=benchmarks,
+            machine=None if machine is None else payload_digest(asdict(machine)),
+            grids=self._grids,
+            scenarios=scenarios,
+            builds=self.engine.builds_used,
+            trace_path=str(self._writer.path) if self._writer.path else None,
+        )
 
     def __enter__(self) -> "Session":
         return self

@@ -52,6 +52,7 @@ journal from the CLI.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
@@ -74,6 +75,7 @@ __all__ = [
     "render_trace_summary",
     "render_trace_spans",
     "export_chrome_trace",
+    "render_top",
     "RUN_SPAN_ID",
     "STAGE_NAMES",
 ]
@@ -83,6 +85,9 @@ FAILURE_OUTCOMES = ("failed", "timeout", "crashed")
 
 #: The id of the run-root span; every cell span's ``parent_id``.
 RUN_SPAN_ID = "run"
+
+#: Process-wide run serial; disambiguates same-millisecond Sessions.
+_RUN_SERIAL = itertools.count(1)
 
 #: Stage names in pipeline order (``summarize`` parents to the run root).
 #: ``sample`` is the phase-sampled variant of ``replay`` — a cell emits
@@ -160,12 +165,21 @@ class StageSpan:
     duration_s: float
     span_id: str = ""
     parent_id: str = ""
+    #: Resource attribution for the stage (``cpu_user_s``/``cpu_sys_s``/
+    #: ``max_rss_kb``, optional ``samples``/``replay_events``/
+    #: ``replay_ns`` — see :mod:`repro.core.resources`).  ``None`` in
+    #: pre-resource journals and for stages nobody measured.
+    resources: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "stage", **asdict(self)}
+        data = {"type": "stage", **asdict(self)}
+        if data.get("resources") is None:
+            del data["resources"]  # keep pre-resource journals byte-stable
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StageSpan":
+        res = data.get("resources")
         return cls(
             name=data["name"],
             benchmark=data.get("benchmark", "-"),
@@ -174,6 +188,7 @@ class StageSpan:
             duration_s=float(data.get("duration_s", 0.0)),
             span_id=data.get("span_id", ""),
             parent_id=data.get("parent_id", ""),
+            resources=dict(res) if isinstance(res, dict) else None,
         )
 
 
@@ -291,6 +306,9 @@ class TraceWriter:
         #: Id of this run's root span; cell spans parent to it.
         self.run_span_id = RUN_SPAN_ID
         self.summary: RunSummary | None = None
+        #: Set by :meth:`start`; the ledger keys records by this id.
+        self.run_id: str | None = None
+        self.started_at: float | None = None
 
     # ------------------------------------------------------------ span tree
 
@@ -312,10 +330,16 @@ class TraceWriter:
     def start(self, meta: dict[str, Any] | None = None) -> None:
         """Begin the journal with a ``run_start`` record."""
         self._started = time.perf_counter()
+        # ms timestamp + pid + process-wide serial: unique across
+        # machines-in-practice, processes, and same-millisecond Sessions
+        # inside one process (concurrent writers to a shared ledger).
+        serial = next(_RUN_SERIAL)
+        self.run_id = f"{int(time.time() * 1000):x}-{os.getpid()}-{serial}"
+        self.started_at = time.time()
         record = {
             "type": "run_start",
-            "run_id": f"{int(time.time() * 1000):x}-{os.getpid()}",
-            "started_at": time.time(),
+            "run_id": self.run_id,
+            "started_at": self.started_at,
             **(meta or {}),
         }
         self._write(record)
@@ -478,6 +502,27 @@ def render_trace_summary(path: str | Path) -> str:
     return "\n".join(lines)
 
 
+def _stage_label(st: StageSpan) -> str:
+    """Stage display name; ``sample`` keeps a distinct ``*`` suffix so
+    phase-sampled replays never read as exact ones."""
+    return f"{st.name}*" if st.name == "sample" else st.name
+
+
+def _stage_extras(st: StageSpan) -> str:
+    """Resource-attribution suffix for one stage line (empty pre-PR10)."""
+    res = st.resources
+    if not res:
+        return ""
+    parts = []
+    if "cpu_user_s" in res:
+        parts.append(f"cpu={res['cpu_user_s']:.3f}u+{res.get('cpu_sys_s', 0.0):.3f}s")
+    if res.get("max_rss_kb"):
+        parts.append(f"rss={res['max_rss_kb']}KB")
+    if res.get("samples"):
+        parts.append(f"samples={res['samples']}")
+    return (" " + " ".join(parts)) if parts else ""
+
+
 def render_trace_spans(path: str | Path) -> str:
     """Per-cell listing of a journal, for ``repro trace show``."""
     lines = []
@@ -487,24 +532,41 @@ def render_trace_spans(path: str | Path) -> str:
     for sp in trace_spans(path):
         flag = "ok " if sp.ok else sp.outcome
         build = f" build={sp.build}" if sp.build else ""
+        mode = ""
+        if sp.sampled:
+            mode += " [sampled]"
+        if sp.batched:
+            mode += " [batched]"
         lines.append(
             f"{flag:<8} {sp.benchmark:<18} {sp.workload:<28} "
             f"cache={sp.cache:<4} cap={sp.capture:<3} rep={sp.replay:<3} "
-            f"attempts={sp.attempts} t={sp.duration_s:.4f}s{build}"
+            f"attempts={sp.attempts} t={sp.duration_s:.4f}s{build}{mode}"
         )
         for st in stages_by_parent.get(sp.span_id, []) if sp.span_id else []:
             lines.append(
-                f"         └─ {st.name:<9} t={st.duration_s:.4f}s "
-                f"@{st.start_s:.4f}s"
+                f"         └─ {_stage_label(st):<9} t={st.duration_s:.4f}s "
+                f"@{st.start_s:.4f}s{_stage_extras(st)}"
             )
     for st in stages_by_parent.get(RUN_SPAN_ID, []):
         lines.append(
-            f"run      └─ {st.name:<9} t={st.duration_s:.4f}s @{st.start_s:.4f}s"
+            f"run      └─ {_stage_label(st):<9} t={st.duration_s:.4f}s "
+            f"@{st.start_s:.4f}s{_stage_extras(st)}"
         )
     return "\n".join(lines) if lines else "(no spans)"
 
 
 # ------------------------------------------------------------ chrome export
+
+#: Reserved Chrome trace-viewer colors per stage.  ``sample`` gets its
+#: own color (and the ``*`` name suffix) so a phase-sampled replay is
+#: visually distinct from an exact one on the same track.
+_STAGE_CNAME = {
+    "generate": "thread_state_runnable",
+    "capture": "rail_response",
+    "replay": "thread_state_running",
+    "sample": "yellow",
+    "summarize": "grey",
+}
 
 
 def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, Any]:
@@ -549,9 +611,10 @@ def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, 
         tid = lane + 1
         if sp.span_id:
             tid_by_span_id[sp.span_id] = tid
+        suffix = " [sampled]" if sp.sampled else ""
         events.append(
             {
-                "name": f"{sp.benchmark}/{sp.workload}",
+                "name": f"{sp.benchmark}/{sp.workload}{suffix}",
                 "cat": "cell",
                 "ph": "X",
                 "pid": pid,
@@ -564,6 +627,8 @@ def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, 
                     "capture": sp.capture,
                     "replay": sp.replay,
                     "attempts": sp.attempts,
+                    "sampled": sp.sampled,
+                    "batched": sp.batched,
                     **({"build": sp.build} if sp.build else {}),
                     **({"error": sp.error} if sp.error else {}),
                 },
@@ -571,18 +636,22 @@ def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, 
         )
 
     for st in stages:
-        events.append(
-            {
-                "name": st.name,
-                "cat": "stage",
-                "ph": "X",
-                "pid": pid,
-                "tid": tid_by_span_id.get(st.parent_id, 0),
-                "ts": _us(st.start_s),
-                "dur": max(1, _us(st.duration_s)),
-                "args": {"benchmark": st.benchmark, "workload": st.workload},
-            }
-        )
+        event = {
+            "name": _stage_label(st),
+            "cat": "stage.sample" if st.name == "sample" else "stage",
+            "ph": "X",
+            "pid": pid,
+            "tid": tid_by_span_id.get(st.parent_id, 0),
+            "ts": _us(st.start_s),
+            "dur": max(1, _us(st.duration_s)),
+            "args": {"benchmark": st.benchmark, "workload": st.workload},
+        }
+        cname = _STAGE_CNAME.get(st.name)
+        if cname:
+            event["cname"] = cname
+        if st.resources:
+            event["args"]["resources"] = st.resources
+        events.append(event)
 
     run_dur = (
         float(summary["duration_s"])
@@ -625,3 +694,85 @@ def export_chrome_trace(source: str | Path | list[dict[str, Any]]) -> dict[str, 
         )
 
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -------------------------------------------------------------- live view
+
+
+def render_top(
+    records: list[dict[str, Any]], *, tail: int = 12, clock_s: float | None = None
+) -> str:
+    """One ``repro top`` frame from an in-flight journal's records.
+
+    The journal is append-only and flushed per record, so tailing it
+    mid-run (``read_trace`` skips a torn final line) gives a consistent
+    prefix: everything that has *settled* so far.  The frame shows the
+    run header, live tallies (cells, cache-hit rate, stage counts),
+    aggregate replay throughput from the stage records' resource
+    attribution, and the most recent ``tail`` cells with their per-stage
+    states — the run-level ``top`` for a characterization in progress.
+    """
+    meta = next((r for r in records if r.get("type") == "run_start"), {})
+    summary = next((r for r in reversed(records) if r.get("type") == "summary"), None)
+    spans = [CellSpan.from_dict(r) for r in records if r.get("type") == "span"]
+    stages = [StageSpan.from_dict(r) for r in records if r.get("type") == "stage"]
+
+    s = (
+        RunSummary(**{k: v for k, v in summary.items() if k != "type"})
+        if summary
+        else RunSummary.from_spans(spans)
+    )
+    last_t = max(
+        (sp.start_s + sp.duration_s for sp in spans),
+        default=max((st.start_s + st.duration_s for st in stages), default=0.0),
+    )
+    elapsed = s.duration_s if summary else (clock_s if clock_s is not None else last_t)
+    state = "finished" if summary else "running"
+
+    lines = [
+        f"run {meta.get('run_id', '?')}  [{state}]  "
+        f"workers={meta.get('workers', '?')} cache={meta.get('cache', '?')} "
+        f"elapsed={elapsed:.2f}s",
+        f"cells   : {s.cells} settled  ({s.ok} ok, {s.failed} failed, "
+        f"{s.retries} retries)",
+    ]
+    looked_up = s.cache_hits + s.cache_misses
+    rate = (s.cache_hits / looked_up * 100.0) if looked_up else 0.0
+    lines.append(
+        f"cache   : {s.cache_hits}/{looked_up} hits ({rate:.0f}%), "
+        f"{s.quarantined} quarantined"
+    )
+    lines.append(
+        f"stages  : {s.captures} captures ({s.capture_hits} reused), "
+        f"{s.replays} replays ({s.replay_hits} cached, "
+        f"{s.replays_sampled} sampled, {s.replays_batched} batched)"
+    )
+    ev = ns = 0
+    for st in stages:
+        res = st.resources or {}
+        ev += int(res.get("replay_events", 0))
+        ns += int(res.get("replay_ns", 0))
+    if ns:
+        lines.append(
+            f"replay  : {ev} events in {ns / 1e9:.3f}s kernel time "
+            f"({ev / (ns / 1e9) / 1e6:.2f}M events/s)"
+        )
+    cell_rate = s.cells / elapsed if elapsed > 0 else 0.0
+    lines.append(f"rate    : {cell_rate:.2f} cells/s")
+    recent = sorted(spans, key=lambda sp: sp.start_s + sp.duration_s)[-tail:]
+    if recent:
+        lines.append(
+            f"  {'cell':<44} {'cache':<5} {'cap':<3} {'rep':<3} "
+            f"{'t':>9}  state"
+        )
+        for sp in recent:
+            flag = "ok" if sp.ok else sp.outcome
+            mode = " sampled" if sp.sampled else (" batched" if sp.batched else "")
+            lines.append(
+                f"  {sp.benchmark + '/' + sp.workload:<44} {sp.cache:<5} "
+                f"{sp.capture:<3} {sp.replay:<3} {sp.duration_s:>8.4f}s  "
+                f"{flag}{mode}"
+            )
+    else:
+        lines.append("  (no cells settled yet)")
+    return "\n".join(lines)

@@ -189,6 +189,34 @@ class WatchdogReport:
     def exit_code(self) -> int:
         return EXIT_OK if self.ok else EXIT_REGRESSION
 
+    def to_dict(self) -> dict[str, Any]:
+        """The machine-readable report for ``repro watchdog --json``."""
+        from dataclasses import asdict
+
+        return {
+            "baseline": str(self.baseline_path),
+            "tolerance": self.tolerance,
+            "rounds": self.rounds,
+            "injected_slowdown": self.injected_slowdown,
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "checks": [
+                {
+                    **asdict(c),
+                    "eps_ratio": c.eps_ratio,
+                    "regressed": c.regressed(self.tolerance),
+                }
+                for c in self.checks
+            ],
+            "skipped": list(self.skipped),
+            "sampling_checks": [
+                {**asdict(c), "warnings": c.warnings} for c in self.sampling_checks
+            ],
+            "sweep_checks": [
+                {**asdict(c), "warnings": c.warnings} for c in self.sweep_checks
+            ],
+        }
+
     def render(self) -> str:
         """The human-readable diff the CLI prints."""
         lines = [
@@ -514,13 +542,15 @@ def _injected_slowdown() -> float:
 
 
 def run_watchdog(
-    baseline_path: str | Path,
+    baseline_path: "str | Path | None" = None,
     benchmarks: "list[str] | None" = None,
     *,
     tolerance: float = 0.25,
     rounds: int = 3,
     sampling_baseline: "str | Path | None" = None,
     sweep_baseline: "str | Path | None" = None,
+    ledger: "str | Path | None" = None,
+    ledger_window: int = 5,
 ) -> WatchdogReport:
     """Measure and compare; raises :class:`WatchdogError` on usage problems.
 
@@ -534,10 +564,28 @@ def run_watchdog(
     warn-only batched-sweep speedup check against the ``sweep_batched``
     entry of a ``BENCH_machine.json`` (typically the same file as
     ``--baseline``), same policy.
+
+    ``ledger`` replaces the file baseline with a rolling-median one
+    derived from the last ``ledger_window`` recorded runs in that
+    ledger directory (``repro watchdog --ledger-baseline``) — exactly
+    one of ``baseline_path`` / ``ledger`` must be given.
     """
     if not 0.0 <= tolerance < 1.0:
         raise WatchdogError(f"tolerance {tolerance} must be in [0, 1)")
-    baseline = load_baseline(baseline_path)
+    if (baseline_path is None) == (ledger is None):
+        raise WatchdogError(
+            "exactly one of a baseline file or a ledger directory is required"
+        )
+    if ledger is not None:
+        from .ledger import LedgerError, RunLedger, ledger_baseline
+
+        try:
+            baseline = ledger_baseline(RunLedger(ledger), window=ledger_window)
+        except LedgerError as exc:
+            raise WatchdogError(str(exc)) from exc
+        baseline_path = Path(ledger)
+    else:
+        baseline = load_baseline(baseline_path)
     rows: Mapping[str, Any] = baseline["benchmarks"]
     ids = list(rows) if benchmarks is None else list(benchmarks)
     slowdown = _injected_slowdown()

@@ -32,9 +32,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from ..core.errors import MachineMismatch, StudyError
+from ..core.errors import MachineMismatch, RegistrationError, StudyError
 from ..core.run import ReplayRequest, Session
-from ..core.registry import alberta_workloads
+from ..core.registry import REGISTRY, alberta_workloads
 from ..core.workload import Workload, WorkloadSet
 from ..machine.cost import MachineConfig
 from .optimizer import FdoBuild
@@ -88,6 +88,28 @@ class CrossValidationResult:
         }
 
 
+def _resolve_build(build: "str | object", profile: FdoProfile) -> object:
+    """A replay build from a registered ``fdo_build`` name or live object.
+
+    A string goes through the registry — plugin-registered builds
+    (:func:`~repro.core.registry.register_fdo_build`) resolve exactly
+    like the built-in ``"fdo"``; an unknown name raises
+    :class:`~repro.core.errors.UnknownScenarioError` with near-miss
+    suggestions.  Anything else is assumed to already satisfy the build
+    protocol (``name``, ``digest()``, ``cost_model(machine)``) and is
+    returned untouched.
+    """
+    if not isinstance(build, str):
+        return build
+    descriptor = REGISTRY.get("fdo_build", build)
+    if descriptor.factory is None:
+        raise RegistrationError(
+            f"fdo_build {build!r} has no factory (descriptor was "
+            "deserialized or registered without one)"
+        )
+    return descriptor.factory(profile)
+
+
 def _effective_machine(
     machine: MachineConfig | None, session: Session
 ) -> MachineConfig | None:
@@ -130,16 +152,23 @@ def evaluate_pair(
     *,
     machine: MachineConfig | None = None,
     profile: FdoProfile | None = None,
+    build: "str | object" = "fdo",
     session: Session | None = None,
 ) -> FdoResult:
     """Train on one workload (or use ``profile``), evaluate on another.
 
     Both measurements replay the same captured execution of
     ``eval_workload`` — the baseline through the plain cost model, the
-    FDO run through the profile's :class:`~repro.fdo.optimizer.FdoBuild`.
-    A ``profile`` trained under a different machine configuration than
-    the evaluation raises :class:`~repro.core.errors.MachineMismatch`
-    (``None``-vs-default configs are normalized, not rejected).
+    FDO run through the ``build``: a registered ``fdo_build`` name (the
+    default ``"fdo"`` resolves to
+    :class:`~repro.fdo.optimizer.FdoBuild`; plugins register their own
+    via :func:`~repro.core.registry.register_fdo_build`) or a live
+    build object.  The build's ``digest()`` joins the replay cache key
+    and the session ledger's ``builds`` map, so differently-built
+    profiles never collide.  A ``profile`` trained under a different
+    machine configuration than the evaluation raises
+    :class:`~repro.core.errors.MachineMismatch` (``None``-vs-default
+    configs are normalized, not rejected).
     """
     own = session is None
     if own:
@@ -163,7 +192,11 @@ def evaluate_pair(
         )
         fdo = session.replay(
             capture,
-            ReplayRequest(workload=eval_workload, build=FdoBuild(profile), machine=m),
+            ReplayRequest(
+                workload=eval_workload,
+                build=_resolve_build(build, profile),
+                machine=m,
+            ),
         )
         return FdoResult(
             benchmark=benchmark_id,

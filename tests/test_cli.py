@@ -27,12 +27,14 @@ class TestObservability:
             "metrics": root / "metrics.json",
             "prom": root / "metrics.prom",
             "chrome": root / "trace.chrome.json",
+            "trace": root / "trace.jsonl",
         }
         rc = main(
             ["suite", "505.mcf_r", "--no-cache",
              "--metrics", str(paths["metrics"]),
              "--prom", str(paths["prom"]),
-             "--chrome-trace", str(paths["chrome"])]
+             "--chrome-trace", str(paths["chrome"]),
+             "--trace", str(paths["trace"])]
         )
         assert rc == 0
         return paths
@@ -62,6 +64,43 @@ class TestObservability:
     def test_metrics_prom_matches_suite_export(self, artifacts, capsys):
         assert main(["metrics", "prom", str(artifacts["metrics"])]) == 0
         assert capsys.readouterr().out.strip() == artifacts["prom"].read_text().strip()
+
+    def test_metrics_show_json(self, artifacts, capsys):
+        import json
+
+        assert main(["metrics", "show", str(artifacts["metrics"]), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hist = {h["metric"] for h in data["histograms"]}
+        assert "repro_stage_seconds" in hist
+        for h in data["histograms"]:
+            assert {"metric", "labels", "count", "p50", "p95", "p99"} <= set(h)
+        assert any(s["metric"] == "repro_cells_total" for s in data["scalars"])
+
+    def test_trace_summary_json(self, artifacts, capsys):
+        import json
+
+        assert main(["trace", "summary", str(artifacts["trace"]), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["cells"] > 0 and data["failed"] == 0
+        assert data["captures"] > 0 and data["replays"] > 0
+        assert data["failed_cells"] == []
+
+    def test_trace_summary_json_lists_failed_cells(self, tmp_path, capsys):
+        import json
+
+        from repro.core.trace import CellSpan, TraceWriter
+
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path, mirror_telemetry=False)
+        writer.start()
+        writer.span(CellSpan("505.mcf_r", "mcf.test", "off", 2, 0.1,
+                             "failed", "boom"))
+        writer.finish()
+        writer.close()
+        assert main(["trace", "summary", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        cell, = data["failed_cells"]
+        assert cell["workload"] == "mcf.test" and cell["error"] == "boom"
 
     def test_metrics_missing_snapshot_exits_2(self, tmp_path, capsys):
         assert main(["metrics", "show", str(tmp_path / "nope.json")]) == 2

@@ -393,8 +393,8 @@ class TestPlugins:
         assert lines[0] == "plugin:demo"
         assert lines[1] == "plugin:demo"
         assert lines[2] == (
-            "demo ['benchmark:901.collatz_x', 'generator:901.collatz_x',"
-            " 'machine:demo-tiny']"
+            "demo ['benchmark:901.collatz_x', 'fdo_build:demo-boost',"
+            " 'generator:901.collatz_x', 'machine:demo-tiny']"
         )
 
     def test_disable_env_skips_entry_points(self, tmp_path: Path) -> None:
@@ -434,6 +434,41 @@ class TestPlugins:
         assert captures_replays == "1 2"  # capture once, replay per config
         assert has_artifacts == "True"
 
+    def test_plugin_fdo_build_end_to_end(self, tmp_path: Path) -> None:
+        # The ROADMAP follow-up from the plugin registry PR: a
+        # plugin-registered fdo_build resolves by name through
+        # evaluate_pair, its digest changes the replay cache key, and
+        # the digest lands in the run ledger's builds map.
+        pythonpath = _fake_install(tmp_path)
+        code = (
+            "from pathlib import Path\n"
+            "from repro.core.cache import cache_key\n"
+            "from repro.core.ledger import RunLedger\n"
+            "from repro.core.registry import REGISTRY, alberta_workloads\n"
+            "from repro.core.run import Session\n"
+            "from repro.fdo.evaluation import evaluate_pair\n"
+            "from repro_plugin_demo import CollatzFdoBuild\n"
+            f"base = Path({str(tmp_path)!r})\n"
+            "wl = {w.name: w for w in alberta_workloads('901.collatz_x')}\n"
+            "with Session(cache=base / 'store', ledger=base / 'led') as s:\n"
+            "    r = evaluate_pair('901.collatz_x', wl['collatz.train'],\n"
+            "                      wl['collatz.test'], build='demo-boost',\n"
+            "                      session=s)\n"
+            "    digest = s.engine.builds_used.get('demo-boost')\n"
+            "print(r.speedup > 0)\n"
+            "print(digest is not None and len(digest) > 0)\n"
+            "m = s.engine.machine\n"
+            "key = cache_key('901.collatz_x', wl['collatz.test'], m,"
+            " build=digest)\n"
+            "bare = cache_key('901.collatz_x', wl['collatz.test'], m)\n"
+            "print(key != bare)\n"
+            "print((base / 'store' / key[:2] / (key + '.json')).exists())\n"
+            "record = RunLedger(base / 'led').resolve('latest')\n"
+            "print(record['builds'].get('demo-boost') == digest)\n"
+        )
+        out = self._run(code, pythonpath)
+        assert out.splitlines() == ["True"] * 5
+
     def test_in_process_load_plugin(self) -> None:
         # no .dist-info here: the module reaches the registry through the
         # explicit load_plugin() API, not entry-point discovery.  Runs in
@@ -451,7 +486,8 @@ class TestPlugins:
         lines = out.splitlines()
         assert lines[0] == (
             "demo repro_plugin_demo ['benchmark:901.collatz_x',"
-            " 'generator:901.collatz_x', 'machine:demo-tiny']"
+            " 'fdo_build:demo-boost', 'generator:901.collatz_x',"
+            " 'machine:demo-tiny']"
         )
         assert lines[1] == "plugin:demo"
 

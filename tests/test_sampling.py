@@ -331,6 +331,42 @@ class TestPipelineVisibility:
         assert not any(st.name == "replay" for st in trace_stages(path))
         assert summarize_trace(path).replays_sampled == 1
 
+    def test_sampled_journal_renders_distinctly(self, tmp_path):
+        # Satellite: the human listing and the Chrome export must make a
+        # phase-sampled replay visually distinct from an exact one.
+        from repro.core.trace import export_chrome_trace, render_trace_spans
+
+        path = tmp_path / "t.jsonl"
+        with Session(trace=path) as s:
+            s.characterize_sweep(
+                SweepRequest(
+                    benchmark="505.mcf_r",
+                    grid=MachineGrid.from_machines([None]),
+                    sampling=SamplingPlan(),
+                ),
+                workloads=[_refrate("505.mcf_r")],
+            )
+        listing = render_trace_spans(path)
+        assert "[sampled]" in listing
+        assert "sample*" in listing  # the stage label keeps its * suffix
+        assert "replay " not in listing.split("└─")[1]
+
+        chrome = export_chrome_trace(path)
+        cells = [e for e in chrome["traceEvents"] if e.get("cat") == "cell"]
+        assert cells and all(e["args"]["sampled"] for e in cells)
+        assert all(e["name"].endswith("[sampled]") for e in cells)
+        sample_stages = [
+            e for e in chrome["traceEvents"] if e.get("cat") == "stage.sample"
+        ]
+        assert sample_stages
+        for e in sample_stages:
+            assert e["name"] == "sample*"
+            assert e["cname"] == "yellow"
+        assert not any(
+            e["name"] == "replay" for e in chrome["traceEvents"]
+            if e.get("cat", "").startswith("stage")
+        )
+
     def test_old_journals_decode_without_sampled_field(self):
         from repro.core.trace import CellSpan, RunSummary
 

@@ -142,6 +142,64 @@ class TestCli:
         assert err.startswith("watchdog:")
         assert err.count("\n") == 1  # one-line diagnostic
 
+    def test_json_output(self, baseline, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_WATCHDOG_INJECT_SLOWDOWN", raising=False)
+        rc = main(
+            ["watchdog", "--baseline", str(baseline), "--tolerance", "0.5",
+             "--rounds", "2", "--json"]
+        )
+        assert rc == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and report["exit_code"] == EXIT_OK
+        check, = [c for c in report["checks"] if c["benchmark"] == BID]
+        assert check["regressed"] is False
+        assert check["eps_ratio"] > 0
+
+    def test_ledger_baseline_mode(self, tmp_path, measured, capsys):
+        from repro.core.ledger import RunLedger
+        from tests.test_ledger import make_record
+
+        led = tmp_path / "led"
+        ledger = RunLedger(led)
+        # two recorded runs at 70% of this machine's throughput
+        for i in range(2):
+            ledger.append(
+                make_record(
+                    f"r{i}", started=1_000.0 + i, bench=BID,
+                    events=measured["events"],
+                    eps=measured["eps"] * 0.7,
+                )
+            )
+        rc = main(
+            ["watchdog", BID, "--ledger-baseline", str(led),
+             "--tolerance", "0.5", "--rounds", "2"]
+        )
+        assert rc == EXIT_OK
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_ledger_and_file_baseline_are_exclusive(self, baseline, tmp_path, capsys):
+        rc = main(
+            ["watchdog", "--baseline", str(baseline),
+             "--ledger-baseline", str(tmp_path / "led")]
+        )
+        assert rc == EXIT_USAGE
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bare_watchdog_defaults_to_baseline_file(self, tmp_path, capsys,
+                                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no BENCH_machine.json here
+        assert main(["watchdog"]) == EXIT_USAGE
+        assert "BENCH_machine.json" in capsys.readouterr().err
+
+    def test_api_requires_exactly_one_baseline_source(self):
+        with pytest.raises(WatchdogError, match="exactly one"):
+            run_watchdog(None, ledger=None)
+
+    def test_empty_ledger_is_usage_error(self, tmp_path, capsys):
+        rc = main(["watchdog", "--ledger-baseline", str(tmp_path / "led")])
+        assert rc == EXIT_USAGE
+        assert "watchdog:" in capsys.readouterr().err
+
 
 def _write_sampling_baseline(path, *, error, ratio, workload=None):
     from repro.machine.sampling import SamplingPlan
